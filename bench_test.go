@@ -1,0 +1,368 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at reduced (Quick-derived) scale, plus component micro-benchmarks. Run a
+// single experiment with e.g.
+//
+//	go test -bench=BenchmarkTable1 -benchtime=1x
+//
+// The experiment benchmarks print their tables to stdout on the first
+// iteration so `go test -bench=.` doubles as a report generator. Use
+// cmd/m3bench for full-scale runs.
+package m3
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"m3/internal/core"
+	"m3/internal/exp"
+	"m3/internal/flowsim"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/workload"
+)
+
+// benchScale is small enough to keep the full bench suite in minutes.
+func benchScale() exp.Scale {
+	s := exp.Quick()
+	s.TestFlows = 2500
+	s.LargeFlows = 6000
+	s.Paths = 60
+	s.Scenarios = 2
+	return s
+}
+
+var (
+	benchModelOnce sync.Once
+	benchModel     *model.Net
+	benchNoCtx     *model.Net
+	benchModelErr  error
+)
+
+// benchNets trains (once per process) a small model pair on an
+// all-protocol synthetic dataset shared by every experiment benchmark.
+func benchNets(b *testing.B) (*model.Net, *model.Net) {
+	b.Helper()
+	benchModelOnce.Do(func() {
+		cfg := model.DefaultConfig()
+		cfg.Dim = 32
+		cfg.Heads = 2
+		cfg.Layers = 1
+		cfg.Hidden = 64
+		dc := model.DefaultDataConfig()
+		dc.Scenarios = 40
+		dc.Workers = 8
+		samples, err := model.Generate(dc)
+		if err != nil {
+			benchModelErr = err
+			return
+		}
+		opt := model.DefaultTrainOptions()
+		opt.Epochs = 8
+		full, err := model.New(cfg)
+		if err != nil {
+			benchModelErr = err
+			return
+		}
+		if _, err := full.Train(samples, opt); err != nil {
+			benchModelErr = err
+			return
+		}
+		ncfg := cfg
+		ncfg.UseContext = false
+		noCtx, err := model.New(ncfg)
+		if err != nil {
+			benchModelErr = err
+			return
+		}
+		if _, err := noCtx.Train(samples, opt); err != nil {
+			benchModelErr = err
+			return
+		}
+		benchModel, benchNoCtx = full, noCtx
+	})
+	if benchModelErr != nil {
+		b.Fatal(benchModelErr)
+	}
+	return benchModel, benchNoCtx
+}
+
+func writerFor(i int) interface{ Write([]byte) (int, error) } {
+	if i == 0 {
+		return os.Stdout
+	}
+	return exp.Discard
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunTable1(s, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig2(s, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig3(s, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig5(s, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	s := benchScale()
+	net, _ := benchNets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig6(s, net, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	s := benchScale()
+	net, _ := benchNets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RunTable5(s, net, writerFor(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.RunFig12(rows, os.Stdout)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	s := benchScale()
+	net, _ := benchNets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.RunFig10(s, net, writerFor(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.RunFig11(pts, os.Stdout) // Fig 11 reuses the same scenarios
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	s := benchScale()
+	net, _ := benchNets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig13(s, net, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	s := benchScale()
+	net, _ := benchNets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig14(s, net, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	s := benchScale()
+	net, _ := benchNets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig15(s, net, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	s := benchScale()
+	net, noCtx := benchNets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig16(s, net, noCtx, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	s := benchScale()
+	s.Scenarios = 2 // 10 axis points x scenarios ground-truth runs
+	net, _ := benchNets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig17(s, net, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.RunFig18(writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- component micro-benchmarks ---
+
+func benchWorkload(b *testing.B, n int) (*topo.FatTree, []workload.Flow) {
+	b.Helper()
+	ft, err := topo.SmallFatTree(topo.Oversub2to1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	flows, err := workload.Generate(ft, routing.NewFatTreeRouter(ft), workload.Spec{
+		NumFlows: n, Sizes: workload.WebServer, Matrix: workload.MatrixB(32, r),
+		Burstiness: 2, MaxLoad: 0.5, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ft, flows
+}
+
+func BenchmarkPacketSim10kFlows(b *testing.B) {
+	ft, flows := benchWorkload(b, 10000)
+	cfg := packetsim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packetsim.Run(ft.Topology, flows, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(flows))/b.Elapsed().Seconds()*float64(b.N), "flows/s")
+}
+
+func BenchmarkFlowSimPath(b *testing.B) {
+	syn, err := workload.GenerateSynthetic(workload.SynthSpec{
+		Hops: 4, NumFg: 2000, BgPerLink: 1,
+		Sizes: workload.WebServer, Burstiness: 2, MaxLoad: 0.5, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flowsim.Run(syn.Lot.Topology, syn.Flows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(syn.Flows))/b.Elapsed().Seconds()*float64(b.N), "flows/s")
+}
+
+func BenchmarkMaxMinAllocation(b *testing.B) {
+	r := rng.New(3)
+	caps := make([]float64, 64)
+	for i := range caps {
+		caps[i] = 1e10
+	}
+	routes := make([][]int32, 256)
+	for i := range routes {
+		hops := r.Intn(5) + 1
+		start := r.Intn(len(caps) - hops)
+		for h := 0; h < hops; h++ {
+			routes[i] = append(routes[i], int32(start+h))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flowsim.MaxMinRates(caps, routes)
+	}
+}
+
+func BenchmarkModelInference(b *testing.B) {
+	net, _ := benchNets(b)
+	r := rng.New(4)
+	s := &model.Sample{
+		FgFeat: make([]float64, net.Cfg.FeatDim),
+		Spec:   make([]float64, net.Cfg.SpecDim),
+	}
+	for i := range s.FgFeat {
+		s.FgFeat[i] = r.Float64()
+	}
+	for h := 0; h < 6; h++ {
+		f := make([]float64, net.Cfg.FeatDim)
+		for i := range f {
+			f[i] = r.Float64()
+		}
+		s.BgFeats = append(s.BgFeats, f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Predict(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateEndToEnd(b *testing.B) {
+	net, _ := benchNets(b)
+	ft, flows := benchWorkload(b, 8000)
+	est := core.NewEstimator(net)
+	est.NumPaths = 200
+	cfg := packetsim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(ft.Topology, flows, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPaths(b *testing.B) {
+	s := benchScale()
+	net, _ := benchNets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunAblationPaths(s, net, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationKnockout(b *testing.B) {
+	s := benchScale()
+	net, _ := benchNets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunAblationKnockout(s, net, writerFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

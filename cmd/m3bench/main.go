@@ -1,0 +1,147 @@
+// Command m3bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	m3bench [-scale quick|full] [-checkpoint path] [-noctx path] <experiment>...
+//
+// Experiments: table1 fig2 fig3 fig5 fig6 table5 fig10 fig11 fig12 fig13
+// fig14 fig15 fig16 fig17 fig18 ablation-paths ablation-knockout all
+//
+// Experiments that need the ML model load the checkpoint if present and
+// otherwise train one (and cache it at the checkpoint path).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"m3/internal/exp"
+	"m3/internal/model"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	ckpt := flag.String("checkpoint", exp.DefaultCheckpoint(), "model checkpoint path (all-protocol)")
+	noCtxCkpt := flag.String("noctx", "", "no-context model checkpoint (default: <checkpoint dir>/m3-noctx.ckpt)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: m3bench [-scale quick|full] <experiment>...")
+		fmt.Fprintln(os.Stderr, "experiments: table1 fig2 fig3 fig5 fig6 table5 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 all")
+		os.Exit(2)
+	}
+	var s exp.Scale
+	switch *scaleFlag {
+	case "quick":
+		s = exp.Quick()
+	case "full":
+		s = exp.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *noCtxCkpt == "" {
+		*noCtxCkpt = filepath.Join(filepath.Dir(*ckpt), "m3-noctx.ckpt")
+	}
+
+	var net *model.Net
+	loadNet := func() *model.Net {
+		if net != nil {
+			return net
+		}
+		if dir := filepath.Dir(*ckpt); dir != "." {
+			_ = os.MkdirAll(dir, 0o755)
+		}
+		n, err := exp.TrainedModel(s, *ckpt, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		net = n
+		return net
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[a] = true
+	}
+	all := want["all"]
+	ran := 0
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		fmt.Printf("\n===== %s =====\n", name)
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+
+	var sensitivity []exp.SensitivityPoint
+	var table5 []exp.Table5Row
+
+	run("table1", func() error { _, err := exp.RunTable1(s, os.Stdout); return err })
+	run("fig2", func() error { _, err := exp.RunFig2(s, os.Stdout); return err })
+	run("fig3", func() error { _, err := exp.RunFig3(s, os.Stdout); return err })
+	run("fig5", func() error { _, err := exp.RunFig5(s, os.Stdout); return err })
+	run("fig6", func() error { _, err := exp.RunFig6(s, loadNet(), os.Stdout); return err })
+	run("table5", func() error {
+		rows, err := exp.RunTable5(s, loadNet(), os.Stdout)
+		table5 = rows
+		return err
+	})
+	run("fig10", func() error {
+		pts, err := exp.RunFig10(s, loadNet(), os.Stdout)
+		sensitivity = pts
+		return err
+	})
+	run("fig11", func() error {
+		if sensitivity == nil {
+			pts, err := exp.RunSensitivity(s, loadNet(), exp.Discard)
+			if err != nil {
+				return err
+			}
+			sensitivity = pts
+		}
+		exp.RunFig11(sensitivity, os.Stdout)
+		return nil
+	})
+	run("fig12", func() error {
+		if table5 == nil {
+			rows, err := exp.RunTable5(s, loadNet(), exp.Discard)
+			if err != nil {
+				return err
+			}
+			table5 = rows
+		}
+		exp.RunFig12(table5, os.Stdout)
+		return nil
+	})
+	run("fig13", func() error { _, err := exp.RunFig13(s, loadNet(), os.Stdout); return err })
+	run("fig14", func() error { _, err := exp.RunFig14(s, loadNet(), os.Stdout); return err })
+	run("fig15", func() error { _, err := exp.RunFig15(s, loadNet(), os.Stdout); return err })
+	run("fig16", func() error {
+		full, noCtx, err := exp.TrainedPair(s, *ckpt, *noCtxCkpt, os.Stderr)
+		if err != nil {
+			return err
+		}
+		net = full
+		_, err = exp.RunFig16(s, full, noCtx, os.Stdout)
+		return err
+	})
+	run("fig17", func() error { _, err := exp.RunFig17(s, loadNet(), os.Stdout); return err })
+	run("fig18", func() error { return exp.RunFig18(os.Stdout) })
+	run("ablation-paths", func() error { _, err := exp.RunAblationPaths(s, loadNet(), os.Stdout); return err })
+	run("ablation-knockout", func() error { _, err := exp.RunAblationKnockout(s, loadNet(), os.Stdout); return err })
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no known experiment in %v\n", flag.Args())
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "m3bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,311 @@
+// Command m3query is the interactive interface of m3 (paper §3.1,
+// component 8): load a workload (generated or from a trace), then issue
+// targeted queries — network-wide quantiles, per-host-pair path estimates,
+// and live configuration what-ifs.
+//
+// Usage:
+//
+//	m3query -checkpoint m3.ckpt [-topo small|large] [-oversub 2-to-1]
+//	        [-trace flows.csv] [-flows 20000] [-workload WebServer]
+//	        [-matrix B] [-load 0.5] [-burst 2]
+//
+// Commands at the prompt:
+//
+//	summary                      workload statistics
+//	p99 [bucket]                 99th-percentile slowdown (bucket 0-3 or all)
+//	quantile <q> [bucket]        arbitrary quantile, q in (0,1]
+//	path <srcHost> <dstHost>     per-host-pair estimate
+//	set cc <dctcp|timely|dcqcn|hpcc>
+//	set initwnd|buffer <bytes>   counterfactual knobs
+//	set pfc <on|off>
+//	set eta <0.x>                HPCC eta
+//	show config                  current configuration
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/query"
+	"m3/internal/routing"
+	"m3/internal/rng"
+	"m3/internal/topo"
+	"m3/internal/trace"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+func main() {
+	checkpoint := flag.String("checkpoint", "", "trained model checkpoint (required)")
+	topoName := flag.String("topo", "small", "topology: small (32 racks) or large (384 racks)")
+	oversub := flag.String("oversub", "2-to-1", "oversubscription for the small topology")
+	traceFile := flag.String("trace", "", "flow trace to load (csv or jsonl by extension)")
+	flows := flag.Int("flows", 20000, "generated workload size (when no trace)")
+	dist := flag.String("workload", "WebServer", "size distribution for generated workloads")
+	matrixName := flag.String("matrix", "B", "traffic matrix for generated workloads")
+	load := flag.Float64("load", 0.5, "max link load for generated workloads")
+	burst := flag.Float64("burst", 2, "burstiness sigma for generated workloads")
+	paths := flag.Int("paths", 500, "sampled paths per estimate")
+	flag.Parse()
+
+	if *checkpoint == "" {
+		fatal(fmt.Errorf("-checkpoint is required (train one with cmd/m3train)"))
+	}
+	net, err := model.LoadFile(*checkpoint)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded model (%d params)\n", net.NumParams())
+
+	var ft *topo.FatTree
+	switch *topoName {
+	case "small":
+		ft, err = topo.SmallFatTree(topo.Oversub(*oversub))
+	case "large":
+		ft, err = topo.LargeFatTree()
+	default:
+		err = fmt.Errorf("unknown topology %q", *topoName)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var ws []workload.Flow
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		format := trace.CSV
+		if strings.HasSuffix(*traceFile, ".jsonl") || strings.HasSuffix(*traceFile, ".json") {
+			format = trace.JSONL
+		}
+		ws, err = trace.Load(f, format, trace.LoadOptions{
+			Router: routing.NewFatTreeRouter(ft), Topo: ft.Topology,
+		})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		sizes, err := workload.MetaDist(*dist)
+		if err != nil {
+			fatal(err)
+		}
+		mat, err := workload.Matrix(*matrixName, ft.Cfg.NumRacks(), rng.New(1))
+		if err != nil {
+			fatal(err)
+		}
+		ws, err = workload.Generate(ft, routing.NewFatTreeRouter(ft), workload.Spec{
+			NumFlows: *flows, Sizes: sizes, Matrix: mat,
+			Burstiness: *burst, MaxLoad: *load, Seed: 1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "workload: %d flows on %d hosts\n", len(ws), len(ft.Hosts()))
+
+	sess, err := query.NewSession(ft.Topology, ws, net, packetsim.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	sess.NumPaths = *paths
+
+	repl(sess)
+}
+
+func repl(sess *query.Session) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("m3> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := execute(sess, line); quit {
+				return
+			}
+		}
+		fmt.Print("m3> ")
+	}
+}
+
+func execute(sess *query.Session, line string) (quit bool) {
+	args := strings.Fields(line)
+	switch args[0] {
+	case "quit", "exit":
+		return true
+	case "help":
+		fmt.Println("commands: summary | p99 [bucket] | quantile <q> [bucket] |" +
+			" path <src> <dst> | set <knob> <value> | show config | quit")
+	case "summary":
+		sum, err := sess.Summarize()
+		if report(err) {
+			return
+		}
+		fmt.Printf("flows %d, hosts %d, populated paths %d\n", sum.Flows, sum.Hosts, sum.Paths)
+		fmt.Printf("bytes %v, mean size %.0fB, median %.0fB, horizon %v\n",
+			sum.TotalBytes, sum.MeanSize, sum.MedianSize, sum.Horizon)
+		for b, share := range sum.BucketShare {
+			fmt.Printf("  %-12s %5.1f%% of flows\n", query.BucketNames[b], 100*share)
+		}
+	case "p99":
+		bucket := -1
+		if len(args) > 1 {
+			b, err := strconv.Atoi(args[1])
+			if report(err) {
+				return
+			}
+			bucket = b
+		}
+		start := time.Now()
+		v, err := sess.P99(bucket)
+		if report(err) {
+			return
+		}
+		printQuantile("p99", bucket, v, time.Since(start))
+	case "quantile":
+		if len(args) < 2 {
+			fmt.Println("usage: quantile <q> [bucket]")
+			return
+		}
+		q, err := strconv.ParseFloat(args[1], 64)
+		if report(err) {
+			return
+		}
+		bucket := -1
+		if len(args) > 2 {
+			b, err := strconv.Atoi(args[2])
+			if report(err) {
+				return
+			}
+			bucket = b
+		}
+		start := time.Now()
+		v, err := sess.Quantile(bucket, q)
+		if report(err) {
+			return
+		}
+		printQuantile(fmt.Sprintf("q%.3f", q), bucket, v, time.Since(start))
+	case "path":
+		if len(args) != 3 {
+			fmt.Println("usage: path <srcHost> <dstHost>")
+			return
+		}
+		src, err1 := strconv.Atoi(args[1])
+		dst, err2 := strconv.Atoi(args[2])
+		if report(err1) || report(err2) {
+			return
+		}
+		rep, err := sess.Path(topo.NodeID(src), topo.NodeID(dst))
+		if report(err) {
+			return
+		}
+		fmt.Printf("%d paths, %d foreground flows\n", rep.Paths, rep.FgFlows)
+		for b := range rep.P99 {
+			if math.IsNaN(rep.P99[b]) {
+				continue
+			}
+			fmt.Printf("  %-12s p50 %.2f, p99 %.2f\n", query.BucketNames[b], rep.P50[b], rep.P99[b])
+		}
+	case "set":
+		if len(args) != 3 {
+			fmt.Println("usage: set <cc|initwnd|buffer|pfc|eta|k> <value>")
+			return
+		}
+		cfg := sess.Config()
+		if err := applyKnob(&cfg, args[1], args[2]); report(err) {
+			return
+		}
+		if err := sess.SetConfig(cfg); report(err) {
+			return
+		}
+		fmt.Println("ok (estimates will be recomputed)")
+	case "show":
+		cfg := sess.Config()
+		fmt.Printf("cc=%v initwnd=%v buffer=%v pfc=%v", cfg.CC, cfg.InitWindow, cfg.Buffer, cfg.PFC)
+		switch cfg.CC {
+		case packetsim.DCTCP:
+			fmt.Printf(" K=%v", cfg.DCTCPK)
+		case packetsim.HPCC:
+			fmt.Printf(" eta=%.2f rateAI=%v", cfg.HPCCEta, cfg.HPCCRateAI)
+		case packetsim.DCQCN:
+			fmt.Printf(" kmin=%v kmax=%v", cfg.DCQCNKmin, cfg.DCQCNKmax)
+		case packetsim.TIMELY:
+			fmt.Printf(" tlow=%v thigh=%v", cfg.TimelyTLow, cfg.TimelyTHigh)
+		}
+		fmt.Println()
+	default:
+		fmt.Printf("unknown command %q (try help)\n", args[0])
+	}
+	return false
+}
+
+func applyKnob(cfg *packetsim.Config, knob, value string) error {
+	switch knob {
+	case "cc":
+		cc, err := packetsim.ParseCC(value)
+		if err != nil {
+			return err
+		}
+		cfg.CC = cc
+	case "initwnd":
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return err
+		}
+		cfg.InitWindow = unit.ByteSize(v)
+	case "buffer":
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return err
+		}
+		cfg.Buffer = unit.ByteSize(v)
+	case "pfc":
+		cfg.PFC = value == "on" || value == "true" || value == "1"
+	case "eta":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return err
+		}
+		cfg.HPCCEta = v
+	case "k":
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return err
+		}
+		cfg.DCTCPK = unit.ByteSize(v)
+	default:
+		return fmt.Errorf("unknown knob %q", knob)
+	}
+	return nil
+}
+
+func printQuantile(label string, bucket int, v float64, elapsed time.Duration) {
+	scope := "all flows"
+	if bucket >= 0 {
+		scope = query.BucketNames[bucket]
+	}
+	fmt.Printf("%s slowdown (%s) = %.3f   [%v]\n", label, scope, v, elapsed.Round(time.Millisecond))
+}
+
+func report(err error) bool {
+	if err != nil {
+		fmt.Println("error:", err)
+		return true
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "m3query:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command m3train generates a synthetic Table 2 training set with the
+// packet-level simulator as ground truth, trains the m3 model, and writes a
+// checkpoint.
+//
+// Usage:
+//
+//	m3train [-out m3.ckpt] [-scenarios 600] [-epochs 60] [-cc dctcp,...]
+//	        [-dim 64] [-layers 2] [-heads 4] [-hidden 256] [-nocontext]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"m3/internal/model"
+	"m3/internal/packetsim"
+)
+
+func main() {
+	out := flag.String("out", "m3.ckpt", "checkpoint output path")
+	scenarios := flag.Int("scenarios", 600, "synthetic training scenarios")
+	epochs := flag.Int("epochs", 60, "training epochs")
+	batch := flag.Int("batch", 20, "mini-batch size")
+	lr := flag.Float64("lr", 1e-3, "learning rate")
+	ccList := flag.String("cc", "", "comma-separated protocols to train on (default: all four)")
+	dim := flag.Int("dim", 64, "transformer embedding dim")
+	layers := flag.Int("layers", 2, "transformer layers")
+	heads := flag.Int("heads", 4, "attention heads")
+	hidden := flag.Int("hidden", 256, "MLP hidden width")
+	noContext := flag.Bool("nocontext", false, "train the no-context ablation model")
+	workers := flag.Int("workers", 8, "data-generation parallelism")
+	seed := flag.Uint64("seed", 1, "dataset seed")
+	netWorkloads := flag.Int("net-workloads", 12, "full-network workloads to decompose for extra training data (0 disables)")
+	netPaths := flag.Int("net-paths", 60, "sampled paths per decomposed workload")
+	flag.Parse()
+
+	var ccs []packetsim.CCType
+	if *ccList != "" {
+		for _, name := range strings.Split(*ccList, ",") {
+			cc, err := packetsim.ParseCC(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			ccs = append(ccs, cc)
+		}
+	}
+
+	dc := model.DefaultDataConfig()
+	dc.Scenarios = *scenarios
+	dc.Workers = *workers
+	dc.Seed = *seed
+	dc.CCs = ccs
+
+	fmt.Fprintf(os.Stderr, "generating %d scenarios (%d workers)...\n", dc.Scenarios, dc.Workers)
+	t0 := time.Now()
+	samples, err := model.Generate(dc)
+	if err != nil {
+		fatal(err)
+	}
+	if *netWorkloads > 0 {
+		nc := model.DefaultNetworkDataConfig()
+		nc.Workloads = *netWorkloads
+		nc.PathsPerWorkload = *netPaths
+		nc.Workers = *workers
+		nc.Seed = *seed + 1
+		nc.CCs = ccs
+		fmt.Fprintf(os.Stderr, "generating network-derived samples (%d workloads x %d paths)...\n",
+			nc.Workloads, nc.PathsPerWorkload)
+		netSamples, err := model.GenerateFromNetworks(nc)
+		if err != nil {
+			fatal(err)
+		}
+		samples = append(samples, netSamples...)
+	}
+	fmt.Fprintf(os.Stderr, "dataset ready: %d samples in %v\n", len(samples), time.Since(t0).Round(time.Second))
+
+	mc := model.DefaultConfig()
+	mc.Dim = *dim
+	mc.Layers = *layers
+	mc.Heads = *heads
+	mc.Hidden = *hidden
+	mc.UseContext = !*noContext
+	net, err := model.New(mc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "model: %d parameters\n", net.NumParams())
+
+	opt := model.DefaultTrainOptions()
+	opt.Epochs = *epochs
+	opt.Batch = *batch
+	opt.LR = *lr
+	opt.Progress = func(epoch int, tr, vl float64) {
+		if epoch%5 == 0 || epoch == *epochs-1 {
+			fmt.Fprintf(os.Stderr, "epoch %3d: train %.4f, val %.4f\n", epoch, tr, vl)
+		}
+	}
+	t0 = time.Now()
+	res, err := net.Train(samples, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "trained in %v: train loss %.4f, val loss %.4f\n",
+		time.Since(t0).Round(time.Second), res.TrainLoss, res.ValLoss)
+
+	if err := net.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "m3train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Package agg combines per-path slowdown distributions into network-wide
+// estimates (§3.5, Fig. 8). Because paths were sampled with probability
+// proportional to their foreground flow count, per-bucket pooling across
+// paths is uniform (each sampled path contributes equally, repeated by its
+// sampling multiplicity); buckets are then combined into a single
+// distribution weighted by bucket flow counts.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"m3/internal/feature"
+	"m3/internal/stats"
+)
+
+// PathOutput is one sampled path's contribution: a percentile vector and a
+// foreground flow count per output bucket, plus the path's sampling
+// multiplicity.
+type PathOutput struct {
+	// Buckets[b] is a 100-point percentile vector (nil/zeros if empty).
+	Buckets [][]float64
+	// Counts[b] is the number of foreground flows in bucket b.
+	Counts []int
+	// Mult is how many times the path was drawn in the weighted sample.
+	Mult int
+}
+
+// Validate reports shape errors.
+func (p *PathOutput) Validate() error {
+	if len(p.Buckets) != feature.NumOutputBuckets || len(p.Counts) != feature.NumOutputBuckets {
+		return fmt.Errorf("agg: path output has %d/%d buckets, want %d",
+			len(p.Buckets), len(p.Counts), feature.NumOutputBuckets)
+	}
+	if p.Mult <= 0 {
+		return fmt.Errorf("agg: multiplicity must be positive")
+	}
+	for b, v := range p.Buckets {
+		if p.Counts[b] > 0 && len(v) != feature.NumPercentiles {
+			return fmt.Errorf("agg: bucket %d vector has %d points", b, len(v))
+		}
+	}
+	return nil
+}
+
+// NetworkEstimate is the aggregated result.
+type NetworkEstimate struct {
+	// pooled[b] holds the sorted pooled percentile samples of bucket b.
+	pooled [][]float64
+	// weight[b] is the total (multiplicity-weighted) flow count of bucket b.
+	weight []float64
+}
+
+// Aggregate pools the sampled paths' outputs.
+func Aggregate(outs []PathOutput) (*NetworkEstimate, error) {
+	if len(outs) == 0 {
+		return nil, fmt.Errorf("agg: no path outputs")
+	}
+	e := &NetworkEstimate{
+		pooled: make([][]float64, feature.NumOutputBuckets),
+		weight: make([]float64, feature.NumOutputBuckets),
+	}
+	for i := range outs {
+		o := &outs[i]
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("agg: output %d: %w", i, err)
+		}
+		for b := 0; b < feature.NumOutputBuckets; b++ {
+			if o.Counts[b] <= 0 {
+				continue
+			}
+			for m := 0; m < o.Mult; m++ {
+				e.pooled[b] = append(e.pooled[b], o.Buckets[b]...)
+			}
+			e.weight[b] += float64(o.Counts[b] * o.Mult)
+		}
+	}
+	for b := range e.pooled {
+		sort.Float64s(e.pooled[b])
+	}
+	return e, nil
+}
+
+// BucketQuantile returns the q-quantile (q in [0,1]) of bucket b's pooled
+// distribution, or NaN if the bucket is empty network-wide.
+func (e *NetworkEstimate) BucketQuantile(b int, q float64) float64 {
+	if b < 0 || b >= len(e.pooled) || len(e.pooled[b]) == 0 {
+		return math.NaN()
+	}
+	c := stats.NewCDF(e.pooled[b])
+	return c.Quantile(q)
+}
+
+// BucketP99 returns the 99th-percentile slowdown of bucket b.
+func (e *NetworkEstimate) BucketP99(b int) float64 { return e.BucketQuantile(b, 0.99) }
+
+// BucketWeight returns bucket b's multiplicity-weighted flow count.
+func (e *NetworkEstimate) BucketWeight(b int) float64 {
+	if b < 0 || b >= len(e.weight) {
+		return 0
+	}
+	return e.weight[b]
+}
+
+// BucketSamples returns bucket b's pooled sorted samples (callers must not
+// modify). Useful for plotting full CDFs (Fig. 12).
+func (e *NetworkEstimate) BucketSamples(b int) []float64 {
+	if b < 0 || b >= len(e.pooled) {
+		return nil
+	}
+	return e.pooled[b]
+}
+
+// CombinedQuantile merges the bucket distributions into one, weighting each
+// bucket by its flow count (the paper's probabilistic bucket sampling, done
+// deterministically via a weighted quantile), and returns the q-quantile.
+func (e *NetworkEstimate) CombinedQuantile(q float64) float64 {
+	type wv struct {
+		v, w float64
+	}
+	var all []wv
+	var total float64
+	for b := range e.pooled {
+		n := len(e.pooled[b])
+		if n == 0 || e.weight[b] <= 0 {
+			continue
+		}
+		w := e.weight[b] / float64(n)
+		for _, v := range e.pooled[b] {
+			all = append(all, wv{v, w})
+		}
+		total += e.weight[b]
+	}
+	if len(all) == 0 || total <= 0 {
+		return math.NaN()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	target := q * total
+	var cum float64
+	for _, x := range all {
+		cum += x.w
+		if cum >= target {
+			return x.v
+		}
+	}
+	return all[len(all)-1].v
+}
+
+// CombinedP99 returns the network-wide p99 slowdown across all buckets.
+func (e *NetworkEstimate) CombinedP99() float64 { return e.CombinedQuantile(0.99) }

@@ -1,0 +1,150 @@
+package agg
+
+import (
+	"math"
+	"testing"
+
+	"m3/internal/feature"
+)
+
+func constVec(v float64) []float64 {
+	out := make([]float64, feature.NumPercentiles)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func rampVec(lo, hi float64) []float64 {
+	out := make([]float64, feature.NumPercentiles)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/99
+	}
+	return out
+}
+
+func output(mult int, bucketVals ...[]float64) PathOutput {
+	o := PathOutput{
+		Buckets: make([][]float64, feature.NumOutputBuckets),
+		Counts:  make([]int, feature.NumOutputBuckets),
+		Mult:    mult,
+	}
+	for b, v := range bucketVals {
+		if v != nil {
+			o.Buckets[b] = v
+			o.Counts[b] = 10
+		}
+	}
+	return o
+}
+
+func TestAggregateSingleBucket(t *testing.T) {
+	e, err := Aggregate([]PathOutput{output(1, rampVec(1, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := e.BucketQuantile(0, 0.5); math.Abs(q-1.5) > 0.02 {
+		t.Errorf("median = %v, want ~1.5", q)
+	}
+	if p99 := e.BucketP99(0); math.Abs(p99-1.99) > 0.02 {
+		t.Errorf("p99 = %v, want ~1.99", p99)
+	}
+	if !math.IsNaN(e.BucketQuantile(1, 0.5)) {
+		t.Error("empty bucket quantile should be NaN")
+	}
+}
+
+func TestAggregateMultiplicityWeights(t *testing.T) {
+	// Path A (slowdowns ~1) sampled 9 times; path B (~10) once. Pooled
+	// distribution should be dominated by A: median ~1, p99 reaches B.
+	a := output(9, constVec(1))
+	b := output(1, constVec(10))
+	e, err := Aggregate([]PathOutput{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := e.BucketQuantile(0, 0.5); q != 1 {
+		t.Errorf("median = %v, want 1", q)
+	}
+	if q := e.BucketQuantile(0, 0.95); q != 10 {
+		t.Errorf("p95 = %v, want 10 (B occupies top 10%%)", q)
+	}
+}
+
+func TestCombinedWeightedByFlowCounts(t *testing.T) {
+	// Bucket 0 has 990 flows at slowdown 1; bucket 3 has 10 flows at 100.
+	o := PathOutput{
+		Buckets: make([][]float64, feature.NumOutputBuckets),
+		Counts:  make([]int, feature.NumOutputBuckets),
+		Mult:    1,
+	}
+	o.Buckets[0] = constVec(1)
+	o.Counts[0] = 990
+	o.Buckets[3] = constVec(100)
+	o.Counts[3] = 10
+	e, err := Aggregate([]PathOutput{o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1% of flows are at 100: combined p99 lands exactly at the boundary;
+	// p98 must be 1 and p99.5 must be 100.
+	if q := e.CombinedQuantile(0.98); q != 1 {
+		t.Errorf("p98 = %v, want 1", q)
+	}
+	if q := e.CombinedQuantile(0.995); q != 100 {
+		t.Errorf("p99.5 = %v, want 100", q)
+	}
+	if w := e.BucketWeight(0); w != 990 {
+		t.Errorf("bucket 0 weight = %v", w)
+	}
+}
+
+func TestCombinedIgnoresEmpty(t *testing.T) {
+	o := output(1, nil, rampVec(2, 4))
+	e, err := Aggregate([]PathOutput{o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := e.CombinedQuantile(0.5)
+	if q < 2 || q > 4 {
+		t.Errorf("combined median = %v, want in [2,4]", q)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	if _, err := Aggregate(nil); err == nil {
+		t.Error("empty aggregate accepted")
+	}
+	bad := output(0, constVec(1))
+	if _, err := Aggregate([]PathOutput{bad}); err == nil {
+		t.Error("zero multiplicity accepted")
+	}
+	short := output(1, []float64{1, 2, 3})
+	if _, err := Aggregate([]PathOutput{short}); err == nil {
+		t.Error("short percentile vector accepted")
+	}
+	wrongShape := PathOutput{Buckets: make([][]float64, 2), Counts: make([]int, 2), Mult: 1}
+	if _, err := Aggregate([]PathOutput{wrongShape}); err == nil {
+		t.Error("wrong bucket count accepted")
+	}
+}
+
+func TestBucketSamplesSorted(t *testing.T) {
+	// Descending input vectors still pool into a sorted sample list.
+	e, err := Aggregate([]PathOutput{output(1, rampVec(5, 1)), output(1, rampVec(3, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.BucketSamples(0)
+	if len(s) != 200 {
+		t.Fatalf("pooled %d samples, want 200", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatal("pooled samples not sorted")
+		}
+	}
+	if e.BucketSamples(99) != nil {
+		t.Error("out-of-range bucket should be nil")
+	}
+}

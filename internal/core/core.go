@@ -1,0 +1,266 @@
+// Package core is the m3 estimator itself (§3): it decomposes a
+// full-network workload into paths, draws a flow-weighted path sample, runs
+// flowSim on each sampled path to build feature maps, corrects them with the
+// trained ML model, and aggregates the per-path outputs into network-wide
+// slowdown distributions.
+//
+// For the paper's ablations the same pipeline can be driven by two
+// alternative per-path backends: the raw flowSim estimates (the "no ML"
+// ablation of Fig. 16) and the packet-level path simulation ns-3-path (the
+// decomposition-only oracle of §2.1 / Fig. 15).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"m3/internal/agg"
+	"m3/internal/feature"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/pathsim"
+	"m3/internal/rng"
+	"m3/internal/sampling"
+	"m3/internal/stats"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// Method selects the per-path backend.
+type Method uint8
+
+// Per-path estimation backends.
+const (
+	// MethodML is full m3: flowSim features refined by the trained model.
+	MethodML Method = iota
+	// MethodFlowSim reports flowSim's estimates directly (no-ML ablation).
+	MethodFlowSim
+	// MethodNS3Path simulates each sampled path at packet level (the
+	// ns-3-path oracle; slow, used for ground-truth decomposition studies).
+	MethodNS3Path
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodML:
+		return "m3"
+	case MethodFlowSim:
+		return "flowsim"
+	case MethodNS3Path:
+		return "ns3-path"
+	}
+	return fmt.Sprintf("method(%d)", uint8(m))
+}
+
+// Estimator runs the m3 pipeline.
+type Estimator struct {
+	// Net is the trained model (required for MethodML).
+	Net *model.Net
+	// NumPaths is the number of sampled paths (paper default: 500).
+	NumPaths int
+	// Workers bounds per-path parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Method selects the backend (default MethodML).
+	Method Method
+	// Seed drives the path sampling.
+	Seed uint64
+}
+
+// NewEstimator returns an estimator with the paper's defaults.
+func NewEstimator(net *model.Net) *Estimator {
+	return &Estimator{Net: net, NumPaths: 500, Seed: 1}
+}
+
+// Estimate is the result of a network-wide estimation.
+type Estimate struct {
+	Agg *agg.NetworkEstimate
+	// DistinctPaths is the number of unique paths simulated (after
+	// deduplicating the weighted sample).
+	DistinctPaths int
+	// TotalPaths is the number of populated paths in the decomposition.
+	TotalPaths int
+	// Elapsed is the wall-clock estimation time (excluding workload
+	// generation, matching how the paper reports simulation time).
+	Elapsed time.Duration
+}
+
+// P99PerBucket returns the estimated p99 slowdown for the four output size
+// buckets.
+func (e *Estimate) P99PerBucket() [feature.NumOutputBuckets]float64 {
+	var out [feature.NumOutputBuckets]float64
+	for b := range out {
+		out[b] = e.Agg.BucketP99(b)
+	}
+	return out
+}
+
+// P99 returns the network-wide combined p99 slowdown.
+func (e *Estimate) P99() float64 { return e.Agg.CombinedP99() }
+
+// Estimate runs the pipeline on the given workload and network config.
+func (e *Estimator) Estimate(t *topo.Topology, flows []workload.Flow, cfg packetsim.Config) (*Estimate, error) {
+	start := time.Now()
+	if e.Method == MethodML && e.Net == nil {
+		return nil, fmt.Errorf("core: MethodML requires a trained model")
+	}
+	if e.NumPaths <= 0 {
+		return nil, fmt.Errorf("core: NumPaths must be positive")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := pathsim.Decompose(t, flows)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(e.Seed)
+	sample, err := sampling.Weighted(d.FgWeights(), e.NumPaths, r)
+	if err != nil {
+		return nil, err
+	}
+	distinct, mult := sampling.Dedup(sample)
+
+	outs := make([]agg.PathOutput, len(distinct))
+	errs := make([]error, len(distinct))
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range distinct {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[i], errs[i] = e.estimatePath(d, &d.Paths[distinct[i]], mult[i], cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: path %d: %w", distinct[i], err)
+		}
+	}
+	a, err := agg.Aggregate(outs)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{
+		Agg:           a,
+		DistinctPaths: len(distinct),
+		TotalPaths:    len(d.Paths),
+		Elapsed:       time.Since(start),
+	}, nil
+}
+
+// estimatePath produces one sampled path's bucketed percentile vectors.
+func (e *Estimator) estimatePath(d *pathsim.Decomposition, p *pathsim.Path, mult int,
+	cfg packetsim.Config) (agg.PathOutput, error) {
+
+	sc, err := d.Scenario(p)
+	if err != nil {
+		return agg.PathOutput{}, err
+	}
+	switch e.Method {
+	case MethodNS3Path:
+		fg, err := sc.RunPacket(cfg)
+		if err != nil {
+			return agg.PathOutput{}, err
+		}
+		return outputFromSamples(fg.Sizes, fg.Slowdown, mult), nil
+	case MethodFlowSim:
+		fs, err := sc.RunFlowSim()
+		if err != nil {
+			return agg.PathOutput{}, err
+		}
+		return outputFromSamples(fs.Fg.Sizes, fs.Fg.Slowdown, mult), nil
+	case MethodML:
+		fs, err := sc.RunFlowSim()
+		if err != nil {
+			return agg.PathOutput{}, err
+		}
+		rates := d.T.RouteRates(p.Links)
+		delays := d.T.RouteDelays(p.Links)
+		in := model.BuildInputs(fs.Fg.Sizes, fs.Fg.Slowdown, fs.BgSizes, fs.BgSldn, cfg, rates, delays)
+		pred, err := e.Net.Predict(in)
+		if err != nil {
+			return agg.PathOutput{}, err
+		}
+		counts := feature.BuildOutput(fs.Fg.Sizes, fs.Fg.Slowdown).Counts
+		out := agg.PathOutput{
+			Buckets: make([][]float64, feature.NumOutputBuckets),
+			Counts:  counts,
+			Mult:    mult,
+		}
+		for b := 0; b < feature.NumOutputBuckets; b++ {
+			if counts[b] > 0 {
+				out.Buckets[b] = pred[b*feature.NumPercentiles : (b+1)*feature.NumPercentiles]
+			}
+		}
+		return out, nil
+	}
+	return agg.PathOutput{}, fmt.Errorf("core: unknown method %v", e.Method)
+}
+
+// outputFromSamples bucketizes raw per-flow slowdowns into a PathOutput.
+func outputFromSamples(sizes []unit.ByteSize, sldn []float64, mult int) agg.PathOutput {
+	m := feature.BuildOutput(sizes, sldn)
+	out := agg.PathOutput{
+		Buckets: make([][]float64, feature.NumOutputBuckets),
+		Counts:  m.Counts,
+		Mult:    mult,
+	}
+	for b := 0; b < feature.NumOutputBuckets; b++ {
+		if m.Counts[b] > 0 {
+			out.Buckets[b] = m.Row(b)
+		}
+	}
+	return out
+}
+
+// GroundTruth holds full-network packet-level results bucketized the same
+// way as estimates, for error computation.
+type GroundTruth struct {
+	Result   *packetsim.Result
+	Sizes    []unit.ByteSize
+	Slowdown []float64
+	Elapsed  time.Duration
+}
+
+// RunGroundTruth executes the full-network packet simulation (the ns-3
+// stand-in) and returns bucketizable results.
+func RunGroundTruth(t *topo.Topology, flows []workload.Flow, cfg packetsim.Config) (*GroundTruth, error) {
+	start := time.Now()
+	res, err := packetsim.Run(t, flows, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gt := &GroundTruth{Result: res, Elapsed: time.Since(start)}
+	for i := range flows {
+		gt.Sizes = append(gt.Sizes, flows[i].Size)
+		gt.Slowdown = append(gt.Slowdown, res.Slowdown[flows[i].ID])
+	}
+	return gt, nil
+}
+
+// P99 returns the overall p99 slowdown of the ground truth.
+func (g *GroundTruth) P99() float64 { return stats.P99(g.Slowdown) }
+
+// P99PerBucket returns ground-truth p99 slowdowns per output bucket.
+func (g *GroundTruth) P99PerBucket() [feature.NumOutputBuckets]float64 {
+	var per [feature.NumOutputBuckets][]float64
+	for i, s := range g.Sizes {
+		b := feature.BucketOf(s, feature.OutputBucketBounds)
+		per[b] = append(per[b], g.Slowdown[i])
+	}
+	var out [feature.NumOutputBuckets]float64
+	for b := range out {
+		out[b] = stats.P99(per[b])
+	}
+	return out
+}

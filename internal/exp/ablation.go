@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"m3/internal/core"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+	"m3/internal/stats"
+	"m3/internal/workload"
+)
+
+// AblationPathsPoint is one sampled-path-budget setting of the design-choice
+// ablation: how m3's accuracy and runtime scale with the number of sampled
+// paths (the paper fixes 500 after the Fig. 5 study; this extends the study
+// to the full m3 pipeline).
+type AblationPathsPoint struct {
+	Paths   int
+	AbsErrs []float64 // |p99 error| across scenarios
+	MeanSec float64
+}
+
+// RunAblationPaths sweeps the path-sampling budget.
+func RunAblationPaths(s Scale, net *model.Net, w io.Writer) ([]AblationPathsPoint, error) {
+	budgets := []int{25, 50, 100, 200, 500}
+	root := rng.New(2100)
+	type scenario struct {
+		mix   Mix
+		truth float64
+	}
+	var scenarios []scenario
+	nScen := max(2, s.Scenarios/2)
+	for i := 0; i < nScen; i++ {
+		m := RandomMix(root.Split(uint64(i)), s.TestFlows, uint64(2100+i))
+		ft, flows, err := m.Build()
+		if err != nil {
+			return nil, err
+		}
+		gt, err := core.RunGroundTruth(ft.Topology, flows, packetsim.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		scenarios = append(scenarios, scenario{m, gt.P99()})
+	}
+	fmt.Fprintf(w, "Ablation: m3 accuracy/runtime vs sampled-path budget (%d scenarios)\n", nScen)
+	var out []AblationPathsPoint
+	for _, k := range budgets {
+		pt := AblationPathsPoint{Paths: k}
+		var secs float64
+		for i, sc := range scenarios {
+			ft, flows, err := sc.mix.Build()
+			if err != nil {
+				return nil, err
+			}
+			est := core.NewEstimator(net)
+			est.NumPaths = k
+			est.Workers = s.Workers
+			est.Seed = uint64(3000 + i)
+			t0 := time.Now()
+			res, err := est.Estimate(ft.Topology, flows, packetsim.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			secs += time.Since(t0).Seconds()
+			pt.AbsErrs = append(pt.AbsErrs, stats.AbsRelError(res.P99(), sc.truth))
+		}
+		pt.MeanSec = secs / float64(len(scenarios))
+		out = append(out, pt)
+		fmt.Fprintf(w, "  %4d paths: mean |p99 err| %5.1f%%, median %5.1f%%, mean runtime %.2fs\n",
+			k, 100*stats.Mean(pt.AbsErrs), 100*stats.Median(pt.AbsErrs), pt.MeanSec)
+	}
+	return out, nil
+}
+
+// KnockoutResult reports the feature-knockout sensitivity probe: per-path
+// prediction error when parts of the model input are zeroed at inference.
+// (Unlike the retrained Fig. 16 ablation, this holds the weights fixed and
+// measures how much each input stream contributes to the trained model's
+// predictions.)
+type KnockoutResult struct {
+	Variant string
+	AbsErrs []float64 // |p99 error| per scenario/bucket against ns-3-path
+}
+
+// RunAblationKnockout probes the trained model's reliance on each input:
+// full inputs, zeroed spec vector, zeroed foreground features, and zeroed
+// background features, scored against path-level packet ground truth on
+// synthetic scenarios.
+func RunAblationKnockout(s Scale, net *model.Net, w io.Writer) ([]KnockoutResult, error) {
+	variants := []struct {
+		name   string
+		mutate func(*model.Sample)
+	}{
+		{"full", func(*model.Sample) {}},
+		{"no-spec", func(smp *model.Sample) {
+			for i := range smp.Spec {
+				smp.Spec[i] = 0
+			}
+		}},
+		{"no-fg-features", func(smp *model.Sample) {
+			for i := range smp.FgFeat {
+				smp.FgFeat[i] = 0
+			}
+		}},
+		{"no-bg-features", func(smp *model.Sample) {
+			for _, f := range smp.BgFeats {
+				for i := range f {
+					f[i] = 0
+				}
+			}
+		}},
+	}
+	root := rng.New(2200)
+	out := make([]KnockoutResult, len(variants))
+	for i := range variants {
+		out[i].Variant = variants[i].name
+	}
+	nScen := max(3, s.Scenarios)
+	for sc := 0; sc < nScen; sc++ {
+		r := root.Split(uint64(sc))
+		spec := randomSynthSpec(r, s)
+		cfg := model.RandomNetConfig(r, packetsim.DCTCP)
+		base, err := model.GenerateScenarioSample(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for vi, v := range variants {
+			smp := cloneSample(base)
+			v.mutate(smp)
+			pred, err := net.Predict(smp)
+			if err != nil {
+				return nil, err
+			}
+			for b, ok := range base.Mask {
+				if !ok {
+					continue
+				}
+				truth := base.Target[b*100+98]
+				got := pred[b*100+98]
+				out[vi].AbsErrs = append(out[vi].AbsErrs, stats.AbsRelError(got, truth))
+			}
+		}
+	}
+	fmt.Fprintf(w, "Ablation: input knockout sensitivity (%d scenarios, p99 vs ns-3-path)\n", nScen)
+	for _, k := range out {
+		fmt.Fprintf(w, "  %-16s mean |err| %5.1f%%, median %5.1f%%\n",
+			k.Variant, 100*stats.Mean(k.AbsErrs), 100*stats.Median(k.AbsErrs))
+	}
+	return out, nil
+}
+
+func randomSynthSpec(r *rng.RNG, s Scale) workload.SynthSpec {
+	return workload.SynthSpec{
+		Hops:       []int{2, 4, 6}[r.Intn(3)],
+		NumFg:      min(s.TestFlows/8, 500),
+		BgPerLink:  0.5 + r.Float64(),
+		Sizes:      model.RandomSizeDist(r),
+		Burstiness: 1 + r.Float64(),
+		MaxLoad:    0.3 + 0.5*r.Float64(),
+		Seed:       r.Uint64(),
+	}
+}
+
+func cloneSample(s *model.Sample) *model.Sample {
+	c := &model.Sample{
+		FgFeat: append([]float64(nil), s.FgFeat...),
+		Spec:   append([]float64(nil), s.Spec...),
+		Target: s.Target,
+		Mask:   s.Mask,
+	}
+	for _, f := range s.BgFeats {
+		c.BgFeats = append(c.BgFeats, append([]float64(nil), f...))
+	}
+	return c
+}

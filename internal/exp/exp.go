@@ -1,0 +1,267 @@
+// Package exp contains the runners that regenerate every table and figure
+// of the paper's evaluation (§5) at configurable scale. Each runner prints
+// the rows/series the paper reports and returns structured results so tests
+// and benchmarks can assert on them.
+//
+// The paper's absolute scales (10M-flow workloads, 120k training
+// simulations, 4xA100 training) are reduced by default; Scale selects the
+// reduction. The comparisons the paper makes — who wins, by roughly what
+// factor, and in which direction each method errs — are preserved.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/workload"
+
+	"m3/internal/rng"
+)
+
+// Scale selects experiment sizes.
+type Scale struct {
+	// TestFlows is the workload size on the 32-rack topology.
+	TestFlows int
+	// LargeFlows is the workload size on the 384-rack topology (Table 5).
+	LargeFlows int
+	// Paths is the number of sampled paths per estimate.
+	Paths int
+	// Scenarios is the scenario count for multi-scenario sweeps (Fig. 10/11).
+	Scenarios int
+	// TrainScenarios sizes the synthetic training set.
+	TrainScenarios int
+	// TrainEpochs is the training epoch count.
+	TrainEpochs int
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Quick returns the scale used by unit benchmarks and smoke runs.
+func Quick() Scale {
+	return Scale{
+		TestFlows:      8000,
+		LargeFlows:     30000,
+		Paths:          150,
+		Scenarios:      6,
+		TrainScenarios: 60,
+		TrainEpochs:    15,
+		Workers:        runtime.GOMAXPROCS(0),
+	}
+}
+
+// Full returns the scale used for the recorded EXPERIMENTS.md numbers.
+// (Sized for a single-socket CPU run of the entire suite in under an hour;
+// raise the fields for bigger machines.)
+func Full() Scale {
+	return Scale{
+		TestFlows:      12000,
+		LargeFlows:     60000,
+		Paths:          250,
+		Scenarios:      8,
+		TrainScenarios: 1000,
+		TrainEpochs:    80,
+		Workers:        runtime.GOMAXPROCS(0),
+	}
+}
+
+// Mix is one evaluation scenario (a row of Table 1 / a point of Fig. 10).
+type Mix struct {
+	Name       string
+	MatrixName string
+	Sizes      workload.SizeDist
+	Oversub    topo.Oversub
+	MaxLoad    float64
+	Burstiness float64
+	Flows      int
+	Seed       uint64
+}
+
+// Table1Mixes returns the paper's three Table 1 mixes.
+func Table1Mixes(flows int) []Mix {
+	return []Mix{
+		{Name: "Mix 1", MatrixName: "A", Sizes: workload.CacheFollower,
+			Oversub: topo.Oversub4to1, MaxLoad: 0.4246, Burstiness: 1.5, Flows: flows, Seed: 101},
+		{Name: "Mix 2", MatrixName: "B", Sizes: workload.WebServer,
+			Oversub: topo.Oversub1to1, MaxLoad: 0.2846, Burstiness: 1.5, Flows: flows, Seed: 102},
+		{Name: "Mix 3", MatrixName: "C", Sizes: workload.WebServer,
+			Oversub: topo.Oversub2to1, MaxLoad: 0.7383, Burstiness: 1.5, Flows: flows, Seed: 103},
+	}
+}
+
+// Build materializes the mix: topology plus calibrated workload.
+func (m Mix) Build() (*topo.FatTree, []workload.Flow, error) {
+	ft, err := topo.SmallFatTree(m.Oversub)
+	if err != nil {
+		return nil, nil, err
+	}
+	mat, err := workload.Matrix(m.MatrixName, ft.Cfg.NumRacks(), rng.New(m.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	flows, err := workload.Generate(ft, routing.NewFatTreeRouter(ft), workload.Spec{
+		NumFlows: m.Flows, Sizes: m.Sizes, Matrix: mat,
+		Burstiness: m.Burstiness, MaxLoad: m.MaxLoad, Seed: m.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ft, flows, nil
+}
+
+// RandomMix draws a test scenario from the paper's Table 3 axes (DCTCP
+// sensitivity study).
+func RandomMix(r *rng.RNG, flows int, seed uint64) Mix {
+	matrices := []string{"A", "B", "C"}
+	dists := []workload.SizeDist{workload.CacheFollower, workload.WebServer, workload.Hadoop}
+	oversubs := []topo.Oversub{topo.Oversub1to1, topo.Oversub2to1, topo.Oversub4to1}
+	burst := []float64{1, 2}
+	return Mix{
+		Name:       fmt.Sprintf("rand-%d", seed),
+		MatrixName: matrices[r.Intn(len(matrices))],
+		Sizes:      dists[r.Intn(len(dists))],
+		Oversub:    oversubs[r.Intn(len(oversubs))],
+		MaxLoad:    0.26 + 0.57*r.Float64(), // 26% to 83%
+		Burstiness: burst[r.Intn(len(burst))],
+		Flows:      flows,
+		Seed:       seed,
+	}
+}
+
+// TrainedModel loads the checkpoint at path, or (if absent) generates a
+// Table 2 training set and trains a fresh model, saving it to path. ccs
+// restricts the protocols in the training set (nil = all four).
+func TrainedModel(s Scale, path string, log io.Writer, ccs ...packetsim.CCType) (*model.Net, error) {
+	if path != "" {
+		if net, err := model.LoadFile(path); err == nil {
+			fmt.Fprintf(log, "loaded model checkpoint %s (%d params)\n", path, net.NumParams())
+			return net, nil
+		}
+	}
+	fmt.Fprintf(log, "training model (%d scenarios, %d epochs)...\n", s.TrainScenarios, s.TrainEpochs)
+	samples, err := trainingSet(s, ccs)
+	if err != nil {
+		return nil, err
+	}
+	net, err := model.New(model.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	opt := model.DefaultTrainOptions()
+	opt.Epochs = s.TrainEpochs
+	res, err := net.Train(samples, opt)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(log, "trained: train loss %.3f, val loss %.3f\n", res.TrainLoss, res.ValLoss)
+	if path != "" {
+		if err := net.SaveFile(path); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(log, "saved checkpoint to %s\n", path)
+	}
+	return net, nil
+}
+
+// trainingSet builds the combined synthetic + network-derived training set
+// (the network-derived samples use ns-3-path ground truth on decomposed real
+// workloads, keeping inference in-distribution at this repository's scales).
+func trainingSet(s Scale, ccs []packetsim.CCType) ([]*model.Sample, error) {
+	dc := model.DefaultDataConfig()
+	dc.Scenarios = s.TrainScenarios
+	dc.Workers = s.Workers
+	dc.CCs = ccs
+	samples, err := model.Generate(dc)
+	if err != nil {
+		return nil, err
+	}
+	nc := model.DefaultNetworkDataConfig()
+	nc.Workloads = max(2, s.TrainScenarios/50)
+	nc.Workers = s.Workers
+	nc.CCs = ccs
+	netSamples, err := model.GenerateFromNetworks(nc)
+	if err != nil {
+		return nil, err
+	}
+	return append(samples, netSamples...), nil
+}
+
+// TrainedPair returns a full model and a no-context ablation model trained
+// on the same synthetic dataset (used by Fig. 16). Checkpoints are cached at
+// fullPath/noCtxPath when non-empty.
+func TrainedPair(s Scale, fullPath, noCtxPath string, log io.Writer,
+	ccs ...packetsim.CCType) (*model.Net, *model.Net, error) {
+
+	var full, noCtx *model.Net
+	if fullPath != "" {
+		if n, err := model.LoadFile(fullPath); err == nil {
+			full = n
+		}
+	}
+	if noCtxPath != "" {
+		if n, err := model.LoadFile(noCtxPath); err == nil {
+			noCtx = n
+		}
+	}
+	if full != nil && noCtx != nil {
+		fmt.Fprintf(log, "loaded cached model pair\n")
+		return full, noCtx, nil
+	}
+	fmt.Fprintf(log, "generating %d training scenarios for model pair...\n", s.TrainScenarios)
+	samples, err := trainingSet(s, ccs)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := model.DefaultTrainOptions()
+	opt.Epochs = s.TrainEpochs
+	train := func(cfg model.Config, path, name string) (*model.Net, error) {
+		net, err := model.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := net.Train(samples, opt)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(log, "trained %s: train loss %.3f, val loss %.3f\n", name, res.TrainLoss, res.ValLoss)
+		if path != "" {
+			if err := net.SaveFile(path); err != nil {
+				return nil, err
+			}
+		}
+		return net, nil
+	}
+	if full == nil {
+		if full, err = train(model.DefaultConfig(), fullPath, "full"); err != nil {
+			return nil, nil, err
+		}
+	}
+	if noCtx == nil {
+		cfg := model.DefaultConfig()
+		cfg.UseContext = false
+		if noCtx, err = train(cfg, noCtxPath, "no-context"); err != nil {
+			return nil, nil, err
+		}
+	}
+	return full, noCtx, nil
+}
+
+// Discard is a convenience io.Writer for silent runs.
+var Discard io.Writer = discard{}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// DefaultCheckpoint is where tools cache the all-protocol model.
+func DefaultCheckpoint() string {
+	if p := os.Getenv("M3_CHECKPOINT"); p != "" {
+		return p
+	}
+	return "testdata/m3-all.ckpt"
+}

@@ -1,0 +1,328 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"m3/internal/feature"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+)
+
+// microScale keeps the experiment smoke tests fast.
+func microScale() Scale {
+	return Scale{
+		TestFlows:      2500,
+		LargeFlows:     6000,
+		Paths:          60,
+		Scenarios:      2,
+		TrainScenarios: 12,
+		TrainEpochs:    3,
+		Workers:        8,
+	}
+}
+
+func microModel(t *testing.T) *model.Net {
+	t.Helper()
+	cfg := model.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Heads = 2
+	cfg.Layers = 1
+	cfg.Hidden = 32
+	net, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := model.DefaultDataConfig()
+	dc.Scenarios = 10
+	dc.Workers = 8
+	dc.CCs = []packetsim.CCType{packetsim.DCTCP}
+	samples, err := model.Generate(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := model.DefaultTrainOptions()
+	opt.Epochs = 3
+	if _, err := net.Train(samples, opt); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestScalePresets(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.TestFlows >= f.TestFlows || q.Paths >= f.Paths {
+		t.Error("quick scale should be smaller than full")
+	}
+}
+
+func TestMixBuild(t *testing.T) {
+	for _, m := range Table1Mixes(500) {
+		ft, flows, err := m.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if len(flows) != 500 || ft == nil {
+			t.Fatalf("%s: bad build", m.Name)
+		}
+	}
+}
+
+func TestRandomMixAxes(t *testing.T) {
+	r := rng.New(77)
+	seenMat := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		m := RandomMix(r, 100, uint64(i))
+		seenMat[m.MatrixName] = true
+		if m.MaxLoad < 0.26 || m.MaxLoad > 0.83 {
+			t.Fatalf("load %v out of Table 3 range", m.MaxLoad)
+		}
+	}
+	if len(seenMat) < 3 {
+		t.Error("random mixes did not cover all matrices")
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	var buf bytes.Buffer
+	rows, err := RunTable1(microScale(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.NS3P99 < 1 || math.IsNaN(row.NS3P99) {
+			t.Errorf("%s: ns3 p99 %v", row.Mix.Name, row.NS3P99)
+		}
+		if row.ParsimonP99 < 1 || row.PathP99 < 1 {
+			t.Errorf("%s: baseline p99s %v/%v", row.Mix.Name, row.ParsimonP99, row.PathP99)
+		}
+	}
+	if !strings.Contains(buf.String(), "Mix 3") {
+		t.Error("output missing Mix 3 row")
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	var buf bytes.Buffer
+	cells, err := RunFig3(microScale(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 9 {
+		t.Fatalf("%d cells, want 9", len(cells))
+	}
+	// Load effect: p99 of the largest occupied bucket grows with load.
+	tailOf := func(c Fig3Cell) float64 {
+		for b := feature.NumFeatureBuckets - 1; b >= 0; b-- {
+			if c.Map.Counts[b] > 0 {
+				return c.Map.Row(b)[98]
+			}
+		}
+		return math.NaN()
+	}
+	lo, hi := tailOf(cells[3]), tailOf(cells[5]) // 20% vs 80% load
+	if !(hi > lo) {
+		t.Errorf("80%% load tail (%v) not above 20%% load tail (%v)", hi, lo)
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	s := microScale()
+	s.Scenarios = 2
+	var buf bytes.Buffer
+	out, err := RunFig5(s, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d scenarios", len(out))
+	}
+	for _, r := range out {
+		if r.ActivePaths <= 0 {
+			t.Error("no active paths")
+		}
+		// Sampling error should shrink (weakly) from k=50 to k=1000.
+		e50 := mean(r.ErrByK[50])
+		e1000 := mean(r.ErrByK[1000])
+		if e1000 > e50*1.5 {
+			t.Errorf("sampling error grew with k: k=50 %.3f, k=1000 %.3f", e50, e1000)
+		}
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	net := microModel(t)
+	var buf bytes.Buffer
+	res, err := RunFig6(microScale(), net, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flowSim must underestimate the small-flow tail; m3 output is >= 1.
+	for b := 0; b < feature.NumOutputBuckets; b++ {
+		for _, v := range res.M3[b] {
+			if v < 1 {
+				t.Fatalf("m3 prediction below 1: %v", v)
+			}
+		}
+	}
+}
+
+func TestSensitivityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	net := microModel(t)
+	s := microScale()
+	var buf bytes.Buffer
+	pts, err := RunFig10(s, net, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != s.Scenarios {
+		t.Fatalf("%d points", len(pts))
+	}
+	RunFig11(pts, &buf)
+	out := buf.String()
+	for _, want := range []string{"10a", "10b", "10c", "10d", "traffic matrix"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig16Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	dir := t.TempDir()
+	s := microScale()
+	full, noCtx, err := TrainedPair(s, filepath.Join(dir, "f.ckpt"), filepath.Join(dir, "n.ckpt"),
+		Discard, packetsim.DCTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached round trip.
+	full2, _, err := TrainedPair(s, filepath.Join(dir, "f.ckpt"), filepath.Join(dir, "n.ckpt"), Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full2.NumParams() != full.NumParams() {
+		t.Error("cache round trip changed model")
+	}
+	var buf bytes.Buffer
+	pts, err := RunFig16(s, full, noCtx, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != s.Scenarios {
+		t.Fatalf("%d ablation points", len(pts))
+	}
+}
+
+func TestFig18(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig18(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"matrix A", "matrix B", "matrix C", "WebServer", "Hadoop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig18 output missing %q", want)
+		}
+	}
+}
+
+func TestTrainedModelCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ckpt")
+	s := microScale()
+	var log bytes.Buffer
+	a, err := TrainedModel(s, path, &log, packetsim.DCTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainedModel(s, path, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumParams() != b.NumParams() {
+		t.Error("cached model differs")
+	}
+	if !strings.Contains(log.String(), "loaded model checkpoint") {
+		t.Error("second call did not load from cache")
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+
+
+func TestAblationKnockoutQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	net := microModel(t)
+	s := microScale()
+	s.Scenarios = 3
+	var buf bytes.Buffer
+	out, err := RunAblationKnockout(s, net, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("%d variants", len(out))
+	}
+	for _, k := range out {
+		if len(k.AbsErrs) == 0 {
+			t.Errorf("%s: no errors collected", k.Variant)
+		}
+	}
+	if !strings.Contains(buf.String(), "knockout") {
+		t.Error("missing output")
+	}
+}
+
+func TestAblationPathsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	net := microModel(t)
+	s := microScale()
+	var buf bytes.Buffer
+	out, err := RunAblationPaths(s, net, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("%d budgets", len(out))
+	}
+	// runtime should grow with budget
+	if out[len(out)-1].MeanSec < out[0].MeanSec*0.5 {
+		t.Error("500-path runtime implausibly below 25-path runtime")
+	}
+}

@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"m3/internal/core"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/parsimon"
+	"m3/internal/rng"
+	"m3/internal/stats"
+)
+
+// SensitivityPoint is one random DCTCP scenario's outcome for m3 and
+// Parsimon against ground truth (the data behind Fig. 10 and Fig. 11).
+type SensitivityPoint struct {
+	Mix          Mix
+	TruthP99     float64
+	M3P99        float64
+	ParsimonP99  float64
+	M3Err        float64 // signed relative p99 error
+	ParsimonErr  float64
+	TruthTime    time.Duration
+	M3Time       time.Duration
+	ParsimonTime time.Duration
+}
+
+// RunSensitivity executes the paper's §5.2 study: random scenarios from the
+// Table 3 axes with DCTCP, comparing m3 and Parsimon to the full packet
+// simulation.
+func RunSensitivity(s Scale, net *model.Net, w io.Writer) ([]SensitivityPoint, error) {
+	root := rng.New(1010)
+	points := make([]SensitivityPoint, 0, s.Scenarios)
+	for i := 0; i < s.Scenarios; i++ {
+		m := RandomMix(root.Split(uint64(i)), s.TestFlows, uint64(300+i))
+		ft, flows, err := m.Build()
+		if err != nil {
+			return nil, err
+		}
+		cfg := packetsim.DefaultConfig() // DCTCP (Parsimon supports DCTCP only)
+
+		gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		est := core.NewEstimator(net)
+		est.NumPaths = s.Paths
+		est.Workers = s.Workers
+		est.Seed = m.Seed
+		t0 := time.Now()
+		mr, err := est.Estimate(ft.Topology, flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m3Time := time.Since(t0)
+
+		t0 = time.Now()
+		pr, err := parsimon.Run(ft.Topology, flows, cfg, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		psTime := time.Since(t0)
+		psP99 := stats.P99(pr.Slowdown)
+
+		p := SensitivityPoint{
+			Mix: m, TruthP99: gt.P99(), M3P99: mr.P99(), ParsimonP99: psP99,
+			M3Err:       stats.RelError(mr.P99(), gt.P99()),
+			ParsimonErr: stats.RelError(psP99, gt.P99()),
+			TruthTime:   gt.Elapsed, M3Time: m3Time, ParsimonTime: psTime,
+		}
+		points = append(points, p)
+		fmt.Fprintf(w, "  scenario %2d (%s/%s/%s load %.0f%% sigma %.0f): gt %.2f, m3 %.2f (%+.1f%%), parsimon %.2f (%+.1f%%)\n",
+			i, p.Mix.MatrixName, p.Mix.Sizes.Name(), p.Mix.Oversub, 100*p.Mix.MaxLoad,
+			p.Mix.Burstiness, p.TruthP99, p.M3P99, 100*p.M3Err, p.ParsimonP99, 100*p.ParsimonErr)
+	}
+	return points, nil
+}
+
+// RunFig10 formats the sensitivity study as Fig. 10: error distribution,
+// error vs load, runtime distribution, and runtime vs workload.
+func RunFig10(s Scale, net *model.Net, w io.Writer) ([]SensitivityPoint, error) {
+	fmt.Fprintf(w, "Fig 10: m3 vs Parsimon across %d random DCTCP scenarios (%d flows each)\n",
+		s.Scenarios, s.TestFlows)
+	points, err := RunSensitivity(s, net, w)
+	if err != nil {
+		return nil, err
+	}
+	var m3Abs, psAbs, m3T, psT []float64
+	for _, p := range points {
+		m3Abs = append(m3Abs, abs(p.M3Err))
+		psAbs = append(psAbs, abs(p.ParsimonErr))
+		m3T = append(m3T, p.M3Time.Seconds())
+		psT = append(psT, p.ParsimonTime.Seconds())
+	}
+	fmt.Fprintf(w, "  10a |p99 err|: m3 mean %.1f%% max %.1f%% | parsimon mean %.1f%% max %.1f%%\n",
+		100*stats.Mean(m3Abs), 100*stats.Max(m3Abs),
+		100*stats.Mean(psAbs), 100*stats.Max(psAbs))
+
+	// 10b: median error by load bucket.
+	fmt.Fprintf(w, "  10b median |p99 err| by max load:\n")
+	for _, band := range [][2]float64{{0.2, 0.4}, {0.4, 0.6}, {0.6, 0.85}} {
+		var m3B, psB []float64
+		for _, p := range points {
+			if p.Mix.MaxLoad >= band[0] && p.Mix.MaxLoad < band[1] {
+				m3B = append(m3B, abs(p.M3Err))
+				psB = append(psB, abs(p.ParsimonErr))
+			}
+		}
+		if len(m3B) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "    load %d-%d%%: m3 %.1f%%, parsimon %.1f%% (n=%d)\n",
+			int(100*band[0]), int(100*band[1]),
+			100*stats.Median(m3B), 100*stats.Median(psB), len(m3B))
+	}
+
+	fmt.Fprintf(w, "  10c runtime: m3 mean %.2fs | parsimon mean %.2fs (speedup %.1fx)\n",
+		stats.Mean(m3T), stats.Mean(psT), stats.Mean(psT)/stats.Mean(m3T))
+
+	// 10d: runtime grouped by size distribution.
+	fmt.Fprintf(w, "  10d mean runtime by workload:\n")
+	for _, name := range []string{"CacheFollower", "WebServer", "Hadoop"} {
+		var m3B, psB []float64
+		for _, p := range points {
+			if p.Mix.Sizes.Name() == name {
+				m3B = append(m3B, p.M3Time.Seconds())
+				psB = append(psB, p.ParsimonTime.Seconds())
+			}
+		}
+		if len(m3B) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "    %-14s m3 %.2fs, parsimon %.2fs (n=%d)\n",
+			name, stats.Mean(m3B), stats.Mean(psB), len(m3B))
+	}
+	return points, nil
+}
+
+// RunFig11 groups the sensitivity errors by workload axis (Fig. 11's
+// boxplots).
+func RunFig11(points []SensitivityPoint, w io.Writer) {
+	fmt.Fprintf(w, "Fig 11: p99 error sensitivity by workload parameter\n")
+	group := func(title string, key func(SensitivityPoint) string) {
+		byKey := map[string][]SensitivityPoint{}
+		var keys []string
+		for _, p := range points {
+			k := key(p)
+			if _, ok := byKey[k]; !ok {
+				keys = append(keys, k)
+			}
+			byKey[k] = append(byKey[k], p)
+		}
+		fmt.Fprintf(w, "  %s:\n", title)
+		for _, k := range keys {
+			var m3E, psE []float64
+			for _, p := range byKey[k] {
+				m3E = append(m3E, p.M3Err)
+				psE = append(psE, p.ParsimonErr)
+			}
+			sm, sp := stats.Summarize(m3E), stats.Summarize(psE)
+			fmt.Fprintf(w, "    %-14s m3 med %+5.1f%% [%+5.1f,%+5.1f] | parsimon med %+6.1f%% [%+6.1f,%+6.1f] (n=%d)\n",
+				k, 100*sm.Median, 100*sm.P25, 100*sm.P75,
+				100*sp.Median, 100*sp.P25, 100*sp.P75, len(m3E))
+		}
+	}
+	group("traffic matrix", func(p SensitivityPoint) string { return p.Mix.MatrixName })
+	group("size distribution", func(p SensitivityPoint) string { return p.Mix.Sizes.Name() })
+	group("oversubscription", func(p SensitivityPoint) string { return string(p.Mix.Oversub) })
+	group("burstiness", func(p SensitivityPoint) string {
+		return fmt.Sprintf("sigma=%.0f", p.Mix.Burstiness)
+	})
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"m3/internal/core"
+	"m3/internal/feature"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// SweepPoint is one configuration of a counterfactual sweep: ground-truth
+// and m3 p99 slowdowns per output size bucket.
+type SweepPoint struct {
+	Label     string
+	TruthP99  [feature.NumOutputBuckets]float64
+	M3P99     [feature.NumOutputBuckets]float64
+	TruthTime time.Duration
+	M3Time    time.Duration
+}
+
+// counterfactualMix is the §5.4 setup: 32-rack topology, WebServer sizes,
+// traffic matrix C, 50% max load.
+func counterfactualMix(flows int) Mix {
+	return Mix{
+		Name: "counterfactual", MatrixName: "C", Sizes: workload.WebServer,
+		Oversub: topo.Oversub2to1, MaxLoad: 0.5, Burstiness: 1.5, Flows: flows, Seed: 401,
+	}
+}
+
+func runSweep(s Scale, net *model.Net, w io.Writer, title string,
+	configs []packetsim.Config, labels []string) ([]SweepPoint, error) {
+
+	m := counterfactualMix(s.TestFlows)
+	ft, flows, err := m.Build()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "%s (matrix C, WebServer, 50%% load, %d flows)\n", title, s.TestFlows)
+	names := []string{"(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"}
+	fmt.Fprintf(w, "  %-16s", "config")
+	for _, n := range names {
+		fmt.Fprintf(w, " | %-13s", n+" gt/m3")
+	}
+	fmt.Fprintln(w)
+
+	var out []SweepPoint
+	for i, cfg := range configs {
+		gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		est := core.NewEstimator(net)
+		est.NumPaths = s.Paths
+		est.Workers = s.Workers
+		est.Seed = 402
+		t0 := time.Now()
+		mr, err := est.Estimate(ft.Topology, flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p := SweepPoint{
+			Label:     labels[i],
+			TruthP99:  gt.P99PerBucket(),
+			M3P99:     mr.P99PerBucket(),
+			TruthTime: gt.Elapsed,
+			M3Time:    time.Since(t0),
+		}
+		out = append(out, p)
+		fmt.Fprintf(w, "  %-16s", p.Label)
+		for b := 0; b < feature.NumOutputBuckets; b++ {
+			fmt.Fprintf(w, " | %5.2f /%5.2f", p.TruthP99[b], p.M3P99[b])
+		}
+		fmt.Fprintln(w)
+	}
+	var gtTotal, m3Total time.Duration
+	for _, p := range out {
+		gtTotal += p.TruthTime
+		m3Total += p.M3Time
+	}
+	fmt.Fprintf(w, "  sweep wall-clock: full sim %v, m3 %v (%.0fx)\n",
+		gtTotal.Round(time.Millisecond), m3Total.Round(time.Millisecond),
+		gtTotal.Seconds()/m3Total.Seconds())
+	return out, nil
+}
+
+// RunFig13 reproduces Fig. 13: sweeping HPCC's initial congestion window and
+// predicting the per-bucket p99 effect with m3.
+func RunFig13(s Scale, net *model.Net, w io.Writer) ([]SweepPoint, error) {
+	var configs []packetsim.Config
+	var labels []string
+	for _, iw := range []unit.ByteSize{5 * unit.KB, 10 * unit.KB, 15 * unit.KB,
+		20 * unit.KB, 25 * unit.KB, 30 * unit.KB} {
+		cfg := packetsim.DefaultConfig()
+		cfg.CC = packetsim.HPCC
+		cfg.HPCCEta = 0.9
+		cfg.InitWindow = iw
+		cfg.Buffer = 400 * unit.KB
+		cfg.PFC = true
+		configs = append(configs, cfg)
+		labels = append(labels, fmt.Sprintf("initWnd %v", iw))
+	}
+	return runSweep(s, net, w, "Fig 13: HPCC initial-window sweep", configs, labels)
+}
+
+// RunFig14 reproduces Fig. 14: sweeping HPCC's eta with a 20KB window.
+func RunFig14(s Scale, net *model.Net, w io.Writer) ([]SweepPoint, error) {
+	var configs []packetsim.Config
+	var labels []string
+	for _, eta := range []float64{0.70, 0.75, 0.80, 0.85, 0.90, 0.95} {
+		cfg := packetsim.DefaultConfig()
+		cfg.CC = packetsim.HPCC
+		cfg.HPCCEta = eta
+		cfg.InitWindow = 20 * unit.KB
+		cfg.Buffer = 400 * unit.KB
+		cfg.PFC = true
+		configs = append(configs, cfg)
+		labels = append(labels, fmt.Sprintf("eta %.2f", eta))
+	}
+	return runSweep(s, net, w, "Fig 14: HPCC eta sweep", configs, labels)
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"m3/internal/feature"
+	"m3/internal/flowsim"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+	"m3/internal/stats"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// Fig16Point is one synthetic path scenario's p99 error per estimator.
+type Fig16Point struct {
+	Hops        int
+	FlowSimErr  float64
+	NoCtxErr    float64
+	M3Err       float64
+	PerBucket   [feature.NumOutputBuckets][3]float64 // signed p99 errors per bucket
+	BucketValid [feature.NumOutputBuckets]bool
+}
+
+// RunFig16 reproduces the component ablation of Fig. 16: on synthetic
+// Table 2 scenarios, compare flowSim alone, m3 without background context,
+// and full m3 against packet-level ground truth. net and noCtx must share
+// training data (train both with TrainedModel-style setups).
+func RunFig16(s Scale, net, noCtx *model.Net, w io.Writer) ([]Fig16Point, error) {
+	root := rng.New(1600)
+	var out []Fig16Point
+	for i := 0; i < s.Scenarios; i++ {
+		r := root.Split(uint64(i))
+		hops := []int{2, 4, 6}[i%3]
+		numFg := min(s.TestFlows/8, 250)
+		spec := workload.SynthSpec{
+			Hops:  hops,
+			NumFg: numFg,
+			// Absolute background volume comparable to the training range.
+			BgPerLink:  (100 + 500*r.Float64()) / float64(numFg),
+			Sizes:      model.RandomSizeDist(r),
+			Burstiness: 1 + r.Float64(),
+			MaxLoad:    0.3 + 0.5*r.Float64(),
+			Seed:       r.Uint64(),
+		}
+		cfg := model.RandomNetConfig(r, packetsim.DCTCP)
+		syn, err := workload.GenerateSynthetic(spec)
+		if err != nil {
+			return nil, err
+		}
+		gt, err := packetsim.Run(syn.Lot.Topology, syn.Flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := flowsim.Run(syn.Lot.Topology, syn.Flows)
+		if err != nil {
+			return nil, err
+		}
+		var fgSizes []unit.ByteSize
+		var fgFS, fgGT []float64
+		bgSizes := make([][]unit.ByteSize, hops)
+		bgSldn := make([][]float64, hops)
+		for j := range syn.Flows {
+			f := &syn.Flows[j]
+			if syn.IsFg(f.ID) {
+				fgSizes = append(fgSizes, f.Size)
+				fgFS = append(fgFS, fs.Slowdown[f.ID])
+				fgGT = append(fgGT, gt.Slowdown[f.ID])
+				continue
+			}
+			for l := 0; l < hops; l++ {
+				for _, lid := range f.Route {
+					if lid == syn.Lot.PathLinks[l] {
+						bgSizes[l] = append(bgSizes[l], f.Size)
+						bgSldn[l] = append(bgSldn[l], fs.Slowdown[f.ID])
+						break
+					}
+				}
+			}
+		}
+		rates := syn.Lot.RouteRates(syn.Lot.PathLinks)
+		delays := syn.Lot.RouteDelays(syn.Lot.PathLinks)
+		in := model.BuildInputs(fgSizes, fgFS, bgSizes, bgSldn, cfg, rates, delays)
+		predFull, err := net.Predict(in)
+		if err != nil {
+			return nil, err
+		}
+		predNoCtx, err := noCtx.Predict(in)
+		if err != nil {
+			return nil, err
+		}
+
+		gtMap := feature.BuildOutput(fgSizes, fgGT)
+		fsMap := feature.BuildOutput(fgSizes, fgFS)
+		pt := Fig16Point{Hops: hops}
+		var fsErrs, ncErrs, m3Errs []float64
+		for b := 0; b < feature.NumOutputBuckets; b++ {
+			if gtMap.Counts[b] == 0 {
+				continue
+			}
+			truth := gtMap.Row(b)[98]
+			fsE := stats.RelError(fsMap.Row(b)[98], truth)
+			ncE := stats.RelError(predNoCtx[b*100+98], truth)
+			m3E := stats.RelError(predFull[b*100+98], truth)
+			pt.PerBucket[b] = [3]float64{fsE, ncE, m3E}
+			pt.BucketValid[b] = true
+			fsErrs = append(fsErrs, abs(fsE))
+			ncErrs = append(ncErrs, abs(ncE))
+			m3Errs = append(m3Errs, abs(m3E))
+		}
+		pt.FlowSimErr = stats.Mean(fsErrs)
+		pt.NoCtxErr = stats.Mean(ncErrs)
+		pt.M3Err = stats.Mean(m3Errs)
+		out = append(out, pt)
+	}
+
+	var fsAll, ncAll, m3All []float64
+	byHops := map[int][3][]float64{}
+	for _, p := range out {
+		fsAll = append(fsAll, p.FlowSimErr)
+		ncAll = append(ncAll, p.NoCtxErr)
+		m3All = append(m3All, p.M3Err)
+		g := byHops[p.Hops]
+		g[0] = append(g[0], p.FlowSimErr)
+		g[1] = append(g[1], p.NoCtxErr)
+		g[2] = append(g[2], p.M3Err)
+		byHops[p.Hops] = g
+	}
+	fmt.Fprintf(w, "Fig 16: path-level ablation over %d synthetic scenarios (mean |p99 err|)\n", len(out))
+	fmt.Fprintf(w, "  all: flowSim %.1f%%, m3 w/o context %.1f%%, m3 %.1f%%\n",
+		100*stats.Mean(fsAll), 100*stats.Mean(ncAll), 100*stats.Mean(m3All))
+	for _, h := range []int{2, 4, 6} {
+		g, ok := byHops[h]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %d-hop: flowSim %.1f%%, m3 w/o context %.1f%%, m3 %.1f%%\n",
+			h, 100*stats.Mean(g[0]), 100*stats.Mean(g[1]), 100*stats.Mean(g[2]))
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"m3/internal/core"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+	"m3/internal/stats"
+	"m3/internal/unit"
+)
+
+// Fig17Group is the m3 p99 error distribution for one configuration axis
+// setting (Fig. 17 / Appendix B).
+type Fig17Group struct {
+	Axis  string
+	Value string
+	Errs  []float64
+}
+
+// RunFig17 reproduces Fig. 17: m3's estimation error across the Table 4
+// configuration axes — buffer size, initial window, CC protocol, and PFC.
+func RunFig17(s Scale, net *model.Net, w io.Writer) ([]Fig17Group, error) {
+	type axisPoint struct {
+		axis, value string
+		mutate      func(*packetsim.Config)
+	}
+	points := []axisPoint{
+		{"buffer", "200KB", func(c *packetsim.Config) { c.Buffer = 200 * unit.KB }},
+		{"buffer", "500KB", func(c *packetsim.Config) { c.Buffer = 500 * unit.KB }},
+		{"initWnd", "5KB", func(c *packetsim.Config) { c.InitWindow = 5 * unit.KB }},
+		{"initWnd", "30KB", func(c *packetsim.Config) { c.InitWindow = 30 * unit.KB }},
+		{"cc", "dctcp", func(c *packetsim.Config) { c.CC = packetsim.DCTCP }},
+		{"cc", "timely", func(c *packetsim.Config) { c.CC = packetsim.TIMELY }},
+		{"cc", "dcqcn", func(c *packetsim.Config) { c.CC = packetsim.DCQCN }},
+		{"cc", "hpcc", func(c *packetsim.Config) { c.CC = packetsim.HPCC }},
+		{"pfc", "off", func(c *packetsim.Config) { c.PFC = false }},
+		{"pfc", "on", func(c *packetsim.Config) { c.PFC = true }},
+	}
+	root := rng.New(1700)
+	reps := max(2, s.Scenarios/3)
+	var out []Fig17Group
+	fmt.Fprintf(w, "Fig 17: m3 p99 error across network-configuration axes (%d scenarios/point)\n", reps)
+	for _, pt := range points {
+		g := Fig17Group{Axis: pt.axis, Value: pt.value}
+		for rep := 0; rep < reps; rep++ {
+			m := RandomMix(root.Split(uint64(rep)), s.TestFlows, uint64(1700+rep))
+			ft, flows, err := m.Build()
+			if err != nil {
+				return nil, err
+			}
+			cfg := packetsim.DefaultConfig()
+			pt.mutate(&cfg)
+			gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+			if err != nil {
+				return nil, err
+			}
+			est := core.NewEstimator(net)
+			est.NumPaths = s.Paths
+			est.Workers = s.Workers
+			est.Seed = m.Seed
+			mr, err := est.Estimate(ft.Topology, flows, cfg)
+			if err != nil {
+				return nil, err
+			}
+			g.Errs = append(g.Errs, stats.RelError(mr.P99(), gt.P99()))
+		}
+		out = append(out, g)
+		absErrs := make([]float64, len(g.Errs))
+		for i, e := range g.Errs {
+			absErrs[i] = abs(e)
+		}
+		fmt.Fprintf(w, "  %-8s %-7s median err %+6.1f%%, mean |err| %5.1f%%\n",
+			g.Axis, g.Value, 100*stats.Median(g.Errs), 100*stats.Mean(absErrs))
+	}
+	return out, nil
+}

@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"m3/internal/rng"
+	"m3/internal/workload"
+)
+
+// RunFig18 documents the evaluation inputs (Fig. 18): the traffic matrices'
+// skew structure and the flow size distributions' CDF points.
+func RunFig18(w io.Writer) error {
+	fmt.Fprintf(w, "Fig 18a: traffic matrices (32-rack instances)\n")
+	r := rng.New(1800)
+	for _, name := range []string{"A", "B", "C"} {
+		m, err := workload.Matrix(name, 32, r.Split(uint64(name[0])))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  matrix %s: top-1%% rack pairs carry %.1f%% of traffic\n",
+			name, 100*m.Skew())
+	}
+	fmt.Fprintf(w, "Fig 18b: flow size distribution CDFs\n")
+	for _, d := range []*workload.EmpiricalSize{workload.WebServer, workload.CacheFollower, workload.Hadoop} {
+		fmt.Fprintf(w, "  %-14s mean %.0fB, points:", d.Name(), d.Mean())
+		for i := range d.Sizes {
+			fmt.Fprintf(w, " (%.0fB, %.0f%%)", d.Sizes[i], 100*d.Probs[i])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"m3/internal/feature"
+	"m3/internal/flowsim"
+	"m3/internal/plot"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// Fig3Cell is one heatmap of Fig. 3: flowSim's slowdown percentile map on a
+// single link for one (workload, burstiness, load) combination.
+type Fig3Cell struct {
+	Label string
+	Map   *feature.Map
+}
+
+// RunFig3 reproduces Fig. 3: flowSim slowdown heatmaps on a single link as
+// burstiness, load, and workload vary around the baseline (CacheFollower,
+// sigma=1.5, 50% load). The printed summary shows each size bucket's p50 and
+// p99 slowdown; the returned cells carry the full 10x100 maps.
+func RunFig3(s Scale, w io.Writer) ([]Fig3Cell, error) {
+	numFg := min(s.TestFlows, 20000)
+	type variant struct {
+		label string
+		dist  workload.SizeDist
+		sigma float64
+		load  float64
+	}
+	variants := []variant{
+		{"a: sigma=1.0", workload.CacheFollower, 1.0, 0.5},
+		{"b: sigma=1.5 (base)", workload.CacheFollower, 1.5, 0.5},
+		{"c: sigma=2.0", workload.CacheFollower, 2.0, 0.5},
+		{"d: load=20%", workload.CacheFollower, 1.5, 0.2},
+		{"e: load=50% (base)", workload.CacheFollower, 1.5, 0.5},
+		{"f: load=80%", workload.CacheFollower, 1.5, 0.8},
+		{"g: Hadoop", workload.Hadoop, 1.5, 0.5},
+		{"h: CacheFollower (base)", workload.CacheFollower, 1.5, 0.5},
+		{"i: WebServer", workload.WebServer, 1.5, 0.5},
+	}
+	var out []Fig3Cell
+	fmt.Fprintf(w, "Fig 3: flowSim single-link slowdown heatmaps (%d flows each)\n", numFg)
+	for _, v := range variants {
+		syn, err := workload.GenerateSynthetic(workload.SynthSpec{
+			Hops: 1, NumFg: numFg, BgPerLink: 0,
+			Sizes: v.dist, Burstiness: v.sigma, MaxLoad: v.load, Seed: 33,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := flowsim.Run(syn.Lot.Topology, syn.Flows)
+		if err != nil {
+			return nil, err
+		}
+		sizes := make([]unit.ByteSize, len(syn.Flows))
+		sldn := make([]float64, len(syn.Flows))
+		for i := range syn.Flows {
+			sizes[i] = syn.Flows[i].Size
+			sldn[i] = res.Slowdown[syn.Flows[i].ID]
+		}
+		m := feature.BuildFeature(sizes, sldn)
+		out = append(out, Fig3Cell{Label: v.label, Map: m})
+		fmt.Fprintf(w, "  %-24s", v.label)
+		for b := 0; b < feature.NumFeatureBuckets; b++ {
+			if m.Counts[b] == 0 {
+				fmt.Fprintf(w, "     -/-  ")
+				continue
+			}
+			row := m.Row(b)
+			fmt.Fprintf(w, " %4.1f/%-4.1f", row[49], row[98])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  (columns: p50/p99 slowdown per size bucket, smallest to largest)\n")
+
+	// Render the three workload heatmaps (bottom row of Fig. 3) as ASCII:
+	// rows are size buckets, columns the percentile axis.
+	for _, idx := range []int{6, 7, 8} {
+		c := out[idx]
+		labels := make([]string, feature.NumFeatureBuckets)
+		rows := make([][]float64, feature.NumFeatureBuckets)
+		for b := 0; b < feature.NumFeatureBuckets; b++ {
+			labels[b] = fmt.Sprintf("bucket%d", b)
+			// subtract 1 so "no slowdown" renders blank and contention pops
+			row := make([]float64, feature.NumPercentiles)
+			for p, v := range c.Map.Row(b) {
+				if v > 1 {
+					row[p] = v - 1
+				}
+			}
+			rows[b] = row
+		}
+		if err := plot.Heatmap(w, "  heatmap "+c.Label, labels, rows); err != nil {
+			fmt.Fprintf(w, "  heatmap %s: %v\n", c.Label, err)
+		}
+	}
+	return out, nil
+}

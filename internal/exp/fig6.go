@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"m3/internal/feature"
+	"m3/internal/flowsim"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/stats"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// Fig6Result compares the slowdown distribution per output bucket from the
+// packet simulator (ns-3), flowSim, and m3 on a 4-hop parking lot.
+type Fig6Result struct {
+	// NS3[b], FlowSim[b], M3[b] are 100-point percentile vectors.
+	NS3     [feature.NumOutputBuckets][]float64
+	FlowSim [feature.NumOutputBuckets][]float64
+	M3      [feature.NumOutputBuckets][]float64
+}
+
+// RunFig6 reproduces Fig. 6: per-size-bucket slowdown distributions from the
+// three estimators on a Meta-workload 4-hop path scenario.
+func RunFig6(s Scale, net *model.Net, w io.Writer) (*Fig6Result, error) {
+	spec := workload.SynthSpec{
+		Hops: 4, NumFg: min(s.TestFlows/4, 4000), BgPerLink: 1.0,
+		Sizes: workload.CacheFollower, Burstiness: 2, MaxLoad: 0.55, Seed: 66,
+	}
+	syn, err := workload.GenerateSynthetic(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := packetsim.DefaultConfig()
+
+	gt, err := packetsim.Run(syn.Lot.Topology, syn.Flows, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := flowsim.Run(syn.Lot.Topology, syn.Flows)
+	if err != nil {
+		return nil, err
+	}
+
+	hops := syn.Lot.Hops()
+	var fgSizes []unit.ByteSize
+	var fgFS, fgGT []float64
+	bgSizes := make([][]unit.ByteSize, hops)
+	bgSldn := make([][]float64, hops)
+	for i := range syn.Flows {
+		f := &syn.Flows[i]
+		if syn.IsFg(f.ID) {
+			fgSizes = append(fgSizes, f.Size)
+			fgFS = append(fgFS, fs.Slowdown[f.ID])
+			fgGT = append(fgGT, gt.Slowdown[f.ID])
+			continue
+		}
+		for l := 0; l < hops; l++ {
+			// background span on the original path links
+			onLink := false
+			for _, lid := range f.Route {
+				if lid == syn.Lot.PathLinks[l] {
+					onLink = true
+					break
+				}
+			}
+			if onLink {
+				bgSizes[l] = append(bgSizes[l], f.Size)
+				bgSldn[l] = append(bgSldn[l], fs.Slowdown[f.ID])
+			}
+		}
+	}
+	rates := syn.Lot.RouteRates(syn.Lot.PathLinks)
+	delays := syn.Lot.RouteDelays(syn.Lot.PathLinks)
+	in := model.BuildInputs(fgSizes, fgFS, bgSizes, bgSldn, cfg, rates, delays)
+	pred, err := net.Predict(in)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig6Result{}
+	gtMap := feature.BuildOutput(fgSizes, fgGT)
+	fsMap := feature.BuildOutput(fgSizes, fgFS)
+	fmt.Fprintf(w, "Fig 6: slowdown distribution per size bucket on a 4-hop path (%d fg flows)\n", len(fgSizes))
+	names := []string{"(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"}
+	fmt.Fprintf(w, "  %-12s %22s %22s %22s\n", "bucket", "ns-3 p50/p90/p99", "flowSim p50/p90/p99", "m3 p50/p90/p99")
+	for b := 0; b < feature.NumOutputBuckets; b++ {
+		res.NS3[b] = gtMap.Row(b)
+		res.FlowSim[b] = fsMap.Row(b)
+		res.M3[b] = pred[b*feature.NumPercentiles : (b+1)*feature.NumPercentiles]
+		if gtMap.Counts[b] == 0 {
+			fmt.Fprintf(w, "  %-12s (empty)\n", names[b])
+			continue
+		}
+		p := func(v []float64) string {
+			return fmt.Sprintf("%6.2f/%6.2f/%6.2f", v[49], v[89], v[98])
+		}
+		fmt.Fprintf(w, "  %-12s %22s %22s %22s\n", names[b],
+			p(res.NS3[b]), p(res.FlowSim[b]), p(res.M3[b]))
+	}
+	// Quantify the correction: mean |p99 error| of flowSim vs m3.
+	var fsErr, m3Err []float64
+	for b := 0; b < feature.NumOutputBuckets; b++ {
+		if gtMap.Counts[b] == 0 {
+			continue
+		}
+		truth := res.NS3[b][98]
+		fsErr = append(fsErr, stats.AbsRelError(res.FlowSim[b][98], truth))
+		m3Err = append(m3Err, stats.AbsRelError(res.M3[b][98], truth))
+	}
+	fmt.Fprintf(w, "  mean |p99 err|: flowSim %.1f%%, m3 %.1f%%\n",
+		100*stats.Mean(fsErr), 100*stats.Mean(m3Err))
+	return res, nil
+}

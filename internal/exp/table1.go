@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"m3/internal/core"
+	"m3/internal/packetsim"
+	"m3/internal/parsimon"
+	"m3/internal/stats"
+)
+
+// Table1Row is one row of Table 1: the three estimation methods on one mix.
+type Table1Row struct {
+	Mix          Mix
+	NS3P99       float64 // full packet-level simulation (ns-3 stand-in)
+	NS3Time      time.Duration
+	ParsimonP99  float64
+	ParsimonTime time.Duration
+	PathP99      float64 // ns-3-path (path-level packet simulation)
+	PathTime     time.Duration
+}
+
+// RunTable1 reproduces Table 1: p99 slowdown and runtime of ns-3, Parsimon,
+// and ns-3-path on the three mixes.
+func RunTable1(s Scale, w io.Writer) ([]Table1Row, error) {
+	mixes := Table1Mixes(s.TestFlows)
+	rows := make([]Table1Row, 0, len(mixes))
+	fmt.Fprintf(w, "Table 1: p99 FCT slowdown and runtime (%d flows/mix)\n", s.TestFlows)
+	fmt.Fprintf(w, "%-6s %-14s %7s | %9s %9s | %9s %9s | %9s %9s\n",
+		"Mix", "workload", "oversub", "ns3-p99", "time", "pars-p99", "time", "path-p99", "time")
+	for _, m := range mixes {
+		ft, flows, err := m.Build()
+		if err != nil {
+			return nil, err
+		}
+		cfg := packetsim.DefaultConfig()
+
+		gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		t0 := time.Now()
+		ps, err := parsimon.Run(ft.Topology, flows, cfg, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		psTime := time.Since(t0)
+
+		est := &core.Estimator{NumPaths: s.Paths, Method: core.MethodNS3Path,
+			Workers: s.Workers, Seed: m.Seed}
+		t0 = time.Now()
+		pr, err := est.Estimate(ft.Topology, flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		prTime := time.Since(t0)
+
+		row := Table1Row{
+			Mix:          m,
+			NS3P99:       gt.P99(),
+			NS3Time:      gt.Elapsed,
+			ParsimonP99:  stats.P99(ps.Slowdown),
+			ParsimonTime: psTime,
+			PathP99:      pr.P99(),
+			PathTime:     prTime,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-6s %-14s %7s | %9.3f %9s | %9.3f %9s | %9.3f %9s\n",
+			m.Name, m.Sizes.Name(), string(m.Oversub),
+			row.NS3P99, row.NS3Time.Round(time.Millisecond),
+			row.ParsimonP99, row.ParsimonTime.Round(time.Millisecond),
+			row.PathP99, row.PathTime.Round(time.Millisecond))
+	}
+	return rows, nil
+}

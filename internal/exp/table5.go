@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"m3/internal/core"
+	"m3/internal/feature"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/parsimon"
+	"m3/internal/plot"
+	"m3/internal/routing"
+	"m3/internal/rng"
+	"m3/internal/stats"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// Table5Row is one initial-window row of Table 5.
+type Table5Row struct {
+	InitWindow   unit.ByteSize
+	TruthP99     float64
+	TruthTime    time.Duration
+	ParsimonP99  float64
+	ParsimonErr  float64
+	ParsimonTime time.Duration
+	M3P99        float64
+	M3Err        float64
+	M3Time       time.Duration
+	// Per-bucket slowdown samples for Fig. 12 (sorted).
+	TruthBuckets    [feature.NumOutputBuckets][]float64
+	ParsimonBuckets [feature.NumOutputBuckets][]float64
+	M3Buckets       [feature.NumOutputBuckets][]float64
+}
+
+// RunTable5 reproduces Table 5 (and collects the Fig. 12 distributions):
+// the 384-rack, 6144-host fat-tree with traffic matrix B, the WebServer
+// workload at sigma=2 and 50% max load, under 10KB and 18KB initial
+// congestion windows.
+func RunTable5(s Scale, net *model.Net, w io.Writer) ([]Table5Row, error) {
+	ft, err := topo.LargeFatTree()
+	if err != nil {
+		return nil, err
+	}
+	mat, err := workload.Matrix("B", ft.Cfg.NumRacks(), rng.New(500))
+	if err != nil {
+		return nil, err
+	}
+	flows, err := workload.Generate(ft, routing.NewFatTreeRouter(ft), workload.Spec{
+		NumFlows: s.LargeFlows, Sizes: workload.WebServer, Matrix: mat,
+		Burstiness: 2, MaxLoad: 0.5, Seed: 501,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Table 5: large-scale comparison (384 racks, 6144 hosts, %d flows)\n", s.LargeFlows)
+	fmt.Fprintf(w, "%-10s | %8s %9s | %8s %7s %9s | %8s %7s %9s\n",
+		"initWnd", "ns3-p99", "time", "pars-p99", "err", "time", "m3-p99", "err", "time")
+
+	var rows []Table5Row
+	for _, iw := range []unit.ByteSize{10 * unit.KB, 18 * unit.KB} {
+		cfg := packetsim.DefaultConfig()
+		cfg.InitWindow = iw
+
+		gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		t0 := time.Now()
+		pr, err := parsimon.Run(ft.Topology, flows, cfg, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		psTime := time.Since(t0)
+		psP99 := stats.P99(pr.Slowdown)
+
+		est := core.NewEstimator(net)
+		est.NumPaths = s.Paths
+		est.Workers = s.Workers
+		est.Seed = 502
+		t0 = time.Now()
+		mr, err := est.Estimate(ft.Topology, flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m3Time := time.Since(t0)
+
+		row := Table5Row{
+			InitWindow: iw,
+			TruthP99:   gt.P99(), TruthTime: gt.Elapsed,
+			ParsimonP99: psP99, ParsimonErr: stats.RelError(psP99, gt.P99()), ParsimonTime: psTime,
+			M3P99: mr.P99(), M3Err: stats.RelError(mr.P99(), gt.P99()), M3Time: m3Time,
+		}
+		// Fig. 12 distributions.
+		for i := range flows {
+			b := feature.BucketOf(flows[i].Size, feature.OutputBucketBounds)
+			row.TruthBuckets[b] = append(row.TruthBuckets[b], gt.Result.Slowdown[flows[i].ID])
+			row.ParsimonBuckets[b] = append(row.ParsimonBuckets[b], pr.Slowdown[flows[i].ID])
+		}
+		for b := 0; b < feature.NumOutputBuckets; b++ {
+			row.M3Buckets[b] = mr.Agg.BucketSamples(b)
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-10v | %8.3f %9s | %8.3f %+6.1f%% %9s | %8.3f %+6.1f%% %9s\n",
+			iw, row.TruthP99, row.TruthTime.Round(time.Millisecond),
+			row.ParsimonP99, 100*row.ParsimonErr, row.ParsimonTime.Round(time.Millisecond),
+			row.M3P99, 100*row.M3Err, row.M3Time.Round(time.Millisecond))
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "  speedups at initWnd %v: m3 %.0fx, parsimon %.0fx over full sim\n",
+			row.InitWindow,
+			row.TruthTime.Seconds()/row.M3Time.Seconds(),
+			row.TruthTime.Seconds()/row.ParsimonTime.Seconds())
+	}
+	return rows, nil
+}
+
+// RunFig12 prints the per-bucket slowdown distributions of the 10KB row
+// (Fig. 12).
+func RunFig12(rows []Table5Row, w io.Writer) {
+	if len(rows) == 0 {
+		return
+	}
+	row := rows[0] // 10KB initial window
+	names := []string{"(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"}
+	fmt.Fprintf(w, "Fig 12: slowdown CDFs per bucket, %v init window (p50/p90/p99)\n", row.InitWindow)
+	q := func(xs []float64, p float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		return stats.Percentile(xs, p)
+	}
+	for b := 0; b < feature.NumOutputBuckets; b++ {
+		fmt.Fprintf(w, "  %-12s ns3 %5.2f/%5.2f/%5.2f | m3 %5.2f/%5.2f/%5.2f | parsimon %5.2f/%5.2f/%5.2f\n",
+			names[b],
+			q(row.TruthBuckets[b], 50), q(row.TruthBuckets[b], 90), q(row.TruthBuckets[b], 99),
+			q(row.M3Buckets[b], 50), q(row.M3Buckets[b], 90), q(row.M3Buckets[b], 99),
+			q(row.ParsimonBuckets[b], 50), q(row.ParsimonBuckets[b], 90), q(row.ParsimonBuckets[b], 99))
+	}
+	for b := 0; b < feature.NumOutputBuckets; b++ {
+		if len(row.TruthBuckets[b]) == 0 || len(row.M3Buckets[b]) == 0 ||
+			len(row.ParsimonBuckets[b]) == 0 {
+			continue
+		}
+		err := plot.CDF(w, fmt.Sprintf("  Fig 12 CDF, bucket %s:", names[b]), 56, 10,
+			plot.Series{Name: "ns3", Samples: row.TruthBuckets[b]},
+			plot.Series{Name: "m3", Samples: row.M3Buckets[b]},
+			plot.Series{Name: "parsimon", Samples: row.ParsimonBuckets[b]})
+		if err != nil {
+			fmt.Fprintf(w, "  bucket %s plot: %v\n", names[b], err)
+		}
+	}
+}
+

@@ -1,0 +1,315 @@
+// Package flowsim implements the paper's flowSim (Appendix A, Algorithm 1):
+// a fluid flow-level simulator that assigns every active flow its max-min
+// fair rate, recomputing the allocation whenever a flow arrives or
+// completes. A flow finishes when its allocated rate has drained its wire
+// size; the end-to-end latency factor of the unloaded path is then added so
+// that an uncontended flow has slowdown exactly 1.
+//
+// flowSim deliberately ignores queueing dynamics, packet boundaries, and
+// congestion control — that is what makes it fast, and what the m3 model is
+// trained to correct (§3.3).
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// Result holds per-flow outcomes, indexed by FlowID.
+type Result struct {
+	// FCT is each flow's completion time minus its arrival time.
+	FCT []unit.Time
+	// Slowdown is FCT normalized by the unloaded-path ideal FCT.
+	Slowdown []float64
+}
+
+// allocator computes max-min fair allocations by progressive filling with
+// reusable buffers, touching only the links the active flows use (full
+// topologies can have tens of thousands of links while a path scenario's
+// active set uses a handful).
+type allocator struct {
+	caps     []float64
+	residual []float64
+	count    []int32
+	stamp    []uint32
+	epoch    uint32
+	links    []int32 // links used by the current active set
+	frozen   []bool
+}
+
+func newAllocator(caps []float64) *allocator {
+	return &allocator{
+		caps:     caps,
+		residual: make([]float64, len(caps)),
+		count:    make([]int32, len(caps)),
+		stamp:    make([]uint32, len(caps)),
+	}
+}
+
+// alloc writes each flow's max-min rate into rates (len(routes)).
+func (a *allocator) alloc(routes [][]int32, rates []float64) {
+	n := len(routes)
+	if n == 0 {
+		return
+	}
+	a.epoch++
+	a.links = a.links[:0]
+	for _, route := range routes {
+		for _, l := range route {
+			if a.stamp[l] != a.epoch {
+				a.stamp[l] = a.epoch
+				a.residual[l] = a.caps[l]
+				a.count[l] = 0
+				a.links = append(a.links, l)
+			}
+			a.count[l]++
+		}
+	}
+	if cap(a.frozen) < n {
+		a.frozen = make([]bool, n)
+	}
+	frozen := a.frozen[:n]
+	for i := range frozen {
+		frozen[i] = false
+	}
+	remaining := n
+	for remaining > 0 {
+		bottleneck := int32(-1)
+		best := math.Inf(1)
+		for _, l := range a.links {
+			if a.count[l] <= 0 {
+				continue
+			}
+			share := a.residual[l] / float64(a.count[l])
+			if share < best {
+				best = share
+				bottleneck = l
+			}
+		}
+		if bottleneck < 0 {
+			for i := range routes {
+				if !frozen[i] {
+					rates[i] = math.Inf(1)
+					frozen[i] = true
+					remaining--
+				}
+			}
+			break
+		}
+		if best < 0 {
+			best = 0
+		}
+		for i, route := range routes {
+			if frozen[i] {
+				continue
+			}
+			uses := false
+			for _, l := range route {
+				if l == bottleneck {
+					uses = true
+					break
+				}
+			}
+			if !uses {
+				continue
+			}
+			rates[i] = best
+			frozen[i] = true
+			remaining--
+			for _, l := range route {
+				a.residual[l] -= best
+				a.count[l]--
+			}
+		}
+	}
+}
+
+// MaxMinRates computes the max-min fair allocation by progressive filling:
+// repeatedly find the link with the smallest fair share among its unfrozen
+// flows, freeze those flows at that share, and remove their demand from the
+// rest of the network. caps[l] is link l's capacity; routes[i] lists the
+// links flow i uses. The returned rates use the same unit as caps.
+func MaxMinRates(caps []float64, routes [][]int32) []float64 {
+	rates := make([]float64, len(routes))
+	newAllocator(caps).alloc(routes, rates)
+	return rates
+}
+
+// Run simulates the flows on t and returns per-flow FCTs and slowdowns.
+// Flows need not be sorted; results are indexed by FlowID, which must be
+// dense in [0, len(flows)).
+func Run(t *topo.Topology, flows []workload.Flow) (*Result, error) {
+	n := len(flows)
+	res := &Result{
+		FCT:      make([]unit.Time, n),
+		Slowdown: make([]float64, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		fa, fb := &flows[order[a]], &flows[order[b]]
+		if fa.Arrival != fb.Arrival {
+			return fa.Arrival < fb.Arrival
+		}
+		return fa.ID < fb.ID
+	})
+	for i := range flows {
+		f := &flows[i]
+		if int(f.ID) < 0 || int(f.ID) >= n {
+			return nil, fmt.Errorf("flowsim: flow ID %d out of range [0,%d)", f.ID, n)
+		}
+		if len(f.Route) == 0 {
+			return nil, fmt.Errorf("flowsim: flow %d has no route", f.ID)
+		}
+	}
+
+	caps := make([]float64, t.NumLinks())
+	for i := range t.Links {
+		caps[i] = float64(t.Links[i].Rate) // bits/s
+	}
+	// Pre-convert routes once so the per-event recompute allocates nothing.
+	routes32 := make([][]int32, n)
+	for i := range flows {
+		r32 := make([]int32, len(flows[i].Route))
+		for j, l := range flows[i].Route {
+			r32[j] = int32(l)
+		}
+		routes32[i] = r32
+	}
+
+	// Active flow state, stored in parallel slices for cache friendliness.
+	type active struct {
+		idx       int     // index into flows
+		remaining float64 // wire bits left
+		rate      float64 // bits/s
+	}
+	var act []active
+	routes := make([][]int32, 0, 64) // scratch for MaxMinRates
+
+	const eps = 1e-6 // bits; completion tolerance
+	// done reports whether an active flow should be considered complete. The
+	// rate-relative term catches residuals so small that now + residual/rate
+	// rounds to now in float64 (which would otherwise stall the event loop).
+	done := func(remaining, rate float64) bool {
+		return remaining <= eps || remaining <= rate*1e-12
+	}
+
+	now := 0.0 // seconds
+	next := 0  // next arrival in order
+	stalls := 0
+	alloc := newAllocator(caps)
+	var rateBuf []float64
+	recompute := func() {
+		routes = routes[:0]
+		for i := range act {
+			routes = append(routes, routes32[act[i].idx])
+		}
+		if cap(rateBuf) < len(act) {
+			rateBuf = make([]float64, len(act)*2)
+		}
+		rates := rateBuf[:len(act)]
+		alloc.alloc(routes, rates)
+		for i := range act {
+			act[i].rate = rates[i]
+		}
+	}
+
+	for next < n || len(act) > 0 {
+		// Earliest completion among active flows.
+		tc := math.Inf(1)
+		for i := range act {
+			if act[i].rate > 0 {
+				c := now + act[i].remaining/act[i].rate
+				if c < tc {
+					tc = c
+				}
+			}
+		}
+		// Next arrival.
+		ta := math.Inf(1)
+		if next < n {
+			ta = flows[order[next]].Arrival.Seconds()
+		}
+		tNext := math.Min(tc, ta)
+		if math.IsInf(tNext, 1) {
+			return nil, fmt.Errorf("flowsim: stalled with %d active flows (zero rates)", len(act))
+		}
+		dt := tNext - now
+		if dt > 0 {
+			for i := range act {
+				act[i].remaining -= act[i].rate * dt
+			}
+			now = tNext
+		} else {
+			now = tNext
+		}
+
+		changed := false
+		// Completions: remove drained flows (swap-remove).
+		for i := 0; i < len(act); {
+			if done(act[i].remaining, act[i].rate) {
+				fi := act[i].idx
+				f := &flows[fi]
+				fluid := unit.FromSeconds(now - f.Arrival.Seconds())
+				rates := t.RouteRates(f.Route)
+				delays := t.RouteDelays(f.Route)
+				ideal := unit.IdealFCT(f.Size, rates, delays)
+				bottleneck := rates[0]
+				for _, r := range rates {
+					if r < bottleneck {
+						bottleneck = r
+					}
+				}
+				// Latency factor: everything in the ideal FCT except the
+				// bottleneck serialization, which the fluid model covers.
+				latency := ideal - unit.TxTime(unit.WireSize(f.Size), bottleneck)
+				fct := fluid + latency
+				if fct < ideal {
+					// The fluid drain is continuous-time while the ideal
+					// rounds serializations up to the nanosecond; clamp so
+					// an uncontended flow has slowdown exactly 1.
+					fct = ideal
+				}
+				res.FCT[f.ID] = fct
+				res.Slowdown[f.ID] = float64(fct) / float64(ideal)
+				act[i] = act[len(act)-1]
+				act = act[:len(act)-1]
+				changed = true
+				continue
+			}
+			i++
+		}
+		// Arrivals at this instant.
+		for next < n && flows[order[next]].Arrival.Seconds() <= now+1e-15 {
+			f := &flows[order[next]]
+			act = append(act, active{
+				idx:       order[next],
+				remaining: float64(f.WireSize().Bits()),
+			})
+			next++
+			changed = true
+		}
+		if changed {
+			stalls = 0
+			if len(act) > 0 {
+				recompute()
+			}
+		} else if dt <= 0 {
+			if stalls++; stalls > 1000 {
+				return nil, fmt.Errorf("flowsim: event loop stalled at t=%.9fs with %d active flows",
+					now, len(act))
+			}
+		}
+	}
+	return res, nil
+}

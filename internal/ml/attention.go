@@ -1,0 +1,505 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/rng"
+)
+
+// SeqLinear applies a Linear map independently at every sequence position,
+// caching all inputs for backward.
+type SeqLinear struct {
+	W  *Param // Out x In
+	B  *Param // 1 x Out
+	xs [][]float64
+}
+
+// NewSeqLinear builds an In -> Out per-position layer.
+func NewSeqLinear(name string, in, out int, r *rng.RNG) *SeqLinear {
+	return &SeqLinear{
+		W: NewParam(name+".w", out, in, r),
+		B: NewParamConst(name+".b", 1, out, 0),
+	}
+}
+
+// Params returns the trainable parameters.
+func (l *SeqLinear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Forward maps every position.
+func (l *SeqLinear) Forward(xs [][]float64) [][]float64 {
+	l.xs = xs
+	ys := make([][]float64, len(xs))
+	for t, x := range xs {
+		y := make([]float64, l.W.Rows)
+		for o := 0; o < l.W.Rows; o++ {
+			row := l.W.W[o*l.W.Cols : (o+1)*l.W.Cols]
+			s := l.B.W[o]
+			for i, xi := range x {
+				s += row[i] * xi
+			}
+			y[o] = s
+		}
+		ys[t] = y
+	}
+	return ys
+}
+
+// Backward accumulates grads and returns per-position dx.
+func (l *SeqLinear) Backward(dys [][]float64) [][]float64 {
+	dxs := make([][]float64, len(dys))
+	for t, dy := range dys {
+		x := l.xs[t]
+		dx := make([]float64, l.W.Cols)
+		for o := 0; o < l.W.Rows; o++ {
+			g := dy[o]
+			if g == 0 {
+				continue
+			}
+			row := l.W.W[o*l.W.Cols : (o+1)*l.W.Cols]
+			grow := l.W.G[o*l.W.Cols : (o+1)*l.W.Cols]
+			for i := range dx {
+				grow[i] += g * x[i]
+				dx[i] += g * row[i]
+			}
+			l.B.G[o] += g
+		}
+		dxs[t] = dx
+	}
+	return dxs
+}
+
+// SeqRMSNorm normalizes every position independently.
+type SeqRMSNorm struct {
+	Gain *Param
+	xs   [][]float64
+	invs []float64
+}
+
+// NewSeqRMSNorm builds a per-position RMSNorm.
+func NewSeqRMSNorm(name string, dim int) *SeqRMSNorm {
+	return &SeqRMSNorm{Gain: NewParamConst(name+".gain", 1, dim, 1)}
+}
+
+// Params returns the trainable gain.
+func (n *SeqRMSNorm) Params() []*Param { return []*Param{n.Gain} }
+
+// Forward normalizes each position.
+func (n *SeqRMSNorm) Forward(xs [][]float64) [][]float64 {
+	n.xs = xs
+	n.invs = make([]float64, len(xs))
+	ys := make([][]float64, len(xs))
+	for t, x := range xs {
+		var ss float64
+		for _, v := range x {
+			ss += v * v
+		}
+		inv := 1 / math.Sqrt(ss/float64(len(x))+rmsEps)
+		n.invs[t] = inv
+		y := make([]float64, len(x))
+		for i, v := range x {
+			y[i] = v * inv * n.Gain.W[i]
+		}
+		ys[t] = y
+	}
+	return ys
+}
+
+// Backward accumulates dGain and returns per-position dx.
+func (n *SeqRMSNorm) Backward(dys [][]float64) [][]float64 {
+	dxs := make([][]float64, len(dys))
+	for t, dy := range dys {
+		x := n.xs[t]
+		inv := n.invs[t]
+		d := len(x)
+		var dot float64
+		for i := 0; i < d; i++ {
+			n.Gain.G[i] += dy[i] * x[i] * inv
+			dot += dy[i] * n.Gain.W[i] * x[i]
+		}
+		inv3 := inv * inv * inv
+		dx := make([]float64, d)
+		for j := 0; j < d; j++ {
+			dx[j] = n.Gain.W[j]*inv*dy[j] - inv3/float64(d)*x[j]*dot
+		}
+		dxs[t] = dx
+	}
+	return dxs
+}
+
+// SeqSwiGLU applies the gated feed-forward at every position.
+type SeqSwiGLU struct {
+	W1, W3, W2 *SeqLinear
+	us, gs     [][]float64
+}
+
+// NewSeqSwiGLU builds a per-position dim -> hidden -> dim feed-forward.
+func NewSeqSwiGLU(name string, dim, hidden int, r *rng.RNG) *SeqSwiGLU {
+	return &SeqSwiGLU{
+		W1: NewSeqLinear(name+".w1", dim, hidden, r),
+		W3: NewSeqLinear(name+".w3", dim, hidden, r),
+		W2: NewSeqLinear(name+".w2", hidden, dim, r),
+	}
+}
+
+// Params returns all trainable parameters.
+func (s *SeqSwiGLU) Params() []*Param {
+	ps := s.W1.Params()
+	ps = append(ps, s.W3.Params()...)
+	ps = append(ps, s.W2.Params()...)
+	return ps
+}
+
+// Forward applies the gate at each position.
+func (s *SeqSwiGLU) Forward(xs [][]float64) [][]float64 {
+	s.us = s.W1.Forward(xs)
+	s.gs = s.W3.Forward(xs)
+	hs := make([][]float64, len(xs))
+	for t := range xs {
+		h := make([]float64, len(s.us[t]))
+		for i := range h {
+			h[i] = s.us[t][i] * silu(s.gs[t][i])
+		}
+		hs[t] = h
+	}
+	return s.W2.Forward(hs)
+}
+
+// Backward propagates through the gate at each position.
+func (s *SeqSwiGLU) Backward(dys [][]float64) [][]float64 {
+	dhs := s.W2.Backward(dys)
+	dus := make([][]float64, len(dhs))
+	dgs := make([][]float64, len(dhs))
+	for t, dh := range dhs {
+		du := make([]float64, len(dh))
+		dg := make([]float64, len(dh))
+		for i := range dh {
+			du[i] = dh[i] * silu(s.gs[t][i])
+			dg[i] = dh[i] * s.us[t][i] * siluGrad(s.gs[t][i])
+		}
+		dus[t], dgs[t] = du, dg
+	}
+	dx1 := s.W1.Backward(dus)
+	dx3 := s.W3.Backward(dgs)
+	for t := range dx1 {
+		for i := range dx1[t] {
+			dx1[t][i] += dx3[t][i]
+		}
+	}
+	return dx1
+}
+
+// MHA is bidirectional multi-head self-attention. The m3 encoder attends
+// over per-hop background feature maps, so there is no causal mask.
+type MHA struct {
+	Dim, Heads     int
+	Wq, Wk, Wv, Wo *SeqLinear
+	// caches
+	q, k, v [][]float64
+	att     [][][]float64 // head -> i -> j
+}
+
+// NewMHA builds attention with the given model dim and head count
+// (dim must be divisible by heads).
+func NewMHA(name string, dim, heads int, r *rng.RNG) (*MHA, error) {
+	if heads <= 0 || dim%heads != 0 {
+		return nil, fmt.Errorf("ml: dim %d not divisible by heads %d", dim, heads)
+	}
+	return &MHA{
+		Dim: dim, Heads: heads,
+		Wq: NewSeqLinear(name+".wq", dim, dim, r),
+		Wk: NewSeqLinear(name+".wk", dim, dim, r),
+		Wv: NewSeqLinear(name+".wv", dim, dim, r),
+		Wo: NewSeqLinear(name+".wo", dim, dim, r),
+	}, nil
+}
+
+// Params returns all trainable parameters.
+func (m *MHA) Params() []*Param {
+	ps := m.Wq.Params()
+	ps = append(ps, m.Wk.Params()...)
+	ps = append(ps, m.Wv.Params()...)
+	ps = append(ps, m.Wo.Params()...)
+	return ps
+}
+
+// Forward computes self-attention over the sequence.
+func (m *MHA) Forward(xs [][]float64) [][]float64 {
+	n := len(xs)
+	m.q = m.Wq.Forward(xs)
+	m.k = m.Wk.Forward(xs)
+	m.v = m.Wv.Forward(xs)
+	dh := m.Dim / m.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	m.att = make([][][]float64, m.Heads)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, m.Dim)
+	}
+	for h := 0; h < m.Heads; h++ {
+		lo := h * dh
+		m.att[h] = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			scores := make([]float64, n)
+			maxS := math.Inf(-1)
+			for j := 0; j < n; j++ {
+				var s float64
+				for d := 0; d < dh; d++ {
+					s += m.q[i][lo+d] * m.k[j][lo+d]
+				}
+				scores[j] = s * scale
+				if scores[j] > maxS {
+					maxS = scores[j]
+				}
+			}
+			var sum float64
+			for j := range scores {
+				scores[j] = math.Exp(scores[j] - maxS)
+				sum += scores[j]
+			}
+			for j := range scores {
+				scores[j] /= sum
+			}
+			m.att[h][i] = scores
+			for j := 0; j < n; j++ {
+				a := scores[j]
+				for d := 0; d < dh; d++ {
+					out[i][lo+d] += a * m.v[j][lo+d]
+				}
+			}
+		}
+	}
+	return m.Wo.Forward(out)
+}
+
+// Backward propagates through attention and returns per-position dx.
+func (m *MHA) Backward(dys [][]float64) [][]float64 {
+	n := len(dys)
+	dh := m.Dim / m.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	do := m.Wo.Backward(dys)
+	dq := zeros2(n, m.Dim)
+	dk := zeros2(n, m.Dim)
+	dv := zeros2(n, m.Dim)
+	for h := 0; h < m.Heads; h++ {
+		lo := h * dh
+		for i := 0; i < n; i++ {
+			a := m.att[h][i]
+			da := make([]float64, n)
+			for j := 0; j < n; j++ {
+				var s float64
+				for d := 0; d < dh; d++ {
+					s += do[i][lo+d] * m.v[j][lo+d]
+					dv[j][lo+d] += a[j] * do[i][lo+d]
+				}
+				da[j] = s
+			}
+			// softmax backward: ds_j = a_j (da_j - sum_j' a_j' da_j')
+			var dot float64
+			for j := 0; j < n; j++ {
+				dot += a[j] * da[j]
+			}
+			for j := 0; j < n; j++ {
+				ds := a[j] * (da[j] - dot) * scale
+				for d := 0; d < dh; d++ {
+					dq[i][lo+d] += ds * m.k[j][lo+d]
+					dk[j][lo+d] += ds * m.q[i][lo+d]
+				}
+			}
+		}
+	}
+	dxq := m.Wq.Backward(dq)
+	dxk := m.Wk.Backward(dk)
+	dxv := m.Wv.Backward(dv)
+	for t := range dxq {
+		for i := range dxq[t] {
+			dxq[t][i] += dxk[t][i] + dxv[t][i]
+		}
+	}
+	return dxq
+}
+
+func zeros2(n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	return out
+}
+
+// Block is one pre-norm transformer block: x + MHA(norm(x)), then
+// h + FFN(norm(h)).
+type Block struct {
+	N1   *SeqRMSNorm
+	Attn *MHA
+	N2   *SeqRMSNorm
+	FFN  *SeqSwiGLU
+}
+
+// NewBlock builds a transformer block with FFN hidden = 8/3 * dim (Llama
+// convention, rounded).
+func NewBlock(name string, dim, heads int, r *rng.RNG) (*Block, error) {
+	attn, err := NewMHA(name+".attn", dim, heads, r)
+	if err != nil {
+		return nil, err
+	}
+	hidden := (dim*8/3 + 7) / 8 * 8
+	return &Block{
+		N1:   NewSeqRMSNorm(name+".n1", dim),
+		Attn: attn,
+		N2:   NewSeqRMSNorm(name+".n2", dim),
+		FFN:  NewSeqSwiGLU(name+".ffn", dim, hidden, r),
+	}, nil
+}
+
+// Params returns all trainable parameters.
+func (b *Block) Params() []*Param {
+	ps := b.N1.Params()
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.N2.Params()...)
+	ps = append(ps, b.FFN.Params()...)
+	return ps
+}
+
+// Forward runs the block.
+func (b *Block) Forward(xs [][]float64) [][]float64 {
+	a := b.Attn.Forward(b.N1.Forward(xs))
+	hs := make([][]float64, len(xs))
+	for t := range xs {
+		h := make([]float64, len(xs[t]))
+		for i := range h {
+			h[i] = xs[t][i] + a[t][i]
+		}
+		hs[t] = h
+	}
+	f := b.FFN.Forward(b.N2.Forward(hs))
+	ys := make([][]float64, len(hs))
+	for t := range hs {
+		y := make([]float64, len(hs[t]))
+		for i := range y {
+			y[i] = hs[t][i] + f[t][i]
+		}
+		ys[t] = y
+	}
+	return ys
+}
+
+// Backward runs the block in reverse.
+func (b *Block) Backward(dys [][]float64) [][]float64 {
+	df := b.N2.Backward(b.FFN.Backward(dys))
+	dhs := make([][]float64, len(dys))
+	for t := range dys {
+		dh := make([]float64, len(dys[t]))
+		for i := range dh {
+			dh[i] = dys[t][i] + df[t][i]
+		}
+		dhs[t] = dh
+	}
+	da := b.N1.Backward(b.Attn.Backward(dhs))
+	dxs := make([][]float64, len(dhs))
+	for t := range dhs {
+		dx := make([]float64, len(dhs[t]))
+		for i := range dx {
+			dx[i] = dhs[t][i] + da[t][i]
+		}
+		dxs[t] = dx
+	}
+	return dxs
+}
+
+// Encoder is the m3 background-context encoder: a linear embedding of each
+// hop's feature map, learned positional embeddings, transformer blocks, a
+// final norm, and mean pooling into a fixed-size context vector.
+type Encoder struct {
+	Dim    int
+	MaxSeq int
+	Embed  *SeqLinear
+	Pos    *Param // MaxSeq x Dim
+	Blocks []*Block
+	Final  *SeqRMSNorm
+	seqLen int
+}
+
+// NewEncoder builds the encoder.
+func NewEncoder(name string, featDim, dim, heads, layers, maxSeq int, r *rng.RNG) (*Encoder, error) {
+	e := &Encoder{
+		Dim:    dim,
+		MaxSeq: maxSeq,
+		Embed:  NewSeqLinear(name+".embed", featDim, dim, r),
+		Pos:    NewParam(name+".pos", maxSeq, dim, r),
+		Final:  NewSeqRMSNorm(name+".final", dim),
+	}
+	for i := 0; i < layers; i++ {
+		b, err := NewBlock(fmt.Sprintf("%s.block%d", name, i), dim, heads, r)
+		if err != nil {
+			return nil, err
+		}
+		e.Blocks = append(e.Blocks, b)
+	}
+	return e, nil
+}
+
+// Params returns all trainable parameters.
+func (e *Encoder) Params() []*Param {
+	ps := e.Embed.Params()
+	ps = append(ps, e.Pos)
+	for _, b := range e.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	ps = append(ps, e.Final.Params()...)
+	return ps
+}
+
+// Forward encodes the sequence of per-hop feature vectors into a context
+// vector (mean pool over positions).
+func (e *Encoder) Forward(feats [][]float64) ([]float64, error) {
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("ml: encoder needs at least one position")
+	}
+	if len(feats) > e.MaxSeq {
+		return nil, fmt.Errorf("ml: sequence length %d exceeds max %d", len(feats), e.MaxSeq)
+	}
+	e.seqLen = len(feats)
+	hs := e.Embed.Forward(feats)
+	for t := range hs {
+		for i := 0; i < e.Dim; i++ {
+			hs[t][i] += e.Pos.At(t, i)
+		}
+	}
+	for _, b := range e.Blocks {
+		hs = b.Forward(hs)
+	}
+	hs = e.Final.Forward(hs)
+	ctx := make([]float64, e.Dim)
+	inv := 1 / float64(len(hs))
+	for t := range hs {
+		for i := 0; i < e.Dim; i++ {
+			ctx[i] += hs[t][i] * inv
+		}
+	}
+	return ctx, nil
+}
+
+// Backward propagates a context gradient through the encoder.
+func (e *Encoder) Backward(dctx []float64) {
+	n := e.seqLen
+	inv := 1 / float64(n)
+	dhs := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		dh := make([]float64, e.Dim)
+		for i := range dh {
+			dh[i] = dctx[i] * inv
+		}
+		dhs[t] = dh
+	}
+	dhs = e.Final.Backward(dhs)
+	for i := len(e.Blocks) - 1; i >= 0; i-- {
+		dhs = e.Blocks[i].Backward(dhs)
+	}
+	for t := range dhs {
+		for i := 0; i < e.Dim; i++ {
+			e.Pos.G[t*e.Dim+i] += dhs[t][i]
+		}
+	}
+	e.Embed.Backward(dhs)
+}

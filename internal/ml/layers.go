@@ -1,0 +1,234 @@
+package ml
+
+import (
+	"math"
+
+	"m3/internal/rng"
+)
+
+// Linear is y = W x + b for single vectors, with cached input for backward.
+type Linear struct {
+	W *Param // Out x In
+	B *Param // 1 x Out (nil for no bias)
+	x []float64
+}
+
+// NewLinear builds an In -> Out layer with bias.
+func NewLinear(name string, in, out int, r *rng.RNG) *Linear {
+	return &Linear{
+		W: NewParam(name+".w", out, in, r),
+		B: NewParamConst(name+".b", 1, out, 0),
+	}
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param {
+	if l.B == nil {
+		return []*Param{l.W}
+	}
+	return []*Param{l.W, l.B}
+}
+
+// Forward computes y = Wx + b and caches x.
+func (l *Linear) Forward(x []float64) []float64 {
+	l.x = x
+	out := make([]float64, l.W.Rows)
+	for o := 0; o < l.W.Rows; o++ {
+		row := l.W.W[o*l.W.Cols : (o+1)*l.W.Cols]
+		var s float64
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		if l.B != nil {
+			s += l.B.W[o]
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// Backward accumulates dW, db and returns dx.
+func (l *Linear) Backward(dy []float64) []float64 {
+	dx := make([]float64, l.W.Cols)
+	for o := 0; o < l.W.Rows; o++ {
+		g := dy[o]
+		if g == 0 {
+			continue
+		}
+		row := l.W.W[o*l.W.Cols : (o+1)*l.W.Cols]
+		grow := l.W.G[o*l.W.Cols : (o+1)*l.W.Cols]
+		for i := range dx {
+			grow[i] += g * l.x[i]
+			dx[i] += g * row[i]
+		}
+		if l.B != nil {
+			l.B.G[o] += g
+		}
+	}
+	return dx
+}
+
+// RMSNorm is Llama's normalization: y_i = x_i / rms(x) * g_i.
+type RMSNorm struct {
+	Gain *Param // 1 x Dim
+	x    []float64
+	inv  float64 // 1 / rms
+}
+
+// NewRMSNorm builds a norm over dim features with unit gain.
+func NewRMSNorm(name string, dim int) *RMSNorm {
+	return &RMSNorm{Gain: NewParamConst(name+".gain", 1, dim, 1)}
+}
+
+// Params returns the trainable gain.
+func (n *RMSNorm) Params() []*Param { return []*Param{n.Gain} }
+
+const rmsEps = 1e-6
+
+// Forward normalizes x.
+func (n *RMSNorm) Forward(x []float64) []float64 {
+	n.x = x
+	var ss float64
+	for _, v := range x {
+		ss += v * v
+	}
+	n.inv = 1 / math.Sqrt(ss/float64(len(x))+rmsEps)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v * n.inv * n.Gain.W[i]
+	}
+	return out
+}
+
+// Backward accumulates dGain and returns dx.
+func (n *RMSNorm) Backward(dy []float64) []float64 {
+	d := len(n.x)
+	// y_i = g_i * x_i * inv, inv = (mean(x^2)+eps)^{-1/2}
+	// dx_j = g_j*inv*dy_j - inv^3/d * x_j * sum_i(dy_i*g_i*x_i)
+	var dot float64
+	for i := 0; i < d; i++ {
+		n.Gain.G[i] += dy[i] * n.x[i] * n.inv
+		dot += dy[i] * n.Gain.W[i] * n.x[i]
+	}
+	inv3 := n.inv * n.inv * n.inv
+	dx := make([]float64, d)
+	for j := 0; j < d; j++ {
+		dx[j] = n.Gain.W[j]*n.inv*dy[j] - inv3/float64(d)*n.x[j]*dot
+	}
+	return dx
+}
+
+// ReLU with cached mask.
+type ReLU struct{ mask []bool }
+
+// Forward applies max(0, x).
+func (r *ReLU) Forward(x []float64) []float64 {
+	r.mask = make([]bool, len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient.
+func (r *ReLU) Backward(dy []float64) []float64 {
+	dx := make([]float64, len(dy))
+	for i, m := range r.mask {
+		if m {
+			dx[i] = dy[i]
+		}
+	}
+	return dx
+}
+
+func silu(x float64) float64 { return x / (1 + math.Exp(-x)) }
+
+func siluGrad(x float64) float64 {
+	s := 1 / (1 + math.Exp(-x))
+	return s * (1 + x*(1-s))
+}
+
+// SwiGLU is Llama's feed-forward: y = W2 (silu(W3 x) * (W1 x)).
+type SwiGLU struct {
+	W1, W3, W2 *Linear
+	u, g       []float64 // cached W1x and W3x
+}
+
+// NewSwiGLU builds a dim -> hidden -> dim feed-forward.
+func NewSwiGLU(name string, dim, hidden int, r *rng.RNG) *SwiGLU {
+	return &SwiGLU{
+		W1: NewLinear(name+".w1", dim, hidden, r),
+		W3: NewLinear(name+".w3", dim, hidden, r),
+		W2: NewLinear(name+".w2", hidden, dim, r),
+	}
+}
+
+// Params returns all trainable parameters.
+func (s *SwiGLU) Params() []*Param {
+	var ps []*Param
+	ps = append(ps, s.W1.Params()...)
+	ps = append(ps, s.W3.Params()...)
+	ps = append(ps, s.W2.Params()...)
+	return ps
+}
+
+// Forward computes the gated feed-forward.
+func (s *SwiGLU) Forward(x []float64) []float64 {
+	s.u = s.W1.Forward(x)
+	s.g = s.W3.Forward(x)
+	h := make([]float64, len(s.u))
+	for i := range h {
+		h[i] = s.u[i] * silu(s.g[i])
+	}
+	return s.W2.Forward(h)
+}
+
+// Backward propagates through the gate.
+func (s *SwiGLU) Backward(dy []float64) []float64 {
+	dh := s.W2.Backward(dy)
+	du := make([]float64, len(dh))
+	dg := make([]float64, len(dh))
+	for i := range dh {
+		du[i] = dh[i] * silu(s.g[i])
+		dg[i] = dh[i] * s.u[i] * siluGrad(s.g[i])
+	}
+	dx1 := s.W1.Backward(du)
+	dx3 := s.W3.Backward(dg)
+	for i := range dx1 {
+		dx1[i] += dx3[i]
+	}
+	return dx1
+}
+
+// MLP is the two-layer perceptron head of the m3 model.
+type MLP struct {
+	L1, L2 *Linear
+	act    ReLU
+}
+
+// NewMLP builds in -> hidden -> out with ReLU.
+func NewMLP(name string, in, hidden, out int, r *rng.RNG) *MLP {
+	return &MLP{
+		L1: NewLinear(name+".l1", in, hidden, r),
+		L2: NewLinear(name+".l2", hidden, out, r),
+	}
+}
+
+// Params returns all trainable parameters.
+func (m *MLP) Params() []*Param {
+	return append(m.L1.Params(), m.L2.Params()...)
+}
+
+// Forward runs the head.
+func (m *MLP) Forward(x []float64) []float64 {
+	return m.L2.Forward(m.act.Forward(m.L1.Forward(x)))
+}
+
+// Backward returns dx.
+func (m *MLP) Backward(dy []float64) []float64 {
+	return m.L1.Backward(m.act.Backward(m.L2.Backward(dy)))
+}

@@ -1,0 +1,142 @@
+// Package ml is a minimal neural-network library built for the m3 model: a
+// tiny Llama-2-style transformer encoder and an MLP head, trained with Adam
+// on an L1 loss. Everything is float64, stdlib-only, with hand-written
+// backpropagation (validated against finite differences in the tests).
+//
+// Layers process one sample at a time (sequences are [][]float64); gradients
+// accumulate into Param.G across a mini-batch and are applied by Adam.Step.
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/rng"
+)
+
+// Param is a trainable weight matrix (Rows x Cols, row-major) with its
+// gradient accumulator and Adam moments.
+type Param struct {
+	Name       string
+	Rows, Cols int
+	W          []float64
+	G          []float64
+	m, v       []float64 // Adam moments
+}
+
+// NewParam allocates a parameter initialized with Xavier/Glorot noise.
+func NewParam(name string, rows, cols int, r *rng.RNG) *Param {
+	p := &Param{
+		Name: name, Rows: rows, Cols: cols,
+		W: make([]float64, rows*cols),
+		G: make([]float64, rows*cols),
+		m: make([]float64, rows*cols),
+		v: make([]float64, rows*cols),
+	}
+	scale := math.Sqrt(2.0 / float64(rows+cols))
+	for i := range p.W {
+		p.W[i] = r.Gauss() * scale
+	}
+	return p
+}
+
+// NewParamConst allocates a parameter with every weight set to c (used for
+// biases and norm gains).
+func NewParamConst(name string, rows, cols int, c float64) *Param {
+	p := &Param{
+		Name: name, Rows: rows, Cols: cols,
+		W: make([]float64, rows*cols),
+		G: make([]float64, rows*cols),
+		m: make([]float64, rows*cols),
+		v: make([]float64, rows*cols),
+	}
+	for i := range p.W {
+		p.W[i] = c
+	}
+	return p
+}
+
+// At returns W[r][c].
+func (p *Param) At(r, c int) float64 { return p.W[r*p.Cols+c] }
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// NumWeights returns the parameter count.
+func (p *Param) NumWeights() int { return len(p.W) }
+
+// Adam is the Adam optimizer over a set of parameters.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	ClipNorm float64 // 0 disables gradient clipping
+	t        int
+	params   []*Param
+}
+
+// NewAdam returns an optimizer with standard hyperparameters.
+func NewAdam(params []*Param, lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 5, params: params}
+}
+
+// Step applies one update from the accumulated gradients (scaled by
+// 1/batchSize) and zeroes them.
+func (a *Adam) Step(batchSize int) {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	inv := 1 / float64(batchSize)
+	if a.ClipNorm > 0 {
+		var norm2 float64
+		for _, p := range a.params {
+			for _, g := range p.G {
+				g *= inv
+				norm2 += g * g
+			}
+		}
+		if norm := math.Sqrt(norm2); norm > a.ClipNorm {
+			inv *= a.ClipNorm / norm
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range a.params {
+		for i := range p.W {
+			g := p.G[i] * inv
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mh := p.m[i] / bc1
+			vh := p.v[i] / bc2
+			p.W[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			p.G[i] = 0
+		}
+	}
+}
+
+// L1Loss returns mean |pred-target| and writes dL/dpred into dpred.
+func L1Loss(pred, target, dpred []float64) (float64, error) {
+	if len(pred) != len(target) || len(pred) != len(dpred) {
+		return 0, fmt.Errorf("ml: L1Loss length mismatch %d/%d/%d",
+			len(pred), len(target), len(dpred))
+	}
+	var sum float64
+	inv := 1 / float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		if d >= 0 {
+			sum += d
+			dpred[i] = inv
+		} else {
+			sum -= d
+			dpred[i] = -inv
+		}
+	}
+	return sum * inv, nil
+}

@@ -1,0 +1,74 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// checkpoint is the gob wire format: the architecture config plus weights
+// keyed by parameter name.
+type checkpoint struct {
+	Cfg     Config
+	Weights map[string][]float64
+}
+
+// Save writes the network (architecture + weights) to w.
+func (n *Net) Save(w io.Writer) error {
+	ck := checkpoint{Cfg: n.Cfg, Weights: make(map[string][]float64, len(n.params))}
+	for _, p := range n.params {
+		if _, dup := ck.Weights[p.Name]; dup {
+			return fmt.Errorf("model: duplicate parameter name %q", p.Name)
+		}
+		ck.Weights[p.Name] = p.W
+	}
+	return gob.NewEncoder(w).Encode(&ck)
+}
+
+// Load reads a network saved by Save.
+func Load(r io.Reader) (*Net, error) {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("model: decoding checkpoint: %w", err)
+	}
+	n, err := New(ck.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range n.params {
+		w, ok := ck.Weights[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("model: checkpoint missing parameter %q", p.Name)
+		}
+		if len(w) != len(p.W) {
+			return nil, fmt.Errorf("model: parameter %q has %d weights, want %d",
+				p.Name, len(w), len(p.W))
+		}
+		copy(p.W, w)
+	}
+	return n, nil
+}
+
+// SaveFile writes the network to path.
+func (n *Net) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := n.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a network from path.
+func LoadFile(path string) (*Net, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

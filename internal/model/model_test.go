@@ -1,0 +1,368 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"m3/internal/feature"
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+func tinyConfig() Config {
+	c := DefaultConfig()
+	c.Dim = 16
+	c.Heads = 2
+	c.Layers = 1
+	c.Hidden = 32
+	return c
+}
+
+func randomSample(r *rng.RNG, hops int, cfg Config) *Sample {
+	s := &Sample{
+		FgFeat: make([]float64, cfg.FeatDim),
+		Spec:   make([]float64, cfg.SpecDim),
+		Target: make([]float64, cfg.OutDim),
+		Mask:   make([]bool, feature.NumOutputBuckets),
+	}
+	for i := range s.FgFeat {
+		s.FgFeat[i] = r.Float64()
+	}
+	for i := range s.Spec {
+		s.Spec[i] = r.Float64()
+	}
+	for h := 0; h < hops; h++ {
+		f := make([]float64, cfg.FeatDim)
+		for i := range f {
+			f[i] = r.Float64()
+		}
+		s.BgFeats = append(s.BgFeats, f)
+	}
+	for i := range s.Target {
+		s.Target[i] = 1 + 3*r.Float64()
+	}
+	for b := range s.Mask {
+		s.Mask[b] = true
+	}
+	return s
+}
+
+func TestNewAndShapes(t *testing.T) {
+	n, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumParams() == 0 {
+		t.Fatal("no parameters")
+	}
+	r := rng.New(1)
+	s := randomSample(r, 4, n.Cfg)
+	out, err := n.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != feature.OutputDim {
+		t.Fatalf("output dim %d", len(out))
+	}
+}
+
+func TestPredictPostprocessing(t *testing.T) {
+	n, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	s := randomSample(r, 2, n.Cfg)
+	out, err := n.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < feature.NumOutputBuckets; b++ {
+		row := out[b*100 : (b+1)*100]
+		for i, v := range row {
+			if v < 1 {
+				t.Fatalf("bucket %d percentile %d below 1: %v", b, i, v)
+			}
+			if i > 0 && row[i] < row[i-1] {
+				t.Fatalf("bucket %d row not monotone at %d", b, i)
+			}
+		}
+	}
+}
+
+func TestNoContextVariant(t *testing.T) {
+	c := tinyConfig()
+	c.UseContext = false
+	n, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	s := randomSample(r, 0, c)
+	s.BgFeats = nil // no-context model ignores bg features
+	if _, err := n.Predict(s); err != nil {
+		t.Fatal(err)
+	}
+	// Context model has strictly more parameters.
+	full, _ := New(tinyConfig())
+	if n.NumParams() >= full.NumParams() {
+		t.Error("no-context model should be smaller")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bads := []func(*Config){
+		func(c *Config) { c.FeatDim = 0 },
+		func(c *Config) { c.Hidden = 0 },
+		func(c *Config) { c.Dim = 30; c.Heads = 4 }, // not divisible
+		func(c *Config) { c.Layers = 0 },
+	}
+	for i, mutate := range bads {
+		c := tinyConfig()
+		mutate(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	n, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	good := randomSample(r, 2, n.Cfg)
+	if _, err := n.Predict(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := randomSample(r, 2, n.Cfg)
+	bad.FgFeat = bad.FgFeat[:10]
+	if _, err := n.Predict(bad); err == nil {
+		t.Error("short fg feature accepted")
+	}
+	bad2 := randomSample(r, 2, n.Cfg)
+	bad2.BgFeats = nil
+	if _, err := n.Predict(bad2); err == nil {
+		t.Error("context model accepted zero hops")
+	}
+	bad3 := randomSample(r, 20, n.Cfg)
+	if _, err := n.Predict(bad3); err == nil {
+		t.Error("overlong hop sequence accepted")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	n, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	var samples []*Sample
+	for i := 0; i < 60; i++ {
+		samples = append(samples, randomSample(r, 1+i%4, n.Cfg))
+	}
+	before := n.Loss(samples)
+	res, err := n.Train(samples, TrainOptions{Epochs: 25, Batch: 10, LR: 3e-3, ValFrac: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := n.Loss(samples)
+	if after >= before*0.7 {
+		t.Errorf("training barely helped: before %v, after %v", before, after)
+	}
+	if math.IsNaN(res.ValLoss) {
+		t.Error("validation loss is NaN")
+	}
+}
+
+func TestMaskedLossIgnoresEmptyBuckets(t *testing.T) {
+	pred := make([]float64, feature.OutputDim)
+	target := make([]float64, feature.OutputDim)
+	dout := make([]float64, feature.OutputDim)
+	for i := range pred {
+		pred[i] = 5 // huge error everywhere
+	}
+	mask := []bool{true, false, false, false}
+	loss := maskedL1(pred, target, mask, dout)
+	if math.Abs(loss-5) > 1e-9 {
+		t.Errorf("masked loss = %v, want 5 (only bucket 0)", loss)
+	}
+	for i := 100; i < feature.OutputDim; i++ {
+		if dout[i] != 0 {
+			t.Fatal("gradient leaked into masked bucket")
+		}
+	}
+	allMasked := maskedL1(pred, target, []bool{false, false, false, false}, dout)
+	if allMasked != 0 {
+		t.Errorf("fully masked loss = %v", allMasked)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	n, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	s := randomSample(r, 3, n.Cfg)
+	want, err := n.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("prediction differs after round trip at %d: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPathBDPAndRTT(t *testing.T) {
+	rates := []unit.Rate{10 * unit.Gbps, 40 * unit.Gbps}
+	delays := []unit.Time{unit.Microsecond, unit.Microsecond}
+	rtt := PathBaseRTT(rates, delays)
+	if rtt <= 4*unit.Microsecond {
+		t.Errorf("baseRTT = %v, want > 4us (prop alone)", rtt)
+	}
+	bdp := PathBDP(rates, delays)
+	wantBDP := unit.ByteSize(float64(10*unit.Gbps) / 8 * rtt.Seconds())
+	if d := float64(bdp-wantBDP) / float64(wantBDP); math.Abs(d) > 0.01 {
+		t.Errorf("BDP = %v, want %v", bdp, wantBDP)
+	}
+	if PathBDP(nil, nil) != 0 {
+		t.Error("empty path BDP should be 0")
+	}
+}
+
+func TestRandomNetConfigInRange(t *testing.T) {
+	r := rng.New(7)
+	for i := 0; i < 200; i++ {
+		cfg := RandomNetConfig(r)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("random config invalid: %v", err)
+		}
+		if cfg.InitWindow < 5*unit.KB || cfg.InitWindow > 30*unit.KB {
+			t.Fatalf("init window %v out of range", cfg.InitWindow)
+		}
+		if cfg.Buffer < 200*unit.KB || cfg.Buffer > 500*unit.KB {
+			t.Fatalf("buffer %v out of range", cfg.Buffer)
+		}
+	}
+	// restriction honored
+	for i := 0; i < 20; i++ {
+		cfg := RandomNetConfig(r, packetsim.DCTCP)
+		if cfg.CC != packetsim.DCTCP {
+			t.Fatal("restriction ignored")
+		}
+	}
+}
+
+func TestRandomSizeDistSane(t *testing.T) {
+	r := rng.New(8)
+	for i := 0; i < 50; i++ {
+		d := RandomSizeDist(r)
+		if d.Mean() < 5e3 || d.Mean() > 50e3 {
+			t.Fatalf("theta %v out of range", d.Mean())
+		}
+		for j := 0; j < 100; j++ {
+			if d.Sample(r) < 1 {
+				t.Fatal("non-positive size")
+			}
+		}
+	}
+}
+
+func TestGenerateScenarioSample(t *testing.T) {
+	spec := workload.SynthSpec{
+		Hops: 4, NumFg: 120, BgPerLink: 0.5,
+		Sizes: workload.CacheFollower, Burstiness: 1.5, MaxLoad: 0.5, Seed: 3,
+	}
+	s, err := GenerateScenarioSample(spec, packetsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.FgFeat) != feature.FeatureDim || len(s.BgFeats) != 4 {
+		t.Fatalf("input shapes: fg %d, hops %d", len(s.FgFeat), len(s.BgFeats))
+	}
+	if len(s.Target) != feature.OutputDim || len(s.Mask) != feature.NumOutputBuckets {
+		t.Fatalf("target shapes: %d/%d", len(s.Target), len(s.Mask))
+	}
+	anyMask := false
+	for _, m := range s.Mask {
+		anyMask = anyMask || m
+	}
+	if !anyMask {
+		t.Error("no valid output bucket")
+	}
+	// Targets in valid buckets are plausible slowdowns.
+	for b, ok := range s.Mask {
+		if !ok {
+			continue
+		}
+		for _, v := range s.Target[b*100 : (b+1)*100] {
+			if v < 0.9 || v > 1000 {
+				t.Fatalf("bucket %d target %v implausible", b, v)
+			}
+		}
+	}
+}
+
+func TestGenerateDatasetParallel(t *testing.T) {
+	dc := DataConfig{
+		Scenarios: 6, FgPerScenario: 60, BgPerLink: 0.3,
+		Hops: []int{2, 4}, Seed: 9, Workers: 3,
+	}
+	samples, err := Generate(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 6 {
+		t.Fatalf("%d samples", len(samples))
+	}
+	hopsSeen := map[int]bool{}
+	for _, s := range samples {
+		hopsSeen[len(s.BgFeats)] = true
+	}
+	if !hopsSeen[2] || !hopsSeen[4] {
+		t.Error("hop cycling broken")
+	}
+	// Determinism: same config -> same samples.
+	again, err := Generate(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range samples {
+		for j := range samples[i].Target {
+			if samples[i].Target[j] != again[i].Target[j] {
+				t.Fatalf("dataset not deterministic at sample %d", i)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(DataConfig{}); err == nil {
+		t.Error("empty data config accepted")
+	}
+}

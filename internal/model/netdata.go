@@ -1,0 +1,141 @@
+package model
+
+import (
+	"fmt"
+	"sync"
+
+	"m3/internal/packetsim"
+	"m3/internal/pathsim"
+	"m3/internal/routing"
+	"m3/internal/rng"
+	"m3/internal/sampling"
+	"m3/internal/topo"
+	"m3/internal/workload"
+)
+
+// NetworkDataConfig controls training-data generation from full-network
+// decompositions: random workloads are generated on the small fat-tree,
+// decomposed into paths, and sampled paths are labeled with ns-3-path (the
+// path-level packet simulation, §2.1) — the same ground-truth protocol the
+// paper trains against. Mixing these samples with the synthetic parking-lot
+// set puts real decomposed-path feature distributions (sparse foregrounds,
+// superposed background arrivals) into the training distribution.
+type NetworkDataConfig struct {
+	Workloads        int // number of full-network workloads to decompose
+	FlowsPerWorkload int
+	PathsPerWorkload int // sampled paths per workload
+	Seed             uint64
+	Workers          int
+	// CCs restricts the ground-truth protocols (empty = all four).
+	CCs []packetsim.CCType
+}
+
+// DefaultNetworkDataConfig matches DefaultDataConfig's scale.
+func DefaultNetworkDataConfig() NetworkDataConfig {
+	return NetworkDataConfig{
+		Workloads:        8,
+		FlowsPerWorkload: 8000,
+		PathsPerWorkload: 50,
+		Seed:             2,
+		Workers:          8,
+	}
+}
+
+// GenerateFromNetworks produces network-derived training samples.
+func GenerateFromNetworks(nc NetworkDataConfig) ([]*Sample, error) {
+	if nc.Workloads <= 0 || nc.FlowsPerWorkload <= 0 || nc.PathsPerWorkload <= 0 {
+		return nil, fmt.Errorf("model: bad network data config %+v", nc)
+	}
+	workers := nc.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	root := rng.New(nc.Seed)
+	type result struct {
+		samples []*Sample
+		err     error
+	}
+	results := make([]result, nc.Workloads)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, workers/4))
+	for i := 0; i < nc.Workloads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := root.Split(uint64(i) + 1)
+			samples, err := networkSamples(r, nc)
+			results[i] = result{samples, err}
+		}(i)
+	}
+	wg.Wait()
+	var out []*Sample
+	for i, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("model: network workload %d: %w", i, res.err)
+		}
+		out = append(out, res.samples...)
+	}
+	return out, nil
+}
+
+// networkSamples generates one workload, decomposes it, and labels sampled
+// paths with the path-level packet simulation.
+func networkSamples(r *rng.RNG, nc NetworkDataConfig) ([]*Sample, error) {
+	oversubs := []topo.Oversub{topo.Oversub1to1, topo.Oversub2to1, topo.Oversub4to1}
+	ft, err := topo.SmallFatTree(oversubs[r.Intn(len(oversubs))])
+	if err != nil {
+		return nil, err
+	}
+	// Synthetic matrices with varying skew (distinct seeds from the
+	// evaluation instances).
+	matNames := []string{"A", "B", "C", "uniform"}
+	mat, err := workload.Matrix(matNames[r.Intn(len(matNames))], ft.Cfg.NumRacks(), r.Split(7))
+	if err != nil {
+		return nil, err
+	}
+	flows, err := workload.Generate(ft, routing.NewFatTreeRouter(ft), workload.Spec{
+		NumFlows:   nc.FlowsPerWorkload,
+		Sizes:      RandomSizeDist(r),
+		Matrix:     mat,
+		Burstiness: 1 + r.Float64(),
+		MaxLoad:    0.1 + 0.7*r.Float64(),
+		Seed:       r.Uint64(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := RandomNetConfig(r, nc.CCs...)
+
+	d, err := pathsim.Decompose(ft.Topology, flows)
+	if err != nil {
+		return nil, err
+	}
+	sample, err := sampling.Weighted(d.FgWeights(), nc.PathsPerWorkload, r)
+	if err != nil {
+		return nil, err
+	}
+	distinct, _ := sampling.Dedup(sample)
+	var out []*Sample
+	for _, pi := range distinct {
+		p := &d.Paths[pi]
+		sc, err := d.Scenario(p)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := sc.RunFlowSim()
+		if err != nil {
+			return nil, err
+		}
+		gt, err := sc.RunPacket(cfg) // ns-3-path ground truth
+		if err != nil {
+			return nil, err
+		}
+		s := BuildInputs(fs.Fg.Sizes, fs.Fg.Slowdown, fs.BgSizes, fs.BgSldn, cfg,
+			d.T.RouteRates(p.Links), d.T.RouteDelays(p.Links))
+		s.SetTarget(gt.Sizes, gt.Slowdown)
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package model
+
+import (
+	"testing"
+
+	"m3/internal/feature"
+	"m3/internal/packetsim"
+)
+
+func TestGenerateFromNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs packet simulations")
+	}
+	nc := NetworkDataConfig{
+		Workloads: 2, FlowsPerWorkload: 1500, PathsPerWorkload: 15,
+		Seed: 3, Workers: 8, CCs: []packetsim.CCType{packetsim.DCTCP},
+	}
+	samples, err := GenerateFromNetworks(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Samples exceed the path count only if dedup collapsed draws; bound it.
+	if len(samples) > 2*15 {
+		t.Fatalf("%d samples from 2x15 sampled paths", len(samples))
+	}
+	for i, s := range samples {
+		if len(s.FgFeat) != feature.FeatureDim {
+			t.Fatalf("sample %d: fg dim %d", i, len(s.FgFeat))
+		}
+		if len(s.BgFeats) < 2 || len(s.BgFeats) > 6 {
+			t.Fatalf("sample %d: %d hops", i, len(s.BgFeats))
+		}
+		if len(s.Target) != feature.OutputDim || len(s.Mask) != feature.NumOutputBuckets {
+			t.Fatalf("sample %d: bad target", i)
+		}
+		valid := false
+		for b, ok := range s.Mask {
+			if !ok {
+				continue
+			}
+			valid = true
+			for _, v := range s.Target[b*100 : (b+1)*100] {
+				if v < 0.9 || v > 10000 {
+					t.Fatalf("sample %d bucket %d target %v", i, b, v)
+				}
+			}
+		}
+		if !valid {
+			t.Fatalf("sample %d has no valid bucket", i)
+		}
+	}
+}
+
+func TestGenerateFromNetworksValidation(t *testing.T) {
+	if _, err := GenerateFromNetworks(NetworkDataConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestGenerateFromNetworksDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs packet simulations")
+	}
+	nc := NetworkDataConfig{
+		Workloads: 1, FlowsPerWorkload: 800, PathsPerWorkload: 8,
+		Seed: 4, Workers: 4, CCs: []packetsim.CCType{packetsim.DCTCP},
+	}
+	a, err := GenerateFromNetworks(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFromNetworks(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i].Target {
+			if a[i].Target[j] != b[i].Target[j] {
+				t.Fatalf("sample %d not deterministic", i)
+			}
+		}
+	}
+}

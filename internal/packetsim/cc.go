@@ -1,0 +1,193 @@
+package packetsim
+
+import (
+	"math"
+
+	"m3/internal/unit"
+)
+
+// Congestion-control constants. These are the standard values from the
+// respective papers; the tunable parameters (Table 4) live in Config.
+const (
+	dctcpG       = 1.0 / 16
+	dcqcnG       = 1.0 / 16
+	dcqcnRai     = 40 * unit.Mbps // additive increase step
+	dcqcnMinRate = 10 * unit.Mbps
+	dcqcnCutGap  = 50 * unit.Microsecond // min interval between rate cuts
+	dcqcnIncGap  = 55 * unit.Microsecond // interval between increase steps
+	timelyBeta   = 0.8
+	timelyDelta  = 10 * unit.Mbps
+	timelyMin    = 10 * unit.Mbps
+	minCwnd      = float64(unit.MTU + unit.HeaderBytes)
+)
+
+func (s *sim) maxCwnd(snd *sender) float64 {
+	return math.Max(float64(s.cfg.InitWindow), snd.bdpWire+float64(s.cfg.Buffer))
+}
+
+// onAck handles an ACK reaching the flow's source.
+func (s *sim) onAck(p *packet) {
+	snd := &s.snd[p.flow]
+	if snd.done {
+		return
+	}
+	progressed := false
+	if p.seq > snd.cumAcked {
+		for q := snd.cumAcked; q < p.seq; q++ {
+			snd.inflight -= snd.pktWire(q)
+		}
+		if snd.inflight < 0 {
+			// ACKs of data sent before a go-back-N rewind.
+			snd.inflight = 0
+		}
+		snd.cumAcked = p.seq
+		snd.lastProg = s.now
+		progressed = true
+		if snd.cumAcked >= snd.numPkts {
+			snd.done = true
+			snd.rtoToken++ // invalidate pending timeouts
+			return
+		}
+	}
+	if progressed {
+		switch s.cfg.CC {
+		case DCTCP:
+			s.dctcpAck(snd, p)
+		case HPCC:
+			s.hpccAck(snd, p)
+		case DCQCN:
+			s.dcqcnAck(snd, p)
+		case TIMELY:
+			s.timelyAck(snd, p)
+		}
+	}
+	s.trySend(p.flow)
+}
+
+// dctcpAck implements DCTCP [Alizadeh et al., SIGCOMM'10]: per-window ECN
+// fraction F drives alpha; a marked window multiplicatively cuts cwnd by
+// alpha/2, an unmarked window grows additively (or doubles in slow start).
+func (s *sim) dctcpAck(snd *sender, p *packet) {
+	snd.ackCnt++
+	if p.ecn {
+		snd.markCnt++
+	}
+	if snd.cumAcked <= snd.winEndSeq {
+		return
+	}
+	f := float64(snd.markCnt) / float64(snd.ackCnt)
+	snd.alpha = (1-dctcpG)*snd.alpha + dctcpG*f
+	switch {
+	case snd.markCnt > 0:
+		snd.ss = false
+		snd.cwnd *= 1 - snd.alpha/2
+	case snd.ss:
+		snd.cwnd *= 2
+	default:
+		snd.cwnd += float64(unit.MTU + unit.HeaderBytes)
+	}
+	snd.cwnd = clamp(snd.cwnd, minCwnd, s.maxCwnd(snd))
+	snd.ackCnt, snd.markCnt = 0, 0
+	snd.winEndSeq = snd.nextSeq
+}
+
+// hpccAck implements a condensed HPCC [Li et al., SIGCOMM'19]: the ACK's
+// inline-telemetry utilization U steers the window multiplicatively toward
+// the target eta, with additive increase W_AI, against a per-RTT reference
+// window Wc.
+func (s *sim) hpccAck(snd *sender, p *packet) {
+	u := float64(p.util)
+	if u < 0.01 {
+		u = 0.01
+	}
+	wai := float64(s.cfg.HPCCRateAI) / 8 * snd.baseRTT.Seconds()
+	w := snd.wc/(u/s.cfg.HPCCEta) + wai
+	snd.cwnd = clamp(w, minCwnd, s.maxCwnd(snd))
+	snd.rate = snd.cwnd * 8 / snd.baseRTT.Seconds()
+	if snd.cumAcked > snd.winEndSeq {
+		snd.wc = snd.cwnd
+		snd.winEndSeq = snd.nextSeq
+	}
+}
+
+// dcqcnAck implements a condensed DCQCN [Zhu et al., SIGCOMM'15]: ECN echoes
+// cut the rate by alpha/2 (at most once per cut interval) and set the target
+// rate; quiet periods run fast recovery toward the target, then additive
+// increase. Timers are evaluated lazily on ACK arrival.
+func (s *sim) dcqcnAck(snd *sender, p *packet) {
+	if p.ecn {
+		if s.now-snd.lastCut >= dcqcnCutGap {
+			snd.rtRate = snd.rcRate
+			snd.dcqAlpha = (1-dcqcnG)*snd.dcqAlpha + dcqcnG
+			snd.rcRate *= 1 - snd.dcqAlpha/2
+			if snd.rcRate < float64(dcqcnMinRate) {
+				snd.rcRate = float64(dcqcnMinRate)
+			}
+			snd.stage = 0
+			snd.lastCut = s.now
+			snd.lastInc = s.now
+		}
+	} else if s.now-snd.lastInc >= dcqcnIncGap {
+		snd.stage++
+		if snd.stage > 5 {
+			snd.rtRate += float64(dcqcnRai)
+			if snd.rtRate > snd.lineRate {
+				snd.rtRate = snd.lineRate
+			}
+		}
+		snd.rcRate = (snd.rtRate + snd.rcRate) / 2
+		// Alpha decays in quiet periods.
+		snd.dcqAlpha *= 1 - dcqcnG
+		if snd.rcRate > snd.lineRate {
+			snd.rcRate = snd.lineRate
+		}
+		snd.lastInc = s.now
+	}
+	snd.rate = snd.rcRate
+}
+
+// timelyAck implements TIMELY [Mittal et al., SIGCOMM'15]: the RTT gradient
+// steers the rate, with additive increase below TLow (and hyperactive
+// increase after repeated negative gradients) and multiplicative decrease
+// above THigh.
+func (s *sim) timelyAck(snd *sender, p *packet) {
+	rtt := s.now - p.sent
+	if snd.prevRTT == 0 {
+		snd.prevRTT = rtt
+		return
+	}
+	grad := float64(rtt-snd.prevRTT) / float64(snd.baseRTT)
+	snd.prevRTT = rtt
+	switch {
+	case rtt < s.cfg.TimelyTLow:
+		snd.rate += float64(timelyDelta)
+		snd.haiCnt = 0
+	case rtt > s.cfg.TimelyTHigh:
+		snd.rate *= 1 - timelyBeta*(1-float64(s.cfg.TimelyTHigh)/float64(rtt))
+		snd.haiCnt = 0
+	case grad <= 0:
+		snd.haiCnt++
+		n := 1.0
+		if snd.haiCnt >= 5 {
+			n = 5
+		}
+		snd.rate += n * float64(timelyDelta)
+	default:
+		if grad > 1 {
+			grad = 1
+		}
+		snd.rate *= 1 - timelyBeta*grad
+		snd.haiCnt = 0
+	}
+	snd.rate = clamp(snd.rate, float64(timelyMin), snd.lineRate)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

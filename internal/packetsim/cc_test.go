@@ -1,0 +1,152 @@
+package packetsim
+
+import (
+	"testing"
+
+	"m3/internal/stats"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// runScenario simulates a mid-load synthetic path scenario and returns the
+// foreground slowdowns.
+func runScenario(t *testing.T, cfg Config, seed uint64) []float64 {
+	t.Helper()
+	syn, err := workload.GenerateSynthetic(workload.SynthSpec{
+		Hops: 4, NumFg: 600, BgPerLink: 0.8,
+		Sizes: workload.CacheFollower, Burstiness: 2, MaxLoad: 0.6, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(syn.Lot.Topology, syn.Flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fg []float64
+	for i := range syn.Flows {
+		if syn.IsFg(syn.Flows[i].ID) {
+			fg = append(fg, res.Slowdown[syn.Flows[i].ID])
+		}
+	}
+	return fg
+}
+
+func TestCCPhenomenology(t *testing.T) {
+	// The four protocols must show their characteristic ordering under a
+	// bursty 60%-load scenario: HPCC (INT-precise) has the best tail;
+	// TIMELY (delay-gradient, coarse) the worst; all are sane.
+	if testing.Short() {
+		t.Skip("multi-protocol scenario comparison")
+	}
+	p99 := make(map[CCType]float64)
+	for _, cfg := range allCCs() {
+		fg := runScenario(t, cfg, 42)
+		v := stats.P99(fg)
+		p99[cfg.CC] = v
+		if m := stats.Mean(fg); m < 1 || m > 50 {
+			t.Errorf("%v: implausible mean slowdown %v", cfg.CC, m)
+		}
+		if v < 1 || v > 500 {
+			t.Errorf("%v: implausible p99 slowdown %v", cfg.CC, v)
+		}
+	}
+	if !(p99[HPCC] < p99[TIMELY]) {
+		t.Errorf("expected HPCC p99 (%v) < TIMELY p99 (%v)", p99[HPCC], p99[TIMELY])
+	}
+}
+
+func TestDCTCPAlphaConverges(t *testing.T) {
+	// Two long-lived DCTCP flows on one link: the marking fraction should
+	// drive alpha into (0, 1) and keep throughput near capacity. We check
+	// the external effect: combined completion close to work-conserving.
+	p := parkingLot(t, 2)
+	size := unit.ByteSize(2 * unit.MB)
+	flows := []workload.Flow{fgFlow(p, 0, size, 0), fgFlow(p, 1, size, 0)}
+	res, err := Run(p.Topology, flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := max(res.FCT[0], res.FCT[1])
+	wire := 2 * float64(unit.WireSize(size).Bits())
+	minTime := wire / float64(10*unit.Gbps)
+	eff := minTime / last.Seconds()
+	if eff < 0.75 {
+		t.Errorf("DCTCP pair efficiency = %v, want > 0.75", eff)
+	}
+}
+
+func TestTimelyRTTBoundsRate(t *testing.T) {
+	// TIMELY with a very low THigh should throttle hard relative to a high
+	// THigh under the same contention.
+	base := DefaultConfig()
+	base.CC = TIMELY
+	strict := base
+	strict.TimelyTLow = 10 * unit.Microsecond
+	strict.TimelyTHigh = 20 * unit.Microsecond
+	relaxed := base
+	relaxed.TimelyTLow = 60 * unit.Microsecond
+	relaxed.TimelyTHigh = 150 * unit.Microsecond
+
+	p := parkingLot(t, 2)
+	mk := func(cfg Config) unit.Time {
+		flows := []workload.Flow{fgFlow(p, 0, unit.MB, 0), fgFlow(p, 1, unit.MB, 0)}
+		res, err := Run(p.Topology, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return max(res.FCT[0], res.FCT[1])
+	}
+	if s, r := mk(strict), mk(relaxed); s <= r {
+		t.Errorf("strict TIMELY thresholds (%v) should be slower than relaxed (%v)", s, r)
+	}
+}
+
+func TestDCQCNMarksReduceRate(t *testing.T) {
+	// DCQCN with aggressive marking thresholds should be slower for bulk
+	// transfers than with relaxed thresholds under contention.
+	base := DefaultConfig()
+	base.CC = DCQCN
+	aggressive := base
+	aggressive.DCQCNKmin = 5 * unit.KB
+	aggressive.DCQCNKmax = 15 * unit.KB
+	relaxed := base
+	relaxed.DCQCNKmin = 100 * unit.KB
+	relaxed.DCQCNKmax = 300 * unit.KB
+
+	p := parkingLot(t, 2)
+	mk := func(cfg Config) unit.Time {
+		flows := []workload.Flow{fgFlow(p, 0, unit.MB, 0), fgFlow(p, 1, unit.MB, 0)}
+		res, err := Run(p.Topology, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return max(res.FCT[0], res.FCT[1])
+	}
+	if a, r := mk(aggressive), mk(relaxed); a <= r {
+		t.Errorf("aggressive DCQCN marking (%v) should be slower than relaxed (%v)", a, r)
+	}
+}
+
+func TestHPCCSmallFlowTailBeatsDCTCP(t *testing.T) {
+	// HPCC's headline property: near-zero standing queues give small flows
+	// better tail latency than DCTCP under the same bursty load.
+	if testing.Short() {
+		t.Skip("scenario comparison")
+	}
+	dctcp := DefaultConfig()
+	hpcc := DefaultConfig()
+	hpcc.CC = HPCC
+	hpcc.HPCCEta = 0.90
+	sd := runScenario(t, dctcp, 7)
+	sh := runScenario(t, hpcc, 7)
+	if p99h, p99d := stats.P99(sh), stats.P99(sd); p99h >= p99d*1.5 {
+		t.Errorf("HPCC p99 (%v) should not be far above DCTCP p99 (%v)", p99h, p99d)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 1, 10) != 5 || clamp(-1, 1, 10) != 1 || clamp(99, 1, 10) != 10 {
+		t.Error("clamp broken")
+	}
+}

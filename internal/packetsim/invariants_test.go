@@ -1,0 +1,166 @@
+package packetsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"m3/internal/rng"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// buildRandomScenario creates a small parking-lot scenario from a seed:
+// a 1-6 hop path with a handful of foreground and background flows.
+func buildRandomScenario(seed uint64) (*topo.ParkingLot, []workload.Flow, error) {
+	r := rng.New(seed)
+	hops := r.Intn(6) + 1
+	lot, err := topo.NewParkingLot(workload.DefaultPathRates(hops), workload.DefaultPathDelays(hops))
+	if err != nil {
+		return nil, nil, err
+	}
+	n := r.Intn(20) + 2
+	flows := make([]workload.Flow, 0, n)
+	for i := 0; i < n; i++ {
+		size := unit.ByteSize(r.Intn(200_000) + 1)
+		arrival := unit.Time(r.Intn(2_000_000)) // within 2ms
+		if r.Intn(2) == 0 || hops == 1 {
+			flows = append(flows, workload.Flow{
+				ID: workload.FlowID(i), Src: lot.FgSrc(), Dst: lot.FgDst(),
+				Size: size, Arrival: arrival, Route: lot.FgRoute(),
+			})
+			continue
+		}
+		join := r.Intn(hops)
+		span := r.Intn(hops-join) + 1
+		src, dst, route, err := lot.AttachBg(uint64(r.Intn(4)), uint64(100+r.Intn(4)),
+			join, join+span, 10*unit.Gbps, 10*unit.Gbps, unit.Microsecond)
+		if err != nil {
+			return nil, nil, err
+		}
+		flows = append(flows, workload.Flow{
+			ID: workload.FlowID(i), Src: src, Dst: dst,
+			Size: size, Arrival: arrival, Route: route,
+		})
+	}
+	return lot, flows, nil
+}
+
+// Property: for every protocol and random small scenario, every flow
+// completes, every FCT is at least its unloaded ideal (causality), and the
+// run is deterministic.
+func TestInvariantCausalityAndCompletion(t *testing.T) {
+	ccs := []CCType{DCTCP, TIMELY, DCQCN, HPCC}
+	f := func(seed16 uint16, ccSel uint8) bool {
+		lot, flows, err := buildRandomScenario(uint64(seed16))
+		if err != nil {
+			return false
+		}
+		cfg := DefaultConfig()
+		cfg.CC = ccs[int(ccSel)%len(ccs)]
+		res, err := Run(lot.Topology, flows, cfg)
+		if err != nil {
+			t.Logf("seed %d cc %v: %v", seed16, cfg.CC, err)
+			return false
+		}
+		for i := range flows {
+			fl := &flows[i]
+			ideal := lot.IdealFCT(fl.Size, fl.Route)
+			if res.FCT[fl.ID] < ideal {
+				t.Logf("seed %d cc %v flow %d: FCT %v < ideal %v",
+					seed16, cfg.CC, fl.ID, res.FCT[fl.ID], ideal)
+				return false
+			}
+			if math.IsNaN(res.Slowdown[fl.ID]) || res.Slowdown[fl.ID] < 1 {
+				return false
+			}
+		}
+		again, err := Run(lot.Topology, flows, cfg)
+		if err != nil {
+			return false
+		}
+		for i := range res.FCT {
+			if res.FCT[i] != again.FCT[i] {
+				t.Logf("seed %d cc %v: nondeterministic", seed16, cfg.CC)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: without PFC and with a tiny buffer, runs still terminate and
+// complete every flow (go-back-N recovery is live), and drops are only
+// possible when the buffer is small.
+func TestInvariantLossRecoveryLiveness(t *testing.T) {
+	f := func(seed16 uint16) bool {
+		lot, flows, err := buildRandomScenario(uint64(seed16) + 77777)
+		if err != nil {
+			return false
+		}
+		cfg := DefaultConfig()
+		cfg.PFC = false
+		cfg.Buffer = 5 * unit.KB
+		cfg.DCTCPK = 3 * unit.KB
+		res, err := Run(lot.Topology, flows, cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed16, err)
+			return false
+		}
+		for i := range res.Slowdown {
+			if res.Slowdown[i] < 1 || math.IsInf(res.Slowdown[i], 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the work-conservation bound — the last completion on a shared
+// single link cannot beat total wire bytes divided by link rate.
+func TestInvariantWorkConservation(t *testing.T) {
+	f := func(seed16 uint16, ccSel uint8) bool {
+		ccs := []CCType{DCTCP, TIMELY, DCQCN, HPCC}
+		r := rng.New(uint64(seed16) + 555)
+		lot, err := topo.NewParkingLot(
+			[]unit.Rate{10 * unit.Gbps}, []unit.Time{unit.Microsecond})
+		if err != nil {
+			return false
+		}
+		n := r.Intn(8) + 2
+		var flows []workload.Flow
+		var wireBits float64
+		for i := 0; i < n; i++ {
+			size := unit.ByteSize(r.Intn(100_000) + 1000)
+			flows = append(flows, workload.Flow{
+				ID: workload.FlowID(i), Src: lot.FgSrc(), Dst: lot.FgDst(),
+				Size: size, Arrival: 0, Route: lot.FgRoute(),
+			})
+			wireBits += float64(unit.WireSize(size).Bits())
+		}
+		cfg := DefaultConfig()
+		cfg.CC = ccs[int(ccSel)%len(ccs)]
+		res, err := Run(lot.Topology, flows, cfg)
+		if err != nil {
+			return false
+		}
+		var last unit.Time
+		for _, fct := range res.FCT {
+			if fct > last {
+				last = fct
+			}
+		}
+		minTime := wireBits / float64(10*unit.Gbps)
+		return last.Seconds() >= minTime-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package packetsim is the repository's ground-truth simulator, standing in
+// for ns-3: an event-driven, packet-granularity, store-and-forward network
+// simulator with FIFO egress queues, shared switch buffers, ECN marking,
+// HPCC-style inline telemetry, and four congestion control protocols
+// (DCTCP, DCQCN, TIMELY, HPCC — the Table 4 space).
+//
+// Fidelity notes (see DESIGN.md for the full substitution table):
+//   - PFC is modeled as losslessness: with PFC enabled queues never drop, so
+//     congestion surfaces as queueing delay, as in a PFC-protected RDMA
+//     fabric. With PFC disabled, queues tail-drop at the configured buffer
+//     and senders recover with go-back-N.
+//   - Each data packet is ACKed individually; ACKs carry the ECN echo, the
+//     HPCC utilization telemetry, and the send timestamp (for TIMELY RTTs).
+package packetsim
+
+import (
+	"fmt"
+
+	"m3/internal/unit"
+)
+
+// CCType selects the congestion control protocol.
+type CCType uint8
+
+// The four protocols in the paper's Table 4.
+const (
+	DCTCP CCType = iota
+	TIMELY
+	DCQCN
+	HPCC
+)
+
+func (c CCType) String() string {
+	switch c {
+	case DCTCP:
+		return "dctcp"
+	case TIMELY:
+		return "timely"
+	case DCQCN:
+		return "dcqcn"
+	case HPCC:
+		return "hpcc"
+	}
+	return fmt.Sprintf("cc(%d)", uint8(c))
+}
+
+// ParseCC maps a protocol name to its CCType.
+func ParseCC(name string) (CCType, error) {
+	switch name {
+	case "dctcp":
+		return DCTCP, nil
+	case "timely":
+		return TIMELY, nil
+	case "dcqcn":
+		return DCQCN, nil
+	case "hpcc":
+		return HPCC, nil
+	}
+	return 0, fmt.Errorf("packetsim: unknown congestion control %q", name)
+}
+
+// Config is the network configuration space of Table 4.
+type Config struct {
+	CC         CCType
+	InitWindow unit.ByteSize // initial congestion window (5-30KB)
+	Buffer     unit.ByteSize // per-port egress buffer (200-500KB)
+	PFC        bool          // lossless operation
+	RTO        unit.Time     // retransmission timeout (0 = default)
+
+	// DCTCP
+	DCTCPK unit.ByteSize // ECN marking threshold K (5-20KB)
+	// DCQCN
+	DCQCNKmin unit.ByteSize // RED lower threshold (20-50KB)
+	DCQCNKmax unit.ByteSize // RED upper threshold (50-100KB)
+	// HPCC
+	HPCCEta    float64   // target utilization (0.70-0.95)
+	HPCCRateAI unit.Rate // additive increase (500-1000 Mbps)
+	// TIMELY
+	TimelyTLow  unit.Time // low RTT threshold (40-60us)
+	TimelyTHigh unit.Time // high RTT threshold (100-150us)
+}
+
+// DefaultConfig returns the midpoint of the Table 4 space with DCTCP.
+func DefaultConfig() Config {
+	return Config{
+		CC:          DCTCP,
+		InitWindow:  15 * unit.KB,
+		Buffer:      350 * unit.KB,
+		PFC:         true,
+		DCTCPK:      12 * unit.KB,
+		DCQCNKmin:   35 * unit.KB,
+		DCQCNKmax:   75 * unit.KB,
+		HPCCEta:     0.9,
+		HPCCRateAI:  750 * unit.Mbps,
+		TimelyTLow:  50 * unit.Microsecond,
+		TimelyTHigh: 125 * unit.Microsecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.InitWindow <= 0:
+		return fmt.Errorf("packetsim: InitWindow must be positive")
+	case c.Buffer < unit.MTU+unit.HeaderBytes:
+		return fmt.Errorf("packetsim: Buffer must hold at least one packet")
+	case c.CC > HPCC:
+		return fmt.Errorf("packetsim: unknown CC %d", c.CC)
+	case c.CC == DCTCP && c.DCTCPK <= 0:
+		return fmt.Errorf("packetsim: DCTCP needs positive K")
+	case c.CC == DCQCN && (c.DCQCNKmin <= 0 || c.DCQCNKmax <= c.DCQCNKmin):
+		return fmt.Errorf("packetsim: DCQCN needs 0 < Kmin < Kmax")
+	case c.CC == HPCC && (c.HPCCEta <= 0 || c.HPCCEta > 1 || c.HPCCRateAI <= 0):
+		return fmt.Errorf("packetsim: HPCC needs eta in (0,1] and positive RateAI")
+	case c.CC == TIMELY && (c.TimelyTLow <= 0 || c.TimelyTHigh <= c.TimelyTLow):
+		return fmt.Errorf("packetsim: TIMELY needs 0 < TLow < THigh")
+	}
+	return nil
+}
+
+// Result holds per-flow outcomes indexed by FlowID, plus aggregate counters.
+type Result struct {
+	FCT      []unit.Time
+	Slowdown []float64
+	// Drops counts packets dropped at full buffers (always 0 with PFC).
+	Drops int64
+	// Retransmits counts go-back-N recoveries.
+	Retransmits int64
+}
+
+// packet is a data packet or an ACK in flight.
+type packet struct {
+	flow int32
+	seq  int32 // data: packet index; ACK: cumulative next-expected seq
+	size int32 // payload bytes (0 for ACK)
+	hop  int16 // index of the route link the packet is currently on/queued for
+	ack  bool
+	ecn  bool    // CE mark (data), ECN echo (ACK)
+	util float32 // max per-hop utilization seen (HPCC INT), echoed in ACK
+	sent unit.Time
+}
+
+func (p *packet) wire() unit.ByteSize { return unit.ByteSize(p.size) + unit.HeaderBytes }
+
+// event kinds
+const (
+	evFlowStart uint8 = iota
+	evTxDone
+	evArrive
+	evPace
+	evTimeout
+)
+
+type event struct {
+	t    unit.Time
+	seq  uint64 // tie-break for determinism
+	kind uint8
+	link int32 // evTxDone
+	flow int32 // evFlowStart, evPace, evTimeout
+	tok  int32 // evTimeout: validity token
+	pkt  packet
+}
+
+type eventHeap struct {
+	es  []event
+	ctr uint64
+}
+
+func (h *eventHeap) push(e event) {
+	e.seq = h.ctr
+	h.ctr++
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if less(&h.es[i], &h.es[p]) {
+			h.es[i], h.es[p] = h.es[p], h.es[i]
+			i = p
+			continue
+		}
+		break
+	}
+}
+
+func less(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) pop() event {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && less(&h.es[l], &h.es[smallest]) {
+			smallest = l
+		}
+		if r < last && less(&h.es[r], &h.es[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.es[i], h.es[smallest] = h.es[smallest], h.es[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h *eventHeap) empty() bool { return len(h.es) == 0 }
+
+// pktQueue is a FIFO ring buffer of packets.
+type pktQueue struct {
+	buf  []packet
+	head int
+	n    int
+}
+
+func (q *pktQueue) push(p packet) {
+	if q.n == len(q.buf) {
+		grown := make([]packet, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *pktQueue) pop() packet {
+	p := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
+func (q *pktQueue) len() int { return q.n }
+
+// linkState is a directed link's transmitter, queue, and telemetry.
+type linkState struct {
+	rate   unit.Rate
+	delay  unit.Time
+	busy   bool
+	cur    packet // packet being serialized when busy
+	q      pktQueue
+	qBytes int64 // queued wire bytes (excluding the one in service)
+
+	// HPCC-style utilization telemetry: an EWMA of the transmit rate over
+	// utilTau, updated at every dequeue.
+	txAccum float64 // decayed wire bytes
+	lastTx  unit.Time
+	bdp     float64 // rate * utilTau in bytes, the EWMA normalizer
+}
+
+const utilTau = 10 * unit.Microsecond

@@ -1,0 +1,391 @@
+package packetsim
+
+import (
+	"math"
+	"testing"
+
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+func parkingLot(t *testing.T, hops int) *topo.ParkingLot {
+	t.Helper()
+	p, err := topo.NewParkingLot(workload.DefaultPathRates(hops), workload.DefaultPathDelays(hops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func fgFlow(p *topo.ParkingLot, id workload.FlowID, size unit.ByteSize, at unit.Time) workload.Flow {
+	return workload.Flow{ID: id, Src: p.FgSrc(), Dst: p.FgDst(), Size: size, Arrival: at, Route: p.FgRoute()}
+}
+
+func allCCs() []Config {
+	base := DefaultConfig()
+	var cfgs []Config
+	for _, cc := range []CCType{DCTCP, TIMELY, DCQCN, HPCC} {
+		c := base
+		c.CC = cc
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+func TestSingleSmallFlowIdeal(t *testing.T) {
+	// A one-packet flow on an idle path should finish in ~ideal time for
+	// every protocol (it fits in the initial window).
+	for _, cfg := range allCCs() {
+		for _, hops := range []int{2, 4, 6} {
+			p := parkingLot(t, hops)
+			flows := []workload.Flow{fgFlow(p, 0, 800, 0)}
+			res, err := Run(p.Topology, flows, cfg)
+			if err != nil {
+				t.Fatalf("%v/%d hops: %v", cfg.CC, hops, err)
+			}
+			if s := res.Slowdown[0]; s < 0.99 || s > 1.1 {
+				t.Errorf("%v/%d hops: small-flow slowdown = %v, want ~1", cfg.CC, hops, s)
+			}
+		}
+	}
+}
+
+func TestSingleLargeFlowApproachesLineRate(t *testing.T) {
+	// A 2MB flow alone on the path should reach near line rate once the
+	// window/rate ramps: slowdown bounded by a small constant.
+	for _, cfg := range allCCs() {
+		p := parkingLot(t, 2)
+		flows := []workload.Flow{fgFlow(p, 0, 2*unit.MB, 0)}
+		res, err := Run(p.Topology, flows, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.CC, err)
+		}
+		if s := res.Slowdown[0]; s < 0.99 || s > 2.0 {
+			t.Errorf("%v: large-flow slowdown = %v, want in [1, 2)", cfg.CC, s)
+		}
+		if res.Drops != 0 {
+			t.Errorf("%v: unexpected drops on idle path: %d", cfg.CC, res.Drops)
+		}
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	// Two simultaneous long flows on one path should each get about half
+	// the bottleneck: combined finish time ~2x a single flow's.
+	for _, cfg := range allCCs() {
+		p := parkingLot(t, 2)
+		size := unit.ByteSize(1 * unit.MB)
+		flows := []workload.Flow{fgFlow(p, 0, size, 0), fgFlow(p, 1, size, 0)}
+		res, err := Run(p.Topology, flows, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.CC, err)
+		}
+		for i := range flows {
+			if s := res.Slowdown[i]; s < 1.4 || s > 3.5 {
+				t.Errorf("%v: shared slowdown[%d] = %v, want ~2", cfg.CC, i, s)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := parkingLot(t, 4)
+	var flows []workload.Flow
+	for i := 0; i < 20; i++ {
+		flows = append(flows, fgFlow(p, workload.FlowID(i), unit.ByteSize(1000*(i+1)),
+			unit.Time(i)*10*unit.Microsecond))
+	}
+	cfg := DefaultConfig()
+	a, err := Run(p.Topology, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p.Topology, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.FCT {
+		if a.FCT[i] != b.FCT[i] {
+			t.Fatalf("run not deterministic at flow %d: %v vs %v", i, a.FCT[i], b.FCT[i])
+		}
+	}
+}
+
+func TestInitWindowMatters(t *testing.T) {
+	// A 30KB flow on an idle 4-hop path: with a 30KB initial window it goes
+	// out in one burst; with 5KB it needs multiple RTTs (DCTCP).
+	p := parkingLot(t, 4)
+	flow := []workload.Flow{fgFlow(p, 0, 30*unit.KB, 0)}
+	small := DefaultConfig()
+	small.InitWindow = 5 * unit.KB
+	big := DefaultConfig()
+	big.InitWindow = 30 * unit.KB
+	rs, err := Run(p.Topology, flow, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(p.Topology, flow, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.FCT[0] <= rb.FCT[0] {
+		t.Errorf("small init window (%v) not slower than large (%v)", rs.FCT[0], rb.FCT[0])
+	}
+	if rb.Slowdown[0] > 1.2 {
+		t.Errorf("window-covered flow slowdown = %v, want ~1", rb.Slowdown[0])
+	}
+}
+
+func TestDropsAndRecoveryWithoutPFC(t *testing.T) {
+	// Tiny buffer without PFC under a burst of flows: drops happen, yet all
+	// flows complete via go-back-N.
+	p := parkingLot(t, 2)
+	var flows []workload.Flow
+	for i := 0; i < 30; i++ {
+		flows = append(flows, fgFlow(p, workload.FlowID(i), 100*unit.KB, 0))
+	}
+	cfg := DefaultConfig()
+	cfg.PFC = false
+	cfg.Buffer = 10 * unit.KB
+	cfg.DCTCPK = 5 * unit.KB
+	res, err := Run(p.Topology, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops == 0 {
+		t.Error("expected drops with 10KB buffer and 30 concurrent flows")
+	}
+	if res.Retransmits == 0 {
+		t.Error("expected go-back-N retransmissions")
+	}
+	for i, s := range res.Slowdown {
+		if math.IsNaN(s) || s < 1 {
+			t.Errorf("flow %d slowdown = %v", i, s)
+		}
+	}
+}
+
+func TestPFCLossless(t *testing.T) {
+	p := parkingLot(t, 2)
+	var flows []workload.Flow
+	for i := 0; i < 30; i++ {
+		flows = append(flows, fgFlow(p, workload.FlowID(i), 100*unit.KB, 0))
+	}
+	cfg := DefaultConfig()
+	cfg.PFC = true
+	cfg.Buffer = 10 * unit.KB
+	res, err := Run(p.Topology, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops != 0 {
+		t.Errorf("PFC run dropped %d packets", res.Drops)
+	}
+}
+
+func TestHPCCEtaControlsUtilization(t *testing.T) {
+	// Lower eta targets lower utilization: a long flow takes longer.
+	p := parkingLot(t, 2)
+	flow := []workload.Flow{fgFlow(p, 0, 2*unit.MB, 0)}
+	lo := DefaultConfig()
+	lo.CC = HPCC
+	lo.HPCCEta = 0.70
+	hi := DefaultConfig()
+	hi.CC = HPCC
+	hi.HPCCEta = 0.95
+	rlo, err := Run(p.Topology, flow, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhi, err := Run(p.Topology, flow, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rlo.FCT[0] <= rhi.FCT[0] {
+		t.Errorf("eta=0.70 FCT (%v) should exceed eta=0.95 FCT (%v)", rlo.FCT[0], rhi.FCT[0])
+	}
+}
+
+func TestDCTCPKeepsQueuesShorterThanNoECN(t *testing.T) {
+	// With a very high marking threshold DCTCP degenerates to slow-start
+	// growth and queues build: small probe flows see worse tails.
+	p := parkingLot(t, 2)
+	var flows []workload.Flow
+	id := workload.FlowID(0)
+	// heavy background on the path
+	for i := 0; i < 20; i++ {
+		flows = append(flows, fgFlow(p, id, 500*unit.KB, unit.Time(i)*5*unit.Microsecond))
+		id++
+	}
+	// probe flows arriving during the melee
+	var probes []workload.FlowID
+	for i := 0; i < 10; i++ {
+		f := fgFlow(p, id, 1000, unit.Time(200+i*50)*unit.Microsecond)
+		flows = append(flows, f)
+		probes = append(probes, id)
+		id++
+	}
+	tight := DefaultConfig()
+	tight.DCTCPK = 5 * unit.KB
+	loose := DefaultConfig()
+	loose.DCTCPK = 400 * unit.KB // effectively never marks
+	rt, err := Run(p.Topology, flows, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(p.Topology, flows, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumT, sumL float64
+	for _, pid := range probes {
+		sumT += rt.Slowdown[pid]
+		sumL += rl.Slowdown[pid]
+	}
+	if sumT >= sumL {
+		t.Errorf("probe slowdowns with tight K (%v) should beat loose K (%v)", sumT, sumL)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.InitWindow = 0 },
+		func(c *Config) { c.Buffer = 100 },
+		func(c *Config) { c.CC = DCTCP; c.DCTCPK = 0 },
+		func(c *Config) { c.CC = DCQCN; c.DCQCNKmin = 0 },
+		func(c *Config) { c.CC = DCQCN; c.DCQCNKmax = c.DCQCNKmin },
+		func(c *Config) { c.CC = HPCC; c.HPCCEta = 0 },
+		func(c *Config) { c.CC = HPCC; c.HPCCRateAI = 0 },
+		func(c *Config) { c.CC = TIMELY; c.TimelyTLow = 0 },
+		func(c *Config) { c.CC = TIMELY; c.TimelyTHigh = c.TimelyTLow },
+		func(c *Config) { c.CC = 17 },
+	}
+	for i, mutate := range bads {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestParseCC(t *testing.T) {
+	for _, name := range []string{"dctcp", "timely", "dcqcn", "hpcc"} {
+		cc, err := ParseCC(name)
+		if err != nil || cc.String() != name {
+			t.Errorf("ParseCC(%q) = %v, %v", name, cc, err)
+		}
+	}
+	if _, err := ParseCC("reno"); err == nil {
+		t.Error("unknown CC accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := parkingLot(t, 2)
+	cfg := DefaultConfig()
+	if _, err := Run(p.Topology, []workload.Flow{{ID: 9, Route: p.FgRoute()}}, cfg); err == nil {
+		t.Error("out-of-range flow ID accepted")
+	}
+	if _, err := Run(p.Topology, []workload.Flow{{ID: 0}}, cfg); err == nil {
+		t.Error("routeless flow accepted")
+	}
+	res, err := Run(p.Topology, nil, cfg)
+	if err != nil || len(res.FCT) != 0 {
+		t.Error("empty input should succeed")
+	}
+}
+
+func TestSyntheticScenarioAllCCs(t *testing.T) {
+	syn, err := workload.GenerateSynthetic(workload.SynthSpec{
+		Hops: 4, NumFg: 150, BgPerLink: 0.5,
+		Sizes: workload.WebServer, Burstiness: 1.5, MaxLoad: 0.4, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range allCCs() {
+		res, err := Run(syn.Lot.Topology, syn.Flows, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.CC, err)
+		}
+		var sum float64
+		for i, s := range res.Slowdown {
+			if math.IsNaN(s) || math.IsInf(s, 0) || s < 0.98 {
+				t.Fatalf("%v: flow %d slowdown = %v", cfg.CC, i, s)
+			}
+			sum += s
+		}
+		mean := sum / float64(len(res.Slowdown))
+		if mean < 1.0 || mean > 50 {
+			t.Errorf("%v: mean slowdown = %v, implausible", cfg.CC, mean)
+		}
+	}
+}
+
+func TestBgFlowsDelayFgFlows(t *testing.T) {
+	// A path with heavy single-link background traffic on the first hop
+	// should slow the foreground flows relative to an empty path.
+	p := parkingLot(t, 2)
+	var flows []workload.Flow
+	flows = append(flows, fgFlow(p, 0, 50*unit.KB, 100*unit.Microsecond))
+	id := workload.FlowID(1)
+	for i := 0; i < 10; i++ {
+		src, dst, route, err := p.AttachBg(uint64(i), uint64(1000+i), 0, 1,
+			10*unit.Gbps, 10*unit.Gbps, unit.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, workload.Flow{
+			ID: id, Src: src, Dst: dst, Size: 500 * unit.KB,
+			Arrival: unit.Time(i) * 10 * unit.Microsecond, Route: route,
+		})
+		id++
+	}
+	res, err := Run(p.Topology, flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown[0] < 1.5 {
+		t.Errorf("fg slowdown under heavy bg = %v, want > 1.5", res.Slowdown[0])
+	}
+}
+
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	times := []unit.Time{50, 10, 30, 10, 40, 20}
+	for _, tm := range times {
+		h.push(event{t: tm})
+	}
+	var prev unit.Time = -1
+	for !h.empty() {
+		e := h.pop()
+		if e.t < prev {
+			t.Fatalf("heap order violated: %v after %v", e.t, prev)
+		}
+		prev = e.t
+	}
+}
+
+func TestPktQueueFIFO(t *testing.T) {
+	var q pktQueue
+	for i := int32(0); i < 100; i++ {
+		q.push(packet{seq: i})
+		if i%3 == 0 && q.len() > 1 {
+			q.pop() // interleave pops to exercise wraparound
+		}
+	}
+	prev := int32(-1)
+	for q.len() > 0 {
+		p := q.pop()
+		if p.seq <= prev {
+			t.Fatalf("FIFO violated: %d after %d", p.seq, prev)
+		}
+		prev = p.seq
+	}
+}

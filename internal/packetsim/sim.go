@@ -1,0 +1,420 @@
+package packetsim
+
+import (
+	"fmt"
+	"math"
+
+	"m3/internal/rng"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// sender holds per-flow transport state.
+type sender struct {
+	route   []topo.LinkID
+	rev     []topo.LinkID
+	numPkts int32
+	lastSz  int32 // payload bytes of the final packet
+
+	nextSeq  int32
+	cumAcked int32
+	inflight int64   // wire bytes outstanding
+	cwnd     float64 // wire bytes
+	rate     float64 // pacing rate, bits/s (0 = window-only)
+	paceNext unit.Time
+	paceQd   bool
+	done     bool
+
+	baseRTT  unit.Time
+	bdpWire  float64 // bytes
+	lineRate float64 // first-hop rate, bits/s
+
+	rtoToken int32
+	lastProg unit.Time
+
+	// DCTCP
+	ss        bool
+	alpha     float64
+	ackCnt    int32
+	markCnt   int32
+	winEndSeq int32
+
+	// HPCC
+	wc float64
+
+	// DCQCN
+	rcRate   float64
+	rtRate   float64
+	dcqAlpha float64
+	stage    int32
+	lastCut  unit.Time
+	lastInc  unit.Time
+
+	// TIMELY
+	prevRTT unit.Time
+	haiCnt  int32
+}
+
+func (s *sender) pktSize(seq int32) int32 {
+	if seq == s.numPkts-1 {
+		return s.lastSz
+	}
+	return int32(unit.MTU)
+}
+
+func (s *sender) pktWire(seq int32) int64 {
+	return int64(s.pktSize(seq)) + int64(unit.HeaderBytes)
+}
+
+type sim struct {
+	t     *topo.Topology
+	cfg   Config
+	flows []workload.Flow
+	links []linkState
+	snd   []sender
+	recvN []int32
+	res   *Result
+	h     eventHeap
+	now   unit.Time
+	left  int
+	rng   *rng.RNG
+	rto   unit.Time
+}
+
+// Run simulates the flows on t under cfg and returns per-flow FCTs and
+// slowdowns (indexed by FlowID, which must be dense in [0, len(flows))).
+func Run(t *topo.Topology, flows []workload.Flow, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(flows)
+	res := &Result{FCT: make([]unit.Time, n), Slowdown: make([]float64, n)}
+	if n == 0 {
+		return res, nil
+	}
+	s := &sim{
+		t:     t,
+		cfg:   cfg,
+		flows: flows,
+		links: make([]linkState, t.NumLinks()),
+		snd:   make([]sender, n),
+		recvN: make([]int32, n),
+		res:   res,
+		left:  n,
+		rng:   rng.New(0x6d33),
+	}
+	s.rto = cfg.RTO
+	if s.rto <= 0 {
+		s.rto = 500 * unit.Microsecond
+	}
+	for i := range t.Links {
+		l := &s.links[i]
+		l.rate = t.Links[i].Rate
+		l.delay = t.Links[i].Delay
+		l.bdp = l.rate.BytesPerSecond() * utilTau.Seconds()
+	}
+	for i := range flows {
+		f := &flows[i]
+		if int(f.ID) < 0 || int(f.ID) >= n {
+			return nil, fmt.Errorf("packetsim: flow ID %d out of range", f.ID)
+		}
+		if len(f.Route) == 0 {
+			return nil, fmt.Errorf("packetsim: flow %d has no route", f.ID)
+		}
+		if err := s.initSender(f); err != nil {
+			return nil, err
+		}
+		s.h.push(event{t: f.Arrival, kind: evFlowStart, flow: int32(f.ID)})
+	}
+
+	// Generous safety budget: data+ack events per packet per hop, plus
+	// sender housekeeping, with headroom for retransmissions.
+	var budget int64
+	for i := range flows {
+		hops := int64(len(flows[i].Route))
+		budget += (unit.Packets(flows[i].Size)*2 + 8) * (hops*4 + 8) * 4
+	}
+	budget += 1 << 20
+
+	for !s.h.empty() && s.left > 0 {
+		if budget--; budget < 0 {
+			return nil, fmt.Errorf("packetsim: event budget exhausted (livelock?)")
+		}
+		e := s.h.pop()
+		s.now = e.t
+		switch e.kind {
+		case evFlowStart:
+			s.startFlow(e.flow)
+		case evTxDone:
+			s.txDone(e.link)
+		case evArrive:
+			s.arrive(e.pkt)
+		case evPace:
+			snd := &s.snd[e.flow]
+			snd.paceQd = false
+			s.trySend(e.flow)
+		case evTimeout:
+			s.timeout(e.flow, e.tok)
+		}
+	}
+	if s.left > 0 {
+		return nil, fmt.Errorf("packetsim: %d flows never completed", s.left)
+	}
+	return res, nil
+}
+
+func (s *sim) initSender(f *workload.Flow) error {
+	snd := &s.snd[f.ID]
+	snd.route = f.Route
+	snd.rev = s.t.ReverseRoute(f.Route)
+	snd.numPkts = int32(unit.Packets(f.Size))
+	last := int64(f.Size) - int64(snd.numPkts-1)*int64(unit.MTU)
+	snd.lastSz = int32(last)
+
+	rates := s.t.RouteRates(f.Route)
+	delays := s.t.RouteDelays(f.Route)
+	bottleneck := rates[0]
+	var rtt unit.Time
+	for i, r := range rates {
+		if r < bottleneck {
+			bottleneck = r
+		}
+		rtt += 2*delays[i] + unit.TxTime(unit.MTU+unit.HeaderBytes, r) +
+			unit.TxTime(unit.HeaderBytes, r)
+	}
+	snd.baseRTT = rtt
+	snd.bdpWire = bottleneck.BytesPerSecond() * rtt.Seconds()
+	snd.lineRate = float64(rates[0])
+
+	iw := float64(s.cfg.InitWindow)
+	switch s.cfg.CC {
+	case DCTCP:
+		snd.cwnd = iw
+		snd.ss = true
+		snd.winEndSeq = 0
+	case HPCC:
+		snd.cwnd = iw
+		snd.wc = iw
+		snd.rate = snd.cwnd * 8 / snd.baseRTT.Seconds()
+		snd.winEndSeq = 0
+	case DCQCN:
+		snd.cwnd = math.Max(iw, snd.bdpWire)
+		snd.rcRate = snd.lineRate
+		snd.rtRate = snd.lineRate
+		snd.rate = snd.lineRate
+	case TIMELY:
+		snd.cwnd = math.Max(iw, snd.bdpWire)
+		snd.rate = snd.lineRate
+	}
+	return nil
+}
+
+func (s *sim) startFlow(fid int32) {
+	snd := &s.snd[fid]
+	snd.lastProg = s.now
+	s.armRTO(fid)
+	s.trySend(fid)
+}
+
+func (s *sim) armRTO(fid int32) {
+	snd := &s.snd[fid]
+	snd.rtoToken++
+	s.h.push(event{t: s.now + s.rto, kind: evTimeout, flow: fid, tok: snd.rtoToken})
+}
+
+func (s *sim) timeout(fid int32, tok int32) {
+	snd := &s.snd[fid]
+	if snd.done || tok != snd.rtoToken {
+		return
+	}
+	// Slow-paced flows legitimately go quiet between packets; the effective
+	// RTO must exceed a few pacing intervals or it fires spuriously.
+	rto := s.rto
+	if snd.rate > 0 {
+		pace := unit.FromSeconds(3 * float64((unit.MTU+unit.HeaderBytes)*8) / snd.rate)
+		if pace > rto {
+			rto = pace
+		}
+	}
+	if s.now < snd.lastProg+rto {
+		// Progress happened since arming; re-arm relative to it.
+		snd.rtoToken++
+		s.h.push(event{t: snd.lastProg + rto, kind: evTimeout, flow: fid, tok: snd.rtoToken})
+		return
+	}
+	// Go-back-N: rewind to the last cumulative ACK.
+	if snd.cumAcked < snd.numPkts {
+		snd.nextSeq = snd.cumAcked
+		snd.inflight = 0
+		snd.cwnd = math.Max(float64(unit.MTU+unit.HeaderBytes), snd.cwnd/2)
+		s.res.Retransmits++
+		snd.lastProg = s.now
+		s.armRTO(fid)
+		s.trySend(fid)
+	}
+}
+
+func (s *sim) trySend(fid int32) {
+	snd := &s.snd[fid]
+	if snd.done {
+		return
+	}
+	for snd.nextSeq < snd.numPkts {
+		w := snd.pktWire(snd.nextSeq)
+		if float64(snd.inflight+w) > snd.cwnd {
+			return // window-limited; resumes on ACK
+		}
+		if snd.rate > 0 && s.now < snd.paceNext {
+			if !snd.paceQd {
+				snd.paceQd = true
+				s.h.push(event{t: snd.paceNext, kind: evPace, flow: fid})
+			}
+			return
+		}
+		p := packet{
+			flow: fid,
+			seq:  snd.nextSeq,
+			size: snd.pktSize(snd.nextSeq),
+			sent: s.now,
+		}
+		snd.nextSeq++
+		snd.inflight += w
+		snd.lastProg = s.now // sending counts as progress for the RTO
+		if snd.rate > 0 {
+			base := snd.paceNext
+			if s.now > base {
+				base = s.now
+			}
+			snd.paceNext = base + unit.FromSeconds(float64(w*8)/snd.rate)
+		}
+		s.enqueue(snd.route[0], p)
+	}
+}
+
+// enqueue places p on link id's egress queue (or starts transmitting it).
+func (s *sim) enqueue(id topo.LinkID, p packet) {
+	l := &s.links[id]
+	w := int64(p.wire())
+	if !l.busy {
+		l.busy = true
+		l.cur = p
+		s.h.push(event{
+			t:    s.now + unit.TxTime(p.wire(), l.rate),
+			kind: evTxDone,
+			link: int32(id),
+		})
+		return
+	}
+	if !s.cfg.PFC && l.qBytes+w > int64(s.cfg.Buffer) {
+		s.res.Drops++
+		return
+	}
+	if !p.ack {
+		s.markECN(l, &p)
+	}
+	l.qBytes += w
+	l.q.push(p)
+}
+
+// markECN applies the protocol's marking discipline at enqueue time.
+func (s *sim) markECN(l *linkState, p *packet) {
+	q := l.qBytes + int64(p.wire())
+	switch s.cfg.CC {
+	case DCTCP:
+		if q > int64(s.cfg.DCTCPK) {
+			p.ecn = true
+		}
+	case DCQCN:
+		kmin, kmax := int64(s.cfg.DCQCNKmin), int64(s.cfg.DCQCNKmax)
+		switch {
+		case q <= kmin:
+		case q >= kmax:
+			p.ecn = true
+		default:
+			// RED ramp up to pmax between Kmin and Kmax.
+			const pmax = 0.2
+			prob := pmax * float64(q-kmin) / float64(kmax-kmin)
+			if s.rng.Float64() < prob {
+				p.ecn = true
+			}
+		}
+	case TIMELY, HPCC:
+		// No ECN: TIMELY is delay-based, HPCC uses the INT telemetry.
+	}
+}
+
+func (s *sim) txDone(id int32) {
+	l := &s.links[id]
+	p := l.cur
+	// Utilization telemetry (HPCC INT): EWMA of tx rate plus queue term.
+	dt := s.now - l.lastTx
+	if dt > 0 {
+		l.txAccum *= math.Exp(-dt.Seconds() / utilTau.Seconds())
+	}
+	l.txAccum += float64(p.wire())
+	l.lastTx = s.now
+	if !p.ack {
+		u := (l.txAccum + float64(l.qBytes)) / l.bdp
+		if float32(u) > p.util {
+			p.util = float32(u)
+		}
+	}
+	s.h.push(event{t: s.now + l.delay, kind: evArrive, pkt: p})
+	if l.q.len() > 0 {
+		next := l.q.pop()
+		l.qBytes -= int64(next.wire())
+		l.cur = next
+		s.h.push(event{
+			t:    s.now + unit.TxTime(next.wire(), l.rate),
+			kind: evTxDone,
+			link: id,
+		})
+	} else {
+		l.busy = false
+	}
+}
+
+func (s *sim) arrive(p packet) {
+	snd := &s.snd[p.flow]
+	route := snd.route
+	if p.ack {
+		route = snd.rev
+	}
+	if int(p.hop) == len(route)-1 {
+		if p.ack {
+			s.onAck(&p)
+		} else {
+			s.deliver(&p)
+		}
+		return
+	}
+	p.hop++
+	s.enqueue(route[p.hop], p)
+}
+
+// deliver handles a data packet reaching the destination host.
+func (s *sim) deliver(p *packet) {
+	fid := p.flow
+	if p.seq == s.recvN[fid] {
+		s.recvN[fid]++
+		if s.recvN[fid] == s.snd[fid].numPkts {
+			f := &s.flows[fid]
+			fct := s.now - f.Arrival
+			s.res.FCT[fid] = fct
+			ideal := s.t.IdealFCT(f.Size, f.Route)
+			s.res.Slowdown[fid] = float64(fct) / float64(ideal)
+			s.left--
+		}
+	}
+	// Cumulative ACK (also duplicate ACK on out-of-order).
+	ack := packet{
+		flow: fid,
+		seq:  s.recvN[fid],
+		ack:  true,
+		ecn:  p.ecn,
+		util: p.util,
+		sent: p.sent,
+	}
+	s.enqueue(s.snd[fid].rev[0], ack)
+}

@@ -1,0 +1,139 @@
+package parsimon
+
+import (
+	"math"
+	"testing"
+
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/stats"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+func genWorkload(t *testing.T, n int, load float64, seed uint64) (*topo.FatTree, []workload.Flow) {
+	t.Helper()
+	ft, err := topo.SmallFatTree(topo.Oversub2to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	flows, err := workload.Generate(ft, routing.NewFatTreeRouter(ft), workload.Spec{
+		NumFlows: n, Sizes: workload.WebServer, Matrix: workload.MatrixB(32, r),
+		Burstiness: 1.5, MaxLoad: load, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft, flows
+}
+
+func TestRunBasics(t *testing.T) {
+	ft, flows := genWorkload(t, 400, 0.4, 1)
+	res, err := Run(ft.Topology, flows, packetsim.DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slowdown) != len(flows) {
+		t.Fatalf("%d slowdowns", len(res.Slowdown))
+	}
+	for i, s := range res.Slowdown {
+		if math.IsNaN(s) || s < 1 {
+			t.Errorf("flow %d slowdown = %v (must be >= 1 by construction)", i, s)
+		}
+	}
+	if res.LinksSimulated == 0 {
+		t.Error("no links simulated")
+	}
+}
+
+func TestParsimonOverestimatesVsGroundTruth(t *testing.T) {
+	// The paper's §5.3 insight: Parsimon sums per-link delays and therefore
+	// tends to overestimate slowdowns, especially with a small init window.
+	ft, flows := genWorkload(t, 600, 0.5, 2)
+	cfg := packetsim.DefaultConfig()
+	cfg.InitWindow = 10 * unit.KB
+
+	truth, err := packetsim.Run(ft.Topology, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(ft.Topology, flows, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tP99 := stats.P99(truth.Slowdown)
+	eP99 := stats.P99(est.Slowdown)
+	if eP99 < tP99*0.8 {
+		t.Errorf("Parsimon p99 (%v) strongly underestimates truth (%v)", eP99, tP99)
+	}
+	// Mean signed error should lean positive (overestimation).
+	var signed float64
+	for i := range truth.Slowdown {
+		signed += stats.RelError(est.Slowdown[i], truth.Slowdown[i])
+	}
+	if signed/float64(len(flows)) < -0.1 {
+		t.Errorf("Parsimon mean signed error %v — expected overestimation bias",
+			signed/float64(len(flows)))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ft, flows := genWorkload(t, 200, 0.4, 3)
+	cfg := packetsim.DefaultConfig()
+	a, err := Run(ft.Topology, flows, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ft.Topology, flows, cfg, 2) // different parallelism
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.FCT {
+		if a.FCT[i] != b.FCT[i] {
+			t.Fatalf("parallelism changed results at flow %d", i)
+		}
+	}
+}
+
+func TestSingleFlowNearIdeal(t *testing.T) {
+	// One flow alone in the network: link-level delays ~0, slowdown ~1.
+	ft, _ := genWorkload(t, 10, 0.4, 4)
+	r := routing.NewFatTreeRouter(ft)
+	src := ft.HostsByRack[0][0]
+	dst := ft.HostsByRack[20][0]
+	route, err := r.Route(src, dst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []workload.Flow{{ID: 0, Src: src, Dst: dst, Size: 10 * unit.KB, Route: route}}
+	res, err := Run(ft.Topology, flows, packetsim.DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown[0] > 1.6 {
+		t.Errorf("lone flow slowdown = %v, want close to 1", res.Slowdown[0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	ft, _ := genWorkload(t, 10, 0.4, 5)
+	cfg := packetsim.DefaultConfig()
+	if _, err := Run(ft.Topology, []workload.Flow{{ID: 4}}, cfg, 1); err == nil {
+		t.Error("out-of-range ID accepted")
+	}
+	if _, err := Run(ft.Topology, []workload.Flow{{ID: 0}}, cfg, 1); err == nil {
+		t.Error("routeless flow accepted")
+	}
+	res, err := Run(ft.Topology, nil, cfg, 1)
+	if err != nil || len(res.FCT) != 0 {
+		t.Error("empty input should succeed")
+	}
+	bad := cfg
+	bad.InitWindow = 0
+	if _, err := Run(ft.Topology, nil, bad, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

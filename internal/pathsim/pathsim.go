@@ -1,0 +1,310 @@
+// Package pathsim implements the paper's path-level decomposition (§2.1,
+// §3.2): it splits a full-network workload into per-path scenarios, each a
+// parking-lot topology carrying the path's foreground flows (flows that
+// traverse every link of the path, Eq. 1) and background flows (flows that
+// intersect at least one link, Eq. 2).
+//
+// Scenarios can be executed at packet granularity (ns-3-path, the oracle of
+// §2.1) or at fluid granularity (flowSim, the m3 feature extractor).
+package pathsim
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+
+	"m3/internal/flowsim"
+	"m3/internal/packetsim"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// Path is one distinct route together with the flows that traverse it
+// end-to-end.
+type Path struct {
+	Links []topo.LinkID
+	Fg    []workload.FlowID // flows whose route is exactly this path
+}
+
+// Hops returns the path length in links.
+func (p *Path) Hops() int { return len(p.Links) }
+
+// Decomposition indexes a workload by path and by link.
+type Decomposition struct {
+	T     *topo.Topology
+	Flows []workload.Flow
+	Paths []Path
+	// linkFlows[l] lists flows crossing directed link l, ascending.
+	linkFlows map[topo.LinkID][]workload.FlowID
+}
+
+// Decompose groups flows by route and builds the link index. Flow IDs must
+// be dense in [0, len(flows)).
+func Decompose(t *topo.Topology, flows []workload.Flow) (*Decomposition, error) {
+	d := &Decomposition{
+		T:         t,
+		Flows:     flows,
+		linkFlows: make(map[topo.LinkID][]workload.FlowID),
+	}
+	var h maphash.Hash
+	seed := maphash.MakeSeed()
+	byKey := make(map[uint64][]int) // route hash -> path indices (collision-safe)
+
+	for i := range flows {
+		f := &flows[i]
+		if int(f.ID) < 0 || int(f.ID) >= len(flows) {
+			return nil, fmt.Errorf("pathsim: flow ID %d out of range", f.ID)
+		}
+		if len(f.Route) == 0 {
+			return nil, fmt.Errorf("pathsim: flow %d has no route", f.ID)
+		}
+		h.SetSeed(seed)
+		for _, l := range f.Route {
+			var b [4]byte
+			b[0] = byte(l)
+			b[1] = byte(l >> 8)
+			b[2] = byte(l >> 16)
+			b[3] = byte(l >> 24)
+			h.Write(b[:])
+		}
+		key := h.Sum64()
+		found := -1
+		for _, pi := range byKey[key] {
+			if sameRoute(d.Paths[pi].Links, f.Route) {
+				found = pi
+				break
+			}
+		}
+		if found < 0 {
+			found = len(d.Paths)
+			d.Paths = append(d.Paths, Path{Links: f.Route})
+			byKey[key] = append(byKey[key], found)
+		}
+		d.Paths[found].Fg = append(d.Paths[found].Fg, f.ID)
+		for _, l := range f.Route {
+			d.linkFlows[l] = append(d.linkFlows[l], f.ID)
+		}
+	}
+	return d, nil
+}
+
+func sameRoute(a, b []topo.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FgWeights returns the per-path foreground flow counts, the weights used by
+// the paper's path sampling (§3.2).
+func (d *Decomposition) FgWeights() []float64 {
+	w := make([]float64, len(d.Paths))
+	for i := range d.Paths {
+		w[i] = float64(len(d.Paths[i].Fg))
+	}
+	return w
+}
+
+// Background returns the IDs of flows that intersect the path on at least
+// one link but are not foreground (Eq. 2), ascending.
+func (d *Decomposition) Background(p *Path) []workload.FlowID {
+	isFg := make(map[workload.FlowID]bool, len(p.Fg))
+	for _, id := range p.Fg {
+		isFg[id] = true
+	}
+	seen := make(map[workload.FlowID]bool)
+	var bg []workload.FlowID
+	for _, l := range p.Links {
+		for _, id := range d.linkFlows[l] {
+			if !isFg[id] && !seen[id] {
+				seen[id] = true
+				bg = append(bg, id)
+			}
+		}
+	}
+	sort.Slice(bg, func(i, j int) bool { return bg[i] < bg[j] })
+	return bg
+}
+
+// ScenarioFlow describes one flow inside a path-level scenario.
+type ScenarioFlow struct {
+	// Orig is the flow's ID in the full workload.
+	Orig workload.FlowID
+	// Fg marks foreground flows.
+	Fg bool
+	// Join and Exit delimit the original path links this flow crosses:
+	// links [Join, Exit). Foreground flows span the whole path.
+	Join, Exit int
+}
+
+// Scenario is a materialized path-level simulation input: the parking-lot
+// topology and the flows on it (with dense scenario-local IDs).
+type Scenario struct {
+	Path  *Path
+	Lot   *topo.ParkingLot
+	Flows []workload.Flow // scenario-local IDs
+	Meta  []ScenarioFlow  // indexed by scenario-local ID
+}
+
+// Scenario materializes the parking lot for path p: foreground flows run the
+// whole chain; every maximal contiguous run of path links a background flow
+// crosses becomes one scenario flow entering and exiting through synthetic
+// stubs (stubs are shared per original endpoint host, and carry that host's
+// access capacity). Non-contiguous intersections (possible in fat-trees when
+// a flow shares only the first and last hop of a path) are split into
+// independent segment flows — each segment loads its links exactly as the
+// original flow did; only the coupling between segments is dropped.
+func (d *Decomposition) Scenario(p *Path) (*Scenario, error) {
+	rates := d.T.RouteRates(p.Links)
+	delays := d.T.RouteDelays(p.Links)
+	lot, err := topo.NewParkingLot(rates, delays)
+	if err != nil {
+		return nil, err
+	}
+	sc := &Scenario{Path: p, Lot: lot}
+
+	add := func(orig *workload.Flow, fg bool, join, exit int, route []topo.LinkID, src, dst topo.NodeID) {
+		id := workload.FlowID(len(sc.Flows))
+		sc.Flows = append(sc.Flows, workload.Flow{
+			ID: id, Src: src, Dst: dst,
+			Size: orig.Size, Arrival: orig.Arrival, Route: route,
+		})
+		sc.Meta = append(sc.Meta, ScenarioFlow{Orig: orig.ID, Fg: fg, Join: join, Exit: exit})
+	}
+
+	for _, id := range p.Fg {
+		f := &d.Flows[id]
+		add(f, true, 0, len(p.Links), lot.FgRoute(), lot.FgSrc(), lot.FgDst())
+	}
+
+	// Position of each path link within the path for intersection lookup.
+	pos := make(map[topo.LinkID]int, len(p.Links))
+	for i, l := range p.Links {
+		pos[l] = i
+	}
+	for _, id := range d.Background(p) {
+		f := &d.Flows[id]
+		srcRate := d.T.Link(f.Route[0]).Rate
+		dstRate := d.T.Link(f.Route[len(f.Route)-1]).Rate
+		// Extract maximal contiguous runs of path positions, in the order
+		// the flow traverses them.
+		run := -1 // start position of current run on the path
+		prev := -1
+		flush := func(endExclusive int) error {
+			if run < 0 {
+				return nil
+			}
+			src, dst, route, err := lot.AttachBg(uint64(f.Src), uint64(f.Dst),
+				run, endExclusive, srcRate, dstRate, unit.Microsecond)
+			if err != nil {
+				return err
+			}
+			add(f, false, run, endExclusive, route, src, dst)
+			run = -1
+			return nil
+		}
+		for _, l := range f.Route {
+			pi, on := pos[l]
+			if on && prev >= 0 && pi == prev+1 && run >= 0 {
+				prev = pi
+				continue
+			}
+			if err := flush(prev + 1); err != nil {
+				return nil, err
+			}
+			if on {
+				run, prev = pi, pi
+			} else {
+				prev = -1
+			}
+		}
+		if err := flush(prev + 1); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// FgResult holds per-foreground-flow outcomes of a scenario simulation,
+// aligned with Scenario foreground order (and carrying original IDs).
+type FgResult struct {
+	Orig     []workload.FlowID
+	Sizes    []unit.ByteSize
+	Slowdown []float64
+}
+
+// RunPacket executes the scenario at packet granularity (ns-3-path) and
+// returns foreground slowdowns.
+func (sc *Scenario) RunPacket(cfg packetsim.Config) (*FgResult, error) {
+	res, err := packetsim.Run(sc.Lot.Topology, sc.Flows, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sc.fgResult(res.Slowdown), nil
+}
+
+// FlowSimResult carries flowSim outcomes for the whole scenario: foreground
+// slowdowns plus, for every original path link, the slowdowns and sizes of
+// the background flows crossing it (the inputs to the feature maps of §3.4).
+type FlowSimResult struct {
+	Fg *FgResult
+	// BgSizes[l] / BgSldn[l] describe background flows crossing path link l.
+	BgSizes [][]unit.ByteSize
+	BgSldn  [][]float64
+}
+
+// RunFlowSim executes the scenario in flowSim.
+func (sc *Scenario) RunFlowSim() (*FlowSimResult, error) {
+	res, err := flowsim.Run(sc.Lot.Topology, sc.Flows)
+	if err != nil {
+		return nil, err
+	}
+	out := &FlowSimResult{
+		Fg:      sc.fgResult(res.Slowdown),
+		BgSizes: make([][]unit.ByteSize, sc.Lot.Hops()),
+		BgSldn:  make([][]float64, sc.Lot.Hops()),
+	}
+	for i := range sc.Flows {
+		m := &sc.Meta[i]
+		if m.Fg {
+			continue
+		}
+		for l := m.Join; l < m.Exit; l++ {
+			out.BgSizes[l] = append(out.BgSizes[l], sc.Flows[i].Size)
+			out.BgSldn[l] = append(out.BgSldn[l], res.Slowdown[i])
+		}
+	}
+	return out, nil
+}
+
+func (sc *Scenario) fgResult(slowdown []float64) *FgResult {
+	fr := &FgResult{}
+	for i := range sc.Flows {
+		if sc.Meta[i].Fg {
+			fr.Orig = append(fr.Orig, sc.Meta[i].Orig)
+			fr.Sizes = append(fr.Sizes, sc.Flows[i].Size)
+			fr.Slowdown = append(fr.Slowdown, slowdown[i])
+		}
+	}
+	return fr
+}
+
+// NumFg returns the scenario's foreground flow count.
+func (sc *Scenario) NumFg() int {
+	n := 0
+	for i := range sc.Meta {
+		if sc.Meta[i].Fg {
+			n++
+		}
+	}
+	return n
+}
+
+// NumBg returns the scenario's background (segment) flow count.
+func (sc *Scenario) NumBg() int { return len(sc.Meta) - sc.NumFg() }

@@ -1,0 +1,299 @@
+package pathsim
+
+import (
+	"math"
+	"testing"
+
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/workload"
+)
+
+func smallWorkload(t *testing.T, n int, seed uint64) (*topo.FatTree, []workload.Flow) {
+	t.Helper()
+	ft, err := topo.SmallFatTree(topo.Oversub2to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	flows, err := workload.Generate(ft, routing.NewFatTreeRouter(ft), workload.Spec{
+		NumFlows: n, Sizes: workload.WebServer, Matrix: workload.MatrixB(32, r),
+		Burstiness: 1.5, MaxLoad: 0.5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft, flows
+}
+
+func TestDecomposePartitionsFlows(t *testing.T) {
+	ft, flows := smallWorkload(t, 2000, 1)
+	d, err := Decompose(ft.Topology, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every flow is foreground on exactly one path.
+	count := 0
+	seen := make(map[workload.FlowID]bool)
+	for i := range d.Paths {
+		for _, id := range d.Paths[i].Fg {
+			if seen[id] {
+				t.Fatalf("flow %d foreground on multiple paths", id)
+			}
+			seen[id] = true
+			count++
+		}
+	}
+	if count != len(flows) {
+		t.Errorf("fg flows total %d, want %d", count, len(flows))
+	}
+	if len(d.Paths) < 100 {
+		t.Errorf("only %d distinct paths for 2000 flows — suspicious", len(d.Paths))
+	}
+}
+
+func TestDecomposeFgHaveIdenticalRoutes(t *testing.T) {
+	ft, flows := smallWorkload(t, 1000, 2)
+	d, err := Decompose(ft.Topology, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Paths {
+		p := &d.Paths[i]
+		for _, id := range p.Fg {
+			if !sameRoute(flows[id].Route, p.Links) {
+				t.Fatalf("fg flow %d route differs from path", id)
+			}
+		}
+	}
+}
+
+func TestBackgroundDefinition(t *testing.T) {
+	ft, flows := smallWorkload(t, 1000, 3)
+	d, err := Decompose(ft.Topology, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the busiest path and verify Eq. 2 against a brute-force check.
+	best := 0
+	for i := range d.Paths {
+		if len(d.Paths[i].Fg) > len(d.Paths[best].Fg) {
+			best = i
+		}
+	}
+	p := &d.Paths[best]
+	bg := d.Background(p)
+	onPath := make(map[topo.LinkID]bool)
+	for _, l := range p.Links {
+		onPath[l] = true
+	}
+	isFg := make(map[workload.FlowID]bool)
+	for _, id := range p.Fg {
+		isFg[id] = true
+	}
+	want := make(map[workload.FlowID]bool)
+	for i := range flows {
+		if isFg[flows[i].ID] {
+			continue
+		}
+		for _, l := range flows[i].Route {
+			if onPath[l] {
+				want[flows[i].ID] = true
+				break
+			}
+		}
+	}
+	if len(want) != len(bg) {
+		t.Fatalf("bg count %d, brute force %d", len(bg), len(want))
+	}
+	for _, id := range bg {
+		if !want[id] {
+			t.Fatalf("flow %d wrongly classified background", id)
+		}
+	}
+}
+
+func TestScenarioConstruction(t *testing.T) {
+	ft, flows := smallWorkload(t, 1500, 4)
+	d, err := Decompose(ft.Topology, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range d.Paths {
+		if len(d.Paths[i].Fg) > len(d.Paths[best].Fg) {
+			best = i
+		}
+	}
+	p := &d.Paths[best]
+	sc, err := d.Scenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumFg() != len(p.Fg) {
+		t.Errorf("scenario fg = %d, path fg = %d", sc.NumFg(), len(p.Fg))
+	}
+	if sc.NumBg() == 0 {
+		t.Error("busiest path has no background — suspicious")
+	}
+	// Routes are valid on the lot; sizes and arrivals preserved.
+	for i := range sc.Flows {
+		f := &sc.Flows[i]
+		if err := sc.Lot.ValidateRoute(f.Src, f.Dst, f.Route); err != nil {
+			t.Fatalf("scenario flow %d: %v", i, err)
+		}
+		orig := &flows[sc.Meta[i].Orig]
+		if f.Size != orig.Size || f.Arrival != orig.Arrival {
+			t.Fatalf("scenario flow %d lost size/arrival", i)
+		}
+		m := &sc.Meta[i]
+		if m.Join < 0 || m.Exit > len(p.Links) || m.Join >= m.Exit {
+			t.Fatalf("bad span [%d,%d)", m.Join, m.Exit)
+		}
+		if m.Fg && (m.Join != 0 || m.Exit != len(p.Links)) {
+			t.Fatal("fg flow span must cover the path")
+		}
+	}
+	// Parking-lot link parameters match the original path links.
+	for i, l := range p.Links {
+		orig := ft.Link(l)
+		lotLink := sc.Lot.Link(sc.Lot.PathLinks[i])
+		if orig.Rate != lotLink.Rate || orig.Delay != lotLink.Delay {
+			t.Fatalf("lot link %d rate/delay mismatch", i)
+		}
+	}
+}
+
+func TestScenarioBgSegmentsCoverIntersection(t *testing.T) {
+	ft, flows := smallWorkload(t, 1500, 5)
+	d, err := Decompose(ft.Topology, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range d.Paths {
+		if len(d.Paths[i].Fg) > len(d.Paths[best].Fg) {
+			best = i
+		}
+	}
+	p := &d.Paths[best]
+	sc, err := d.Scenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[topo.LinkID]int)
+	for i, l := range p.Links {
+		pos[l] = i
+	}
+	// Union of scenario bg spans per original flow == its path intersection.
+	spanOf := make(map[workload.FlowID]map[int]bool)
+	for i := range sc.Meta {
+		m := &sc.Meta[i]
+		if m.Fg {
+			continue
+		}
+		if spanOf[m.Orig] == nil {
+			spanOf[m.Orig] = make(map[int]bool)
+		}
+		for l := m.Join; l < m.Exit; l++ {
+			if spanOf[m.Orig][l] {
+				t.Fatalf("flow %d covers link %d twice", m.Orig, l)
+			}
+			spanOf[m.Orig][l] = true
+		}
+	}
+	for _, id := range d.Background(p) {
+		want := make(map[int]bool)
+		for _, l := range flows[id].Route {
+			if pi, ok := pos[l]; ok {
+				want[pi] = true
+			}
+		}
+		got := spanOf[id]
+		if len(got) != len(want) {
+			t.Fatalf("flow %d: scenario covers %d path links, original crosses %d",
+				id, len(got), len(want))
+		}
+		for pi := range want {
+			if !got[pi] {
+				t.Fatalf("flow %d: path link %d not covered", id, pi)
+			}
+		}
+	}
+}
+
+func TestScenarioRunsBothSimulators(t *testing.T) {
+	ft, flows := smallWorkload(t, 800, 6)
+	d, err := Decompose(ft.Topology, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range d.Paths {
+		if len(d.Paths[i].Fg) > len(d.Paths[best].Fg) {
+			best = i
+		}
+	}
+	sc, err := d.Scenario(&d.Paths[best])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := sc.RunPacket(packetsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := sc.RunFlowSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pk.Slowdown) != sc.NumFg() || len(fs.Fg.Slowdown) != sc.NumFg() {
+		t.Fatal("fg result size mismatch")
+	}
+	for i, s := range pk.Slowdown {
+		if math.IsNaN(s) || s < 0.98 {
+			t.Errorf("packet fg slowdown[%d] = %v", i, s)
+		}
+	}
+	for i, s := range fs.Fg.Slowdown {
+		if math.IsNaN(s) || s <= 0 {
+			t.Errorf("flowsim fg slowdown[%d] = %v", i, s)
+		}
+	}
+	if len(fs.BgSldn) != sc.Lot.Hops() {
+		t.Fatalf("bg per-link slices: %d, want %d", len(fs.BgSldn), sc.Lot.Hops())
+	}
+	// fg IDs round-trip to original flows.
+	for i, orig := range pk.Orig {
+		if flows[orig].Size != pk.Sizes[i] {
+			t.Fatal("fg orig mapping broken")
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	ft, _ := smallWorkload(t, 10, 7)
+	if _, err := Decompose(ft.Topology, []workload.Flow{{ID: 42}}); err == nil {
+		t.Error("out-of-range ID accepted")
+	}
+	if _, err := Decompose(ft.Topology, []workload.Flow{{ID: 0}}); err == nil {
+		t.Error("routeless flow accepted")
+	}
+}
+
+func TestFgWeights(t *testing.T) {
+	ft, flows := smallWorkload(t, 500, 8)
+	d, err := Decompose(ft.Topology, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.FgWeights()
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if int(sum) != len(flows) {
+		t.Errorf("weights sum to %v, want %d", sum, len(flows))
+	}
+}

@@ -1,0 +1,179 @@
+// Package plot renders small ASCII charts for the experiment tools: CDF
+// curves (the paper's Figs. 6 and 12 are CDF overlays) and size-bucket x
+// percentile heatmaps (Fig. 3). Pure text output keeps the repository
+// dependency-free while making distribution shapes inspectable from the
+// terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve built from raw samples.
+type Series struct {
+	Name    string
+	Samples []float64
+}
+
+// CDF renders overlaid CDF curves of the series onto w: x is the value
+// axis (log-spaced between the pooled min and max), y is cumulative
+// probability in rows of 5%. Each series is drawn with its own rune.
+func CDF(w io.Writer, title string, width, height int, series ...Series) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	marks := []rune{'*', 'o', '+', 'x', '#', '@'}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	sorted := make([][]float64, len(series))
+	for i, s := range series {
+		if len(s.Samples) == 0 {
+			return fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		cp := append([]float64(nil), s.Samples...)
+		sort.Float64s(cp)
+		sorted[i] = cp
+		if cp[0] < lo {
+			lo = cp[0]
+		}
+		if cp[len(cp)-1] > hi {
+			hi = cp[len(cp)-1]
+		}
+	}
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	if hi <= lo {
+		hi = lo * 1.0001
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, cp := range sorted {
+		mark := marks[si%len(marks)]
+		for col := 0; col < width; col++ {
+			x := math.Exp(logLo + (logHi-logLo)*float64(col)/float64(width-1))
+			// fraction of samples <= x
+			idx := sort.SearchFloat64s(cp, math.Nextafter(x, math.Inf(1)))
+			frac := float64(idx) / float64(len(cp))
+			row := height - 1 - int(math.Round(frac*float64(height-1)))
+			grid[row][col] = mark
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	for r := range grid {
+		frac := float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(w, "%5.0f%% |%s|\n", frac*100, string(grid[r]))
+	}
+	fmt.Fprintf(w, "       %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(w, "       %-*.3g%*.3g\n", width/2+1, lo, width/2+1, hi)
+	var legend []string
+	for i, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", marks[i%len(marks)], s.Name))
+	}
+	fmt.Fprintf(w, "       %s (x log-scaled)\n", strings.Join(legend, "   "))
+	return nil
+}
+
+// Heatmap renders a rows x cols matrix with row labels using a shade ramp,
+// normalizing over the positive cells (zeros render blank — the feature
+// maps use zero for empty buckets).
+func Heatmap(w io.Writer, title string, rowLabels []string, data [][]float64) error {
+	if len(data) == 0 || len(rowLabels) != len(data) {
+		return fmt.Errorf("plot: need matching labels and rows")
+	}
+	ramp := []rune(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range data {
+		for _, v := range row {
+			if v <= 0 {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("plot: all cells empty")
+	}
+	logLo := math.Log(lo)
+	logHi := math.Log(hi)
+	if logHi <= logLo {
+		logHi = logLo + 1e-9
+	}
+	fmt.Fprintf(w, "%s  (range %.2f..%.2f, log shade)\n", title, lo, hi)
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for r, row := range data {
+		var sb strings.Builder
+		for _, v := range row {
+			if v <= 0 {
+				sb.WriteRune(' ')
+				continue
+			}
+			frac := (math.Log(v) - logLo) / (logHi - logLo)
+			idx := int(frac * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			sb.WriteRune(ramp[idx])
+		}
+		fmt.Fprintf(w, "%*s |%s|\n", labelW, rowLabels[r], sb.String())
+	}
+	return nil
+}
+
+// Bars renders a labeled horizontal bar chart of non-negative values.
+func Bars(w io.Writer, title string, width int, labels []string, values []float64) error {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return fmt.Errorf("plot: need matching non-empty labels/values")
+	}
+	if width < 8 {
+		return fmt.Errorf("plot: width %d too small", width)
+	}
+	var hi float64
+	for _, v := range values {
+		if v < 0 {
+			return fmt.Errorf("plot: negative bar value %v", v)
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for i, v := range values {
+		n := int(math.Round(v / hi * float64(width)))
+		fmt.Fprintf(w, "%*s |%-*s| %.3g\n", labelW, labels[i], width, strings.Repeat("#", n), v)
+	}
+	return nil
+}

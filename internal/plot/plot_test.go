@@ -1,0 +1,137 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCDFRenders(t *testing.T) {
+	var buf bytes.Buffer
+	err := CDF(&buf, "test cdf", 40, 10,
+		Series{Name: "a", Samples: []float64{1, 1.2, 1.5, 2, 3, 5, 9}},
+		Series{Name: "b", Samples: []float64{1, 2, 4, 8, 16}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test cdf", "100%", "0%", "* a", "o b", "log-scaled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if len(strings.Split(out, "\n")) < 12 {
+		t.Error("too few lines")
+	}
+}
+
+func TestCDFValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CDF(&buf, "x", 4, 2); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+	if err := CDF(&buf, "x", 40, 10); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := CDF(&buf, "x", 40, 10, Series{Name: "e"}); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestCDFMonotoneRows(t *testing.T) {
+	// The curve must be non-decreasing: for each column, the marked row for
+	// larger x is at the same height or higher (smaller row index).
+	var buf bytes.Buffer
+	samples := []float64{1, 2, 2, 3, 5, 8, 13, 21}
+	if err := CDF(&buf, "m", 30, 8, Series{Name: "s", Samples: samples}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// lines[1..8] are the grid rows (top = 100%). For each column find the
+	// marked row; as x (column) increases the cumulative fraction rises, so
+	// the marked row index must be non-increasing.
+	rowOf := make([]int, 30)
+	for c := range rowOf {
+		rowOf[c] = -1
+	}
+	for r := 1; r <= 8; r++ {
+		row := lines[r]
+		start := strings.IndexByte(row, '|')
+		for c, ch := range row[start+1:] {
+			if ch == '*' && c < len(rowOf) {
+				rowOf[c] = r
+			}
+		}
+	}
+	prev := 1 << 30
+	for c := 0; c < len(rowOf); c++ {
+		if rowOf[c] < 0 {
+			continue
+		}
+		if rowOf[c] > prev {
+			t.Fatalf("CDF not monotone: column %d marked at row %d after row %d", c, rowOf[c], prev)
+		}
+		prev = rowOf[c]
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var buf bytes.Buffer
+	err := Heatmap(&buf, "hm", []string{"small", "big"}, [][]float64{
+		{1, 2, 4, 0},
+		{8, 16, 32, 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "small") || !strings.Contains(out, "big") {
+		t.Error("labels missing")
+	}
+	// zero cell renders blank inside the row bars
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], " |") {
+		t.Errorf("unexpected row format: %q", lines[1])
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Heatmap(&buf, "x", []string{"a"}, nil); err == nil {
+		t.Error("empty data accepted")
+	}
+	if err := Heatmap(&buf, "x", []string{"a"}, [][]float64{{0, 0}}); err == nil {
+		t.Error("all-zero data accepted")
+	}
+	if err := Heatmap(&buf, "x", []string{"a", "b"}, [][]float64{{1}}); err == nil {
+		t.Error("label/row mismatch accepted")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, "bars", 20, []string{"one", "two"}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "####################") {
+		t.Error("max bar not full width")
+	}
+	if err := Bars(&buf, "x", 20, []string{"a"}, []float64{-1}); err == nil {
+		t.Error("negative value accepted")
+	}
+	if err := Bars(&buf, "x", 2, []string{"a"}, []float64{1}); err == nil {
+		t.Error("tiny width accepted")
+	}
+	if err := Bars(&buf, "x", 20, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, "z", 10, []string{"a"}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+}

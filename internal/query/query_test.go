@@ -1,0 +1,204 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+func testSession(t *testing.T) (*Session, *topo.FatTree) {
+	t.Helper()
+	cfg := model.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Heads = 2
+	cfg.Layers = 1
+	cfg.Hidden = 32
+	net, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := model.DefaultDataConfig()
+	dc.Scenarios = 8
+	dc.Workers = 8
+	dc.CCs = []packetsim.CCType{packetsim.DCTCP}
+	samples, err := model.Generate(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := model.DefaultTrainOptions()
+	opt.Epochs = 2
+	if _, err := net.Train(samples, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	ft, err := topo.SmallFatTree(topo.Oversub2to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	flows, err := workload.Generate(ft, routing.NewFatTreeRouter(ft), workload.Spec{
+		NumFlows: 2000, Sizes: workload.WebServer, Matrix: workload.MatrixB(32, r),
+		Burstiness: 1.5, MaxLoad: 0.5, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(ft.Topology, flows, net, packetsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.NumPaths = 60
+	return s, ft
+}
+
+func TestSessionQuantiles(t *testing.T) {
+	s, _ := testSession(t)
+	p99, err := s.P99(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(p99) || p99 < 1 {
+		t.Errorf("combined p99 = %v", p99)
+	}
+	p50, err := s.Quantile(-1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 > p99 {
+		t.Errorf("p50 (%v) > p99 (%v)", p50, p99)
+	}
+	// Bucket 0 is populated for WebServer.
+	b0, err := s.P99(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(b0) {
+		t.Error("bucket 0 empty for WebServer workload")
+	}
+}
+
+func TestSessionQuantileValidation(t *testing.T) {
+	s, _ := testSession(t)
+	if _, err := s.Quantile(0, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := s.Quantile(0, 1.5); err == nil {
+		t.Error("q>1 accepted")
+	}
+	if _, err := s.Quantile(9, 0.5); err == nil {
+		t.Error("bad bucket accepted")
+	}
+}
+
+func TestSessionEstimateCached(t *testing.T) {
+	s, _ := testSession(t)
+	a, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("estimate not cached for unchanged config")
+	}
+}
+
+func TestSetConfigInvalidatesCache(t *testing.T) {
+	s, _ := testSession(t)
+	a, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	cfg.InitWindow = 25 * unit.KB
+	if err := s.SetConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("cache survived a config change")
+	}
+	bad := cfg
+	bad.InitWindow = 0
+	if err := s.SetConfig(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPathQuery(t *testing.T) {
+	s, ft := testSession(t)
+	// Find a populated host pair from the workload itself.
+	src, dst := s.Flows[0].Src, s.Flows[0].Dst
+	rep, err := s.Path(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Paths == 0 || rep.FgFlows == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	any := false
+	for b := range rep.P99 {
+		if !math.IsNaN(rep.P99[b]) {
+			any = true
+			if rep.P99[b] < rep.P50[b] {
+				t.Errorf("bucket %d: p99 < p50", b)
+			}
+		}
+	}
+	if !any {
+		t.Error("all buckets empty in path report")
+	}
+	// Unpopulated pair errors cleanly.
+	hosts := ft.Hosts()
+	if _, err := s.Path(hosts[0], hosts[0]); err == nil {
+		t.Error("self-pair accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, _ := testSession(t)
+	sum, err := s.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Flows != 2000 || sum.Paths == 0 || sum.Hosts == 0 {
+		t.Errorf("summary: %+v", sum)
+	}
+	var share float64
+	for _, v := range sum.BucketShare {
+		share += v
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("bucket shares sum to %v", share)
+	}
+	if sum.MeanSize <= 0 || sum.MedianSize <= 0 || sum.Horizon <= 0 {
+		t.Errorf("summary stats: %+v", sum)
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	s, _ := testSession(t)
+	if _, err := NewSession(s.T, nil, s.Net, packetsim.DefaultConfig()); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := NewSession(s.T, s.Flows, nil, packetsim.DefaultConfig()); err == nil {
+		t.Error("nil model accepted")
+	}
+	bad := packetsim.DefaultConfig()
+	bad.InitWindow = 0
+	if _, err := NewSession(s.T, s.Flows, s.Net, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

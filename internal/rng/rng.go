@@ -1,0 +1,247 @@
+// Package rng provides a small deterministic pseudo-random number generator
+// and the samplers the m3 reproduction needs (lognormal inter-arrivals,
+// Pareto/exponential/Gaussian/lognormal flow sizes, weighted choice).
+//
+// Every component of the repository takes an explicit *rng.RNG so that
+// simulations, training-set generation, and experiments are reproducible from
+// a single seed. The generator is PCG-XSH-RR (64-bit state, 32-bit output
+// pairs combined into 64 bits), which is fast, tiny, and statistically solid
+// for simulation use.
+package rng
+
+import "math"
+
+// RNG is a deterministic random number generator. The zero value is not
+// usable; construct with New.
+type RNG struct {
+	state uint64
+	inc   uint64
+	// cached second normal variate from Box-Muller
+	hasGauss bool
+	gauss    float64
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{inc: (seed << 1) | 1}
+	r.state = splitmix(seed + 0x9e3779b97f4a7c15)
+	r.next32()
+	return r
+}
+
+// Split derives an independent child generator. Children with distinct labels
+// produce uncorrelated streams, which lets parallel path simulations stay
+// deterministic regardless of execution order.
+func (r *RNG) Split(label uint64) *RNG {
+	return New(splitmix(r.state^splitmix(label)) ^ r.inc)
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (r *RNG) next32() uint32 {
+	old := r.state
+	r.state = old*6364136223846793005 + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	return uint64(r.next32())<<32 | uint64(r.next32())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponential variate with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Gauss returns a standard normal variate (Box-Muller with caching).
+func (r *RNG) Gauss() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return u * f
+}
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.Gauss()
+}
+
+// LogNormal returns a lognormal variate with the given log-space location mu
+// and shape sigma. Its mean is exp(mu + sigma^2/2).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Gauss())
+}
+
+// LogNormalMean returns the mean of a LogNormal(mu, sigma) variate.
+func LogNormalMean(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*sigma/2)
+}
+
+// MuForMean returns the mu that gives a LogNormal(mu, sigma) the target mean.
+func MuForMean(mean, sigma float64) float64 {
+	return math.Log(mean) - sigma*sigma/2
+}
+
+// Pareto returns a Pareto variate with the given scale (minimum) and shape
+// alpha. Its mean is scale*alpha/(alpha-1) for alpha > 1.
+func (r *RNG) Pareto(scale, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return scale / math.Pow(u, 1/alpha)
+}
+
+// WeightedChoice returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. All weights must be non-negative with a
+// positive sum; otherwise it returns a uniform index.
+func (r *RNG) WeightedChoice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Sampler builds an alias table for repeated weighted sampling in O(1) per
+// draw. Use it when the same weight vector is sampled many times (e.g. path
+// sampling with replacement).
+type Sampler struct {
+	prob  []float64
+	alias []int
+}
+
+// NewSampler constructs the alias table for the given non-negative weights.
+func NewSampler(weights []float64) *Sampler {
+	n := len(weights)
+	s := &Sampler{prob: make([]float64, n), alias: make([]int, n)}
+	if n == 0 {
+		return s
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		for i := range s.prob {
+			s.prob[i] = 1
+			s.alias[i] = i
+		}
+		return s
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, i := range large {
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	for _, i := range small {
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	return s
+}
+
+// Draw returns a weighted random index.
+func (s *Sampler) Draw(r *RNG) int {
+	if len(s.prob) == 0 {
+		panic("rng: Draw from empty Sampler")
+	}
+	i := r.Intn(len(s.prob))
+	if r.Float64() < s.prob[i] {
+		return i
+	}
+	return s.alias[i]
+}
+
+// Len returns the number of weights in the sampler.
+func (s *Sampler) Len() int { return len(s.prob) }
+
+// Shuffle permutes xs in place (Fisher-Yates).
+func Shuffle[T any](r *RNG, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	Shuffle(r, p)
+	return p
+}

@@ -1,0 +1,254 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split(1)
+	c2 := r.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split children correlated: %d/100 identical", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) covered only %d values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(9)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(4.0)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-4.0) > 0.05 {
+		t.Errorf("exp mean = %v, want ~4", mean)
+	}
+}
+
+func TestGaussMoments(t *testing.T) {
+	r := New(13)
+	var sum, sumSq float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := r.Gauss()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("gauss mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("gauss variance = %v, want ~1", variance)
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	sigma := 1.5
+	targetMean := 1000.0
+	mu := MuForMean(targetMean, sigma)
+	if math.Abs(LogNormalMean(mu, sigma)-targetMean) > 1e-9 {
+		t.Fatalf("MuForMean/LogNormalMean inconsistent")
+	}
+	r := New(17)
+	var sum float64
+	n := 2000000
+	for i := 0; i < n; i++ {
+		sum += r.LogNormal(mu, sigma)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-targetMean)/targetMean > 0.05 {
+		t.Errorf("lognormal empirical mean = %v, want ~%v", mean, targetMean)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(100, 1.5)
+		if v < 100 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	r := New(23)
+	scale, alpha := 100.0, 3.0
+	want := scale * alpha / (alpha - 1)
+	var sum float64
+	n := 500000
+	for i := 0; i < n; i++ {
+		sum += r.Pareto(scale, alpha)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("pareto mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(29)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.WeightedChoice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestSamplerMatchesWeights(t *testing.T) {
+	r := New(31)
+	weights := []float64{5, 1, 0, 4}
+	s := NewSampler(weights)
+	counts := make([]int, len(weights))
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[s.Draw(r)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[2])
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		got := float64(counts[i]) / float64(n)
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestSamplerUniformFallback(t *testing.T) {
+	r := New(37)
+	s := NewSampler([]float64{0, 0, 0})
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[s.Draw(r)]++
+	}
+	for i, c := range counts {
+		if c < 8000 {
+			t.Errorf("uniform fallback index %d drawn only %d times", i, c)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(41)
+	f := func(n uint8) bool {
+		size := int(n%50) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(43)
+	xs := []int{1, 2, 3, 4, 5}
+	sum := 0
+	Shuffle(r, xs)
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Errorf("shuffle changed elements: %v", xs)
+	}
+}

@@ -1,0 +1,184 @@
+// Package routing computes static flow routes. The m3 paper assumes static
+// routes known in advance (§3.6): each flow's route is fixed at arrival by
+// ECMP hashing over equal-cost shortest paths.
+//
+// Two routers are provided: FatTreeRouter exploits fat-tree structure for
+// O(path length) routing with zero per-destination state (needed for the
+// 6144-host topology), and BFSRouter handles arbitrary graphs (used for
+// parking lots and in tests as an oracle for the fat-tree router).
+package routing
+
+import (
+	"fmt"
+	"sync"
+
+	"m3/internal/topo"
+)
+
+// Router assigns a route (a sequence of directed links) to a flow. The
+// flowKey feeds the ECMP hash so that a given flow always takes the same
+// path while distinct flows spread across equal-cost paths.
+type Router interface {
+	Route(src, dst topo.NodeID, flowKey uint64) ([]topo.LinkID, error)
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// FatTreeRouter routes up-down through a three-tier fat-tree with ECMP over
+// aggregation switches and spines.
+type FatTreeRouter struct {
+	FT *topo.FatTree
+}
+
+// NewFatTreeRouter returns a router for ft.
+func NewFatTreeRouter(ft *topo.FatTree) *FatTreeRouter { return &FatTreeRouter{FT: ft} }
+
+// Route implements Router.
+func (r *FatTreeRouter) Route(src, dst topo.NodeID, flowKey uint64) ([]topo.LinkID, error) {
+	ft := r.FT
+	if src == dst {
+		return nil, fmt.Errorf("routing: src == dst (%d)", src)
+	}
+	sn, dn := ft.Nodes[src], ft.Nodes[dst]
+	if sn.Kind != topo.Host || dn.Kind != topo.Host {
+		return nil, fmt.Errorf("routing: fat-tree routes host-to-host, got %v -> %v", sn.Kind, dn.Kind)
+	}
+	h := mix(flowKey)
+	srcRack, dstRack := int(sn.Rack), int(dn.Rack)
+	srcToR := ft.ToRByRack[srcRack]
+	dstToR := ft.ToRByRack[dstRack]
+
+	route := make([]topo.LinkID, 0, 6)
+	push := func(a, b topo.NodeID) error {
+		id := ft.LinkBetween(a, b)
+		if id < 0 {
+			return fmt.Errorf("routing: no link %d -> %d", a, b)
+		}
+		route = append(route, id)
+		return nil
+	}
+
+	if err := push(src, srcToR); err != nil {
+		return nil, err
+	}
+	switch {
+	case srcRack == dstRack:
+		// host -> ToR -> host (2 hops)
+	case sn.Pod == dn.Pod:
+		// host -> ToR -> Agg -> ToR -> host (4 hops)
+		agg := ft.Aggs[sn.Pod][int(h%uint64(ft.Cfg.AggPerPod))]
+		if err := push(srcToR, agg); err != nil {
+			return nil, err
+		}
+		if err := push(agg, dstToR); err != nil {
+			return nil, err
+		}
+	default:
+		// host -> ToR -> Agg -> Spine -> Agg -> ToR -> host (6 hops)
+		plane := int(h % uint64(ft.Cfg.AggPerPod))
+		spineIdx := int((h / uint64(ft.Cfg.AggPerPod)) % uint64(ft.Cfg.SpinesPerPlane))
+		aggUp := ft.Aggs[sn.Pod][plane]
+		spine := ft.Spines[plane][spineIdx]
+		aggDown := ft.Aggs[dn.Pod][plane]
+		if err := push(srcToR, aggUp); err != nil {
+			return nil, err
+		}
+		if err := push(aggUp, spine); err != nil {
+			return nil, err
+		}
+		if err := push(spine, aggDown); err != nil {
+			return nil, err
+		}
+		if err := push(aggDown, dstToR); err != nil {
+			return nil, err
+		}
+	}
+	if err := push(dstToR, dst); err != nil {
+		return nil, err
+	}
+	return route, nil
+}
+
+// BFSRouter computes ECMP shortest paths on an arbitrary topology. Per-
+// destination distance vectors are computed once and cached; at each hop one
+// of the next-hops on a shortest path is chosen by hashing (flowKey, hop).
+type BFSRouter struct {
+	T *topo.Topology
+
+	mu   sync.Mutex
+	dist map[topo.NodeID][]int32 // dst -> distance from every node to dst
+}
+
+// NewBFSRouter returns a router for t.
+func NewBFSRouter(t *topo.Topology) *BFSRouter {
+	return &BFSRouter{T: t, dist: make(map[topo.NodeID][]int32)}
+}
+
+func (r *BFSRouter) distTo(dst topo.NodeID) []int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.dist[dst]; ok {
+		return d
+	}
+	t := r.T
+	d := make([]int32, t.NumNodes())
+	for i := range d {
+		d[i] = -1
+	}
+	// Reverse BFS from dst: a link a->b contributes an edge b->a here, so
+	// d[n] is the hop count from n to dst along directed links.
+	rev := make([][]topo.NodeID, t.NumNodes())
+	for _, l := range t.Links {
+		rev[l.Dst] = append(rev[l.Dst], l.Src)
+	}
+	queue := []topo.NodeID{dst}
+	d[dst] = 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range rev[n] {
+			if d[m] < 0 {
+				d[m] = d[n] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	r.dist[dst] = d
+	return d
+}
+
+// Route implements Router.
+func (r *BFSRouter) Route(src, dst topo.NodeID, flowKey uint64) ([]topo.LinkID, error) {
+	if src == dst {
+		return nil, fmt.Errorf("routing: src == dst (%d)", src)
+	}
+	t := r.T
+	d := r.distTo(dst)
+	if d[src] < 0 {
+		return nil, fmt.Errorf("routing: no path %d -> %d", src, dst)
+	}
+	route := make([]topo.LinkID, 0, d[src])
+	cur := src
+	hop := 0
+	for cur != dst {
+		var candidates []topo.LinkID
+		for _, id := range t.Out(cur) {
+			if nd := t.Link(id).Dst; d[nd] == d[cur]-1 {
+				candidates = append(candidates, id)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("routing: dead end at node %d toward %d", cur, dst)
+		}
+		pick := candidates[mix(flowKey^uint64(hop)*0x9e3779b97f4a7c15)%uint64(len(candidates))]
+		route = append(route, pick)
+		cur = t.Link(pick).Dst
+		hop++
+	}
+	return route, nil
+}

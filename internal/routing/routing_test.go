@@ -1,0 +1,159 @@
+package routing
+
+import (
+	"testing"
+
+	"m3/internal/rng"
+	"m3/internal/topo"
+	"m3/internal/unit"
+)
+
+func TestFatTreeRouteHopCounts(t *testing.T) {
+	ft, err := topo.SmallFatTree(topo.Oversub1to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewFatTreeRouter(ft)
+
+	sameRackSrc := ft.HostsByRack[0][0]
+	sameRackDst := ft.HostsByRack[0][1]
+	samePodDst := ft.HostsByRack[1][0]   // rack 1 is in pod 0
+	crossPodDst := ft.HostsByRack[16][0] // rack 16 is in pod 1
+
+	cases := []struct {
+		name string
+		dst  topo.NodeID
+		hops int
+	}{
+		{"same-rack", sameRackDst, 2},
+		{"same-pod", samePodDst, 4},
+		{"cross-pod", crossPodDst, 6},
+	}
+	for _, c := range cases {
+		route, err := r.Route(sameRackSrc, c.dst, 12345)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(route) != c.hops {
+			t.Errorf("%s: %d hops, want %d", c.name, len(route), c.hops)
+		}
+		if err := ft.ValidateRoute(sameRackSrc, c.dst, route); err != nil {
+			t.Errorf("%s: invalid route: %v", c.name, err)
+		}
+	}
+}
+
+func TestFatTreeRouteDeterministic(t *testing.T) {
+	ft, _ := topo.SmallFatTree(topo.Oversub1to1)
+	r := NewFatTreeRouter(ft)
+	src := ft.HostsByRack[0][0]
+	dst := ft.HostsByRack[20][3]
+	r1, _ := r.Route(src, dst, 777)
+	r2, _ := r.Route(src, dst, 777)
+	if len(r1) != len(r2) {
+		t.Fatal("same key gave different route lengths")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("same key gave different routes")
+		}
+	}
+}
+
+func TestFatTreeECMPSpreads(t *testing.T) {
+	ft, _ := topo.SmallFatTree(topo.Oversub1to1) // 2 aggs/pod, 16 spines/plane
+	r := NewFatTreeRouter(ft)
+	src := ft.HostsByRack[0][0]
+	dst := ft.HostsByRack[16][0]
+	distinct := make(map[string]bool)
+	for key := uint64(0); key < 256; key++ {
+		route, err := r.Route(src, dst, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := ""
+		for _, id := range route {
+			sig += string(rune(id)) // cheap signature
+		}
+		distinct[sig] = true
+	}
+	// 2 planes x 16 spines = 32 distinct cross-pod paths; expect most used.
+	if len(distinct) < 16 {
+		t.Errorf("ECMP used only %d distinct paths", len(distinct))
+	}
+}
+
+func TestFatTreeRouteErrors(t *testing.T) {
+	ft, _ := topo.SmallFatTree(topo.Oversub1to1)
+	r := NewFatTreeRouter(ft)
+	h := ft.HostsByRack[0][0]
+	if _, err := r.Route(h, h, 1); err == nil {
+		t.Error("src == dst accepted")
+	}
+	if _, err := r.Route(ft.ToRByRack[0], h, 1); err == nil {
+		t.Error("non-host source accepted")
+	}
+}
+
+func TestBFSRouterOnParkingLot(t *testing.T) {
+	p, _ := topo.NewParkingLot(
+		[]unit.Rate{10 * unit.Gbps, 10 * unit.Gbps, 10 * unit.Gbps},
+		[]unit.Time{unit.Microsecond, unit.Microsecond, unit.Microsecond})
+	r := NewBFSRouter(p.Topology)
+	route, err := r.Route(p.FgSrc(), p.FgDst(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 3 {
+		t.Errorf("%d hops, want 3", len(route))
+	}
+	fg := p.FgRoute()
+	for i := range route {
+		if route[i] != fg[i] {
+			t.Errorf("hop %d: got link %d, want %d", i, route[i], fg[i])
+		}
+	}
+}
+
+func TestBFSRouterMatchesFatTreeHopCount(t *testing.T) {
+	ft, _ := topo.SmallFatTree(topo.Oversub2to1)
+	bfs := NewBFSRouter(ft.Topology)
+	ftr := NewFatTreeRouter(ft)
+	r := rng.New(99)
+	hosts := ft.Hosts()
+	for i := 0; i < 50; i++ {
+		src := hosts[r.Intn(len(hosts))]
+		dst := hosts[r.Intn(len(hosts))]
+		if src == dst {
+			continue
+		}
+		key := r.Uint64()
+		a, err := bfs.Route(src, dst, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ftr.Route(src, dst, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Errorf("hop count mismatch %d vs %d for %d->%d", len(a), len(b), src, dst)
+		}
+		if err := ft.ValidateRoute(src, dst, a); err != nil {
+			t.Errorf("BFS route invalid: %v", err)
+		}
+	}
+}
+
+func TestBFSRouterNoPath(t *testing.T) {
+	tp := topo.New()
+	a := tp.AddHost(0, 0)
+	b := tp.AddHost(0, 0)
+	r := NewBFSRouter(tp)
+	if _, err := r.Route(a, b, 1); err == nil {
+		t.Error("disconnected route accepted")
+	}
+	if _, err := r.Route(a, a, 1); err == nil {
+		t.Error("src == dst accepted")
+	}
+}

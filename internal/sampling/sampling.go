@@ -1,0 +1,56 @@
+// Package sampling implements the paper's weighted path sampling (§3.2):
+// paths are drawn with replacement with probability proportional to their
+// foreground flow count, so the sample is flow-weighted and per-path results
+// can later be pooled uniformly (§3.5).
+package sampling
+
+import (
+	"fmt"
+
+	"m3/internal/rng"
+)
+
+// Weighted draws k indices with replacement, index i with probability
+// proportional to weights[i]. Zero-weight entries are never drawn (unless
+// every weight is zero, in which case an error is returned).
+func Weighted(weights []float64, k int, r *rng.RNG) ([]int, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("sampling: no weights")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("sampling: k must be positive, got %d", k)
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("sampling: negative weight %v", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sampling: all weights are zero")
+	}
+	s := rng.NewSampler(weights)
+	out := make([]int, k)
+	for i := range out {
+		out[i] = s.Draw(r)
+	}
+	return out, nil
+}
+
+// Dedup returns the distinct values of sample with their multiplicities,
+// preserving first-appearance order. Callers simulate each distinct path
+// once and weight its contribution by the multiplicity.
+func Dedup(sample []int) (distinct []int, multiplicity []int) {
+	seen := make(map[int]int)
+	for _, v := range sample {
+		if i, ok := seen[v]; ok {
+			multiplicity[i]++
+			continue
+		}
+		seen[v] = len(distinct)
+		distinct = append(distinct, v)
+		multiplicity = append(multiplicity, 1)
+	}
+	return distinct, multiplicity
+}

@@ -1,0 +1,98 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"m3/internal/rng"
+)
+
+func TestWeightedProportions(t *testing.T) {
+	r := rng.New(1)
+	weights := []float64{1, 3, 0, 6}
+	sample, err := Weighted(weights, 100000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for _, i := range sample {
+		counts[i]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight path sampled %d times", counts[2])
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		got := float64(counts[i]) / 100000
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedErrors(t *testing.T) {
+	r := rng.New(2)
+	if _, err := Weighted(nil, 5, r); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := Weighted([]float64{1}, 0, r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Weighted([]float64{0, 0}, 5, r); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := Weighted([]float64{1, -1}, 5, r); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestWeightedWithReplacement(t *testing.T) {
+	r := rng.New(3)
+	// One dominant weight: expect many repeats (sampling with replacement).
+	sample, err := Weighted([]float64{100, 1}, 50, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, v := range sample {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros < 40 {
+		t.Errorf("dominant path drawn only %d/50 times", zeros)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	distinct, mult := Dedup([]int{5, 3, 5, 5, 3, 7})
+	if len(distinct) != 3 {
+		t.Fatalf("distinct = %v", distinct)
+	}
+	if distinct[0] != 5 || mult[0] != 3 {
+		t.Errorf("first distinct = %d x%d, want 5 x3", distinct[0], mult[0])
+	}
+	if distinct[1] != 3 || mult[1] != 2 {
+		t.Errorf("second distinct = %d x%d, want 3 x2", distinct[1], mult[1])
+	}
+	if distinct[2] != 7 || mult[2] != 1 {
+		t.Errorf("third distinct = %d x%d, want 7 x1", distinct[2], mult[2])
+	}
+	var total int
+	for _, m := range mult {
+		total += m
+	}
+	if total != 6 {
+		t.Errorf("multiplicities sum to %d, want 6", total)
+	}
+}
+
+func TestDedupEmpty(t *testing.T) {
+	d, m := Dedup(nil)
+	if len(d) != 0 || len(m) != 0 {
+		t.Error("empty dedup should be empty")
+	}
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"m3/internal/rng"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); math.Abs(got-5) > 1e-12 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestPercentileEmptyAndSingle(t *testing.T) {
+	if got := Percentile(nil, 50); !math.IsNaN(got) {
+		t.Errorf("empty percentile = %v, want NaN", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-element percentile = %v, want 7", got)
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("max of unsorted = %v, want 5", got)
+	}
+	// input must not be mutated
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileGridShape(t *testing.T) {
+	if len(PercentileGrid) != 100 {
+		t.Fatalf("grid has %d points, want 100", len(PercentileGrid))
+	}
+	if PercentileGrid[0] != 1 || PercentileGrid[99] != 100 {
+		t.Errorf("grid endpoints = %v, %v", PercentileGrid[0], PercentileGrid[99])
+	}
+}
+
+func TestPercentileVectorMonotone(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	v := PercentileVector(xs)
+	if len(v) != 100 {
+		t.Fatalf("vector length %d", len(v))
+	}
+	if !sort.Float64sAreSorted(v) {
+		t.Error("percentile vector is not monotone")
+	}
+}
+
+func TestMeanMedianMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Mean(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Median(xs); got != 2 {
+		t.Errorf("Median = %v", got)
+	}
+	if got := Max(xs); got != 3 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Max(nil)) || !math.IsNaN(Min(nil)) {
+		t.Error("empty aggregates should be NaN")
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if got := RelError(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelError = %v, want 0.1", got)
+	}
+	if got := RelError(9, 10); math.Abs(got+0.1) > 1e-12 {
+		t.Errorf("RelError = %v, want -0.1", got)
+	}
+	if got := AbsRelError(9, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("AbsRelError = %v, want 0.1", got)
+	}
+	if !math.IsNaN(RelError(1, 0)) {
+		t.Error("RelError with zero truth should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCDFQuantileRoundTripProperty(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	c := NewCDF(xs)
+	f := func(q8 uint8) bool {
+		q := float64(q8) / 255
+		v := c.Quantile(q)
+		// At(Quantile(q)) >= q (within one sample of slack)
+		return c.At(v)+1.0/float64(len(xs)) >= q-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram2D(t *testing.T) {
+	h := NewHistogram2D(3, 4)
+	h.Set(1, 2, 7)
+	if got := h.At(1, 2); got != 7 {
+		t.Errorf("At = %v", got)
+	}
+	row := h.Row(1)
+	if len(row) != 4 || row[2] != 7 {
+		t.Errorf("Row = %v", row)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.P25 >= s.Median || s.Median >= s.P75 || s.P75 >= s.P99 {
+		t.Errorf("quantiles out of order: %+v", s)
+	}
+	empty := Summarize(nil)
+	if !math.IsNaN(empty.Mean) {
+		t.Error("empty Summarize should be NaN")
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = r.Gauss()
+	}
+	f := func(a, b uint8) bool {
+		p1 := float64(a%101)
+		p2 := float64(b%101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(xs, p1) <= Percentile(xs, p2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package topo
+
+import (
+	"fmt"
+
+	"m3/internal/unit"
+)
+
+// FatTreeConfig describes a three-tier fat-tree in the style of Meta's data
+// center fabric [Roy et al., SIGCOMM'15]: hosts attach to top-of-rack (ToR)
+// switches; each ToR connects to every aggregation ("fabric") switch in its
+// pod; aggregation switch i of every pod connects to all spine switches in
+// spine plane i.
+type FatTreeConfig struct {
+	Pods           int
+	RacksPerPod    int
+	HostsPerRack   int
+	AggPerPod      int // also the number of spine planes
+	SpinesPerPlane int
+	HostRate       unit.Rate // host <-> ToR
+	FabricRate     unit.Rate // ToR <-> Agg and Agg <-> Spine
+	LinkDelay      unit.Time
+}
+
+// Validate reports configuration errors.
+func (c FatTreeConfig) Validate() error {
+	switch {
+	case c.Pods <= 0, c.RacksPerPod <= 0, c.HostsPerRack <= 0,
+		c.AggPerPod <= 0, c.SpinesPerPlane <= 0:
+		return fmt.Errorf("fat-tree: all counts must be positive: %+v", c)
+	case c.HostRate <= 0 || c.FabricRate <= 0:
+		return fmt.Errorf("fat-tree: rates must be positive")
+	case c.LinkDelay < 0:
+		return fmt.Errorf("fat-tree: delay must be non-negative")
+	}
+	return nil
+}
+
+// NumHosts returns the total host count implied by the configuration.
+func (c FatTreeConfig) NumHosts() int { return c.Pods * c.RacksPerPod * c.HostsPerRack }
+
+// NumRacks returns the total rack count implied by the configuration.
+func (c FatTreeConfig) NumRacks() int { return c.Pods * c.RacksPerPod }
+
+// FatTree is a built fat-tree: the topology plus index structure used by the
+// structure-aware ECMP router and the workload generator.
+type FatTree struct {
+	*Topology
+	Cfg FatTreeConfig
+	// HostsByRack[r] lists the hosts in global rack r.
+	HostsByRack [][]NodeID
+	// ToRByRack[r] is the ToR switch of global rack r.
+	ToRByRack []NodeID
+	// Aggs[pod][i] is aggregation switch i of the pod.
+	Aggs [][]NodeID
+	// Spines[plane][j] is spine j of the plane.
+	Spines [][]NodeID
+}
+
+// NewFatTree builds the fat-tree described by cfg.
+func NewFatTree(cfg FatTreeConfig) (*FatTree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ft := &FatTree{Topology: New(), Cfg: cfg}
+	ft.HostsByRack = make([][]NodeID, cfg.NumRacks())
+	ft.ToRByRack = make([]NodeID, cfg.NumRacks())
+	ft.Aggs = make([][]NodeID, cfg.Pods)
+	ft.Spines = make([][]NodeID, cfg.AggPerPod)
+
+	for plane := 0; plane < cfg.AggPerPod; plane++ {
+		ft.Spines[plane] = make([]NodeID, cfg.SpinesPerPlane)
+		for j := 0; j < cfg.SpinesPerPlane; j++ {
+			ft.Spines[plane][j] = ft.AddNode(Spine, -1, -1)
+		}
+	}
+	for pod := 0; pod < cfg.Pods; pod++ {
+		ft.Aggs[pod] = make([]NodeID, cfg.AggPerPod)
+		for i := 0; i < cfg.AggPerPod; i++ {
+			agg := ft.AddNode(Agg, -1, int32(pod))
+			ft.Aggs[pod][i] = agg
+			for j := 0; j < cfg.SpinesPerPlane; j++ {
+				ft.AddDuplex(agg, ft.Spines[i][j], cfg.FabricRate, cfg.LinkDelay)
+			}
+		}
+		for rp := 0; rp < cfg.RacksPerPod; rp++ {
+			rack := pod*cfg.RacksPerPod + rp
+			tor := ft.AddNode(ToR, int32(rack), int32(pod))
+			ft.ToRByRack[rack] = tor
+			for i := 0; i < cfg.AggPerPod; i++ {
+				ft.AddDuplex(tor, ft.Aggs[pod][i], cfg.FabricRate, cfg.LinkDelay)
+			}
+			hosts := make([]NodeID, cfg.HostsPerRack)
+			for h := 0; h < cfg.HostsPerRack; h++ {
+				host := ft.AddHost(int32(rack), int32(pod))
+				hosts[h] = host
+				ft.AddDuplex(host, tor, cfg.HostRate, cfg.LinkDelay)
+			}
+			ft.HostsByRack[rack] = hosts
+		}
+	}
+	return ft, nil
+}
+
+// Oversub names the oversubscription ratios evaluated in the paper (Table 3).
+type Oversub string
+
+// Oversubscription levels from the paper's test set.
+const (
+	Oversub1to1 Oversub = "1-to-1"
+	Oversub2to1 Oversub = "2-to-1"
+	Oversub4to1 Oversub = "4-to-1"
+)
+
+// SmallFatTree builds the paper's small-scale evaluation topology: two pods
+// of 16 racks with 8 hosts per rack (32 racks, 256 hosts), 10 Gbps host links
+// and 40 Gbps fabric links, with the aggregation/spine provisioning set by
+// the oversubscription ratio. Oversubscription is applied at the ToR uplink
+// level (8 hosts x 10 Gbps = 80 Gbps of downlink per rack):
+//
+//	1-to-1: 2 aggs/pod at 40 Gbps (80 Gbps uplink)
+//	2-to-1: 1 agg/pod at 40 Gbps (40 Gbps uplink)
+//	4-to-1: 1 agg/pod at 20 Gbps (20 Gbps uplink)
+func SmallFatTree(o Oversub) (*FatTree, error) {
+	cfg := FatTreeConfig{
+		Pods:           2,
+		RacksPerPod:    16,
+		HostsPerRack:   8,
+		HostRate:       10 * unit.Gbps,
+		FabricRate:     40 * unit.Gbps,
+		LinkDelay:      1 * unit.Microsecond,
+		SpinesPerPlane: 16, // 1:1 at the agg level; scarcity is at ToR uplinks
+	}
+	switch o {
+	case Oversub1to1:
+		cfg.AggPerPod = 2
+	case Oversub2to1:
+		cfg.AggPerPod = 1
+	case Oversub4to1:
+		cfg.AggPerPod = 1
+		cfg.FabricRate = 20 * unit.Gbps
+	default:
+		return nil, fmt.Errorf("fat-tree: unknown oversubscription %q", o)
+	}
+	return NewFatTree(cfg)
+}
+
+// LargeFatTree builds the paper's large-scale topology: 384 racks and 6144
+// hosts (24 pods x 16 racks x 16 hosts), 10 Gbps host links and 40 Gbps
+// fabric links, with a 2-to-1 oversubscribed core (each aggregation switch
+// has 16 x 40 Gbps of downlink and 8 x 40 Gbps of uplink).
+func LargeFatTree() (*FatTree, error) {
+	return NewFatTree(FatTreeConfig{
+		Pods:           24,
+		RacksPerPod:    16,
+		HostsPerRack:   16,
+		AggPerPod:      4,
+		SpinesPerPlane: 8,
+		HostRate:       10 * unit.Gbps,
+		FabricRate:     40 * unit.Gbps,
+		LinkDelay:      1 * unit.Microsecond,
+	})
+}
+
+// RackOf returns the global rack index of a host node.
+func (ft *FatTree) RackOf(host NodeID) int { return int(ft.Nodes[host].Rack) }
+
+// PodOfRack returns the pod index that owns global rack r.
+func (ft *FatTree) PodOfRack(r int) int { return r / ft.Cfg.RacksPerPod }

@@ -1,0 +1,112 @@
+package topo
+
+import (
+	"fmt"
+
+	"m3/internal/unit"
+)
+
+// ParkingLot is a path-level topology (§3.2, Figure 7a): a chain of original
+// links v0 -> v1 -> ... -> vn carrying the foreground traffic, with synthetic
+// stub links through which background flows join and leave the path.
+//
+// Synthetic stubs are shared only between background flows that share the
+// same original endpoint host, so contention on a stub reflects real
+// contention at that host's NIC and no artificial contention is introduced
+// between unrelated background flows.
+type ParkingLot struct {
+	*Topology
+	// PathNodes is v0..vn; v0 and vn are hosts, interior nodes are switches.
+	PathNodes []NodeID
+	// PathLinks are the forward original links, PathLinks[i]: v_i -> v_{i+1}.
+	PathLinks []LinkID
+
+	entry map[stubKey]NodeID // (original src host, join node) -> stub host
+	exit  map[stubKey]NodeID // (original dst host, exit node) -> stub host
+}
+
+type stubKey struct {
+	orig uint64
+	node NodeID
+}
+
+// NewParkingLot builds the chain with the given per-link rates and delays
+// (len(rates) == len(delays) == number of hops >= 1).
+func NewParkingLot(rates []unit.Rate, delays []unit.Time) (*ParkingLot, error) {
+	if len(rates) == 0 || len(rates) != len(delays) {
+		return nil, fmt.Errorf("parking lot: need matching non-empty rates/delays, got %d/%d",
+			len(rates), len(delays))
+	}
+	p := &ParkingLot{
+		Topology: New(),
+		entry:    make(map[stubKey]NodeID),
+		exit:     make(map[stubKey]NodeID),
+	}
+	n := len(rates)
+	p.PathNodes = make([]NodeID, n+1)
+	for i := 0; i <= n; i++ {
+		if i == 0 || i == n {
+			p.PathNodes[i] = p.AddHost(-1, -1)
+		} else {
+			p.PathNodes[i] = p.AddNode(Switch, -1, -1)
+		}
+	}
+	p.PathLinks = make([]LinkID, n)
+	for i := 0; i < n; i++ {
+		p.PathLinks[i] = p.AddDuplex(p.PathNodes[i], p.PathNodes[i+1], rates[i], delays[i])
+	}
+	return p, nil
+}
+
+// Hops returns the number of original links on the path.
+func (p *ParkingLot) Hops() int { return len(p.PathLinks) }
+
+// FgSrc returns the foreground source host (v0).
+func (p *ParkingLot) FgSrc() NodeID { return p.PathNodes[0] }
+
+// FgDst returns the foreground destination host (vn).
+func (p *ParkingLot) FgDst() NodeID { return p.PathNodes[len(p.PathNodes)-1] }
+
+// FgRoute returns the foreground route: all original links in order.
+func (p *ParkingLot) FgRoute() []LinkID {
+	return append([]LinkID(nil), p.PathLinks...)
+}
+
+// AttachBg installs (or reuses) synthetic entry/exit stubs for a background
+// flow that traverses original links [joinIdx, exitIdx) and returns the stub
+// endpoints plus the full route for the flow. srcKey/dstKey identify the
+// flow's original source and destination hosts, so flows from the same
+// original host share a stub (and therefore its NIC capacity). srcRate and
+// dstRate are the original hosts' access capacities.
+func (p *ParkingLot) AttachBg(srcKey, dstKey uint64, joinIdx, exitIdx int,
+	srcRate, dstRate unit.Rate, stubDelay unit.Time) (src, dst NodeID, route []LinkID, err error) {
+
+	n := len(p.PathLinks)
+	if joinIdx < 0 || exitIdx > n || joinIdx >= exitIdx {
+		return 0, 0, nil, fmt.Errorf("parking lot: bad background span [%d, %d) on %d-hop path",
+			joinIdx, exitIdx, n)
+	}
+	joinNode := p.PathNodes[joinIdx]
+	exitNode := p.PathNodes[exitIdx]
+
+	ek := stubKey{srcKey, joinNode}
+	src, ok := p.entry[ek]
+	if !ok {
+		src = p.AddHost(-1, -1)
+		p.AddDuplex(src, joinNode, srcRate, stubDelay)
+		p.entry[ek] = src
+	}
+	xk := stubKey{dstKey, exitNode}
+	dst, ok = p.exit[xk]
+	if !ok {
+		dst = p.AddHost(-1, -1)
+		p.AddDuplex(exitNode, dst, dstRate, stubDelay)
+		p.exit[xk] = dst
+	}
+
+	route = make([]LinkID, 0, exitIdx-joinIdx+2)
+	route = append(route, p.LinkBetween(src, joinNode))
+	route = append(route, p.PathLinks[joinIdx:exitIdx]...)
+	route = append(route, p.LinkBetween(exitNode, dst))
+	return src, dst, route, nil
+}

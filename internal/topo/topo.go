@@ -1,0 +1,204 @@
+// Package topo models data center network topologies as graphs of nodes and
+// directed links. It provides the two topology families the m3 paper uses:
+// multi-tier fat-trees (for full-network simulation) and parking-lot path
+// topologies (the building block for path-level simulation and training).
+//
+// Links are directed; AddDuplex installs a pair of mutually reverse links so
+// that simulators can route ACK traffic along the reverse path.
+package topo
+
+import (
+	"fmt"
+
+	"m3/internal/unit"
+)
+
+// NodeID identifies a node within one Topology.
+type NodeID int32
+
+// LinkID identifies a directed link within one Topology.
+type LinkID int32
+
+// NodeKind classifies nodes by their role.
+type NodeKind uint8
+
+// Node roles in a fat-tree (parking lots reuse Host and Switch).
+const (
+	Host NodeKind = iota
+	ToR
+	Agg
+	Spine
+	Switch // generic interior node (parking-lot junctions)
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case ToR:
+		return "tor"
+	case Agg:
+		return "agg"
+	case Spine:
+		return "spine"
+	case Switch:
+		return "switch"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Node is a host or switch.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	// Rack is the rack index for hosts and ToRs, -1 otherwise.
+	Rack int32
+	// Pod is the pod index for fat-tree nodes, -1 otherwise.
+	Pod int32
+}
+
+// Link is a directed link from Src to Dst.
+type Link struct {
+	ID      LinkID
+	Src     NodeID
+	Dst     NodeID
+	Rate    unit.Rate
+	Delay   unit.Time
+	Reverse LinkID // the companion link Dst->Src, -1 if none
+}
+
+// Topology is an immutable-after-build network graph.
+type Topology struct {
+	Nodes []Node
+	Links []Link
+	out   map[NodeID][]LinkID
+	byPair map[[2]NodeID]LinkID
+}
+
+// New returns an empty topology ready for AddNode/AddDuplex.
+func New() *Topology {
+	return &Topology{
+		out:    make(map[NodeID][]LinkID),
+		byPair: make(map[[2]NodeID]LinkID),
+	}
+}
+
+// AddNode appends a node and returns its ID.
+func (t *Topology) AddNode(kind NodeKind, rack, pod int32) NodeID {
+	id := NodeID(len(t.Nodes))
+	t.Nodes = append(t.Nodes, Node{ID: id, Kind: kind, Rack: rack, Pod: pod})
+	return id
+}
+
+// AddHost appends a host in the given rack/pod.
+func (t *Topology) AddHost(rack, pod int32) NodeID { return t.AddNode(Host, rack, pod) }
+
+func (t *Topology) addDirected(src, dst NodeID, rate unit.Rate, delay unit.Time) LinkID {
+	id := LinkID(len(t.Links))
+	t.Links = append(t.Links, Link{ID: id, Src: src, Dst: dst, Rate: rate, Delay: delay, Reverse: -1})
+	t.out[src] = append(t.out[src], id)
+	t.byPair[[2]NodeID{src, dst}] = id
+	return id
+}
+
+// AddDuplex installs links a->b and b->a with the given rate and delay and
+// returns the a->b link ID.
+func (t *Topology) AddDuplex(a, b NodeID, rate unit.Rate, delay unit.Time) LinkID {
+	ab := t.addDirected(a, b, rate, delay)
+	ba := t.addDirected(b, a, rate, delay)
+	t.Links[ab].Reverse = ba
+	t.Links[ba].Reverse = ab
+	return ab
+}
+
+// Link returns the directed link with the given ID.
+func (t *Topology) Link(id LinkID) *Link { return &t.Links[id] }
+
+// LinkBetween returns the directed link src->dst, or -1 if absent.
+func (t *Topology) LinkBetween(src, dst NodeID) LinkID {
+	if id, ok := t.byPair[[2]NodeID{src, dst}]; ok {
+		return id
+	}
+	return -1
+}
+
+// Out returns the IDs of links leaving n.
+func (t *Topology) Out(n NodeID) []LinkID { return t.out[n] }
+
+// Hosts returns the IDs of all host nodes.
+func (t *Topology) Hosts() []NodeID {
+	var hs []NodeID
+	for _, n := range t.Nodes {
+		if n.Kind == Host {
+			hs = append(hs, n.ID)
+		}
+	}
+	return hs
+}
+
+// NumNodes reports the node count.
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// NumLinks reports the directed link count.
+func (t *Topology) NumLinks() int { return len(t.Links) }
+
+// ReverseRoute maps a route (sequence of directed links) to the reverse
+// route, used by simulators to send ACKs back to the source.
+func (t *Topology) ReverseRoute(route []LinkID) []LinkID {
+	rev := make([]LinkID, len(route))
+	for i, id := range route {
+		r := t.Links[id].Reverse
+		if r < 0 {
+			panic(fmt.Sprintf("topo: link %d has no reverse", id))
+		}
+		rev[len(route)-1-i] = r
+	}
+	return rev
+}
+
+// RouteRates returns the link rates along a route, in order.
+func (t *Topology) RouteRates(route []LinkID) []unit.Rate {
+	rs := make([]unit.Rate, len(route))
+	for i, id := range route {
+		rs[i] = t.Links[id].Rate
+	}
+	return rs
+}
+
+// RouteDelays returns the link propagation delays along a route, in order.
+func (t *Topology) RouteDelays(route []LinkID) []unit.Time {
+	ds := make([]unit.Time, len(route))
+	for i, id := range route {
+		ds[i] = t.Links[id].Delay
+	}
+	return ds
+}
+
+// IdealFCT computes the unloaded-network FCT for a flow of the given size on
+// the given route, using the repository-wide definition in package unit.
+func (t *Topology) IdealFCT(size unit.ByteSize, route []LinkID) unit.Time {
+	return unit.IdealFCT(size, t.RouteRates(route), t.RouteDelays(route))
+}
+
+// ValidateRoute checks that route is a connected chain of links from src to
+// dst. It is used by tests and by simulators in debug paths.
+func (t *Topology) ValidateRoute(src, dst NodeID, route []LinkID) error {
+	if len(route) == 0 {
+		return fmt.Errorf("empty route")
+	}
+	cur := src
+	for i, id := range route {
+		if int(id) < 0 || int(id) >= len(t.Links) {
+			return fmt.Errorf("hop %d: bad link id %d", i, id)
+		}
+		l := t.Links[id]
+		if l.Src != cur {
+			return fmt.Errorf("hop %d: link %d starts at %d, expected %d", i, id, l.Src, cur)
+		}
+		cur = l.Dst
+	}
+	if cur != dst {
+		return fmt.Errorf("route ends at %d, expected %d", cur, dst)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package topo
+
+import (
+	"testing"
+
+	"m3/internal/unit"
+)
+
+func TestAddDuplexReversePairing(t *testing.T) {
+	tp := New()
+	a := tp.AddHost(0, 0)
+	b := tp.AddHost(0, 0)
+	ab := tp.AddDuplex(a, b, 10*unit.Gbps, unit.Microsecond)
+	ba := tp.Link(ab).Reverse
+	if ba < 0 {
+		t.Fatal("no reverse link")
+	}
+	if tp.Link(ba).Reverse != ab {
+		t.Error("reverse of reverse is not the original")
+	}
+	if tp.Link(ab).Src != a || tp.Link(ab).Dst != b {
+		t.Error("forward link endpoints wrong")
+	}
+	if tp.Link(ba).Src != b || tp.Link(ba).Dst != a {
+		t.Error("reverse link endpoints wrong")
+	}
+}
+
+func TestLinkBetween(t *testing.T) {
+	tp := New()
+	a := tp.AddHost(0, 0)
+	b := tp.AddHost(0, 0)
+	c := tp.AddHost(0, 0)
+	ab := tp.AddDuplex(a, b, unit.Gbps, 0)
+	if got := tp.LinkBetween(a, b); got != ab {
+		t.Errorf("LinkBetween(a,b) = %d, want %d", got, ab)
+	}
+	if got := tp.LinkBetween(a, c); got != -1 {
+		t.Errorf("LinkBetween(a,c) = %d, want -1", got)
+	}
+}
+
+func TestReverseRoute(t *testing.T) {
+	tp := New()
+	a := tp.AddHost(0, 0)
+	b := tp.AddNode(Switch, -1, -1)
+	c := tp.AddHost(0, 0)
+	ab := tp.AddDuplex(a, b, unit.Gbps, 0)
+	bc := tp.AddDuplex(b, c, unit.Gbps, 0)
+	fwd := []LinkID{ab, bc}
+	rev := tp.ReverseRoute(fwd)
+	if err := tp.ValidateRoute(c, a, rev); err != nil {
+		t.Errorf("reverse route invalid: %v", err)
+	}
+}
+
+func TestValidateRoute(t *testing.T) {
+	tp := New()
+	a := tp.AddHost(0, 0)
+	b := tp.AddNode(Switch, -1, -1)
+	c := tp.AddHost(0, 0)
+	ab := tp.AddDuplex(a, b, unit.Gbps, 0)
+	bc := tp.AddDuplex(b, c, unit.Gbps, 0)
+	if err := tp.ValidateRoute(a, c, []LinkID{ab, bc}); err != nil {
+		t.Errorf("valid route rejected: %v", err)
+	}
+	if err := tp.ValidateRoute(a, c, []LinkID{bc, ab}); err == nil {
+		t.Error("disconnected route accepted")
+	}
+	if err := tp.ValidateRoute(a, b, []LinkID{ab, bc}); err == nil {
+		t.Error("route to wrong destination accepted")
+	}
+	if err := tp.ValidateRoute(a, c, nil); err == nil {
+		t.Error("empty route accepted")
+	}
+}
+
+func TestRouteRatesDelaysIdeal(t *testing.T) {
+	tp := New()
+	a := tp.AddHost(0, 0)
+	b := tp.AddNode(Switch, -1, -1)
+	c := tp.AddHost(0, 0)
+	ab := tp.AddDuplex(a, b, 10*unit.Gbps, unit.Microsecond)
+	bc := tp.AddDuplex(b, c, 40*unit.Gbps, 2*unit.Microsecond)
+	route := []LinkID{ab, bc}
+	rates := tp.RouteRates(route)
+	if rates[0] != 10*unit.Gbps || rates[1] != 40*unit.Gbps {
+		t.Errorf("RouteRates = %v", rates)
+	}
+	delays := tp.RouteDelays(route)
+	if delays[0] != unit.Microsecond || delays[1] != 2*unit.Microsecond {
+		t.Errorf("RouteDelays = %v", delays)
+	}
+	if got, want := tp.IdealFCT(1000, route), unit.IdealFCT(1000, rates, delays); got != want {
+		t.Errorf("IdealFCT = %v, want %v", got, want)
+	}
+}
+
+func TestSmallFatTreeShape(t *testing.T) {
+	for _, o := range []Oversub{Oversub1to1, Oversub2to1, Oversub4to1} {
+		ft, err := SmallFatTree(o)
+		if err != nil {
+			t.Fatalf("%s: %v", o, err)
+		}
+		if got := len(ft.Hosts()); got != 256 {
+			t.Errorf("%s: %d hosts, want 256", o, got)
+		}
+		if got := len(ft.ToRByRack); got != 32 {
+			t.Errorf("%s: %d racks, want 32", o, got)
+		}
+	}
+	ft, _ := SmallFatTree(Oversub4to1)
+	// 4-to-1: one agg per pod at 20 Gbps.
+	tor := ft.ToRByRack[0]
+	agg := ft.Aggs[0][0]
+	l := ft.Link(ft.LinkBetween(tor, agg))
+	if l.Rate != 20*unit.Gbps {
+		t.Errorf("4-to-1 uplink rate = %v, want 20Gbps", l.Rate)
+	}
+	if _, err := SmallFatTree("9-to-1"); err == nil {
+		t.Error("unknown oversub accepted")
+	}
+}
+
+func TestLargeFatTreeShape(t *testing.T) {
+	ft, err := LargeFatTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ft.Hosts()); got != 6144 {
+		t.Errorf("%d hosts, want 6144", got)
+	}
+	if got := len(ft.ToRByRack); got != 384 {
+		t.Errorf("%d racks, want 384", got)
+	}
+	// 2-to-1 core: agg has 16 racks x 40G down, 8 spines x 40G up.
+	if ft.Cfg.SpinesPerPlane != 8 || ft.Cfg.RacksPerPod != 16 {
+		t.Errorf("unexpected core provisioning: %+v", ft.Cfg)
+	}
+}
+
+func TestFatTreeValidate(t *testing.T) {
+	bad := FatTreeConfig{}
+	if _, err := NewFatTree(bad); err == nil {
+		t.Error("zero config accepted")
+	}
+	bad = FatTreeConfig{Pods: 1, RacksPerPod: 1, HostsPerRack: 1, AggPerPod: 1, SpinesPerPlane: 1}
+	if _, err := NewFatTree(bad); err == nil {
+		t.Error("zero rates accepted")
+	}
+}
+
+func TestFatTreeRackIndex(t *testing.T) {
+	ft, _ := SmallFatTree(Oversub1to1)
+	for rack, hosts := range ft.HostsByRack {
+		if len(hosts) != 8 {
+			t.Fatalf("rack %d has %d hosts", rack, len(hosts))
+		}
+		for _, h := range hosts {
+			if ft.RackOf(h) != rack {
+				t.Fatalf("host %d rack mismatch", h)
+			}
+		}
+	}
+	if ft.PodOfRack(0) != 0 || ft.PodOfRack(16) != 1 {
+		t.Error("PodOfRack wrong")
+	}
+}
+
+func TestParkingLotBasic(t *testing.T) {
+	rates := []unit.Rate{10 * unit.Gbps, 40 * unit.Gbps, 10 * unit.Gbps, 10 * unit.Gbps}
+	delays := []unit.Time{unit.Microsecond, unit.Microsecond, unit.Microsecond, unit.Microsecond}
+	p, err := NewParkingLot(rates, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 4 {
+		t.Errorf("Hops = %d", p.Hops())
+	}
+	fg := p.FgRoute()
+	if err := p.ValidateRoute(p.FgSrc(), p.FgDst(), fg); err != nil {
+		t.Errorf("fg route invalid: %v", err)
+	}
+	if len(fg) != 4 {
+		t.Errorf("fg route has %d links", len(fg))
+	}
+}
+
+func TestParkingLotBgAttachment(t *testing.T) {
+	rates := []unit.Rate{10 * unit.Gbps, 10 * unit.Gbps}
+	delays := []unit.Time{unit.Microsecond, unit.Microsecond}
+	p, _ := NewParkingLot(rates, delays)
+	src, dst, route, err := p.AttachBg(100, 200, 0, 1, 10*unit.Gbps, 10*unit.Gbps, unit.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateRoute(src, dst, route); err != nil {
+		t.Errorf("bg route invalid: %v", err)
+	}
+	// entry stub + path link 0 + exit stub
+	if len(route) != 3 {
+		t.Errorf("bg route has %d links, want 3", len(route))
+	}
+	// Same original hosts at same join/exit reuse stubs.
+	src2, dst2, _, err := p.AttachBg(100, 200, 0, 1, 10*unit.Gbps, 10*unit.Gbps, unit.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src2 != src || dst2 != dst {
+		t.Error("stub reuse for identical original endpoints failed")
+	}
+	// Different original host gets its own stub.
+	src3, _, _, err := p.AttachBg(101, 200, 0, 1, 10*unit.Gbps, 10*unit.Gbps, unit.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src3 == src {
+		t.Error("distinct original hosts should not share an entry stub")
+	}
+}
+
+func TestParkingLotBgSpanValidation(t *testing.T) {
+	p, _ := NewParkingLot([]unit.Rate{unit.Gbps}, []unit.Time{0})
+	if _, _, _, err := p.AttachBg(1, 2, 0, 0, unit.Gbps, unit.Gbps, 0); err == nil {
+		t.Error("empty span accepted")
+	}
+	if _, _, _, err := p.AttachBg(1, 2, 0, 2, unit.Gbps, unit.Gbps, 0); err == nil {
+		t.Error("overlong span accepted")
+	}
+	if _, _, _, err := p.AttachBg(1, 2, -1, 1, unit.Gbps, unit.Gbps, 0); err == nil {
+		t.Error("negative join accepted")
+	}
+}
+
+func TestParkingLotErrors(t *testing.T) {
+	if _, err := NewParkingLot(nil, nil); err == nil {
+		t.Error("empty parking lot accepted")
+	}
+	if _, err := NewParkingLot([]unit.Rate{unit.Gbps}, []unit.Time{0, 0}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

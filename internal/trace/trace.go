@@ -1,0 +1,265 @@
+// Package trace reads and writes flow traces, so workloads can come from
+// production logs instead of the synthetic generators. The paper's input is
+// exactly this: "a workload — specified as a sequence of flows and their
+// network paths".
+//
+// Two formats are supported:
+//
+//   - CSV: "id,src,dst,size_bytes,arrival_ns[,route]" where route is a
+//     space-separated list of directed link IDs (optional; absent routes are
+//     filled in by a Router at load time).
+//   - JSON lines: one Flow object per line with the same fields.
+//
+// Both formats round-trip losslessly through Save/Load.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// Format selects the trace encoding.
+type Format uint8
+
+// Supported encodings.
+const (
+	CSV Format = iota
+	JSONL
+)
+
+// ParseFormat maps "csv" or "jsonl" to a Format.
+func ParseFormat(name string) (Format, error) {
+	switch strings.ToLower(name) {
+	case "csv":
+		return CSV, nil
+	case "jsonl", "json":
+		return JSONL, nil
+	}
+	return 0, fmt.Errorf("trace: unknown format %q", name)
+}
+
+// jsonFlow is the JSONL wire format.
+type jsonFlow struct {
+	ID      int32   `json:"id"`
+	Src     int32   `json:"src"`
+	Dst     int32   `json:"dst"`
+	Size    int64   `json:"size_bytes"`
+	Arrival int64   `json:"arrival_ns"`
+	Route   []int32 `json:"route,omitempty"`
+}
+
+// Save writes flows to w in the given format.
+func Save(w io.Writer, flows []workload.Flow, f Format) error {
+	switch f {
+	case CSV:
+		return saveCSV(w, flows)
+	case JSONL:
+		return saveJSONL(w, flows)
+	}
+	return fmt.Errorf("trace: unknown format %d", f)
+}
+
+func saveCSV(w io.Writer, flows []workload.Flow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "src", "dst", "size_bytes", "arrival_ns", "route"}); err != nil {
+		return err
+	}
+	for i := range flows {
+		fl := &flows[i]
+		var route strings.Builder
+		for j, l := range fl.Route {
+			if j > 0 {
+				route.WriteByte(' ')
+			}
+			route.WriteString(strconv.Itoa(int(l)))
+		}
+		rec := []string{
+			strconv.Itoa(int(fl.ID)),
+			strconv.Itoa(int(fl.Src)),
+			strconv.Itoa(int(fl.Dst)),
+			strconv.FormatInt(int64(fl.Size), 10),
+			strconv.FormatInt(int64(fl.Arrival), 10),
+			route.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func saveJSONL(w io.Writer, flows []workload.Flow) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range flows {
+		fl := &flows[i]
+		jf := jsonFlow{
+			ID: int32(fl.ID), Src: int32(fl.Src), Dst: int32(fl.Dst),
+			Size: int64(fl.Size), Arrival: int64(fl.Arrival),
+		}
+		for _, l := range fl.Route {
+			jf.Route = append(jf.Route, int32(l))
+		}
+		if err := enc.Encode(&jf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadOptions controls Load.
+type LoadOptions struct {
+	// Router fills in routes for flows whose trace rows omit them. Required
+	// when any row lacks a route.
+	Router routing.Router
+	// Topo, when non-nil, validates every route (present or computed).
+	Topo *topo.Topology
+}
+
+// Load reads a trace written by Save (or by an external tool using the same
+// schema). Flow IDs are reassigned densely in arrival order, matching the
+// simulators' requirements.
+func Load(r io.Reader, f Format, opt LoadOptions) ([]workload.Flow, error) {
+	var flows []workload.Flow
+	var err error
+	switch f {
+	case CSV:
+		flows, err = loadCSV(r)
+	case JSONL:
+		flows, err = loadJSONL(r)
+	default:
+		return nil, fmt.Errorf("trace: unknown format %d", f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i := range flows {
+		fl := &flows[i]
+		if fl.Size < 1 {
+			return nil, fmt.Errorf("trace: flow %d has size %d", fl.ID, fl.Size)
+		}
+		if fl.Arrival < 0 {
+			return nil, fmt.Errorf("trace: flow %d has negative arrival", fl.ID)
+		}
+		if len(fl.Route) == 0 {
+			if opt.Router == nil {
+				return nil, fmt.Errorf("trace: flow %d has no route and no router given", fl.ID)
+			}
+			route, err := opt.Router.Route(fl.Src, fl.Dst, uint64(fl.ID))
+			if err != nil {
+				return nil, fmt.Errorf("trace: routing flow %d: %w", fl.ID, err)
+			}
+			fl.Route = route
+		}
+		if opt.Topo != nil {
+			if err := opt.Topo.ValidateRoute(fl.Src, fl.Dst, fl.Route); err != nil {
+				return nil, fmt.Errorf("trace: flow %d: %w", fl.ID, err)
+			}
+		}
+	}
+	workload.SortByArrival(flows)
+	return flows, nil
+}
+
+func loadCSV(r io.Reader) ([]workload.Flow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	start := 0
+	if records[0][0] == "id" {
+		start = 1 // header row
+	}
+	var flows []workload.Flow
+	for li, rec := range records[start:] {
+		if len(rec) < 5 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, need >= 5", li+start+1, len(rec))
+		}
+		var fl workload.Flow
+		id, err := strconv.ParseInt(rec[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d id: %w", li+start+1, err)
+		}
+		src, err := strconv.ParseInt(rec[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d src: %w", li+start+1, err)
+		}
+		dst, err := strconv.ParseInt(rec[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d dst: %w", li+start+1, err)
+		}
+		size, err := strconv.ParseInt(rec[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d size: %w", li+start+1, err)
+		}
+		arrival, err := strconv.ParseInt(rec[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d arrival: %w", li+start+1, err)
+		}
+		fl.ID = workload.FlowID(id)
+		fl.Src = topo.NodeID(src)
+		fl.Dst = topo.NodeID(dst)
+		fl.Size = unit.ByteSize(size)
+		fl.Arrival = unit.Time(arrival)
+		if len(rec) >= 6 && strings.TrimSpace(rec[5]) != "" {
+			for _, tok := range strings.Fields(rec[5]) {
+				l, err := strconv.ParseInt(tok, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("trace: row %d route: %w", li+start+1, err)
+				}
+				fl.Route = append(fl.Route, topo.LinkID(l))
+			}
+		}
+		flows = append(flows, fl)
+	}
+	return flows, nil
+}
+
+func loadJSONL(r io.Reader) ([]workload.Flow, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var flows []workload.Flow
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var jf jsonFlow
+		if err := json.Unmarshal([]byte(text), &jf); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		fl := workload.Flow{
+			ID:      workload.FlowID(jf.ID),
+			Src:     topo.NodeID(jf.Src),
+			Dst:     topo.NodeID(jf.Dst),
+			Size:    unit.ByteSize(jf.Size),
+			Arrival: unit.Time(jf.Arrival),
+		}
+		for _, l := range jf.Route {
+			fl.Route = append(fl.Route, topo.LinkID(l))
+		}
+		flows = append(flows, fl)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return flows, nil
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/workload"
+)
+
+func sampleFlows(t *testing.T) (*topo.FatTree, []workload.Flow) {
+	t.Helper()
+	ft, err := topo.SmallFatTree(topo.Oversub2to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	flows, err := workload.Generate(ft, routing.NewFatTreeRouter(ft), workload.Spec{
+		NumFlows: 50, Sizes: workload.WebServer, Matrix: workload.MatrixB(32, r),
+		Burstiness: 1, MaxLoad: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft, flows
+}
+
+func TestRoundTripCSV(t *testing.T) {
+	ft, flows := sampleFlows(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, flows, CSV); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, CSV, LoadOptions{Topo: ft.Topology})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFlows(t, flows, loaded)
+}
+
+func TestRoundTripJSONL(t *testing.T) {
+	ft, flows := sampleFlows(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, flows, JSONL); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, JSONL, LoadOptions{Topo: ft.Topology})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFlows(t, flows, loaded)
+}
+
+func assertSameFlows(t *testing.T, want, got []workload.Flow) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("got %d flows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		a, b := &want[i], &got[i]
+		if a.Src != b.Src || a.Dst != b.Dst || a.Size != b.Size || a.Arrival != b.Arrival {
+			t.Fatalf("flow %d differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.Route) != len(b.Route) {
+			t.Fatalf("flow %d route length differs", i)
+		}
+		for j := range a.Route {
+			if a.Route[j] != b.Route[j] {
+				t.Fatalf("flow %d hop %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadFillsMissingRoutes(t *testing.T) {
+	ft, flows := sampleFlows(t)
+	// Strip routes before saving.
+	stripped := append([]workload.Flow(nil), flows...)
+	for i := range stripped {
+		stripped[i].Route = nil
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, stripped, CSV); err != nil {
+		t.Fatal(err)
+	}
+	router := routing.NewFatTreeRouter(ft)
+	loaded, err := Load(&buf, CSV, LoadOptions{Router: router, Topo: ft.Topology})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range loaded {
+		if len(loaded[i].Route) == 0 {
+			t.Fatalf("flow %d still has no route", i)
+		}
+		if err := ft.ValidateRoute(loaded[i].Src, loaded[i].Dst, loaded[i].Route); err != nil {
+			t.Fatalf("flow %d: %v", i, err)
+		}
+	}
+}
+
+func TestLoadMissingRouteWithoutRouter(t *testing.T) {
+	csvData := "id,src,dst,size_bytes,arrival_ns,route\n0,100,200,1000,0,\n"
+	if _, err := Load(strings.NewReader(csvData), CSV, LoadOptions{}); err == nil {
+		t.Error("routeless trace without router accepted")
+	}
+}
+
+func TestLoadRejectsBadRows(t *testing.T) {
+	cases := []string{
+		"id,src,dst,size_bytes,arrival_ns,route\n0,1,2,0,0,5",     // zero size
+		"id,src,dst,size_bytes,arrival_ns,route\n0,1,2,100,-5,5",  // negative arrival
+		"id,src,dst,size_bytes,arrival_ns,route\n0,1,2,abc,0,5",   // bad size
+		"id,src,dst,size_bytes,arrival_ns,route\nx,1,2,100,0,5",   // bad id
+		"id,src,dst,size_bytes,arrival_ns,route\n0,1,2,100,0,1 y", // bad route token
+	}
+	for i, data := range cases {
+		if _, err := Load(strings.NewReader(data), CSV, LoadOptions{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoadSortsAndReindexes(t *testing.T) {
+	// Rows out of arrival order with sparse IDs.
+	data := "id,src,dst,size_bytes,arrival_ns,route\n" +
+		"9,1,2,100,2000,5\n" +
+		"4,1,2,100,1000,5\n"
+	flows, err := Load(strings.NewReader(data), CSV, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flows[0].Arrival != 1000 || flows[1].Arrival != 2000 {
+		t.Error("not sorted by arrival")
+	}
+	if flows[0].ID != 0 || flows[1].ID != 1 {
+		t.Error("IDs not reindexed densely")
+	}
+}
+
+func TestLoadCSVWithoutHeader(t *testing.T) {
+	data := "0,1,2,100,0,5\n"
+	flows, err := Load(strings.NewReader(data), CSV, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || flows[0].Size != 100 {
+		t.Errorf("headerless load failed: %+v", flows)
+	}
+}
+
+func TestLoadJSONLSkipsBlankLines(t *testing.T) {
+	data := `{"id":0,"src":1,"dst":2,"size_bytes":100,"arrival_ns":0,"route":[5]}` + "\n\n" +
+		`{"id":1,"src":2,"dst":1,"size_bytes":200,"arrival_ns":10,"route":[6]}` + "\n"
+	flows, err := Load(strings.NewReader(data), JSONL, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 {
+		t.Fatalf("%d flows", len(flows))
+	}
+}
+
+func TestLoadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json\n"), JSONL, LoadOptions{}); err == nil {
+		t.Error("garbage JSONL accepted")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	if f, err := ParseFormat("csv"); err != nil || f != CSV {
+		t.Error("csv parse failed")
+	}
+	if f, err := ParseFormat("JSONL"); err != nil || f != JSONL {
+		t.Error("jsonl parse failed")
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestEmptyCSV(t *testing.T) {
+	if _, err := Load(strings.NewReader(""), CSV, LoadOptions{}); err == nil {
+		t.Error("empty CSV accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// Package unit defines the physical units shared by every simulator in this
+// repository: simulated time in nanoseconds, data sizes in bytes, and link
+// rates in bits per second. Keeping a single definition of "ideal FCT" here
+// guarantees that slowdowns computed by the packet-level simulator, flowSim,
+// Parsimon, and m3 are directly comparable.
+package unit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts floating-point seconds into a Time, rounding to the
+// nearest nanosecond.
+func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
+
+// String renders the time using the most natural SI prefix.
+func (t Time) String() string {
+	switch {
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// ByteSize is a data size in bytes.
+type ByteSize int64
+
+// Common sizes.
+const (
+	Byte ByteSize = 1
+	KB   ByteSize = 1e3
+	MB   ByteSize = 1e6
+	GB   ByteSize = 1e9
+)
+
+// Bits returns the size in bits.
+func (b ByteSize) Bits() int64 { return int64(b) * 8 }
+
+// String renders the size using the most natural SI prefix.
+func (b ByteSize) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// Rate is a link or flow rate in bits per second.
+type Rate float64
+
+// Common rates.
+const (
+	BitPerSecond Rate = 1
+	Kbps         Rate = 1e3
+	Mbps         Rate = 1e6
+	Gbps         Rate = 1e9
+)
+
+// BytesPerSecond returns the rate in bytes per second.
+func (r Rate) BytesPerSecond() float64 { return float64(r) / 8 }
+
+// String renders the rate using the most natural SI prefix.
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.2fGbps", float64(r)/float64(Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(r)/float64(Mbps))
+	case r >= Kbps:
+		return fmt.Sprintf("%.2fKbps", float64(r)/float64(Kbps))
+	default:
+		return fmt.Sprintf("%.2fbps", float64(r))
+	}
+}
+
+// TxTime returns how long it takes to serialize b bytes onto a link of rate
+// r, rounded up to the nanosecond. Rounding up (rather than to nearest)
+// keeps simulated completion times at or above the ideal FCT: a flow's
+// per-packet serializations each round up, while the ideal's aggregate
+// serialization rounds up once, and ceil(a+b) <= ceil(a)+ceil(b).
+func TxTime(b ByteSize, r Rate) Time {
+	if r <= 0 {
+		return 0
+	}
+	return Time(math.Ceil(float64(b.Bits()) / float64(r) * float64(Second)))
+}
+
+// MTU is the packet payload granularity used throughout the repository. Every
+// simulator segments flows into MTU-sized packets (with a short final packet),
+// matching the 1000-byte packets used in HPCC-style ns-3 setups.
+const MTU ByteSize = 1000
+
+// HeaderBytes approximates per-packet header overhead (Ethernet+IP+transport).
+// It is charged on the wire but not counted toward flow size.
+const HeaderBytes ByteSize = 48
+
+// Packets returns the number of MTU-sized packets needed to carry size bytes.
+func Packets(size ByteSize) int64 {
+	if size <= 0 {
+		return 1
+	}
+	return (int64(size) + int64(MTU) - 1) / int64(MTU)
+}
+
+// WireSize returns the bytes a flow of the given size occupies on the wire,
+// including one header per MTU-sized packet. All simulators and the ideal
+// FCT use this same accounting so slowdowns are comparable.
+func WireSize(size ByteSize) ByteSize {
+	return size + HeaderBytes*ByteSize(Packets(size))
+}
+
+// IdealFCT is the flow completion time of a flow of the given size on an
+// otherwise idle path: total propagation delay, plus serialization of the
+// whole flow at the bottleneck rate, plus store-and-forward of the flow's
+// final packet at every additional hop. All simulators normalize against
+// this same quantity, so slowdown numbers are mutually comparable.
+//
+// The final (possibly sub-MTU) packet is the right store-and-forward unit:
+// on an idle path the flow completes when its last packet drains through the
+// hops after the bottleneck, so this expression is exact for paths whose
+// non-bottleneck links are faster than the bottleneck (the data center case:
+// access-link bottleneck, faster fabric) and a lower bound otherwise —
+// keeping simulated slowdowns >= 1 by construction.
+//
+// linkRates and linkDelays describe the hops in path order and must have equal
+// length.
+func IdealFCT(size ByteSize, linkRates []Rate, linkDelays []Time) Time {
+	if len(linkRates) == 0 {
+		return 0
+	}
+	bottleneck := linkRates[0]
+	var prop Time
+	for i, r := range linkRates {
+		if r < bottleneck {
+			bottleneck = r
+		}
+		prop += linkDelays[i]
+	}
+	last := size - ByteSize(Packets(size)-1)*MTU
+	fct := prop + TxTime(WireSize(size), bottleneck)
+	// Store-and-forward: the final packet is re-serialized at every hop
+	// after the first. Charge it at each hop's own rate.
+	for i := 1; i < len(linkRates); i++ {
+		fct += TxTime(last+HeaderBytes, linkRates[i])
+	}
+	return fct
+}
+
+// Slowdown is fct normalized by the ideal FCT for the same size and path.
+// It is at least 1 for any causally valid simulation; values below 1 indicate
+// an estimator's optimism (flowSim produces them for short flows).
+func Slowdown(fct Time, size ByteSize, linkRates []Rate, linkDelays []Time) float64 {
+	ideal := IdealFCT(size, linkRates, linkDelays)
+	if ideal <= 0 {
+		return 1
+	}
+	return float64(fct) / float64(ideal)
+}

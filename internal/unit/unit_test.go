@@ -1,0 +1,191 @@
+package unit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := Second.Seconds(); got != 1 {
+		t.Errorf("Second.Seconds() = %v, want 1", got)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v, want 1.5s", got)
+	}
+	if got := FromSeconds(0); got != 0 {
+		t.Errorf("FromSeconds(0) = %v, want 0", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{2 * Second, "2.000s"},
+		{3 * Millisecond, "3.000ms"},
+		{7 * Microsecond, "7.000us"},
+		{42, "42ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	if got := (2 * KB).Bits(); got != 16000 {
+		t.Errorf("2KB.Bits() = %d, want 16000", got)
+	}
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{3 * GB, "3.00GB"},
+		{5 * MB, "5.00MB"},
+		{9 * KB, "9.00KB"},
+		{17, "17B"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		in   Rate
+		want string
+	}{
+		{10 * Gbps, "10.00Gbps"},
+		{40 * Mbps, "40.00Mbps"},
+		{5 * Kbps, "5.00Kbps"},
+		{100, "100.00bps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Rate.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	// 1000 bytes at 10Gbps: 8000 bits / 1e10 bps = 800ns.
+	if got := TxTime(1000, 10*Gbps); got != 800 {
+		t.Errorf("TxTime(1000B, 10Gbps) = %v, want 800ns", got)
+	}
+	if got := TxTime(1000, 0); got != 0 {
+		t.Errorf("TxTime at zero rate = %v, want 0", got)
+	}
+}
+
+func TestPackets(t *testing.T) {
+	cases := []struct {
+		size ByteSize
+		want int64
+	}{
+		{0, 1}, {1, 1}, {999, 1}, {1000, 1}, {1001, 2}, {50000, 50}, {50001, 51},
+	}
+	for _, c := range cases {
+		if got := Packets(c.size); got != c.want {
+			t.Errorf("Packets(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestIdealFCTSingleLink(t *testing.T) {
+	rates := []Rate{10 * Gbps}
+	delays := []Time{1 * Microsecond}
+	// 1000B flow: prop 1us + tx of 1048B at 10G = 838ns (rounded).
+	got := IdealFCT(1000, rates, delays)
+	want := 1*Microsecond + TxTime(1000+HeaderBytes, 10*Gbps)
+	if got != want {
+		t.Errorf("IdealFCT = %v, want %v", got, want)
+	}
+}
+
+func TestIdealFCTMultiHop(t *testing.T) {
+	rates := []Rate{10 * Gbps, 40 * Gbps, 10 * Gbps}
+	delays := []Time{1 * Microsecond, 1 * Microsecond, 1 * Microsecond}
+	size := ByteSize(500)
+	got := IdealFCT(size, rates, delays)
+	want := 3*Microsecond +
+		TxTime(size+HeaderBytes, 10*Gbps) + // bottleneck serialization
+		TxTime(size+HeaderBytes, 40*Gbps) + // store-and-forward hop 2
+		TxTime(size+HeaderBytes, 10*Gbps) // store-and-forward hop 3
+	if got != want {
+		t.Errorf("IdealFCT = %v, want %v", got, want)
+	}
+}
+
+func TestIdealFCTEmptyPath(t *testing.T) {
+	if got := IdealFCT(1000, nil, nil); got != 0 {
+		t.Errorf("IdealFCT on empty path = %v, want 0", got)
+	}
+}
+
+func TestSlowdownIdentity(t *testing.T) {
+	rates := []Rate{10 * Gbps, 10 * Gbps}
+	delays := []Time{1 * Microsecond, 1 * Microsecond}
+	ideal := IdealFCT(5000, rates, delays)
+	if got := Slowdown(ideal, 5000, rates, delays); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Slowdown(ideal) = %v, want 1", got)
+	}
+	if got := Slowdown(2*ideal, 5000, rates, delays); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Slowdown(2*ideal) = %v, want 2", got)
+	}
+}
+
+// Property: ideal FCT is monotone in flow size and decreasing in bottleneck rate.
+func TestIdealFCTMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32, rSel uint8) bool {
+		s1 := ByteSize(a%1_000_000 + 1)
+		s2 := s1 + ByteSize(b%1_000_000+1)
+		r := []Rate{1 * Gbps, 10 * Gbps, 40 * Gbps}[rSel%3]
+		rates := []Rate{r, r}
+		delays := []Time{Microsecond, Microsecond}
+		return IdealFCT(s2, rates, delays) >= IdealFCT(s1, rates, delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TxTime scales linearly with size, up to ceiling slack
+// (ceil(2x) is at most 2*ceil(x) and at least 2*ceil(x)-2).
+func TestTxTimeLinearProperty(t *testing.T) {
+	f := func(a uint16) bool {
+		s := ByteSize(a) + 1
+		t1 := TxTime(s, 10*Gbps)
+		t2 := TxTime(2*s, 10*Gbps)
+		diff := int64(t2) - 2*int64(t1)
+		return diff >= -2 && diff <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a flow's serialization split into MTU packets never beats the
+// aggregate ideal serialization (the causality rounding invariant).
+func TestTxTimePacketizationProperty(t *testing.T) {
+	f := func(a uint32) bool {
+		size := ByteSize(a%500_000 + 1)
+		n := Packets(size)
+		var per Time
+		for p := int64(0); p < n; p++ {
+			sz := MTU
+			if p == n-1 {
+				sz = size - ByteSize(n-1)*MTU
+			}
+			per += TxTime(sz+HeaderBytes, 10*Gbps)
+		}
+		return per >= TxTime(WireSize(size), 10*Gbps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+// Package workload generates traffic for the simulators: flows with arrival
+// times, sizes, endpoints, and static routes. It implements the paper's
+// workload machinery: parametric size distributions for training (Table 2),
+// empirical Meta size distributions for evaluation (Fig. 18b), rack-to-rack
+// traffic matrices (Fig. 18a), lognormal inter-arrival burstiness, and
+// max-link-load calibration.
+package workload
+
+import (
+	"m3/internal/topo"
+	"m3/internal/unit"
+)
+
+// FlowID indexes a flow within one workload.
+type FlowID int32
+
+// Flow is one transfer: Size bytes from Src to Dst, arriving at Arrival, on
+// a fixed Route (paper assumption: static routes known in advance).
+type Flow struct {
+	ID      FlowID
+	Src     topo.NodeID
+	Dst     topo.NodeID
+	Size    unit.ByteSize
+	Arrival unit.Time
+	Route   []topo.LinkID
+}
+
+// WireSize returns the bytes the flow occupies on the wire including
+// per-packet header overhead. All simulators account for this same quantity.
+func (f *Flow) WireSize() unit.ByteSize { return unit.WireSize(f.Size) }
+
+// ByArrival sorts flows in place by arrival time (stable in ID for ties).
+func ByArrival(flows []Flow) func(i, j int) bool {
+	return func(i, j int) bool {
+		if flows[i].Arrival != flows[j].Arrival {
+			return flows[i].Arrival < flows[j].Arrival
+		}
+		return flows[i].ID < flows[j].ID
+	}
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/unit"
+)
+
+// Spec describes a full-network workload (the paper's Table 3 axes).
+type Spec struct {
+	NumFlows   int
+	Sizes      SizeDist
+	Matrix     *TrafficMatrix
+	Burstiness float64 // lognormal shape sigma of inter-arrival gaps (1=low, 2=high)
+	MaxLoad    float64 // target utilization of the most loaded link, in (0, 1)
+	Seed       uint64
+}
+
+// Validate reports specification errors.
+func (s Spec) Validate() error {
+	switch {
+	case s.NumFlows <= 0:
+		return fmt.Errorf("workload: NumFlows must be positive")
+	case s.Sizes == nil:
+		return fmt.Errorf("workload: Sizes is nil")
+	case s.Matrix == nil:
+		return fmt.Errorf("workload: Matrix is nil")
+	case s.Burstiness <= 0:
+		return fmt.Errorf("workload: Burstiness must be positive")
+	case s.MaxLoad <= 0 || s.MaxLoad >= 1:
+		return fmt.Errorf("workload: MaxLoad must be in (0,1), got %v", s.MaxLoad)
+	}
+	return nil
+}
+
+// Generate draws a workload on the fat-tree: rack pairs from the traffic
+// matrix, hosts uniform within racks, sizes from the size distribution,
+// lognormal inter-arrival gaps with shape Burstiness, and ECMP routes fixed
+// at generation time. Arrival times are then rescaled so the most loaded
+// link's long-run utilization equals MaxLoad exactly for the realized flows
+// and routes (the paper picks loads "such that no link exceeds its
+// capacity"; this realized-load calibration makes the load axis exact).
+func Generate(ft *topo.FatTree, router routing.Router, spec Spec) ([]Flow, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	racks := spec.Matrix.Racks()
+	if racks != ft.Cfg.NumRacks() {
+		return nil, fmt.Errorf("workload: matrix covers %d racks, topology has %d",
+			racks, ft.Cfg.NumRacks())
+	}
+	r := rng.New(spec.Seed)
+	pairSampler := rng.NewSampler(spec.Matrix.Flatten())
+
+	mu := rng.MuForMean(1, spec.Burstiness) // unit-mean gaps; rescaled below
+	flows := make([]Flow, spec.NumFlows)
+	var now float64
+	for i := range flows {
+		pair := pairSampler.Draw(r)
+		si, di := pair/racks, pair%racks
+		src, dst, err := pickHosts(ft, r, si, di)
+		if err != nil {
+			return nil, err
+		}
+		now += r.LogNormal(mu, spec.Burstiness)
+		f := &flows[i]
+		f.ID = FlowID(i)
+		f.Src, f.Dst = src, dst
+		f.Size = spec.Sizes.Sample(r)
+		f.Arrival = unit.FromSeconds(now) // provisional; rescaled below
+		route, err := router.Route(src, dst, uint64(i)|spec.Seed<<32)
+		if err != nil {
+			return nil, err
+		}
+		f.Route = route
+	}
+	if err := CalibrateLoad(ft.Topology, flows, spec.MaxLoad); err != nil {
+		return nil, err
+	}
+	return flows, nil
+}
+
+func pickHosts(ft *topo.FatTree, r *rng.RNG, srcRack, dstRack int) (topo.NodeID, topo.NodeID, error) {
+	sh := ft.HostsByRack[srcRack]
+	dh := ft.HostsByRack[dstRack]
+	if srcRack == dstRack {
+		if len(sh) < 2 {
+			return 0, 0, fmt.Errorf("workload: intra-rack traffic needs >= 2 hosts in rack %d", srcRack)
+		}
+		i := r.Intn(len(sh))
+		j := r.Intn(len(sh) - 1)
+		if j >= i {
+			j++
+		}
+		return sh[i], sh[j], nil
+	}
+	return sh[r.Intn(len(sh))], dh[r.Intn(len(dh))], nil
+}
+
+// CalibrateLoad rescales the arrival times of flows in place so that the
+// most loaded link's utilization over the workload's duration equals
+// maxLoad. It returns an error when the workload carries no bytes.
+func CalibrateLoad(t *topo.Topology, flows []Flow, maxLoad float64) error {
+	if len(flows) == 0 {
+		return fmt.Errorf("workload: no flows to calibrate")
+	}
+	peak := PeakUtilization(t, flows)
+	if peak <= 0 {
+		return fmt.Errorf("workload: zero realized load; cannot calibrate")
+	}
+	scale := peak / maxLoad
+	for i := range flows {
+		flows[i].Arrival = unit.Time(float64(flows[i].Arrival) * scale)
+	}
+	return nil
+}
+
+// PeakUtilization returns the highest per-link utilization realized by the
+// flows over the span of their arrivals (bytes on link / (rate x horizon)).
+func PeakUtilization(t *topo.Topology, flows []Flow) float64 {
+	var horizon unit.Time
+	linkBits := make([]float64, t.NumLinks())
+	for i := range flows {
+		f := &flows[i]
+		if f.Arrival > horizon {
+			horizon = f.Arrival
+		}
+		bits := float64(f.WireSize().Bits())
+		for _, l := range f.Route {
+			linkBits[l] += bits
+		}
+	}
+	if horizon <= 0 {
+		// All flows arrive at t=0: define the horizon as the time the most
+		// loaded link needs to drain everything, i.e. utilization 1.
+		return 1
+	}
+	sec := horizon.Seconds()
+	var peak float64
+	for id, bits := range linkBits {
+		if bits == 0 {
+			continue
+		}
+		u := bits / (float64(t.Link(topo.LinkID(id)).Rate) * sec)
+		if u > peak {
+			peak = u
+		}
+	}
+	return peak
+}
+
+// SortByArrival orders flows by arrival time, reassigning IDs to keep them
+// dense and arrival-ordered (simulators rely on this for determinism).
+func SortByArrival(flows []Flow) {
+	sort.SliceStable(flows, ByArrival(flows))
+	for i := range flows {
+		flows[i].ID = FlowID(i)
+	}
+}

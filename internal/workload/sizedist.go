@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"m3/internal/rng"
+	"m3/internal/unit"
+)
+
+// SizeDist samples flow sizes in bytes.
+type SizeDist interface {
+	// Sample draws one flow size (always >= 1 byte).
+	Sample(r *rng.RNG) unit.ByteSize
+	// Mean returns the distribution mean in bytes.
+	Mean() float64
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+func clampSize(v float64) unit.ByteSize {
+	if v < 1 {
+		return 1
+	}
+	if v > 1e9 {
+		return 1e9
+	}
+	return unit.ByteSize(math.Round(v))
+}
+
+// ParetoSize is a Pareto flow size distribution with the given mean (the
+// paper's size parameter theta) and tail shape alpha (> 1).
+type ParetoSize struct {
+	MeanBytes float64
+	Alpha     float64
+}
+
+// Sample implements SizeDist.
+func (p ParetoSize) Sample(r *rng.RNG) unit.ByteSize {
+	scale := p.MeanBytes * (p.Alpha - 1) / p.Alpha
+	return clampSize(r.Pareto(scale, p.Alpha))
+}
+
+// Mean implements SizeDist.
+func (p ParetoSize) Mean() float64 { return p.MeanBytes }
+
+// Name implements SizeDist.
+func (p ParetoSize) Name() string { return fmt.Sprintf("pareto(%g,%g)", p.MeanBytes, p.Alpha) }
+
+// ExpSize is an exponential flow size distribution.
+type ExpSize struct{ MeanBytes float64 }
+
+// Sample implements SizeDist.
+func (e ExpSize) Sample(r *rng.RNG) unit.ByteSize { return clampSize(r.Exp(e.MeanBytes)) }
+
+// Mean implements SizeDist.
+func (e ExpSize) Mean() float64 { return e.MeanBytes }
+
+// Name implements SizeDist.
+func (e ExpSize) Name() string { return fmt.Sprintf("exp(%g)", e.MeanBytes) }
+
+// GaussianSize is a truncated Gaussian flow size distribution with standard
+// deviation MeanBytes/2 (truncation at 1 byte slightly raises the effective
+// mean; Mean reports the nominal value used for load calibration, and the
+// generator's realized-load calibration absorbs the difference).
+type GaussianSize struct{ MeanBytes float64 }
+
+// Sample implements SizeDist.
+func (g GaussianSize) Sample(r *rng.RNG) unit.ByteSize {
+	return clampSize(r.Normal(g.MeanBytes, g.MeanBytes/2))
+}
+
+// Mean implements SizeDist.
+func (g GaussianSize) Mean() float64 { return g.MeanBytes }
+
+// Name implements SizeDist.
+func (g GaussianSize) Name() string { return fmt.Sprintf("gaussian(%g)", g.MeanBytes) }
+
+// LogNormalSize is a lognormal flow size distribution with the given mean
+// and log-space shape.
+type LogNormalSize struct {
+	MeanBytes float64
+	Sigma     float64
+}
+
+// Sample implements SizeDist.
+func (l LogNormalSize) Sample(r *rng.RNG) unit.ByteSize {
+	mu := rng.MuForMean(l.MeanBytes, l.Sigma)
+	return clampSize(r.LogNormal(mu, l.Sigma))
+}
+
+// Mean implements SizeDist.
+func (l LogNormalSize) Mean() float64 { return l.MeanBytes }
+
+// Name implements SizeDist.
+func (l LogNormalSize) Name() string { return fmt.Sprintf("lognormal(%g,%g)", l.MeanBytes, l.Sigma) }
+
+// EmpiricalSize samples from a piecewise-linear CDF given as (size,
+// cumulative probability) points. It reproduces the Meta production
+// distributions the paper evaluates on (Fig. 18b).
+type EmpiricalSize struct {
+	DistName string
+	Sizes    []float64 // ascending
+	Probs    []float64 // ascending, ending at 1
+	mean     float64
+}
+
+// NewEmpiricalSize validates the points and precomputes the mean.
+func NewEmpiricalSize(name string, sizes, probs []float64) (*EmpiricalSize, error) {
+	if len(sizes) != len(probs) || len(sizes) < 2 {
+		return nil, fmt.Errorf("empirical %q: need >= 2 matching points", name)
+	}
+	if !sort.Float64sAreSorted(sizes) || !sort.Float64sAreSorted(probs) {
+		return nil, fmt.Errorf("empirical %q: points must be ascending", name)
+	}
+	if math.Abs(probs[len(probs)-1]-1) > 1e-9 {
+		return nil, fmt.Errorf("empirical %q: last probability must be 1, got %v", name, probs[len(probs)-1])
+	}
+	e := &EmpiricalSize{DistName: name, Sizes: sizes, Probs: probs}
+	// Mean of the piecewise-linear CDF: each segment contributes
+	// (p_i - p_{i-1}) * (s_i + s_{i-1})/2, with the initial mass at sizes[0].
+	mean := probs[0] * sizes[0]
+	for i := 1; i < len(sizes); i++ {
+		mean += (probs[i] - probs[i-1]) * (sizes[i] + sizes[i-1]) / 2
+	}
+	e.mean = mean
+	return e, nil
+}
+
+// Sample implements SizeDist via inverse-CDF with linear interpolation.
+func (e *EmpiricalSize) Sample(r *rng.RNG) unit.ByteSize {
+	u := r.Float64()
+	i := sort.SearchFloat64s(e.Probs, u)
+	if i == 0 {
+		return clampSize(e.Sizes[0])
+	}
+	if i >= len(e.Probs) {
+		return clampSize(e.Sizes[len(e.Sizes)-1])
+	}
+	p0, p1 := e.Probs[i-1], e.Probs[i]
+	s0, s1 := e.Sizes[i-1], e.Sizes[i]
+	if p1 == p0 {
+		return clampSize(s1)
+	}
+	frac := (u - p0) / (p1 - p0)
+	return clampSize(s0 + frac*(s1-s0))
+}
+
+// Mean implements SizeDist.
+func (e *EmpiricalSize) Mean() float64 { return e.mean }
+
+// Name implements SizeDist.
+func (e *EmpiricalSize) Name() string { return e.DistName }
+
+func mustEmpirical(name string, pts [][2]float64) *EmpiricalSize {
+	sizes := make([]float64, len(pts))
+	probs := make([]float64, len(pts))
+	for i, p := range pts {
+		sizes[i], probs[i] = p[0], p[1]
+	}
+	e, err := NewEmpiricalSize(name, sizes, probs)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// The three Meta production size distributions (Roy et al., SIGCOMM'15) the
+// paper evaluates on. The CDF points are transcriptions matching the
+// published shapes (Fig. 18b): WebServer is dominated by sub-KB transfers,
+// Hadoop mixes small RPCs with multi-MB shuffles, and CacheFollower sits in
+// between with a heavier mid-range.
+var (
+	// WebServer: mostly small request/response traffic.
+	WebServer = mustEmpirical("WebServer", [][2]float64{
+		{100, 0.12}, {200, 0.30}, {300, 0.45}, {500, 0.60}, {700, 0.70},
+		{1e3, 0.78}, {2e3, 0.87}, {5e3, 0.93}, {1e4, 0.96}, {5e4, 0.985},
+		{1e5, 0.992}, {5e5, 0.998}, {1e6, 1.0},
+	})
+	// CacheFollower: cache read/write traffic with a heavier mid-range.
+	CacheFollower = mustEmpirical("CacheFollower", [][2]float64{
+		{250, 0.10}, {500, 0.18}, {1e3, 0.28}, {2e3, 0.40}, {5e3, 0.52},
+		{1e4, 0.62}, {3e4, 0.74}, {5e4, 0.80}, {1e5, 0.87}, {5e5, 0.95},
+		{1e6, 0.98}, {5e6, 1.0},
+	})
+	// Hadoop: RPC-heavy with a long shuffle tail.
+	Hadoop = mustEmpirical("Hadoop", [][2]float64{
+		{250, 0.20}, {500, 0.40}, {1e3, 0.55}, {2e3, 0.65}, {5e3, 0.75},
+		{1e4, 0.82}, {5e4, 0.90}, {1e5, 0.93}, {5e5, 0.965}, {1e6, 0.98},
+		{1e7, 1.0},
+	})
+)
+
+// MetaDist returns one of the three Meta distributions by name.
+func MetaDist(name string) (SizeDist, error) {
+	switch name {
+	case "WebServer":
+		return WebServer, nil
+	case "CacheFollower":
+		return CacheFollower, nil
+	case "Hadoop":
+		return Hadoop, nil
+	}
+	return nil, fmt.Errorf("workload: unknown Meta distribution %q", name)
+}

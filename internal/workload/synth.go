@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"fmt"
+
+	"m3/internal/rng"
+	"m3/internal/topo"
+	"m3/internal/unit"
+)
+
+// SynthSpec describes one synthetic parking-lot training scenario (the
+// paper's Table 2 axes). Training scenarios are single paths of 1-6 hops
+// with foreground flows along the whole path and background flows joining
+// and leaving at interior nodes.
+type SynthSpec struct {
+	Hops       int      // path length in links (paper: 2, 4, 6; 1 for Fig. 3)
+	NumFg      int      // number of foreground flows (paper: 20000)
+	BgPerLink  float64  // mean background flows per link, as a multiple of NumFg
+	Sizes      SizeDist // flow size distribution for both fg and bg
+	Burstiness float64  // lognormal sigma of inter-arrival gaps
+	MaxLoad    float64  // target utilization of the most loaded path link
+	Seed       uint64
+	// Rates optionally overrides the per-link rates (default
+	// DefaultPathRates(Hops)); len must equal Hops when set.
+	Rates []unit.Rate
+}
+
+// Validate reports specification errors.
+func (s SynthSpec) Validate() error {
+	switch {
+	case s.Hops < 1 || s.Hops > 16:
+		return fmt.Errorf("workload: Hops must be in [1,16], got %d", s.Hops)
+	case s.NumFg <= 0:
+		return fmt.Errorf("workload: NumFg must be positive")
+	case s.BgPerLink < 0:
+		return fmt.Errorf("workload: BgPerLink must be non-negative")
+	case s.Sizes == nil:
+		return fmt.Errorf("workload: Sizes is nil")
+	case s.Burstiness <= 0:
+		return fmt.Errorf("workload: Burstiness must be positive")
+	case s.MaxLoad <= 0 || s.MaxLoad >= 1:
+		return fmt.Errorf("workload: MaxLoad must be in (0,1)")
+	}
+	return nil
+}
+
+// DefaultPathRates returns the link rates of a hops-long data center path:
+// 10 Gbps access links at both ends and 40 Gbps fabric links in between
+// (a single link is a 10 Gbps host link).
+func DefaultPathRates(hops int) []unit.Rate {
+	rates := make([]unit.Rate, hops)
+	for i := range rates {
+		if i == 0 || i == hops-1 {
+			rates[i] = 10 * unit.Gbps
+		} else {
+			rates[i] = 40 * unit.Gbps
+		}
+	}
+	return rates
+}
+
+// DefaultPathDelays returns 1 microsecond of propagation per hop.
+func DefaultPathDelays(hops int) []unit.Time {
+	ds := make([]unit.Time, hops)
+	for i := range ds {
+		ds[i] = unit.Microsecond
+	}
+	return ds
+}
+
+// Synthetic is a generated parking-lot scenario: the topology, all flows
+// (foreground first), and the count of foreground flows. Flows are sorted
+// by arrival with dense IDs; the foreground flows are those with
+// Route equal to the full path (use IsFg).
+type Synthetic struct {
+	Lot   *topo.ParkingLot
+	Flows []Flow
+	fgSet []bool
+}
+
+// IsFg reports whether flow id is a foreground flow.
+func (s *Synthetic) IsFg(id FlowID) bool { return s.fgSet[id] }
+
+// NumFg returns the number of foreground flows.
+func (s *Synthetic) NumFg() int {
+	n := 0
+	for _, b := range s.fgSet {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// FgFlows returns the foreground flows.
+func (s *Synthetic) FgFlows() []Flow {
+	var fg []Flow
+	for i := range s.Flows {
+		if s.fgSet[s.Flows[i].ID] {
+			fg = append(fg, s.Flows[i])
+		}
+	}
+	return fg
+}
+
+// GenerateSynthetic builds a parking-lot scenario per spec. Background flows
+// span a contiguous run of path links: the span start is uniform and the
+// length is geometric with mean ~1.6 links, so most background flows cross
+// one or two hops (matching how DC paths intersect). Background flows from
+// the same virtual origin host share a synthetic stub. Arrivals are
+// calibrated so the most loaded original link hits MaxLoad.
+func GenerateSynthetic(spec SynthSpec) (*Synthetic, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(spec.Seed)
+	rates := spec.Rates
+	if rates == nil {
+		rates = DefaultPathRates(spec.Hops)
+	} else if len(rates) != spec.Hops {
+		return nil, fmt.Errorf("workload: %d rate overrides for %d hops", len(rates), spec.Hops)
+	}
+	delays := DefaultPathDelays(spec.Hops)
+	lot, err := topo.NewParkingLot(rates, delays)
+	if err != nil {
+		return nil, err
+	}
+
+	mu := rng.MuForMean(1, spec.Burstiness)
+	numBg := int(float64(spec.Hops) * spec.BgPerLink * float64(spec.NumFg))
+	total := spec.NumFg + numBg
+	flows := make([]Flow, 0, total)
+	fgSet := make([]bool, total)
+
+	// Virtual origin hosts for background stub sharing: several per junction.
+	const originsPerJunction = 8
+	hostRate := 10 * unit.Gbps
+
+	var now float64
+	fgLeft, bgLeft := spec.NumFg, numBg
+	fgRoute := lot.FgRoute()
+	for fgLeft+bgLeft > 0 {
+		now += r.LogNormal(mu, spec.Burstiness)
+		arrival := unit.FromSeconds(now)
+		// Interleave fg and bg arrivals proportionally.
+		isFg := r.Float64()*float64(fgLeft+bgLeft) < float64(fgLeft)
+		id := FlowID(len(flows))
+		if isFg {
+			fgLeft--
+			fgSet[id] = true
+			flows = append(flows, Flow{
+				ID: id, Src: lot.FgSrc(), Dst: lot.FgDst(),
+				Size: spec.Sizes.Sample(r), Arrival: arrival,
+				Route: fgRoute,
+			})
+			continue
+		}
+		bgLeft--
+		join := r.Intn(spec.Hops)
+		span := 1
+		for span < spec.Hops-join && r.Float64() < 0.4 {
+			span++
+		}
+		exit := join + span
+		srcKey := uint64(join*originsPerJunction + r.Intn(originsPerJunction))
+		dstKey := uint64(1<<32) | uint64(exit*originsPerJunction+r.Intn(originsPerJunction))
+		src, dst, route, err := lot.AttachBg(srcKey, dstKey, join, exit,
+			hostRate, hostRate, unit.Microsecond)
+		if err != nil {
+			return nil, err
+		}
+		flows = append(flows, Flow{
+			ID: id, Src: src, Dst: dst,
+			Size: spec.Sizes.Sample(r), Arrival: arrival,
+			Route: route,
+		})
+	}
+
+	// Calibrate against original path links only: stub links are synthetic
+	// capacity and must not drive the load target.
+	if err := calibratePathLoad(lot, flows, spec.MaxLoad); err != nil {
+		return nil, err
+	}
+	return &Synthetic{Lot: lot, Flows: flows, fgSet: fgSet}, nil
+}
+
+func calibratePathLoad(lot *topo.ParkingLot, flows []Flow, maxLoad float64) error {
+	if len(flows) == 0 {
+		return fmt.Errorf("workload: no flows to calibrate")
+	}
+	onPath := make(map[topo.LinkID]bool, len(lot.PathLinks))
+	for _, l := range lot.PathLinks {
+		onPath[l] = true
+	}
+	var horizon unit.Time
+	linkBits := make(map[topo.LinkID]float64, len(lot.PathLinks))
+	for i := range flows {
+		f := &flows[i]
+		if f.Arrival > horizon {
+			horizon = f.Arrival
+		}
+		bits := float64(f.WireSize().Bits())
+		for _, l := range f.Route {
+			if onPath[l] {
+				linkBits[l] += bits
+			}
+		}
+	}
+	if horizon <= 0 {
+		return fmt.Errorf("workload: degenerate horizon")
+	}
+	sec := horizon.Seconds()
+	var peak float64
+	for id, bits := range linkBits {
+		u := bits / (float64(lot.Link(id).Rate) * sec)
+		if u > peak {
+			peak = u
+		}
+	}
+	if peak <= 0 {
+		return fmt.Errorf("workload: no bytes on path links")
+	}
+	scale := peak / maxLoad
+	for i := range flows {
+		flows[i].Arrival = unit.Time(float64(flows[i].Arrival) * scale)
+	}
+	return nil
+}

@@ -1,0 +1,451 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/unit"
+)
+
+func TestParametricSizeMeans(t *testing.T) {
+	r := rng.New(1)
+	dists := []SizeDist{
+		ParetoSize{MeanBytes: 10000, Alpha: 2.5},
+		ExpSize{MeanBytes: 10000},
+		LogNormalSize{MeanBytes: 10000, Sigma: 1},
+	}
+	for _, d := range dists {
+		var sum float64
+		n := 200000
+		for i := 0; i < n; i++ {
+			sum += float64(d.Sample(r))
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-d.Mean())/d.Mean() > 0.1 {
+			t.Errorf("%s: empirical mean %v vs nominal %v", d.Name(), mean, d.Mean())
+		}
+	}
+}
+
+func TestGaussianSizeTruncation(t *testing.T) {
+	r := rng.New(2)
+	d := GaussianSize{MeanBytes: 1000}
+	for i := 0; i < 10000; i++ {
+		if d.Sample(r) < 1 {
+			t.Fatal("sampled size below 1 byte")
+		}
+	}
+}
+
+func TestSizeSamplesPositive(t *testing.T) {
+	r := rng.New(3)
+	dists := []SizeDist{
+		ParetoSize{MeanBytes: 100, Alpha: 1.2},
+		ExpSize{MeanBytes: 100},
+		GaussianSize{MeanBytes: 100},
+		LogNormalSize{MeanBytes: 100, Sigma: 2},
+		WebServer, CacheFollower, Hadoop,
+	}
+	for _, d := range dists {
+		for i := 0; i < 5000; i++ {
+			if s := d.Sample(r); s < 1 {
+				t.Fatalf("%s sampled %d", d.Name(), s)
+			}
+		}
+	}
+}
+
+func TestEmpiricalCDFShapes(t *testing.T) {
+	// WebServer should be much smaller-bodied than Hadoop.
+	r := rng.New(4)
+	count := func(d SizeDist, thresh unit.ByteSize) float64 {
+		small := 0
+		n := 50000
+		for i := 0; i < n; i++ {
+			if d.Sample(r) <= thresh {
+				small++
+			}
+		}
+		return float64(small) / float64(n)
+	}
+	wsSmall := count(WebServer, 1000)
+	hadoopSmall := count(Hadoop, 1000)
+	cacheSmall := count(CacheFollower, 1000)
+	if wsSmall < 0.7 {
+		t.Errorf("WebServer P(size<=1KB) = %v, want > 0.7", wsSmall)
+	}
+	if !(wsSmall > hadoopSmall && hadoopSmall > cacheSmall) {
+		t.Errorf("small-flow ordering violated: ws=%v hadoop=%v cache=%v",
+			wsSmall, hadoopSmall, cacheSmall)
+	}
+}
+
+func TestEmpiricalMeanConsistent(t *testing.T) {
+	r := rng.New(5)
+	for _, d := range []*EmpiricalSize{WebServer, CacheFollower, Hadoop} {
+		var sum float64
+		n := 300000
+		for i := 0; i < n; i++ {
+			sum += float64(d.Sample(r))
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-d.Mean())/d.Mean() > 0.1 {
+			t.Errorf("%s: empirical mean %v vs analytic %v", d.Name(), mean, d.Mean())
+		}
+	}
+}
+
+func TestNewEmpiricalSizeValidation(t *testing.T) {
+	if _, err := NewEmpiricalSize("x", []float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := NewEmpiricalSize("x", []float64{2, 1}, []float64{0.5, 1}); err == nil {
+		t.Error("descending sizes accepted")
+	}
+	if _, err := NewEmpiricalSize("x", []float64{1, 2}, []float64{0.5, 0.9}); err == nil {
+		t.Error("CDF not reaching 1 accepted")
+	}
+}
+
+func TestMetaDistLookup(t *testing.T) {
+	for _, name := range []string{"WebServer", "CacheFollower", "Hadoop"} {
+		d, err := MetaDist(name)
+		if err != nil || d.Name() != name {
+			t.Errorf("MetaDist(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := MetaDist("nope"); err == nil {
+		t.Error("unknown dist accepted")
+	}
+}
+
+func TestMatrixShapes(t *testing.T) {
+	r := rng.New(6)
+	for _, name := range []string{"A", "B", "C", "uniform"} {
+		m, err := Matrix(name, 32, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Racks() != 32 {
+			t.Errorf("%s: %d racks", name, m.Racks())
+		}
+		for i := 0; i < 32; i++ {
+			if m.W[i][i] != 0 {
+				t.Errorf("%s: diagonal not zero at %d", name, i)
+			}
+		}
+	}
+	if _, err := Matrix("Z", 32, r); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+}
+
+func TestMatrixSkewOrdering(t *testing.T) {
+	r := rng.New(7)
+	a := MatrixA(32, r.Split(1)).Skew()
+	b := MatrixB(32, r.Split(2)).Skew()
+	c := MatrixC(32, r.Split(3)).Skew()
+	if !(c > a && a > b) {
+		t.Errorf("skew ordering violated: C=%v A=%v B=%v (want C > A > B)", c, a, b)
+	}
+}
+
+func smallTopoAndRouter(t *testing.T) (*topo.FatTree, routing.Router) {
+	t.Helper()
+	ft, err := topo.SmallFatTree(topo.Oversub2to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft, routing.NewFatTreeRouter(ft)
+}
+
+func TestGenerateBasics(t *testing.T) {
+	ft, router := smallTopoAndRouter(t)
+	r := rng.New(8)
+	spec := Spec{
+		NumFlows:   2000,
+		Sizes:      WebServer,
+		Matrix:     MatrixB(32, r),
+		Burstiness: 1,
+		MaxLoad:    0.5,
+		Seed:       42,
+	}
+	flows, err := Generate(ft, router, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2000 {
+		t.Fatalf("%d flows", len(flows))
+	}
+	for i := range flows {
+		f := &flows[i]
+		if f.Src == f.Dst {
+			t.Fatal("flow with src == dst")
+		}
+		if f.Size < 1 {
+			t.Fatal("flow with zero size")
+		}
+		if err := ft.ValidateRoute(f.Src, f.Dst, f.Route); err != nil {
+			t.Fatalf("flow %d: %v", i, err)
+		}
+		if i > 0 && f.Arrival < flows[i-1].Arrival {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+}
+
+func TestGenerateLoadCalibration(t *testing.T) {
+	ft, router := smallTopoAndRouter(t)
+	r := rng.New(9)
+	for _, load := range []float64{0.2, 0.5, 0.8} {
+		spec := Spec{
+			NumFlows: 3000, Sizes: CacheFollower, Matrix: MatrixA(32, r.Split(uint64(load * 10))),
+			Burstiness: 1.5, MaxLoad: load, Seed: 7,
+		}
+		flows, err := Generate(ft, router, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := PeakUtilization(ft.Topology, flows)
+		if math.Abs(got-load)/load > 0.01 {
+			t.Errorf("MaxLoad %v: realized peak %v", load, got)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ft, router := smallTopoAndRouter(t)
+	r1, r2 := rng.New(10), rng.New(10)
+	spec := Spec{NumFlows: 500, Sizes: Hadoop, Burstiness: 2, MaxLoad: 0.4, Seed: 5}
+	spec.Matrix = MatrixC(32, r1)
+	a, err := Generate(ft, router, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Matrix = MatrixC(32, r2)
+	b, err := Generate(ft, router, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Size != b[i].Size || a[i].Arrival != b[i].Arrival {
+			t.Fatalf("flow %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	ft, router := smallTopoAndRouter(t)
+	r := rng.New(11)
+	good := Spec{NumFlows: 10, Sizes: WebServer, Matrix: MatrixB(32, r), Burstiness: 1, MaxLoad: 0.5}
+	bads := []func(*Spec){
+		func(s *Spec) { s.NumFlows = 0 },
+		func(s *Spec) { s.Sizes = nil },
+		func(s *Spec) { s.Matrix = nil },
+		func(s *Spec) { s.Burstiness = 0 },
+		func(s *Spec) { s.MaxLoad = 0 },
+		func(s *Spec) { s.MaxLoad = 1 },
+		func(s *Spec) { s.Matrix = MatrixB(8, r) }, // rack mismatch
+	}
+	for i, mutate := range bads {
+		s := good
+		mutate(&s)
+		if _, err := Generate(ft, router, s); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestBurstinessIncreasesClumping(t *testing.T) {
+	ft, router := smallTopoAndRouter(t)
+	r := rng.New(12)
+	cv := func(sigma float64) float64 {
+		spec := Spec{NumFlows: 5000, Sizes: WebServer, Matrix: MatrixB(32, r.Split(uint64(sigma * 100))),
+			Burstiness: sigma, MaxLoad: 0.5, Seed: 3}
+		flows, err := Generate(ft, router, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps := make([]float64, 0, len(flows)-1)
+		for i := 1; i < len(flows); i++ {
+			gaps = append(gaps, float64(flows[i].Arrival-flows[i-1].Arrival))
+		}
+		var sum, sumSq float64
+		for _, g := range gaps {
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		for _, g := range gaps {
+			sumSq += (g - mean) * (g - mean)
+		}
+		return math.Sqrt(sumSq/float64(len(gaps))) / mean
+	}
+	low, high := cv(1.0), cv(2.0)
+	if high <= low {
+		t.Errorf("burstiness sigma=2 CV (%v) not above sigma=1 CV (%v)", high, low)
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	f := Flow{Size: 2500}
+	// 3 packets -> 3 headers
+	want := unit.ByteSize(2500 + 3*48)
+	if got := f.WireSize(); got != want {
+		t.Errorf("WireSize = %v, want %v", got, want)
+	}
+}
+
+func TestSortByArrival(t *testing.T) {
+	flows := []Flow{
+		{ID: 0, Arrival: 30},
+		{ID: 1, Arrival: 10},
+		{ID: 2, Arrival: 20},
+	}
+	SortByArrival(flows)
+	if !sort.SliceIsSorted(flows, func(i, j int) bool { return flows[i].Arrival < flows[j].Arrival }) {
+		t.Error("not sorted")
+	}
+	for i := range flows {
+		if flows[i].ID != FlowID(i) {
+			t.Error("IDs not reassigned densely")
+		}
+	}
+}
+
+func TestGenerateSynthetic(t *testing.T) {
+	spec := SynthSpec{
+		Hops: 4, NumFg: 300, BgPerLink: 0.5,
+		Sizes: CacheFollower, Burstiness: 1.5, MaxLoad: 0.5, Seed: 1,
+	}
+	syn, err := GenerateSynthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.NumFg() != 300 {
+		t.Errorf("NumFg = %d, want 300", syn.NumFg())
+	}
+	wantBg := int(4 * 0.5 * 300)
+	if got := len(syn.Flows) - 300; got != wantBg {
+		t.Errorf("bg count = %d, want %d", got, wantBg)
+	}
+	fgRoute := syn.Lot.FgRoute()
+	for i := range syn.Flows {
+		f := &syn.Flows[i]
+		if err := syn.Lot.ValidateRoute(f.Src, f.Dst, f.Route); err != nil {
+			t.Fatalf("flow %d: %v", i, err)
+		}
+		if syn.IsFg(f.ID) {
+			if len(f.Route) != len(fgRoute) {
+				t.Fatal("fg flow not on full path")
+			}
+		} else {
+			// bg flows use at least one path link but never all of them
+			// unless they're interior-spanning; they must include a stub.
+			if len(f.Route) < 2 {
+				t.Fatal("bg route too short to include stubs")
+			}
+		}
+	}
+	if got := len(syn.FgFlows()); got != 300 {
+		t.Errorf("FgFlows returned %d", got)
+	}
+}
+
+func TestGenerateSyntheticLoadTarget(t *testing.T) {
+	spec := SynthSpec{
+		Hops: 2, NumFg: 500, BgPerLink: 1,
+		Sizes: WebServer, Burstiness: 1, MaxLoad: 0.6, Seed: 2,
+	}
+	syn, err := GenerateSynthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the most loaded *path* link is at 0.6.
+	onPath := make(map[topo.LinkID]bool)
+	for _, l := range syn.Lot.PathLinks {
+		onPath[l] = true
+	}
+	var horizon unit.Time
+	bits := make(map[topo.LinkID]float64)
+	for i := range syn.Flows {
+		f := &syn.Flows[i]
+		if f.Arrival > horizon {
+			horizon = f.Arrival
+		}
+		for _, l := range f.Route {
+			if onPath[l] {
+				bits[l] += float64(f.WireSize().Bits())
+			}
+		}
+	}
+	var peak float64
+	for l, b := range bits {
+		u := b / (float64(syn.Lot.Link(l).Rate) * horizon.Seconds())
+		if u > peak {
+			peak = u
+		}
+	}
+	if math.Abs(peak-0.6) > 0.01 {
+		t.Errorf("path peak load = %v, want 0.6", peak)
+	}
+}
+
+func TestGenerateSyntheticValidation(t *testing.T) {
+	good := SynthSpec{Hops: 2, NumFg: 10, Sizes: WebServer, Burstiness: 1, MaxLoad: 0.5}
+	bads := []func(*SynthSpec){
+		func(s *SynthSpec) { s.Hops = 0 },
+		func(s *SynthSpec) { s.Hops = 17 },
+		func(s *SynthSpec) { s.NumFg = 0 },
+		func(s *SynthSpec) { s.BgPerLink = -1 },
+		func(s *SynthSpec) { s.Sizes = nil },
+		func(s *SynthSpec) { s.Burstiness = 0 },
+		func(s *SynthSpec) { s.MaxLoad = 1.5 },
+	}
+	for i, mutate := range bads {
+		s := good
+		mutate(&s)
+		if _, err := GenerateSynthetic(s); err == nil {
+			t.Errorf("bad synth spec %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultPathRates(t *testing.T) {
+	r := DefaultPathRates(4)
+	if r[0] != 10*unit.Gbps || r[3] != 10*unit.Gbps {
+		t.Error("access links should be 10Gbps")
+	}
+	if r[1] != 40*unit.Gbps || r[2] != 40*unit.Gbps {
+		t.Error("fabric links should be 40Gbps")
+	}
+	single := DefaultPathRates(1)
+	if single[0] != 10*unit.Gbps {
+		t.Error("single link should be 10Gbps")
+	}
+}
+
+// Property: load calibration hits any target in (0,1) for arbitrary seeds.
+func TestCalibrationProperty(t *testing.T) {
+	ft, router := smallTopoAndRouter(t)
+	r := rng.New(13)
+	m := MatrixB(32, r)
+	f := func(seed uint16, loadPct uint8) bool {
+		load := 0.1 + 0.8*float64(loadPct)/255
+		spec := Spec{NumFlows: 200, Sizes: WebServer, Matrix: m,
+			Burstiness: 1, MaxLoad: load, Seed: uint64(seed)}
+		flows, err := Generate(ft, router, spec)
+		if err != nil {
+			return false
+		}
+		got := PeakUtilization(ft.Topology, flows)
+		return math.Abs(got-load)/load < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package m3 is a from-scratch Go reproduction of "m3: Accurate Flow-Level
+// Performance Estimation using Machine Learning" (SIGCOMM 2024): a fast,
+// scale-free estimator of data center network tail latency that decomposes
+// the network into paths, summarizes each path's workload with a max-min
+// fluid simulation (flowSim), and corrects the fluid estimates with a small
+// transformer+MLP model trained on packet-level ground truth.
+//
+// The package exposes the complete system: topologies, workload generation,
+// the packet-level ground-truth simulator, flowSim, the Parsimon baseline,
+// model training, and the m3 estimator. A typical session:
+//
+//	ft, _ := m3.SmallFatTree(m3.Oversub2to1)
+//	flows, _ := m3.GenerateWorkload(ft, m3.WorkloadSpec{ ... })
+//	net, _ := m3.LoadModel("m3.ckpt")             // or m3.TrainModel(...)
+//	est := m3.NewEstimator(net)
+//	res, _ := est.Estimate(ft.Topology, flows, m3.DefaultNetConfig())
+//	fmt.Println("p99 slowdown:", res.P99())
+package m3
+
+import (
+	"m3/internal/core"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/parsimon"
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// Re-exported core types. The aliases expose the full internal APIs.
+type (
+	// Topology is a network graph of nodes and directed links.
+	Topology = topo.Topology
+	// FatTree is a built fat-tree topology with its index structure.
+	FatTree = topo.FatTree
+	// ParkingLot is a path-level topology.
+	ParkingLot = topo.ParkingLot
+	// Oversub names an oversubscription ratio ("1-to-1", "2-to-1", "4-to-1").
+	Oversub = topo.Oversub
+	// Flow is one transfer with a fixed route.
+	Flow = workload.Flow
+	// WorkloadSpec configures full-network workload generation.
+	WorkloadSpec = workload.Spec
+	// SynthSpec configures synthetic parking-lot scenario generation.
+	SynthSpec = workload.SynthSpec
+	// SizeDist samples flow sizes.
+	SizeDist = workload.SizeDist
+	// TrafficMatrix weights rack-to-rack traffic.
+	TrafficMatrix = workload.TrafficMatrix
+	// NetConfig is the network configuration space (Table 4).
+	NetConfig = packetsim.Config
+	// CCType selects a congestion control protocol.
+	CCType = packetsim.CCType
+	// Model is the trained m3 network.
+	Model = model.Net
+	// ModelConfig shapes the m3 network.
+	ModelConfig = model.Config
+	// TrainOptions controls model training.
+	TrainOptions = model.TrainOptions
+	// DataConfig controls synthetic training-set generation.
+	DataConfig = model.DataConfig
+	// Sample is one path-level training/inference example.
+	Sample = model.Sample
+	// Estimator runs the m3 pipeline.
+	Estimator = core.Estimator
+	// Estimate is a network-wide estimation result.
+	Estimate = core.Estimate
+	// GroundTruthResult is a full-network packet-level baseline run.
+	GroundTruthResult = core.GroundTruth
+	// ParsimonResult is the link-level baseline's output.
+	ParsimonResult = parsimon.Result
+	// Method selects the per-path estimation backend.
+	Method = core.Method
+	// Time is simulated time in nanoseconds.
+	Time = unit.Time
+	// ByteSize is a data size in bytes.
+	ByteSize = unit.ByteSize
+	// Rate is a link rate in bits per second.
+	Rate = unit.Rate
+)
+
+// Re-exported constants.
+const (
+	Oversub1to1 = topo.Oversub1to1
+	Oversub2to1 = topo.Oversub2to1
+	Oversub4to1 = topo.Oversub4to1
+
+	DCTCP  = packetsim.DCTCP
+	TIMELY = packetsim.TIMELY
+	DCQCN  = packetsim.DCQCN
+	HPCC   = packetsim.HPCC
+
+	MethodML      = core.MethodML
+	MethodFlowSim = core.MethodFlowSim
+	MethodNS3Path = core.MethodNS3Path
+
+	KB = unit.KB
+	MB = unit.MB
+
+	Gbps = unit.Gbps
+	Mbps = unit.Mbps
+
+	Microsecond = unit.Microsecond
+	Millisecond = unit.Millisecond
+	Second      = unit.Second
+)
+
+// Meta production size distributions (Fig. 18b shapes).
+var (
+	WebServer     = workload.SizeDist(workload.WebServer)
+	CacheFollower = workload.SizeDist(workload.CacheFollower)
+	Hadoop        = workload.SizeDist(workload.Hadoop)
+)
+
+// SmallFatTree builds the paper's 32-rack, 256-host evaluation topology.
+func SmallFatTree(o Oversub) (*FatTree, error) { return topo.SmallFatTree(o) }
+
+// LargeFatTree builds the paper's 384-rack, 6144-host topology.
+func LargeFatTree() (*FatTree, error) { return topo.LargeFatTree() }
+
+// GenerateWorkload draws a calibrated workload on a fat-tree with ECMP
+// routing.
+func GenerateWorkload(ft *FatTree, spec WorkloadSpec) ([]Flow, error) {
+	return workload.Generate(ft, routing.NewFatTreeRouter(ft), spec)
+}
+
+// DefaultNetConfig returns the midpoint of the Table 4 configuration space
+// (DCTCP, PFC on).
+func DefaultNetConfig() NetConfig { return packetsim.DefaultConfig() }
+
+// DefaultModelConfig returns the CPU-scale model architecture.
+func DefaultModelConfig() ModelConfig { return model.DefaultConfig() }
+
+// DefaultDataConfig returns a CPU-scale training-set configuration.
+func DefaultDataConfig() DataConfig { return model.DefaultDataConfig() }
+
+// DefaultTrainOptions mirrors the paper's training setup at CPU scale.
+func DefaultTrainOptions() TrainOptions { return model.DefaultTrainOptions() }
+
+// TrainModel generates a synthetic Table 2 dataset and trains a fresh model
+// on it, returning the trained network.
+func TrainModel(mc ModelConfig, dc DataConfig, opt TrainOptions) (*Model, error) {
+	net, err := model.New(mc)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := model.Generate(dc)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := net.Train(samples, opt); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// SaveModel writes a trained model to path.
+func SaveModel(net *Model, path string) error { return net.SaveFile(path) }
+
+// LoadModel reads a model saved by SaveModel.
+func LoadModel(path string) (*Model, error) { return model.LoadFile(path) }
+
+// NewEstimator returns an m3 estimator with the paper's defaults
+// (500 sampled paths).
+func NewEstimator(net *Model) *Estimator { return core.NewEstimator(net) }
+
+// GroundTruth runs the full-network packet-level simulation (ns-3 stand-in).
+func GroundTruth(t *Topology, flows []Flow, cfg NetConfig) (*GroundTruthResult, error) {
+	return core.RunGroundTruth(t, flows, cfg)
+}
+
+// Parsimon runs the link-level decomposition baseline.
+func Parsimon(t *Topology, flows []Flow, cfg NetConfig, workers int) (*ParsimonResult, error) {
+	return parsimon.Run(t, flows, cfg, workers)
+}
+
+// Matrix builds traffic matrix "A", "B", "C", or "uniform" for the given
+// rack count, seeded deterministically.
+func Matrix(name string, racks int, seed uint64) (*TrafficMatrix, error) {
+	return workload.Matrix(name, racks, newRNG(seed))
+}
+
+func newRNG(seed uint64) *rng.RNG { return rng.New(seed) }
