@@ -10,6 +10,9 @@
 package m3
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
@@ -21,6 +24,7 @@ import (
 	"m3/internal/packetsim"
 	"m3/internal/rng"
 	"m3/internal/routing"
+	"m3/internal/serve"
 	"m3/internal/topo"
 	"m3/internal/workload"
 )
@@ -365,4 +369,54 @@ func BenchmarkAblationKnockout(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeEstimate measures the serving layer's estimate latency
+// through the full HTTP handler, cold (every iteration a fresh cache key)
+// versus warm (every iteration the same key, served from the LRU).
+func BenchmarkServeEstimate(b *testing.B) {
+	net, _ := benchNets(b)
+	srv, err := serve.New(serve.Options{Net: net, CacheSize: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	post := func(path string, body any) *httptest.ResponseRecorder {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("POST", path, bytes.NewReader(raw)))
+		return rec
+	}
+	rec := post("/v1/workloads", map[string]any{
+		"name": "bench",
+		"spec": map[string]any{"num_flows": 4000, "max_load": 0.5, "burstiness": 1.5, "seed": 9},
+	})
+	if rec.Code != 201 {
+		b.Fatalf("workload upload: %d %s", rec.Code, rec.Body.String())
+	}
+	estimate := func(seed uint64) {
+		rec := post("/v1/estimate", map[string]any{
+			"workload": "bench", "num_paths": 100, "seed": seed,
+		})
+		if rec.Code != 200 {
+			b.Fatalf("estimate: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			estimate(uint64(i) + 1e6) // unique key every iteration
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		estimate(1) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			estimate(1)
+		}
+	})
 }

@@ -17,24 +17,36 @@ import (
 
 func main() {
 	net, err := m3.LoadModel("testdata/m3-all.ckpt")
-	if err != nil { panic(err) }
+	if err != nil {
+		panic(err)
+	}
 	// scenario 4-like: matrix C WebServer 45% (the worst one)
 	root := rng.New(1010)
 	var mix exp.Mix
 	for i := 0; i < 6; i++ {
 		m := exp.RandomMix(root.Split(uint64(i)), 8000, uint64(300+i))
-		if i == 4 { mix = m }
+		if i == 4 {
+			mix = m
+		}
 	}
 	fmt.Printf("mix: %s %s %s load %.2f sigma %.0f\n", mix.MatrixName, mix.Sizes.Name(), mix.Oversub, mix.MaxLoad, mix.Burstiness)
 	ft, flows, err := mix.Build()
-	if err != nil { panic(err) }
+	if err != nil {
+		panic(err)
+	}
 	cfg := packetsim.DefaultConfig()
 	gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
-	if err != nil { panic(err) }
+	if err != nil {
+		panic(err)
+	}
 	d, err := pathsim.Decompose(ft.Topology, flows)
-	if err != nil { panic(err) }
+	if err != nil {
+		panic(err)
+	}
 	sample, err := sampling.Weighted(d.FgWeights(), 300, rng.New(mix.Seed))
-	if err != nil { panic(err) }
+	if err != nil {
+		panic(err)
+	}
 	distinct, _ := sampling.Dedup(sample)
 
 	// Pool per-bucket: model-predicted vectors vs GT fg slowdowns vs flowSim
@@ -42,13 +54,19 @@ func main() {
 	for _, pi := range distinct {
 		p := &d.Paths[pi]
 		sc, err := d.Scenario(p)
-		if err != nil { panic(err) }
+		if err != nil {
+			panic(err)
+		}
 		fs, err := sc.RunFlowSim()
-		if err != nil { panic(err) }
+		if err != nil {
+			panic(err)
+		}
 		in := model.BuildInputs(fs.Fg.Sizes, fs.Fg.Slowdown, fs.BgSizes, fs.BgSldn, cfg,
 			d.T.RouteRates(p.Links), d.T.RouteDelays(p.Links))
 		pred, err := net.Predict(in)
-		if err != nil { panic(err) }
+		if err != nil {
+			panic(err)
+		}
 		counts := feature.BuildOutput(fs.Fg.Sizes, fs.Fg.Slowdown).Counts
 		for b := 0; b < 4; b++ {
 			if counts[b] > 0 {
@@ -62,7 +80,9 @@ func main() {
 		}
 	}
 	for b := 0; b < 4; b++ {
-		if len(pooledGT[b]) == 0 { continue }
+		if len(pooledGT[b]) == 0 {
+			continue
+		}
 		fmt.Printf("bucket %d (n=%d): GT p50=%.2f p99=%.2f | pred p50=%.2f p99=%.2f | flowSim p50=%.2f p99=%.2f\n",
 			b, len(pooledGT[b]),
 			stats.Median(pooledGT[b]), stats.P99(pooledGT[b]),

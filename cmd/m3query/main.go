@@ -36,11 +36,10 @@ import (
 	"m3/internal/model"
 	"m3/internal/packetsim"
 	"m3/internal/query"
-	"m3/internal/routing"
 	"m3/internal/rng"
+	"m3/internal/routing"
 	"m3/internal/topo"
 	"m3/internal/trace"
-	"m3/internal/unit"
 	"m3/internal/workload"
 )
 
@@ -222,13 +221,13 @@ func execute(sess *query.Session, line string) (quit bool) {
 			return
 		}
 		cfg := sess.Config()
-		if err := applyKnob(&cfg, args[1], args[2]); report(err) {
+		if err := cfg.Set(args[1], args[2]); report(err) {
 			return
 		}
 		if err := sess.SetConfig(cfg); report(err) {
 			return
 		}
-		fmt.Println("ok (estimates will be recomputed)")
+		fmt.Println("ok (new estimates computed on demand; earlier configs stay cached)")
 	case "show":
 		cfg := sess.Config()
 		fmt.Printf("cc=%v initwnd=%v buffer=%v pfc=%v", cfg.CC, cfg.InitWindow, cfg.Buffer, cfg.PFC)
@@ -247,46 +246,6 @@ func execute(sess *query.Session, line string) (quit bool) {
 		fmt.Printf("unknown command %q (try help)\n", args[0])
 	}
 	return false
-}
-
-func applyKnob(cfg *packetsim.Config, knob, value string) error {
-	switch knob {
-	case "cc":
-		cc, err := packetsim.ParseCC(value)
-		if err != nil {
-			return err
-		}
-		cfg.CC = cc
-	case "initwnd":
-		v, err := strconv.ParseInt(value, 10, 64)
-		if err != nil {
-			return err
-		}
-		cfg.InitWindow = unit.ByteSize(v)
-	case "buffer":
-		v, err := strconv.ParseInt(value, 10, 64)
-		if err != nil {
-			return err
-		}
-		cfg.Buffer = unit.ByteSize(v)
-	case "pfc":
-		cfg.PFC = value == "on" || value == "true" || value == "1"
-	case "eta":
-		v, err := strconv.ParseFloat(value, 64)
-		if err != nil {
-			return err
-		}
-		cfg.HPCCEta = v
-	case "k":
-		v, err := strconv.ParseInt(value, 10, 64)
-		if err != nil {
-			return err
-		}
-		cfg.DCTCPK = unit.ByteSize(v)
-	default:
-		return fmt.Errorf("unknown knob %q", knob)
-	}
-	return nil
 }
 
 func printQuantile(label string, bucket int, v float64, elapsed time.Duration) {

@@ -1,0 +1,99 @@
+// Command m3serve runs the m3 estimation service: an HTTP API over the
+// trained estimator with a shared worker pool, an estimate cache, and
+// checkpoint hot-reload.
+//
+// Usage:
+//
+//	m3serve -checkpoint m3.ckpt [-addr :8053] [-workers N] [-cache 64]
+//
+// Signals:
+//
+//	SIGHUP          re-read the checkpoint and swap the model atomically
+//	SIGINT/SIGTERM  graceful drain: stop accepting, finish in-flight requests
+//
+// See internal/serve for the endpoint reference and README.md for a curl
+// walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"m3/internal/model"
+	"m3/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8053", "listen address")
+	checkpoint := flag.String("checkpoint", "", "trained model checkpoint (required)")
+	workers := flag.Int("workers", 0, "shared path-simulation workers (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 64, "finished-estimate LRU capacity")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	if *checkpoint == "" {
+		fatal(fmt.Errorf("-checkpoint is required (train one with cmd/m3train)"))
+	}
+	net, err := model.LoadFile(*checkpoint)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(serve.Options{
+		Net:            net,
+		CheckpointPath: *checkpoint,
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "m3serve: model loaded (%d params), listening on %s\n",
+		net.NumParams(), *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(""); err != nil {
+				fmt.Fprintf(os.Stderr, "m3serve: reload failed: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "m3serve: checkpoint reloaded\n")
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-done:
+		fatal(err)
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "m3serve: %v, draining (budget %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "m3serve: drain incomplete: %v\n", err)
+		}
+		srv.Close()
+	}
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "m3serve: %v\n", err)
+	os.Exit(1)
+}

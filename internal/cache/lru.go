@@ -1,0 +1,81 @@
+// Package cache provides a small generic LRU used to keep finished
+// estimates and per-workload decompositions hot across queries. It is the
+// shared cache substrate behind both the query REPL and the estimation
+// service; see core.EstimateCache for the synchronized, keyed wrapper.
+package cache
+
+import "container/list"
+
+// LRU is a fixed-capacity least-recently-used map. It is NOT safe for
+// concurrent use; wrap it with a mutex (core.EstimateCache does).
+type LRU[K comparable, V any] struct {
+	capacity int
+	ll       *list.List
+	items    map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an LRU holding at most capacity entries (capacity must be
+// positive).
+func New[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the value for key and marks it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts or updates key, evicting the least recently used entry when
+// the cache is full. It reports whether an eviction happened.
+func (c *LRU[K, V]) Add(key K, val V) bool {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry[K, V]).val = val
+		return false
+	}
+	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val})
+	if c.ll.Len() <= c.capacity {
+		return false
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	delete(c.items, oldest.Value.(*entry[K, V]).key)
+	return true
+}
+
+// Remove drops key if present.
+func (c *LRU[K, V]) Remove(key K) {
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *LRU[K, V]) Len() int { return c.ll.Len() }
+
+// Cap returns the capacity.
+func (c *LRU[K, V]) Cap() int { return c.capacity }
+
+// Purge empties the cache.
+func (c *LRU[K, V]) Purge() {
+	c.ll.Init()
+	clear(c.items)
+}

@@ -1,0 +1,57 @@
+package cache
+
+import "testing"
+
+func TestLRUBasics(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache returned a value")
+	}
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("a = %v, %v", v, ok)
+	}
+	// "a" is now most recent; adding "c" must evict "b".
+	if evicted := c.Add("c", 3); !evicted {
+		t.Error("no eviction at capacity")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU evicted the wrong entry")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("a lost: %v, %v", v, ok)
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Errorf("len %d cap %d", c.Len(), c.Cap())
+	}
+}
+
+func TestLRUUpdateAndRemove(t *testing.T) {
+	c := New[int, string](3)
+	c.Add(1, "x")
+	if evicted := c.Add(1, "y"); evicted {
+		t.Error("update evicted")
+	}
+	if v, _ := c.Get(1); v != "y" {
+		t.Errorf("update lost: %q", v)
+	}
+	c.Remove(1)
+	if _, ok := c.Get(1); ok {
+		t.Error("removed key still present")
+	}
+	c.Add(2, "a")
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("purge left %d entries", c.Len())
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := New[int, int](0) // clamped to 1
+	c.Add(1, 1)
+	c.Add(2, 2)
+	if c.Len() != 1 {
+		t.Errorf("len %d after clamp", c.Len())
+	}
+}

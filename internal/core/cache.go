@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"m3/internal/cache"
+	"m3/internal/packetsim"
+	"m3/internal/topo"
+	"m3/internal/workload"
+)
+
+// WorkloadHash identifies a (topology, flows) pair for cache keying.
+type WorkloadHash uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+type fnv64 uint64
+
+func (h *fnv64) mix(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= fnvPrime64
+		v >>= 8
+	}
+	*h = fnv64(x)
+}
+
+// HashWorkload fingerprints a workload and the topology it runs on
+// (FNV-1a over links and flows). Two workloads with the same hash share
+// decompositions and estimates in the caches, so every field that affects
+// estimation is folded in.
+func HashWorkload(t *topo.Topology, flows []workload.Flow) WorkloadHash {
+	h := fnv64(fnvOffset64)
+	h.mix(uint64(len(t.Links)))
+	for i := range t.Links {
+		l := &t.Links[i]
+		h.mix(uint64(l.Src)<<32 | uint64(uint32(l.Dst)))
+		h.mix(uint64(l.Rate))
+		h.mix(uint64(l.Delay))
+	}
+	h.mix(uint64(len(flows)))
+	for i := range flows {
+		f := &flows[i]
+		h.mix(uint64(f.ID)<<32 | uint64(uint32(f.Src)))
+		h.mix(uint64(uint32(f.Dst)))
+		h.mix(uint64(f.Size))
+		h.mix(uint64(f.Arrival))
+		for _, l := range f.Route {
+			h.mix(uint64(l))
+		}
+	}
+	return WorkloadHash(h)
+}
+
+// EstimateKey names one finished estimate: the workload (and topology), the
+// network configuration, the backend, the sampling budget and seed, and —
+// for the ML backend — the model version, so checkpoint hot-reloads never
+// serve estimates from an older model.
+type EstimateKey struct {
+	Workload WorkloadHash
+	Cfg      packetsim.Config
+	Method   Method
+	NumPaths int
+	Seed     uint64
+	Model    uint64 // model fingerprint; 0 for model-free methods
+}
+
+// EstimateCache is a synchronized LRU of finished estimates with
+// single-flight semantics: concurrent requests for the same key share one
+// computation instead of duplicating work. It generalizes the one-entry
+// per-config cache the query REPL used to keep, and is shared by the REPL
+// and the estimation service.
+type EstimateCache struct {
+	mu       sync.Mutex
+	lru      *cache.LRU[EstimateKey, *Estimate]
+	inflight map[EstimateKey]*inflightEstimate
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type inflightEstimate struct {
+	done chan struct{}
+	res  *Estimate
+	err  error
+}
+
+// NewEstimateCache returns a cache holding up to capacity finished
+// estimates (capacity <= 0 defaults to 64).
+func NewEstimateCache(capacity int) *EstimateCache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &EstimateCache{
+		lru:      cache.New[EstimateKey, *Estimate](capacity),
+		inflight: make(map[EstimateKey]*inflightEstimate),
+	}
+}
+
+// Do returns the cached estimate for key, or computes it via compute. The
+// second result reports whether the value came from the cache (including
+// joining another caller's in-flight computation). Errors are not cached;
+// if an in-flight leader is cancelled, one waiter takes over and
+// recomputes.
+func (c *EstimateCache) Do(ctx context.Context, key EstimateKey,
+	compute func() (*Estimate, error)) (*Estimate, bool, error) {
+
+	for {
+		c.mu.Lock()
+		if res, ok := c.lru.Get(key); ok {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return res, true, nil
+		}
+		if call, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if call.err == nil {
+				c.hits.Add(1)
+				return call.res, true, nil
+			}
+			if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+				// The leader's request was abandoned, not the work itself
+				// failed — retry (possibly becoming the new leader).
+				if ctx.Err() != nil {
+					return nil, false, ctx.Err()
+				}
+				continue
+			}
+			return nil, false, call.err
+		}
+		call := &inflightEstimate{done: make(chan struct{})}
+		c.inflight[key] = call
+		c.mu.Unlock()
+
+		c.misses.Add(1)
+		res, err := compute()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			c.lru.Add(key, res)
+		}
+		c.mu.Unlock()
+		call.res, call.err = res, err
+		close(call.done)
+		return res, false, err
+	}
+}
+
+// Get returns the cached estimate for key without computing.
+func (c *EstimateCache) Get(key EstimateKey) (*Estimate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Get(key)
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// Stats snapshots hit/miss counters and the current entry count.
+func (c *EstimateCache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := c.lru.Len()
+	c.mu.Unlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: entries}
+}

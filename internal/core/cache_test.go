@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"m3/internal/packetsim"
+)
+
+func testKey(seed uint64) EstimateKey {
+	return EstimateKey{
+		Workload: 42, Cfg: packetsim.DefaultConfig(),
+		Method: MethodML, NumPaths: 100, Seed: seed, Model: 7,
+	}
+}
+
+func TestEstimateCacheHitMiss(t *testing.T) {
+	c := NewEstimateCache(4)
+	want := &Estimate{DistinctPaths: 1}
+	got, cached, err := c.Do(context.Background(), testKey(1),
+		func() (*Estimate, error) { return want, nil })
+	if err != nil || cached || got != want {
+		t.Fatalf("first Do = (%v, %v, %v)", got, cached, err)
+	}
+	got, cached, err = c.Do(context.Background(), testKey(1),
+		func() (*Estimate, error) { t.Fatal("recomputed"); return nil, nil })
+	if err != nil || !cached || got != want {
+		t.Fatalf("second Do = (%v, %v, %v)", got, cached, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEstimateCacheErrorNotCached(t *testing.T) {
+	c := NewEstimateCache(4)
+	boom := errors.New("boom")
+	_, _, err := c.Do(context.Background(), testKey(1),
+		func() (*Estimate, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	want := &Estimate{}
+	got, cached, err := c.Do(context.Background(), testKey(1),
+		func() (*Estimate, error) { return want, nil })
+	if err != nil || cached || got != want {
+		t.Fatalf("Do after error = (%v, %v, %v)", got, cached, err)
+	}
+}
+
+// TestEstimateCacheSingleFlight launches many concurrent requests for one
+// key: exactly one compute runs, every other caller joins it as a hit.
+func TestEstimateCacheSingleFlight(t *testing.T) {
+	c := NewEstimateCache(4)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	want := &Estimate{DistinctPaths: 9}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*Estimate, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := c.Do(context.Background(), testKey(1), func() (*Estimate, error) {
+				computes.Add(1)
+				<-gate // hold every follower in the wait path
+				return want, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = res
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computes = %d, want 1", got)
+	}
+	for i, res := range results {
+		if res != want {
+			t.Fatalf("caller %d got %v", i, res)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestEstimateCacheLeaderCancelled: when the computing leader is cancelled,
+// a waiting follower takes over and recomputes instead of failing.
+func TestEstimateCacheLeaderCancelled(t *testing.T) {
+	c := NewEstimateCache(4)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	want := &Estimate{DistinctPaths: 5}
+
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.Do(leaderCtx, testKey(1), func() (*Estimate, error) {
+			close(leaderIn)
+			<-leaderCtx.Done()
+			return nil, leaderCtx.Err()
+		})
+	}()
+	<-leaderIn
+	followerDone := make(chan struct{})
+	var followerRes *Estimate
+	var followerErr error
+	go func() {
+		defer close(followerDone)
+		followerRes, _, followerErr = c.Do(context.Background(), testKey(1),
+			func() (*Estimate, error) { return want, nil })
+	}()
+	cancelLeader()
+	wg.Wait()
+	<-followerDone
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Errorf("leader err = %v", leaderErr)
+	}
+	if followerErr != nil || followerRes != want {
+		t.Errorf("follower = (%v, %v), want recomputed result", followerRes, followerErr)
+	}
+}
+
+func TestEstimateCacheWaiterContext(t *testing.T) {
+	c := NewEstimateCache(4)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), testKey(1), func() (*Estimate, error) {
+			close(leaderIn)
+			<-release
+			return &Estimate{}, nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, testKey(1),
+		func() (*Estimate, error) { return &Estimate{}, nil })
+	close(release)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("waiter err = %v, want context.Canceled", err)
+	}
+}
+
+func TestHashWorkloadSensitivity(t *testing.T) {
+	ft, flows := testWorkload(t, 500, 1)
+	h1 := HashWorkload(ft.Topology, flows)
+	if h2 := HashWorkload(ft.Topology, flows); h2 != h1 {
+		t.Error("hash not deterministic")
+	}
+	flows[250].Size++
+	if h2 := HashWorkload(ft.Topology, flows); h2 == h1 {
+		t.Error("hash ignores flow size")
+	}
+	flows[250].Size--
+	_, other := testWorkload(t, 500, 2)
+	if h2 := HashWorkload(ft.Topology, other); h2 == h1 {
+		t.Error("distinct workloads share a hash")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"m3/internal/packetsim"
+	"m3/internal/pathsim"
+)
+
+// TestEstimateContextCancellation: cancelling the context mid-estimate
+// aborts the in-flight path simulations promptly instead of running every
+// sampled path to completion.
+func TestEstimateContextCancellation(t *testing.T) {
+	ft, flows := testWorkload(t, 4000, 1)
+	d, err := pathsim.Decompose(ft.Topology, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ns3-path is the slow backend: per-path packet simulation.
+	est := &Estimator{NumPaths: 300, Method: MethodNS3Path, Seed: 3, Decomp: d}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = est.EstimateContext(ctx, ft.Topology, flows, packetsim.DefaultConfig())
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("estimate returned %v after cancellation", elapsed)
+	}
+}
+
+// TestEstimateDeadline: a deadline in the past fails immediately with
+// DeadlineExceeded before any path work.
+func TestEstimateDeadline(t *testing.T) {
+	ft, flows := testWorkload(t, 800, 1)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	est := &Estimator{NumPaths: 50, Method: MethodFlowSim, Seed: 1}
+	_, err := est.EstimateContext(ctx, ft.Topology, flows, packetsim.DefaultConfig())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestEstimateSharedPoolAndDecomp: an estimator wired the way the serving
+// layer wires it (shared pool, precomputed decomposition) matches the
+// defaults path.
+func TestEstimateSharedPoolAndDecomp(t *testing.T) {
+	ft, flows := testWorkload(t, 1200, 1)
+	d, err := pathsim.Decompose(ft.Topology, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(4)
+	defer pool.Close()
+
+	plain := &Estimator{NumPaths: 80, Method: MethodFlowSim, Seed: 3}
+	wired := &Estimator{NumPaths: 80, Method: MethodFlowSim, Seed: 3, Pool: pool, Decomp: d}
+	a, err := plain.Estimate(ft.Topology, flows, packetsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wired.Estimate(ft.Topology, flows, packetsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P99() != b.P99() || a.DistinctPaths != b.DistinctPaths {
+		t.Errorf("pool/decomp wiring changed results: %v vs %v", a.P99(), b.P99())
+	}
+	if b.Stages.Decompose >= a.Stages.Decompose && a.Stages.Decompose > 0 {
+		// Precomputed decomposition should make that stage ~free.
+		t.Logf("decompose stages: plain=%v wired=%v", a.Stages.Decompose, b.Stages.Decompose)
+	}
+}

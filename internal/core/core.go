@@ -11,9 +11,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"m3/internal/agg"
@@ -61,17 +61,40 @@ type Estimator struct {
 	Net *model.Net
 	// NumPaths is the number of sampled paths (paper default: 500).
 	NumPaths int
-	// Workers bounds per-path parallelism (0 = GOMAXPROCS).
+	// Workers bounds per-path parallelism (0 = GOMAXPROCS). Ignored when
+	// Pool is set — the pool's size governs.
 	Workers int
 	// Method selects the backend (default MethodML).
 	Method Method
 	// Seed drives the path sampling.
 	Seed uint64
+	// Pool, when set, supplies the per-path workers. Long-lived callers
+	// (the estimation service) share one Pool across estimators so
+	// concurrent estimates divide the cores instead of oversubscribing
+	// them. When nil, Estimate spins up a transient pool of Workers.
+	Pool *Pool
+	// Decomp, when set, must be the decomposition of exactly the
+	// (topology, flows) passed to Estimate; the decompose stage is then
+	// skipped. Callers that estimate the same workload repeatedly under
+	// different configurations (sessions, the service) cache it.
+	Decomp *pathsim.Decomposition
 }
 
 // NewEstimator returns an estimator with the paper's defaults.
 func NewEstimator(net *model.Net) *Estimator {
 	return &Estimator{Net: net, NumPaths: 500, Seed: 1}
+}
+
+// StageTimings breaks an estimation's cost down by pipeline stage.
+// Decompose, Sample, and Aggregate are wall-clock; PathSim and Predict are
+// summed across workers (CPU time spent in the per-path backends and in ML
+// inference), feeding the serving layer's /metrics endpoint.
+type StageTimings struct {
+	Decompose time.Duration
+	Sample    time.Duration
+	PathSim   time.Duration
+	Predict   time.Duration
+	Aggregate time.Duration
 }
 
 // Estimate is the result of a network-wide estimation.
@@ -85,6 +108,8 @@ type Estimate struct {
 	// Elapsed is the wall-clock estimation time (excluding workload
 	// generation, matching how the paper reports simulation time).
 	Elapsed time.Duration
+	// Stages attributes the cost to pipeline stages.
+	Stages StageTimings
 }
 
 // P99PerBucket returns the estimated p99 slowdown for the four output size
@@ -102,6 +127,16 @@ func (e *Estimate) P99() float64 { return e.Agg.CombinedP99() }
 
 // Estimate runs the pipeline on the given workload and network config.
 func (e *Estimator) Estimate(t *topo.Topology, flows []workload.Flow, cfg packetsim.Config) (*Estimate, error) {
+	return e.EstimateContext(context.Background(), t, flows, cfg)
+}
+
+// EstimateContext is Estimate with cooperative cancellation threaded down
+// to the per-path backends: when ctx ends (a client disconnect, a
+// deadline), in-flight path simulations abort mid-run and the estimate
+// returns ctx.Err() promptly instead of running every path to completion.
+func (e *Estimator) EstimateContext(ctx context.Context, t *topo.Topology,
+	flows []workload.Flow, cfg packetsim.Config) (*Estimate, error) {
+
 	start := time.Now()
 	if e.Method == MethodML && e.Net == nil {
 		return nil, fmt.Errorf("core: MethodML requires a trained model")
@@ -112,82 +147,102 @@ func (e *Estimator) Estimate(t *topo.Topology, flows []workload.Flow, cfg packet
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d, err := pathsim.Decompose(t, flows)
-	if err != nil {
-		return nil, err
+	var st StageTimings
+	d := e.Decomp
+	if d == nil {
+		var err error
+		d, err = pathsim.Decompose(t, flows)
+		if err != nil {
+			return nil, err
+		}
 	}
+	st.Decompose = time.Since(start)
+
+	sampleStart := time.Now()
 	r := rng.New(e.Seed)
 	sample, err := sampling.Weighted(d.FgWeights(), e.NumPaths, r)
 	if err != nil {
 		return nil, err
 	}
 	distinct, mult := sampling.Dedup(sample)
+	st.Sample = time.Since(sampleStart)
 
+	// Workers pull path indices from the pool; the first error (or a done
+	// ctx) cancels the remaining paths instead of running them all out.
+	pool := e.Pool
+	if pool == nil {
+		pool = NewPool(e.Workers)
+		defer pool.Close()
+	}
 	outs := make([]agg.PathOutput, len(distinct))
-	errs := make([]error, len(distinct))
-	workers := e.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range distinct {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[i], errs[i] = e.estimatePath(d, &d.Paths[distinct[i]], mult[i], cfg)
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
+	var pathSimNs, predictNs atomic.Int64
+	err = pool.Run(ctx, len(distinct), func(ctx context.Context, i int) error {
+		out, err := e.estimatePath(ctx, d, &d.Paths[distinct[i]], mult[i], cfg, &pathSimNs, &predictNs)
 		if err != nil {
-			return nil, fmt.Errorf("core: path %d: %w", distinct[i], err)
+			return fmt.Errorf("core: path %d: %w", distinct[i], err)
 		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	st.PathSim = time.Duration(pathSimNs.Load())
+	st.Predict = time.Duration(predictNs.Load())
+
+	aggStart := time.Now()
 	a, err := agg.Aggregate(outs)
 	if err != nil {
 		return nil, err
 	}
+	st.Aggregate = time.Since(aggStart)
 	return &Estimate{
 		Agg:           a,
 		DistinctPaths: len(distinct),
 		TotalPaths:    len(d.Paths),
 		Elapsed:       time.Since(start),
+		Stages:        st,
 	}, nil
 }
 
-// estimatePath produces one sampled path's bucketed percentile vectors.
-func (e *Estimator) estimatePath(d *pathsim.Decomposition, p *pathsim.Path, mult int,
-	cfg packetsim.Config) (agg.PathOutput, error) {
+// estimatePath produces one sampled path's bucketed percentile vectors,
+// accumulating backend and inference time into the stage counters.
+func (e *Estimator) estimatePath(ctx context.Context, d *pathsim.Decomposition,
+	p *pathsim.Path, mult int, cfg packetsim.Config,
+	pathSimNs, predictNs *atomic.Int64) (agg.PathOutput, error) {
 
 	sc, err := d.Scenario(p)
 	if err != nil {
 		return agg.PathOutput{}, err
 	}
+	simStart := time.Now()
 	switch e.Method {
 	case MethodNS3Path:
-		fg, err := sc.RunPacket(cfg)
+		fg, err := sc.RunPacketContext(ctx, cfg)
+		pathSimNs.Add(int64(time.Since(simStart)))
 		if err != nil {
 			return agg.PathOutput{}, err
 		}
 		return outputFromSamples(fg.Sizes, fg.Slowdown, mult), nil
 	case MethodFlowSim:
-		fs, err := sc.RunFlowSim()
+		fs, err := sc.RunFlowSimContext(ctx)
+		pathSimNs.Add(int64(time.Since(simStart)))
 		if err != nil {
 			return agg.PathOutput{}, err
 		}
 		return outputFromSamples(fs.Fg.Sizes, fs.Fg.Slowdown, mult), nil
 	case MethodML:
-		fs, err := sc.RunFlowSim()
+		fs, err := sc.RunFlowSimContext(ctx)
+		pathSimNs.Add(int64(time.Since(simStart)))
 		if err != nil {
 			return agg.PathOutput{}, err
 		}
 		rates := d.T.RouteRates(p.Links)
 		delays := d.T.RouteDelays(p.Links)
 		in := model.BuildInputs(fs.Fg.Sizes, fs.Fg.Slowdown, fs.BgSizes, fs.BgSldn, cfg, rates, delays)
+		predStart := time.Now()
 		pred, err := e.Net.Predict(in)
+		predictNs.Add(int64(time.Since(predStart)))
 		if err != nil {
 			return agg.PathOutput{}, err
 		}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunAll(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	err := p.Run(context.Background(), 100, func(ctx context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 99*100/2 {
+		t.Errorf("sum = %d", got)
+	}
+}
+
+func TestPoolFirstErrorCancelsRemainder(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := p.Run(context.Background(), 1000, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("all %d tasks ran despite early error", got)
+	}
+}
+
+func TestPoolCallerCancellation(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	start := time.Now()
+	go func() {
+		<-started
+		cancel()
+	}()
+	err := p.Run(ctx, 1000, func(ctx context.Context, i int) error {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+			return nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Run took %v after cancellation", elapsed)
+	}
+}
+
+// TestPoolSharedAcrossRuns drives concurrent Run calls through one pool:
+// total parallelism stays bounded by the pool size.
+func TestPoolSharedAcrossRuns(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Run(context.Background(), 20, func(ctx context.Context, i int) error {
+				n := inFlight.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inFlight.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak parallelism %d exceeds pool size %d", got, workers)
+	}
+}

@@ -280,8 +280,6 @@ func mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-
-
 func TestAblationKnockoutQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test")

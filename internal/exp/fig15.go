@@ -159,4 +159,3 @@ func RunFig15(s Scale, net *model.Net, w io.Writer) (*Fig15Result, error) {
 	}
 	return res, nil
 }
-

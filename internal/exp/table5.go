@@ -11,8 +11,8 @@ import (
 	"m3/internal/packetsim"
 	"m3/internal/parsimon"
 	"m3/internal/plot"
-	"m3/internal/routing"
 	"m3/internal/rng"
+	"m3/internal/routing"
 	"m3/internal/stats"
 	"m3/internal/topo"
 	"m3/internal/unit"
@@ -155,4 +155,3 @@ func RunFig12(rows []Table5Row, w io.Writer) {
 		}
 	}
 }
-

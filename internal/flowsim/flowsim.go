@@ -11,6 +11,7 @@
 package flowsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -144,6 +145,17 @@ func MaxMinRates(caps []float64, routes [][]int32) []float64 {
 // Flows need not be sorted; results are indexed by FlowID, which must be
 // dense in [0, len(flows)).
 func Run(t *topo.Topology, flows []workload.Flow) (*Result, error) {
+	return RunContext(context.Background(), t, flows)
+}
+
+// ctxPollInterval is how many event-loop iterations pass between
+// cancellation checks; polling is O(1) but not free, so it is amortized.
+const ctxPollInterval = 512
+
+// RunContext is Run with cooperative cancellation: the event loop polls ctx
+// every few hundred iterations and aborts with ctx.Err() once it is done,
+// so callers (the estimation service) can cut short abandoned simulations.
+func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow) (*Result, error) {
 	n := len(flows)
 	res := &Result{
 		FCT:      make([]unit.Time, n),
@@ -224,7 +236,15 @@ func Run(t *topo.Topology, flows []workload.Flow) (*Result, error) {
 		}
 	}
 
+	iter := 0
 	for next < n || len(act) > 0 {
+		if iter++; iter%ctxPollInterval == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		// Earliest completion among active flows.
 		tc := math.Inf(1)
 		for i := range act {

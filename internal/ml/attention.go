@@ -29,6 +29,11 @@ func (l *SeqLinear) Params() []*Param { return []*Param{l.W, l.B} }
 // Forward maps every position.
 func (l *SeqLinear) Forward(xs [][]float64) [][]float64 {
 	l.xs = xs
+	return l.Apply(xs)
+}
+
+// Apply maps every position without caching, safe for concurrent use.
+func (l *SeqLinear) Apply(xs [][]float64) [][]float64 {
 	ys := make([][]float64, len(xs))
 	for t, x := range xs {
 		y := make([]float64, l.W.Rows)
@@ -90,17 +95,18 @@ func (n *SeqRMSNorm) Forward(xs [][]float64) [][]float64 {
 	n.invs = make([]float64, len(xs))
 	ys := make([][]float64, len(xs))
 	for t, x := range xs {
-		var ss float64
-		for _, v := range x {
-			ss += v * v
-		}
-		inv := 1 / math.Sqrt(ss/float64(len(x))+rmsEps)
+		y, inv := rmsApply(x, n.Gain.W)
 		n.invs[t] = inv
-		y := make([]float64, len(x))
-		for i, v := range x {
-			y[i] = v * inv * n.Gain.W[i]
-		}
 		ys[t] = y
+	}
+	return ys
+}
+
+// Apply normalizes each position without caching, safe for concurrent use.
+func (n *SeqRMSNorm) Apply(xs [][]float64) [][]float64 {
+	ys := make([][]float64, len(xs))
+	for t, x := range xs {
+		ys[t], _ = rmsApply(x, n.Gain.W)
 	}
 	return ys
 }
@@ -165,6 +171,22 @@ func (s *SeqSwiGLU) Forward(xs [][]float64) [][]float64 {
 	return s.W2.Forward(hs)
 }
 
+// Apply runs the gate at each position without caching, safe for
+// concurrent use.
+func (s *SeqSwiGLU) Apply(xs [][]float64) [][]float64 {
+	us := s.W1.Apply(xs)
+	gs := s.W3.Apply(xs)
+	hs := make([][]float64, len(xs))
+	for t := range xs {
+		h := make([]float64, len(us[t]))
+		for i := range h {
+			h[i] = us[t][i] * silu(gs[t][i])
+		}
+		hs[t] = h
+	}
+	return s.W2.Apply(hs)
+}
+
 // Backward propagates through the gate at each position.
 func (s *SeqSwiGLU) Backward(dys [][]float64) [][]float64 {
 	dhs := s.W2.Backward(dys)
@@ -225,27 +247,44 @@ func (m *MHA) Params() []*Param {
 
 // Forward computes self-attention over the sequence.
 func (m *MHA) Forward(xs [][]float64) [][]float64 {
-	n := len(xs)
 	m.q = m.Wq.Forward(xs)
 	m.k = m.Wk.Forward(xs)
 	m.v = m.Wv.Forward(xs)
-	dh := m.Dim / m.Heads
+	out, att := attend(m.q, m.k, m.v, m.Dim, m.Heads)
+	m.att = att
+	return m.Wo.Forward(out)
+}
+
+// Apply computes self-attention without caching, safe for concurrent use.
+func (m *MHA) Apply(xs [][]float64) [][]float64 {
+	q := m.Wq.Apply(xs)
+	k := m.Wk.Apply(xs)
+	v := m.Wv.Apply(xs)
+	out, _ := attend(q, k, v, m.Dim, m.Heads)
+	return m.Wo.Apply(out)
+}
+
+// attend computes multi-head softmax attention over projected q/k/v and
+// returns the mixed values plus the attention weights (head -> i -> j).
+func attend(q, k, v [][]float64, dim, heads int) ([][]float64, [][][]float64) {
+	n := len(q)
+	dh := dim / heads
 	scale := 1 / math.Sqrt(float64(dh))
-	m.att = make([][][]float64, m.Heads)
+	att := make([][][]float64, heads)
 	out := make([][]float64, n)
 	for i := range out {
-		out[i] = make([]float64, m.Dim)
+		out[i] = make([]float64, dim)
 	}
-	for h := 0; h < m.Heads; h++ {
+	for h := 0; h < heads; h++ {
 		lo := h * dh
-		m.att[h] = make([][]float64, n)
+		att[h] = make([][]float64, n)
 		for i := 0; i < n; i++ {
 			scores := make([]float64, n)
 			maxS := math.Inf(-1)
 			for j := 0; j < n; j++ {
 				var s float64
 				for d := 0; d < dh; d++ {
-					s += m.q[i][lo+d] * m.k[j][lo+d]
+					s += q[i][lo+d] * k[j][lo+d]
 				}
 				scores[j] = s * scale
 				if scores[j] > maxS {
@@ -260,16 +299,16 @@ func (m *MHA) Forward(xs [][]float64) [][]float64 {
 			for j := range scores {
 				scores[j] /= sum
 			}
-			m.att[h][i] = scores
+			att[h][i] = scores
 			for j := 0; j < n; j++ {
 				a := scores[j]
 				for d := 0; d < dh; d++ {
-					out[i][lo+d] += a * m.v[j][lo+d]
+					out[i][lo+d] += a * v[j][lo+d]
 				}
 			}
 		}
 	}
-	return m.Wo.Forward(out)
+	return out, att
 }
 
 // Backward propagates through attention and returns per-position dx.
@@ -364,24 +403,30 @@ func (b *Block) Params() []*Param {
 // Forward runs the block.
 func (b *Block) Forward(xs [][]float64) [][]float64 {
 	a := b.Attn.Forward(b.N1.Forward(xs))
-	hs := make([][]float64, len(xs))
-	for t := range xs {
-		h := make([]float64, len(xs[t]))
-		for i := range h {
-			h[i] = xs[t][i] + a[t][i]
-		}
-		hs[t] = h
-	}
+	hs := addSeq(xs, a)
 	f := b.FFN.Forward(b.N2.Forward(hs))
-	ys := make([][]float64, len(hs))
-	for t := range hs {
-		y := make([]float64, len(hs[t]))
-		for i := range y {
-			y[i] = hs[t][i] + f[t][i]
+	return addSeq(hs, f)
+}
+
+// Apply runs the block without caching, safe for concurrent use.
+func (b *Block) Apply(xs [][]float64) [][]float64 {
+	a := b.Attn.Apply(b.N1.Apply(xs))
+	hs := addSeq(xs, a)
+	f := b.FFN.Apply(b.N2.Apply(hs))
+	return addSeq(hs, f)
+}
+
+// addSeq returns the position-wise sum of two equal-shape sequences.
+func addSeq(xs, ys [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for t := range xs {
+		s := make([]float64, len(xs[t]))
+		for i := range s {
+			s[i] = xs[t][i] + ys[t][i]
 		}
-		ys[t] = y
+		out[t] = s
 	}
-	return ys
+	return out
 }
 
 // Backward runs the block in reverse.
@@ -470,14 +515,40 @@ func (e *Encoder) Forward(feats [][]float64) ([]float64, error) {
 		hs = b.Forward(hs)
 	}
 	hs = e.Final.Forward(hs)
-	ctx := make([]float64, e.Dim)
-	inv := 1 / float64(len(hs))
+	return meanPool(hs, e.Dim), nil
+}
+
+// Apply encodes the sequence without caching backward state, so a shared
+// encoder can serve concurrent inference.
+func (e *Encoder) Apply(feats [][]float64) ([]float64, error) {
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("ml: encoder needs at least one position")
+	}
+	if len(feats) > e.MaxSeq {
+		return nil, fmt.Errorf("ml: sequence length %d exceeds max %d", len(feats), e.MaxSeq)
+	}
+	hs := e.Embed.Apply(feats)
 	for t := range hs {
 		for i := 0; i < e.Dim; i++ {
+			hs[t][i] += e.Pos.At(t, i)
+		}
+	}
+	for _, b := range e.Blocks {
+		hs = b.Apply(hs)
+	}
+	hs = e.Final.Apply(hs)
+	return meanPool(hs, e.Dim), nil
+}
+
+func meanPool(hs [][]float64, dim int) []float64 {
+	ctx := make([]float64, dim)
+	inv := 1 / float64(len(hs))
+	for t := range hs {
+		for i := 0; i < dim; i++ {
 			ctx[i] += hs[t][i] * inv
 		}
 	}
-	return ctx, nil
+	return ctx
 }
 
 // Backward propagates a context gradient through the encoder.

@@ -32,6 +32,12 @@ func (l *Linear) Params() []*Param {
 // Forward computes y = Wx + b and caches x.
 func (l *Linear) Forward(x []float64) []float64 {
 	l.x = x
+	return l.Apply(x)
+}
+
+// Apply computes y = Wx + b without touching the backward cache, so it is
+// safe to call concurrently on a shared layer. Training must use Forward.
+func (l *Linear) Apply(x []float64) []float64 {
 	out := make([]float64, l.W.Rows)
 	for o := 0; o < l.W.Rows; o++ {
 		row := l.W.W[o*l.W.Cols : (o+1)*l.W.Cols]
@@ -88,16 +94,28 @@ const rmsEps = 1e-6
 // Forward normalizes x.
 func (n *RMSNorm) Forward(x []float64) []float64 {
 	n.x = x
+	out, inv := rmsApply(x, n.Gain.W)
+	n.inv = inv
+	return out
+}
+
+// Apply normalizes x without caching, safe for concurrent use.
+func (n *RMSNorm) Apply(x []float64) []float64 {
+	out, _ := rmsApply(x, n.Gain.W)
+	return out
+}
+
+func rmsApply(x, gain []float64) ([]float64, float64) {
 	var ss float64
 	for _, v := range x {
 		ss += v * v
 	}
-	n.inv = 1 / math.Sqrt(ss/float64(len(x))+rmsEps)
+	inv := 1 / math.Sqrt(ss/float64(len(x))+rmsEps)
 	out := make([]float64, len(x))
 	for i, v := range x {
-		out[i] = v * n.inv * n.Gain.W[i]
+		out[i] = v * inv * gain[i]
 	}
-	return out
+	return out, inv
 }
 
 // Backward accumulates dGain and returns dx.
@@ -187,6 +205,18 @@ func (s *SwiGLU) Forward(x []float64) []float64 {
 	return s.W2.Forward(h)
 }
 
+// Apply computes the gated feed-forward without caching, safe for
+// concurrent use.
+func (s *SwiGLU) Apply(x []float64) []float64 {
+	u := s.W1.Apply(x)
+	g := s.W3.Apply(x)
+	h := make([]float64, len(u))
+	for i := range h {
+		h[i] = u[i] * silu(g[i])
+	}
+	return s.W2.Apply(h)
+}
+
 // Backward propagates through the gate.
 func (s *SwiGLU) Backward(dy []float64) []float64 {
 	dh := s.W2.Backward(dy)
@@ -226,6 +256,17 @@ func (m *MLP) Params() []*Param {
 // Forward runs the head.
 func (m *MLP) Forward(x []float64) []float64 {
 	return m.L2.Forward(m.act.Forward(m.L1.Forward(x)))
+}
+
+// Apply runs the head without caching, safe for concurrent use.
+func (m *MLP) Apply(x []float64) []float64 {
+	h := m.L1.Apply(x)
+	for i, v := range h {
+		if v < 0 {
+			h[i] = 0
+		}
+	}
+	return m.L2.Apply(h)
 }
 
 // Backward returns dx.

@@ -286,7 +286,7 @@ func Generate(dc DataConfig) ([]*Sample, error) {
 				// extends down to 5% to keep inference in-distribution.
 				MaxLoad: 0.05 + 0.75*r.Float64(),
 				Seed:    r.Uint64(),
-				Rates:      rates,
+				Rates:   rates,
 			},
 			cfg: cfg,
 		}

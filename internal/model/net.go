@@ -118,6 +118,32 @@ func New(cfg Config) (*Net, error) {
 	return n, nil
 }
 
+// Fingerprint returns a cheap identity hash over the architecture and all
+// weights, so callers (estimate caches, the serving layer) can tell model
+// versions apart across checkpoint reloads. It must be recomputed after
+// training or mutating weights in place.
+func (n *Net) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(n.Cfg.Dim)<<32 | uint64(n.Cfg.Layers)<<16 | uint64(n.Cfg.Heads))
+	for _, p := range n.params {
+		for _, w := range p.W {
+			mix(math.Float64bits(w))
+		}
+	}
+	return h
+}
+
 // NumParams returns the total trainable weight count.
 func (n *Net) NumParams() int {
 	total := 0
@@ -182,12 +208,33 @@ func (n *Net) backward(dout []float64) {
 	}
 }
 
+// apply runs the network without caching backward state, so a shared Net
+// can serve concurrent inference (Forward/Backward training state is never
+// touched). The returned slice is raw (no postprocessing).
+func (n *Net) apply(s *Sample) ([]float64, error) {
+	if err := n.checkSample(s); err != nil {
+		return nil, err
+	}
+	in := make([]float64, 0, n.Cfg.FeatDim+n.ctxDim()+n.Cfg.SpecDim)
+	in = append(in, s.FgFeat...)
+	if n.Cfg.UseContext {
+		ctx, err := n.enc.Apply(s.BgFeats)
+		if err != nil {
+			return nil, err
+		}
+		in = append(in, ctx...)
+	}
+	in = append(in, s.Spec...)
+	return n.head.Apply(in), nil
+}
+
 // Predict runs inference and post-processes the output into a valid
 // slowdown map: every percentile is clamped to >= 1 (slowdowns are >= 1 by
 // definition) and each bucket's percentile row is made monotone by sorting
-// (isotonic projection).
+// (isotonic projection). Predict is safe for concurrent use; it shares no
+// state with training.
 func (n *Net) Predict(s *Sample) ([]float64, error) {
-	out, err := n.forward(s)
+	out, err := n.apply(s)
 	if err != nil {
 		return nil, err
 	}

@@ -6,8 +6,8 @@ import (
 
 	"m3/internal/packetsim"
 	"m3/internal/pathsim"
-	"m3/internal/routing"
 	"m3/internal/rng"
+	"m3/internal/routing"
 	"m3/internal/sampling"
 	"m3/internal/topo"
 	"m3/internal/workload"

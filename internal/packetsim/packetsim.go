@@ -15,6 +15,7 @@ package packetsim
 
 import (
 	"fmt"
+	"strconv"
 
 	"m3/internal/unit"
 )
@@ -114,6 +115,50 @@ func (c Config) Validate() error {
 		return fmt.Errorf("packetsim: HPCC needs eta in (0,1] and positive RateAI")
 	case c.CC == TIMELY && (c.TimelyTLow <= 0 || c.TimelyTHigh <= c.TimelyTLow):
 		return fmt.Errorf("packetsim: TIMELY needs 0 < TLow < THigh")
+	}
+	return nil
+}
+
+// Set applies a named what-if knob to the configuration, shared by the
+// interactive REPL and the serving layer's config sweeps. Knobs: cc,
+// initwnd, buffer, pfc, eta (HPCC), k (DCTCP), kmin/kmax (DCQCN),
+// tlow/thigh (TIMELY). Byte knobs take bytes, time knobs nanoseconds.
+func (c *Config) Set(knob, value string) error {
+	parseBytes := func() (unit.ByteSize, error) {
+		v, err := strconv.ParseInt(value, 10, 64)
+		return unit.ByteSize(v), err
+	}
+	parseTime := func() (unit.Time, error) {
+		v, err := strconv.ParseInt(value, 10, 64)
+		return unit.Time(v), err
+	}
+	var err error
+	switch knob {
+	case "cc":
+		c.CC, err = ParseCC(value)
+	case "initwnd":
+		c.InitWindow, err = parseBytes()
+	case "buffer":
+		c.Buffer, err = parseBytes()
+	case "pfc":
+		c.PFC = value == "on" || value == "true" || value == "1"
+	case "eta":
+		c.HPCCEta, err = strconv.ParseFloat(value, 64)
+	case "k":
+		c.DCTCPK, err = parseBytes()
+	case "kmin":
+		c.DCQCNKmin, err = parseBytes()
+	case "kmax":
+		c.DCQCNKmax, err = parseBytes()
+	case "tlow":
+		c.TimelyTLow, err = parseTime()
+	case "thigh":
+		c.TimelyTHigh, err = parseTime()
+	default:
+		return fmt.Errorf("packetsim: unknown knob %q", knob)
+	}
+	if err != nil {
+		return fmt.Errorf("packetsim: knob %s: %w", knob, err)
 	}
 	return nil
 }

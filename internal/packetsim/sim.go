@@ -1,6 +1,7 @@
 package packetsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -85,6 +86,15 @@ type sim struct {
 // Run simulates the flows on t under cfg and returns per-flow FCTs and
 // slowdowns (indexed by FlowID, which must be dense in [0, len(flows))).
 func Run(t *topo.Topology, flows []workload.Flow, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), t, flows, cfg)
+}
+
+// ctxPollMask amortizes cancellation polling to every 4096 events.
+const ctxPollMask = 1<<12 - 1
+
+// RunContext is Run with cooperative cancellation: the event loop polls ctx
+// every few thousand events and aborts with ctx.Err() once it is done.
+func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -137,9 +147,17 @@ func Run(t *topo.Topology, flows []workload.Flow, cfg Config) (*Result, error) {
 	}
 	budget += 1 << 20
 
+	var events int64
 	for !s.h.empty() && s.left > 0 {
 		if budget--; budget < 0 {
 			return nil, fmt.Errorf("packetsim: event budget exhausted (livelock?)")
+		}
+		if events++; events&ctxPollMask == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
 		}
 		e := s.h.pop()
 		s.now = e.t

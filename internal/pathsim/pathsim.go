@@ -9,6 +9,7 @@
 package pathsim
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"sort"
@@ -242,7 +243,13 @@ type FgResult struct {
 // RunPacket executes the scenario at packet granularity (ns-3-path) and
 // returns foreground slowdowns.
 func (sc *Scenario) RunPacket(cfg packetsim.Config) (*FgResult, error) {
-	res, err := packetsim.Run(sc.Lot.Topology, sc.Flows, cfg)
+	return sc.RunPacketContext(context.Background(), cfg)
+}
+
+// RunPacketContext is RunPacket with cooperative cancellation: an expired
+// or cancelled ctx aborts the packet simulation mid-run with ctx.Err().
+func (sc *Scenario) RunPacketContext(ctx context.Context, cfg packetsim.Config) (*FgResult, error) {
+	res, err := packetsim.RunContext(ctx, sc.Lot.Topology, sc.Flows, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +268,13 @@ type FlowSimResult struct {
 
 // RunFlowSim executes the scenario in flowSim.
 func (sc *Scenario) RunFlowSim() (*FlowSimResult, error) {
-	res, err := flowsim.Run(sc.Lot.Topology, sc.Flows)
+	return sc.RunFlowSimContext(context.Background())
+}
+
+// RunFlowSimContext is RunFlowSim with cooperative cancellation: an expired
+// or cancelled ctx aborts the fluid simulation mid-run with ctx.Err().
+func (sc *Scenario) RunFlowSimContext(ctx context.Context) (*FlowSimResult, error) {
+	res, err := flowsim.RunContext(ctx, sc.Lot.Topology, sc.Flows)
 	if err != nil {
 		return nil, err
 	}

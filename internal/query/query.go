@@ -6,6 +6,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -32,18 +33,30 @@ type Session struct {
 	T     *topo.Topology
 	Flows []workload.Flow
 	Net   *model.Net
-	// Cfg is the network configuration under query; mutate via SetConfig so
-	// cached estimates are invalidated.
+	// Cfg is the network configuration under query; mutate via SetConfig.
 	cfg packetsim.Config
 	// NumPaths is the sampled path budget per estimate (default 500).
 	NumPaths int
-	// Workers bounds parallelism.
+	// Workers bounds parallelism (ignored when Pool is set).
 	Workers int
 	Seed    uint64
+	// Pool, when set, supplies per-path workers shared with other sessions
+	// (the estimation service sets it). Nil means a transient pool per
+	// estimate.
+	Pool *core.Pool
+	// Cache holds finished estimates keyed by (workload, config, method,
+	// paths, seed, model). Sessions get a private cache by default; set it
+	// before the first query to share one cache across sessions and with
+	// the serving layer. Because the cache is keyed by configuration,
+	// SetConfig no longer discards still-useful estimates — switching back
+	// to an earlier configuration is a cache hit.
+	Cache *core.EstimateCache
 
-	mu       sync.Mutex
-	decomp   *pathsim.Decomposition
-	estimate *core.Estimate // for current cfg
+	mu      sync.Mutex
+	decomp  *pathsim.Decomposition
+	hash    core.WorkloadHash
+	hashed  bool
+	modelFP uint64
 }
 
 // NewSession builds a session with the paper's defaults.
@@ -58,14 +71,22 @@ func NewSession(t *topo.Topology, flows []workload.Flow, net *model.Net,
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("query: empty workload")
 	}
-	return &Session{T: t, Flows: flows, Net: net, cfg: cfg, NumPaths: 500, Seed: 1}, nil
+	return &Session{
+		T: t, Flows: flows, Net: net, cfg: cfg, NumPaths: 500, Seed: 1,
+		Cache: core.NewEstimateCache(16),
+	}, nil
 }
 
 // Config returns the configuration under query.
-func (s *Session) Config() packetsim.Config { return s.cfg }
+func (s *Session) Config() packetsim.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
 
-// SetConfig swaps the network configuration (a counterfactual) and
-// invalidates cached estimates.
+// SetConfig swaps the network configuration (a counterfactual). Estimates
+// for other configurations stay cached; re-estimating under a previously
+// queried configuration is served from the cache.
 func (s *Session) SetConfig(cfg packetsim.Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -73,7 +94,6 @@ func (s *Session) SetConfig(cfg packetsim.Config) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cfg = cfg
-	s.estimate = nil
 	return nil
 }
 
@@ -90,30 +110,51 @@ func (s *Session) decomposition() (*pathsim.Decomposition, error) {
 	return s.decomp, nil
 }
 
+// workloadHash fingerprints the session's workload and model once.
+func (s *Session) workloadHash() (core.WorkloadHash, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hashed {
+		s.hash = core.HashWorkload(s.T, s.Flows)
+		s.modelFP = s.Net.Fingerprint()
+		s.hashed = true
+	}
+	return s.hash, s.modelFP
+}
+
 // Estimate returns (computing and caching if needed) the network-wide
 // estimate for the current configuration.
 func (s *Session) Estimate() (*core.Estimate, error) {
-	s.mu.Lock()
-	cached := s.estimate
-	cfg := s.cfg
-	s.mu.Unlock()
-	if cached != nil {
-		return cached, nil
-	}
-	est := core.NewEstimator(s.Net)
-	est.NumPaths = s.NumPaths
-	est.Workers = s.Workers
-	est.Seed = s.Seed
-	res, err := est.Estimate(s.T, s.Flows, cfg)
+	return s.EstimateContext(context.Background())
+}
+
+// EstimateContext is Estimate with cancellation: a done ctx aborts
+// in-flight path simulations.
+func (s *Session) EstimateContext(ctx context.Context) (*core.Estimate, error) {
+	cfg := s.Config()
+	d, err := s.decomposition()
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	if s.cfg == cfg { // config unchanged while we computed
-		s.estimate = res
+	hash, fp := s.workloadHash()
+	key := core.EstimateKey{
+		Workload: hash,
+		Cfg:      cfg,
+		Method:   core.MethodML,
+		NumPaths: s.NumPaths,
+		Seed:     s.Seed,
+		Model:    fp,
 	}
-	s.mu.Unlock()
-	return res, nil
+	res, _, err := s.Cache.Do(ctx, key, func() (*core.Estimate, error) {
+		est := core.NewEstimator(s.Net)
+		est.NumPaths = s.NumPaths
+		est.Workers = s.Workers
+		est.Seed = s.Seed
+		est.Pool = s.Pool
+		est.Decomp = d
+		return est.EstimateContext(ctx, s.T, s.Flows, cfg)
+	})
+	return res, err
 }
 
 // Quantile answers "what is the q-quantile slowdown of bucket b" (b = -1 for

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"m3/internal/core"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the request
+// latency histogram; the last bucket is +inf.
+var latencyBucketsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts [len(latencyBucketsMS) + 1]atomic.Int64
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(latencyBucketsMS[:], ms)
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.n.Add(1)
+}
+
+func (h *histogram) snapshot() map[string]any {
+	buckets := make(map[string]int64, len(h.counts))
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		label := "+inf"
+		if i < len(latencyBucketsMS) {
+			label = formatMS(latencyBucketsMS[i])
+		}
+		buckets["le_"+label] = c
+	}
+	n := h.n.Load()
+	out := map[string]any{"count": n, "buckets_ms": buckets}
+	if n > 0 {
+		out["mean_ms"] = float64(h.sumNs.Load()) / float64(n) / float64(time.Millisecond)
+	}
+	return out
+}
+
+func formatMS(v float64) string {
+	if v == float64(int64(v)) {
+		return itoa(int64(v))
+	}
+	return itoa(int64(v)) + "." + itoa(int64(v*10)%10)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// routeStats tracks one route's request counters and latencies.
+type routeStats struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	latency histogram
+}
+
+// Metrics aggregates server-wide counters exposed as expvar-style JSON by
+// the /metrics endpoint.
+type Metrics struct {
+	start time.Time
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+
+	inflight  atomic.Int64
+	estimates atomic.Int64
+	reloads   atomic.Int64
+
+	// Cumulative per-stage estimator time (ns).
+	decomposeNs atomic.Int64
+	sampleNs    atomic.Int64
+	pathSimNs   atomic.Int64
+	predictNs   atomic.Int64
+	aggregateNs atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+func (m *Metrics) route(name string) *routeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[name]
+	if !ok {
+		rs = &routeStats{}
+		m.routes[name] = rs
+	}
+	return rs
+}
+
+// recordStages accumulates an estimate's per-stage cost.
+func (m *Metrics) recordStages(st core.StageTimings) {
+	m.estimates.Add(1)
+	m.decomposeNs.Add(int64(st.Decompose))
+	m.sampleNs.Add(int64(st.Sample))
+	m.pathSimNs.Add(int64(st.PathSim))
+	m.predictNs.Add(int64(st.Predict))
+	m.aggregateNs.Add(int64(st.Aggregate))
+}
+
+// snapshot renders all counters for the /metrics endpoint.
+func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP uint64) map[string]any {
+	m.mu.Lock()
+	routes := make(map[string]any, len(m.routes))
+	for name, rs := range m.routes {
+		routes[name] = map[string]any{
+			"count":   rs.count.Load(),
+			"errors":  rs.errors.Load(),
+			"latency": rs.latency.snapshot(),
+		}
+	}
+	m.mu.Unlock()
+
+	ms := func(ns *atomic.Int64) float64 { return float64(ns.Load()) / float64(time.Millisecond) }
+	hitRate := 0.0
+	if total := cacheStats.Hits + cacheStats.Misses; total > 0 {
+		hitRate = float64(cacheStats.Hits) / float64(total)
+	}
+	return map[string]any{
+		"uptime_seconds": time.Since(m.start).Seconds(),
+		"inflight":       m.inflight.Load(),
+		"requests":       routes,
+		"cache": map[string]any{
+			"hits":     cacheStats.Hits,
+			"misses":   cacheStats.Misses,
+			"entries":  cacheStats.Entries,
+			"hit_rate": hitRate,
+		},
+		"estimates": m.estimates.Load(),
+		"stages_ms": map[string]any{
+			"decompose": ms(&m.decomposeNs),
+			"sample":    ms(&m.sampleNs),
+			"pathsim":   ms(&m.pathSimNs),
+			"predict":   ms(&m.predictNs),
+			"aggregate": ms(&m.aggregateNs),
+		},
+		"model": map[string]any{
+			"params":      modelParams,
+			"fingerprint": fingerprintString(modelFP),
+			"reloads":     m.reloads.Load(),
+		},
+	}
+}
+
+func fingerprintString(fp uint64) string {
+	const hex = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = hex[fp&0xf]
+		fp >>= 4
+	}
+	return string(buf[:])
+}
+
+// instrument wraps a handler with per-route counters, the in-flight gauge,
+// and the latency histogram.
+func (m *Metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	rs := m.route(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		m.inflight.Add(-1)
+		rs.count.Add(1)
+		if sw.status >= 400 {
+			rs.errors.Add(1)
+		}
+		rs.latency.observe(time.Since(start))
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,607 @@
+// Package serve exposes the m3 estimator as a concurrent HTTP service: a
+// registry of named workloads, estimation under any of the three per-path
+// backends, quantile queries, and configuration what-if sweeps. All requests
+// share one bounded worker pool (so concurrent estimates divide the cores
+// instead of oversubscribing them), one estimate LRU with single-flight
+// semantics, and one hot-swappable model checkpoint.
+//
+// Endpoints:
+//
+//	GET  /healthz                readiness probe
+//	GET  /metrics                expvar-style JSON counters
+//	POST /v1/workloads           register a workload (spec or inline trace)
+//	GET  /v1/workloads           list registered workloads
+//	GET  /v1/workloads/{name}    one workload's summary
+//	DELETE /v1/workloads/{name}  unregister
+//	POST /v1/estimate            run (or fetch from cache) an estimate
+//	GET  /v1/quantiles           slowdown quantiles for a workload
+//	POST /v1/whatif              estimate a batch of config counterfactuals
+//	POST /v1/reload              hot-reload the model checkpoint
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"m3/internal/core"
+	"m3/internal/feature"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+)
+
+// maxBodyBytes caps request bodies (trace uploads dominate).
+const maxBodyBytes = 64 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Net is the model serving MethodML estimates (required).
+	Net *model.Net
+	// CheckpointPath, when set, is where POST /v1/reload (and SIGHUP in
+	// cmd/m3serve) re-reads the model from.
+	CheckpointPath string
+	// Workers sizes the shared path-simulation pool (0 = GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the estimate LRU (0 = 64).
+	CacheSize int
+}
+
+// Server is the m3 estimation service. Create with New, mount as an
+// http.Handler, Close when done.
+type Server struct {
+	opts    Options
+	net     atomic.Pointer[model.Net]
+	modelFP atomic.Uint64
+	pool    *core.Pool
+	cache   *core.EstimateCache
+	metrics *Metrics
+
+	mu        sync.RWMutex
+	workloads map[string]*Workload
+
+	mux *http.ServeMux
+}
+
+// New builds a server around a loaded model.
+func New(opts Options) (*Server, error) {
+	if opts.Net == nil {
+		return nil, fmt.Errorf("serve: Options.Net is required")
+	}
+	s := &Server{
+		opts:      opts,
+		pool:      core.NewPool(opts.Workers),
+		cache:     core.NewEstimateCache(opts.CacheSize),
+		metrics:   newMetrics(),
+		workloads: make(map[string]*Workload),
+		mux:       http.NewServeMux(),
+	}
+	s.SwapModel(opts.Net)
+	s.routes()
+	return s, nil
+}
+
+// Close releases the worker pool. In-flight Run calls must have finished
+// (drain the HTTP server first).
+func (s *Server) Close() { s.pool.Close() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// SwapModel atomically replaces the serving model. Estimates keyed under the
+// previous fingerprint stay in the cache but are never served for the new
+// model.
+func (s *Server) SwapModel(net *model.Net) {
+	s.net.Store(net)
+	s.modelFP.Store(net.Fingerprint())
+}
+
+// Model returns the currently served model.
+func (s *Server) Model() *model.Net { return s.net.Load() }
+
+// Reload re-reads the checkpoint from path (empty = the configured
+// CheckpointPath) and swaps it in.
+func (s *Server) Reload(path string) error {
+	if path == "" {
+		path = s.opts.CheckpointPath
+	}
+	if path == "" {
+		return fmt.Errorf("serve: no checkpoint path configured")
+	}
+	net, err := model.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	s.SwapModel(net)
+	s.metrics.reloads.Add(1)
+	return nil
+}
+
+func (s *Server) routes() {
+	h := func(name string, fn http.HandlerFunc) http.HandlerFunc {
+		return s.metrics.instrument(name, fn)
+	}
+	s.mux.HandleFunc("GET /healthz", h("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", h("metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/workloads", h("workloads_create", s.handleWorkloadCreate))
+	s.mux.HandleFunc("GET /v1/workloads", h("workloads_list", s.handleWorkloadList))
+	s.mux.HandleFunc("GET /v1/workloads/{name}", h("workloads_get", s.handleWorkloadGet))
+	s.mux.HandleFunc("DELETE /v1/workloads/{name}", h("workloads_delete", s.handleWorkloadDelete))
+	s.mux.HandleFunc("POST /v1/estimate", h("estimate", s.handleEstimate))
+	s.mux.HandleFunc("GET /v1/quantiles", h("quantiles", s.handleQuantiles))
+	s.mux.HandleFunc("POST /v1/whatif", h("whatif", s.handleWhatIf))
+	s.mux.HandleFunc("POST /v1/reload", h("reload", s.handleReload))
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// errorCode maps an estimation error to an HTTP status: a dead client
+// context is 499-style (client closed request), everything else 500 unless
+// the handler classified it earlier.
+func errorCode(r *http.Request, err error) int {
+	if errors.Is(err, context.Canceled) || r.Context().Err() != nil {
+		return 499 // client closed request (nginx convention)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) workload(name string) (*Workload, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	wl, ok := s.workloads[name]
+	return wl, ok
+}
+
+func parseMethod(name string) (core.Method, error) {
+	switch strings.ToLower(name) {
+	case "", "m3", "ml":
+		return core.MethodML, nil
+	case "flowsim":
+		return core.MethodFlowSim, nil
+	case "ns3-path", "ns3path", "ns3":
+		return core.MethodNS3Path, nil
+	}
+	return 0, fmt.Errorf("serve: unknown method %q (want m3, flowsim, or ns3-path)", name)
+}
+
+// buildConfig applies knob overrides (packetsim.Config.Set names) over the
+// default configuration.
+func buildConfig(knobs map[string]string) (packetsim.Config, error) {
+	cfg := packetsim.DefaultConfig()
+	// Deterministic application order (irrelevant semantically, stable errors).
+	names := make([]string, 0, len(knobs))
+	for k := range knobs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if err := cfg.Set(k, knobs[k]); err != nil {
+			return cfg, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// runEstimate serves one (workload, method, config) estimate through the
+// shared cache and pool. The bool reports a cache hit.
+func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Method,
+	numPaths int, seed uint64, cfg packetsim.Config) (*core.Estimate, bool, error) {
+
+	if numPaths <= 0 {
+		numPaths = 500
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	d, err := wl.Decomposition()
+	if err != nil {
+		return nil, false, err
+	}
+	net := s.net.Load()
+	var fp uint64
+	if method == core.MethodML {
+		fp = s.modelFP.Load()
+	}
+	key := core.EstimateKey{
+		Workload: wl.Hash,
+		Cfg:      cfg,
+		Method:   method,
+		NumPaths: numPaths,
+		Seed:     seed,
+		Model:    fp,
+	}
+	res, cached, err := s.cache.Do(ctx, key, func() (*core.Estimate, error) {
+		est := core.NewEstimator(net)
+		est.Method = method
+		est.NumPaths = numPaths
+		est.Seed = seed
+		est.Pool = s.pool
+		est.Decomp = d
+		return est.EstimateContext(ctx, wl.FT.Topology, wl.Flows, cfg)
+	})
+	if err == nil && !cached {
+		s.metrics.recordStages(res.Stages)
+	}
+	return res, cached, err
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"model":  fingerprintString(s.modelFP.Load()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	net := s.net.Load()
+	writeJSON(w, http.StatusOK,
+		s.metrics.snapshot(s.cache.Stats(), net.NumParams(), s.modelFP.Load()))
+}
+
+func (s *Server) handleWorkloadCreate(w http.ResponseWriter, r *http.Request) {
+	var req workloadRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, err := buildWorkload(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if _, exists := s.workloads[wl.Name]; exists {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: workload %q already exists", wl.Name))
+		return
+	}
+	s.workloads[wl.Name] = wl
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, wl.info())
+}
+
+func (s *Server) handleWorkloadList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]workloadInfo, 0, len(s.workloads))
+	for _, wl := range s.workloads {
+		infos = append(infos, wl.info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": infos})
+}
+
+func (s *Server) handleWorkloadGet(w http.ResponseWriter, r *http.Request) {
+	wl, ok := s.workload(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no workload %q", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, wl.info())
+}
+
+func (s *Server) handleWorkloadDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.workloads[name]
+	delete(s.workloads, name)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no workload %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// estimateRequest is the POST /v1/estimate body.
+type estimateRequest struct {
+	Workload string            `json:"workload"`
+	Method   string            `json:"method,omitempty"`    // m3 (default) | flowsim | ns3-path
+	NumPaths int               `json:"num_paths,omitempty"` // default 500
+	Seed     uint64            `json:"seed,omitempty"`      // default 1
+	Config   map[string]string `json:"config,omitempty"`    // knob overrides
+}
+
+// estimateResponse reports one estimate.
+type estimateResponse struct {
+	Workload      string             `json:"workload"`
+	Method        string             `json:"method"`
+	Cached        bool               `json:"cached"`
+	ElapsedMS     float64            `json:"elapsed_ms"`
+	DistinctPaths int                `json:"distinct_paths"`
+	TotalPaths    int                `json:"total_paths"`
+	P99           map[string]float64 `json:"p99"`
+	StagesMS      map[string]float64 `json:"stages_ms"`
+}
+
+// putFinite adds v to m unless it is NaN or infinite (empty buckets yield
+// NaN quantiles, which JSON cannot carry — absent keys mean "no data").
+func putFinite(m map[string]float64, k string, v float64) {
+	if !math.IsNaN(v) && !math.IsInf(v, 0) {
+		m[k] = v
+	}
+}
+
+func estimateToResponse(wl *Workload, method core.Method, res *core.Estimate, cached bool) estimateResponse {
+	p99 := make(map[string]float64, feature.NumOutputBuckets+1)
+	per := res.P99PerBucket()
+	for b, name := range bucketNames {
+		putFinite(p99, name, per[b])
+	}
+	putFinite(p99, "combined", res.P99())
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return estimateResponse{
+		Workload:      wl.Name,
+		Method:        method.String(),
+		Cached:        cached,
+		ElapsedMS:     ms(res.Elapsed),
+		DistinctPaths: res.DistinctPaths,
+		TotalPaths:    res.TotalPaths,
+		P99:           p99,
+		StagesMS: map[string]float64{
+			"decompose": ms(res.Stages.Decompose),
+			"sample":    ms(res.Stages.Sample),
+			"pathsim":   ms(res.Stages.PathSim),
+			"predict":   ms(res.Stages.Predict),
+			"aggregate": ms(res.Stages.Aggregate),
+		},
+	}
+}
+
+// bucketNames labels the four output size buckets in responses.
+var bucketNames = [feature.NumOutputBuckets]string{
+	"le_1kb", "1kb_10kb", "10kb_50kb", "gt_50kb",
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, ok := s.workload(req.Workload)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no workload %q", req.Workload))
+		return
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := buildConfig(req.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, cached, err := s.runEstimate(r.Context(), wl, method, req.NumPaths, req.Seed, cfg)
+	if err != nil {
+		writeError(w, errorCode(r, err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateToResponse(wl, method, res, cached))
+}
+
+// quantilesReserved are GET /v1/quantiles query params that are not config
+// knobs.
+var quantilesReserved = map[string]bool{
+	"workload": true, "q": true, "method": true, "paths": true, "seed": true,
+}
+
+// handleQuantiles answers GET /v1/quantiles?workload=NAME&q=0.5,0.99 with
+// per-bucket and combined slowdown quantiles. Any other query parameter is
+// treated as a config knob (cc, buffer, pfc, ...).
+func (s *Server) handleQuantiles(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	wl, ok := s.workload(qv.Get("workload"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no workload %q", qv.Get("workload")))
+		return
+	}
+	method, err := parseMethod(qv.Get("method"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var qs []float64
+	qSpec := qv.Get("q")
+	if qSpec == "" {
+		qSpec = "0.5,0.9,0.99"
+	}
+	for _, part := range strings.Split(qSpec, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || q <= 0 || q > 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad quantile %q (want q in (0,1])", part))
+			return
+		}
+		qs = append(qs, q)
+	}
+	numPaths, _ := strconv.Atoi(qv.Get("paths"))
+	seed, _ := strconv.ParseUint(qv.Get("seed"), 10, 64)
+	knobs := make(map[string]string)
+	for k, vs := range qv {
+		if !quantilesReserved[k] && len(vs) > 0 {
+			knobs[k] = vs[0]
+		}
+	}
+	cfg, err := buildConfig(knobs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, cached, err := s.runEstimate(r.Context(), wl, method, numPaths, seed, cfg)
+	if err != nil {
+		writeError(w, errorCode(r, err), err)
+		return
+	}
+	quantiles := make(map[string]map[string]float64, len(qs))
+	for _, q := range qs {
+		row := make(map[string]float64, feature.NumOutputBuckets+1)
+		for b, name := range bucketNames {
+			putFinite(row, name, res.Agg.BucketQuantile(b, q))
+		}
+		putFinite(row, "combined", res.Agg.CombinedQuantile(q))
+		quantiles[strconv.FormatFloat(q, 'g', -1, 64)] = row
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workload":  wl.Name,
+		"method":    method.String(),
+		"cached":    cached,
+		"quantiles": quantiles,
+	})
+}
+
+// whatIfRequest is the POST /v1/whatif body: a batch of configuration
+// counterfactuals over one workload (the REPL's "set" commands, served).
+type whatIfRequest struct {
+	Workload string            `json:"workload"`
+	Method   string            `json:"method,omitempty"`
+	NumPaths int               `json:"num_paths,omitempty"`
+	Seed     uint64            `json:"seed,omitempty"`
+	Base     map[string]string `json:"base,omitempty"` // knobs shared by all sweeps
+	Sweeps   []whatIfSweep     `json:"sweeps"`
+}
+
+type whatIfSweep struct {
+	Name  string            `json:"name,omitempty"`
+	Knobs map[string]string `json:"knobs"`
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req whatIfRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, ok := s.workload(req.Workload)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no workload %q", req.Workload))
+		return
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Sweeps) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: whatif needs at least one sweep"))
+		return
+	}
+	// The baseline plus each sweep, estimated sequentially: path-level
+	// parallelism inside each estimate already saturates the shared pool.
+	type sweepResult struct {
+		Name     string            `json:"name"`
+		Knobs    map[string]string `json:"knobs"`
+		Estimate estimateResponse  `json:"estimate"`
+	}
+	run := func(name string, knobs map[string]string) (sweepResult, error) {
+		merged := make(map[string]string, len(req.Base)+len(knobs))
+		for k, v := range req.Base {
+			merged[k] = v
+		}
+		for k, v := range knobs {
+			merged[k] = v
+		}
+		cfg, err := buildConfig(merged)
+		if err != nil {
+			return sweepResult{}, err
+		}
+		res, cached, err := s.runEstimate(r.Context(), wl, method, req.NumPaths, req.Seed, cfg)
+		if err != nil {
+			return sweepResult{}, err
+		}
+		return sweepResult{Name: name, Knobs: merged, Estimate: estimateToResponse(wl, method, res, cached)}, nil
+	}
+	results := make([]sweepResult, 0, len(req.Sweeps)+1)
+	base, err := run("base", nil)
+	if err == nil {
+		results = append(results, base)
+		for i, sweep := range req.Sweeps {
+			name := sweep.Name
+			if name == "" {
+				name = fmt.Sprintf("sweep-%d", i)
+			}
+			var sr sweepResult
+			sr, err = run(name, sweep.Knobs)
+			if err != nil {
+				break
+			}
+			results = append(results, sr)
+		}
+	}
+	if err != nil {
+		code := errorCode(r, err)
+		if strings.Contains(err.Error(), "packetsim:") {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workload": wl.Name,
+		"method":   method.String(),
+		"results":  results,
+	})
+}
+
+// reloadRequest is the POST /v1/reload body.
+type reloadRequest struct {
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if r.ContentLength != 0 {
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if err := s.Reload(req.Checkpoint); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	net := s.net.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":   fingerprintString(s.modelFP.Load()),
+		"params":  net.NumParams(),
+		"reloads": s.metrics.reloads.Load(),
+	})
+}

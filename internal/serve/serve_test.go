@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"m3/internal/model"
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/trace"
+	"m3/internal/workload"
+)
+
+// tinyNet builds a small untrained model — inference-valid, which is all
+// the serving layer needs.
+func tinyNet(t testing.TB, seed uint64) *model.Net {
+	t.Helper()
+	cfg := model.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Heads = 2
+	cfg.Layers = 1
+	cfg.Hidden = 32
+	cfg.Seed = seed
+	net, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func testServer(t testing.TB) *Server {
+	t.Helper()
+	s, err := New(Options{Net: tinyNet(t, 1), Workers: 4, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// do runs one request through the handler and decodes the JSON response.
+func do(t testing.TB, s *Server, method, target string, body any, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if out != nil && rec.Code < 300 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("decode %s %s: %v\nbody: %s", method, target, err, rec.Body.String())
+		}
+	}
+	return rec
+}
+
+func mustCode(t testing.TB, rec *httptest.ResponseRecorder, want int) {
+	t.Helper()
+	if rec.Code != want {
+		t.Fatalf("status = %d, want %d; body: %s", rec.Code, want, rec.Body.String())
+	}
+}
+
+func uploadSpecWorkload(t testing.TB, s *Server, name string, flows int) {
+	t.Helper()
+	rec := do(t, s, "POST", "/v1/workloads", workloadRequest{
+		Name: name,
+		Spec: &specJSON{NumFlows: flows, MaxLoad: 0.5, Burstiness: 1.5, Seed: 7},
+	}, nil)
+	mustCode(t, rec, http.StatusCreated)
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	s := testServer(t)
+
+	rec := do(t, s, "GET", "/healthz", nil, nil)
+	mustCode(t, rec, http.StatusOK)
+
+	uploadSpecWorkload(t, s, "web", 1000)
+
+	// Duplicate name is a conflict.
+	rec = do(t, s, "POST", "/v1/workloads", workloadRequest{
+		Name: "web", Spec: &specJSON{NumFlows: 100},
+	}, nil)
+	mustCode(t, rec, http.StatusConflict)
+
+	var list struct {
+		Workloads []workloadInfo `json:"workloads"`
+	}
+	rec = do(t, s, "GET", "/v1/workloads", nil, &list)
+	mustCode(t, rec, http.StatusOK)
+	if len(list.Workloads) != 1 || list.Workloads[0].Name != "web" || list.Workloads[0].Flows != 1000 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	var est estimateResponse
+	rec = do(t, s, "POST", "/v1/estimate", estimateRequest{
+		Workload: "web", NumPaths: 40,
+	}, &est)
+	mustCode(t, rec, http.StatusOK)
+	if est.Method != "m3" || est.Cached || est.DistinctPaths == 0 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	if p := est.P99["combined"]; p < 1 {
+		t.Errorf("combined p99 = %v, want >= 1", p)
+	}
+
+	var quant struct {
+		Cached    bool                          `json:"cached"`
+		Quantiles map[string]map[string]float64 `json:"quantiles"`
+	}
+	rec = do(t, s, "GET", "/v1/quantiles?workload=web&q=0.5,0.99&paths=40", nil, &quant)
+	mustCode(t, rec, http.StatusOK)
+	if !quant.Cached {
+		t.Error("quantiles should reuse the cached estimate")
+	}
+	if len(quant.Quantiles) != 2 {
+		t.Fatalf("quantiles = %+v", quant.Quantiles)
+	}
+	if quant.Quantiles["0.99"]["combined"] < quant.Quantiles["0.5"]["combined"] {
+		t.Error("p99 < p50")
+	}
+
+	var whatif struct {
+		Results []struct {
+			Name     string            `json:"name"`
+			Knobs    map[string]string `json:"knobs"`
+			Estimate estimateResponse  `json:"estimate"`
+		} `json:"results"`
+	}
+	rec = do(t, s, "POST", "/v1/whatif", whatIfRequest{
+		Workload: "web", NumPaths: 40,
+		Sweeps: []whatIfSweep{
+			{Name: "timely", Knobs: map[string]string{"cc": "timely"}},
+			{Knobs: map[string]string{"initwnd": "30000"}},
+		},
+	}, &whatif)
+	mustCode(t, rec, http.StatusOK)
+	if len(whatif.Results) != 3 {
+		t.Fatalf("whatif results = %d, want 3 (base + 2 sweeps)", len(whatif.Results))
+	}
+	if !whatif.Results[0].Estimate.Cached {
+		t.Error("whatif base config should hit the cache")
+	}
+	if whatif.Results[1].Name != "timely" || whatif.Results[1].Estimate.Cached {
+		t.Errorf("sweep 1 = %+v", whatif.Results[1])
+	}
+	if whatif.Results[2].Name != "sweep-1" {
+		t.Errorf("sweep 2 name = %q", whatif.Results[2].Name)
+	}
+
+	var metrics map[string]any
+	rec = do(t, s, "GET", "/metrics", nil, &metrics)
+	mustCode(t, rec, http.StatusOK)
+	cacheM, ok := metrics["cache"].(map[string]any)
+	if !ok || cacheM["hits"].(float64) < 2 {
+		t.Errorf("metrics cache = %+v", metrics["cache"])
+	}
+	if metrics["estimates"].(float64) < 3 {
+		t.Errorf("metrics estimates = %v", metrics["estimates"])
+	}
+	stages, ok := metrics["stages_ms"].(map[string]any)
+	if !ok || stages["pathsim"].(float64) <= 0 || stages["predict"].(float64) <= 0 {
+		t.Errorf("metrics stages = %+v", metrics["stages_ms"])
+	}
+
+	rec = do(t, s, "DELETE", "/v1/workloads/web", nil, nil)
+	mustCode(t, rec, http.StatusOK)
+	rec = do(t, s, "GET", "/v1/workloads/web", nil, nil)
+	mustCode(t, rec, http.StatusNotFound)
+}
+
+func TestServeTraceUpload(t *testing.T) {
+	s := testServer(t)
+
+	// Round-trip a generated workload through the CSV trace format.
+	ft, err := topo.SmallFatTree(topo.Oversub2to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := workload.Generate(ft, routing.NewFatTreeRouter(ft), workload.Spec{
+		NumFlows: 300, Sizes: workload.WebServer,
+		Matrix:     workload.MatrixB(ft.Cfg.NumRacks(), rng.New(3)),
+		Burstiness: 1.5, MaxLoad: 0.4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Save(&buf, flows, trace.CSV); err != nil {
+		t.Fatal(err)
+	}
+
+	var info workloadInfo
+	rec := do(t, s, "POST", "/v1/workloads", workloadRequest{
+		Name:  "uploaded",
+		Trace: &traceJSON{Format: "csv", Data: buf.String()},
+	}, &info)
+	mustCode(t, rec, http.StatusCreated)
+	if info.Source != "trace" || info.Flows != 300 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	var est estimateResponse
+	rec = do(t, s, "POST", "/v1/estimate", estimateRequest{
+		Workload: "uploaded", Method: "flowsim", NumPaths: 30,
+	}, &est)
+	mustCode(t, rec, http.StatusOK)
+	if est.Method != "flowsim" {
+		t.Fatalf("estimate = %+v", est)
+	}
+}
+
+// TestServeEstimateCacheFaster asserts the acceptance criterion: a repeated
+// identical estimate is served from the cache measurably faster than the
+// cold computation.
+func TestServeEstimateCacheFaster(t *testing.T) {
+	s := testServer(t)
+	uploadSpecWorkload(t, s, "web", 1500)
+
+	req := estimateRequest{Workload: "web", NumPaths: 60}
+
+	coldStart := time.Now()
+	var cold estimateResponse
+	mustCode(t, do(t, s, "POST", "/v1/estimate", req, &cold), http.StatusOK)
+	coldDur := time.Since(coldStart)
+	if cold.Cached {
+		t.Fatal("first estimate reported cached")
+	}
+
+	warmStart := time.Now()
+	var warm estimateResponse
+	mustCode(t, do(t, s, "POST", "/v1/estimate", req, &warm), http.StatusOK)
+	warmDur := time.Since(warmStart)
+	if !warm.Cached {
+		t.Fatal("second estimate not served from cache")
+	}
+	if warmDur >= coldDur/2 {
+		t.Errorf("warm request took %v, cold %v; want warm < cold/2", warmDur, coldDur)
+	}
+
+	stats := s.cache.Stats()
+	if stats.Hits < 1 || stats.Misses != 1 {
+		t.Errorf("cache stats = %+v", stats)
+	}
+}
+
+// TestServeConcurrentClients hammers one estimate from many goroutines and
+// asserts single-flight behavior: exactly one computation, everyone else a
+// hit. Run under -race this also exercises model inference concurrency.
+func TestServeConcurrentClients(t *testing.T) {
+	s := testServer(t)
+	uploadSpecWorkload(t, s, "web", 1000)
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var est estimateResponse
+			rec := do(t, s, "POST", "/v1/estimate", estimateRequest{
+				Workload: "web", NumPaths: 40,
+			}, &est)
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	stats := s.cache.Stats()
+	if stats.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (single-flight)", stats.Misses)
+	}
+	if stats.Hits != clients-1 {
+		t.Errorf("hits = %d, want %d", stats.Hits, clients-1)
+	}
+
+	// Different parameters are a different key: a fresh computation.
+	var est estimateResponse
+	mustCode(t, do(t, s, "POST", "/v1/estimate", estimateRequest{
+		Workload: "web", NumPaths: 40, Config: map[string]string{"cc": "timely"},
+	}, &est), http.StatusOK)
+	if est.Cached {
+		t.Error("different config served from cache")
+	}
+}
+
+// TestServeCancellation asserts that a closed request context aborts
+// in-flight path simulations promptly instead of running them out.
+func TestServeCancellation(t *testing.T) {
+	s := testServer(t)
+	uploadSpecWorkload(t, s, "big", 4000)
+	// Warm the decomposition so the measured window is pure path work.
+	wl, _ := s.workload("big")
+	if _, err := wl.Decomposition(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(estimateRequest{
+		Workload: "big", Method: "ns3-path", NumPaths: 200,
+	})
+	req := httptest.NewRequest("POST", "/v1/estimate", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		s.ServeHTTP(rec, req)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after context cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("handler took %v after cancellation", elapsed)
+	}
+	if rec.Code != 499 {
+		t.Errorf("status = %d, want 499; body: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestServeHotReload(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "m3.ckpt")
+	if err := tinyNet(t, 1).SaveFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Net: tinyNet(t, 1), CheckpointPath: ckpt, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	uploadSpecWorkload(t, s, "web", 800)
+
+	var est estimateResponse
+	mustCode(t, do(t, s, "POST", "/v1/estimate", estimateRequest{
+		Workload: "web", NumPaths: 30,
+	}, &est), http.StatusOK)
+
+	fpBefore := s.modelFP.Load()
+	// Swap in a model with different weights and reload.
+	if err := tinyNet(t, 99).SaveFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	var reload struct {
+		Model   string `json:"model"`
+		Reloads int64  `json:"reloads"`
+	}
+	mustCode(t, do(t, s, "POST", "/v1/reload", nil, &reload), http.StatusOK)
+	if s.modelFP.Load() == fpBefore {
+		t.Fatal("fingerprint unchanged after reload of different weights")
+	}
+	if reload.Reloads != 1 {
+		t.Errorf("reloads = %d", reload.Reloads)
+	}
+
+	// The old model's cached estimate must not be served for the new model.
+	mustCode(t, do(t, s, "POST", "/v1/estimate", estimateRequest{
+		Workload: "web", NumPaths: 30,
+	}, &est), http.StatusOK)
+	if est.Cached {
+		t.Error("estimate from the pre-reload model served after hot-reload")
+	}
+
+	// Reload from a missing path fails without swapping the model.
+	fp := s.modelFP.Load()
+	rec := do(t, s, "POST", "/v1/reload", reloadRequest{Checkpoint: filepath.Join(dir, "nope.ckpt")}, nil)
+	mustCode(t, rec, http.StatusBadRequest)
+	if s.modelFP.Load() != fp {
+		t.Error("failed reload swapped the model")
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	s := testServer(t)
+	uploadSpecWorkload(t, s, "web", 500)
+
+	cases := []struct {
+		method, target string
+		body           any
+		want           int
+	}{
+		{"POST", "/v1/estimate", estimateRequest{Workload: "nope"}, http.StatusNotFound},
+		{"POST", "/v1/estimate", estimateRequest{Workload: "web", Method: "quantum"}, http.StatusBadRequest},
+		{"POST", "/v1/estimate", estimateRequest{Workload: "web", Config: map[string]string{"bogus": "1"}}, http.StatusBadRequest},
+		{"GET", "/v1/quantiles?workload=web&q=1.5", nil, http.StatusBadRequest},
+		{"GET", "/v1/quantiles?workload=missing", nil, http.StatusNotFound},
+		{"POST", "/v1/whatif", whatIfRequest{Workload: "web"}, http.StatusBadRequest},
+		{"POST", "/v1/workloads", workloadRequest{Name: "x"}, http.StatusBadRequest},
+		{"POST", "/v1/workloads", workloadRequest{Name: "x",
+			Trace: &traceJSON{Data: "garbage,,,\n"}}, http.StatusBadRequest},
+		{"DELETE", "/v1/workloads/none", nil, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		rec := do(t, s, tc.method, tc.target, tc.body, nil)
+		if rec.Code != tc.want {
+			t.Errorf("%s %s = %d, want %d (body %s)", tc.method, tc.target,
+				rec.Code, tc.want, strings.TrimSpace(rec.Body.String()))
+		}
+	}
+}

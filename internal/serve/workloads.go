@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"m3/internal/core"
+	"m3/internal/pathsim"
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/trace"
+	"m3/internal/workload"
+)
+
+// Workload is one named registry entry: a topology plus a flow set, with the
+// path decomposition computed once and shared by every estimate against it.
+type Workload struct {
+	Name   string
+	FT     *topo.FatTree
+	Flows  []workload.Flow
+	Hash   core.WorkloadHash
+	Source string // "generated" or "trace"
+
+	decompOnce sync.Once
+	decomp     *pathsim.Decomposition
+	decompErr  error
+}
+
+// Decomposition returns the workload's path decomposition, computing it on
+// first use. Concurrent callers block on the single computation.
+func (w *Workload) Decomposition() (*pathsim.Decomposition, error) {
+	w.decompOnce.Do(func() {
+		w.decomp, w.decompErr = pathsim.Decompose(w.FT.Topology, w.Flows)
+	})
+	return w.decomp, w.decompErr
+}
+
+// workloadRequest is the POST /v1/workloads body. Exactly one of Spec
+// (synthetic generation) or Trace (uploaded flows) must be set.
+type workloadRequest struct {
+	Name    string     `json:"name"`
+	Topo    string     `json:"topo,omitempty"`    // "small" (default) or "large"
+	Oversub string     `json:"oversub,omitempty"` // small only; default "2-to-1"
+	Spec    *specJSON  `json:"spec,omitempty"`
+	Trace   *traceJSON `json:"trace,omitempty"`
+}
+
+// specJSON mirrors workload.Spec with serving defaults.
+type specJSON struct {
+	NumFlows   int     `json:"num_flows"`
+	SizeDist   string  `json:"size_dist,omitempty"`  // default "WebServer"
+	Matrix     string  `json:"matrix,omitempty"`     // default "B"
+	MaxLoad    float64 `json:"max_load,omitempty"`   // default 0.5
+	Burstiness float64 `json:"burstiness,omitempty"` // default 2
+	Seed       uint64  `json:"seed,omitempty"`       // default 1
+}
+
+// traceJSON carries an inline flow trace (internal/trace schema).
+type traceJSON struct {
+	Format string `json:"format,omitempty"` // "csv" (default) or "jsonl"
+	Data   string `json:"data"`
+}
+
+// buildWorkload materializes a registry entry from an upload request.
+func buildWorkload(req *workloadRequest) (*Workload, error) {
+	if req.Name == "" {
+		return nil, fmt.Errorf("serve: workload name is required")
+	}
+	if (req.Spec == nil) == (req.Trace == nil) {
+		return nil, fmt.Errorf("serve: exactly one of spec or trace must be set")
+	}
+
+	var (
+		ft  *topo.FatTree
+		err error
+	)
+	switch req.Topo {
+	case "", "small":
+		o := topo.Oversub(req.Oversub)
+		if req.Oversub == "" {
+			o = topo.Oversub2to1
+		}
+		ft, err = topo.SmallFatTree(o)
+	case "large":
+		ft, err = topo.LargeFatTree()
+	default:
+		err = fmt.Errorf("serve: unknown topology %q", req.Topo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	router := routing.NewFatTreeRouter(ft)
+
+	wl := &Workload{Name: req.Name, FT: ft}
+	if req.Spec != nil {
+		sp := *req.Spec
+		if sp.SizeDist == "" {
+			sp.SizeDist = "WebServer"
+		}
+		if sp.Matrix == "" {
+			sp.Matrix = "B"
+		}
+		if sp.MaxLoad == 0 {
+			sp.MaxLoad = 0.5
+		}
+		if sp.Burstiness == 0 {
+			sp.Burstiness = 2
+		}
+		if sp.Seed == 0 {
+			sp.Seed = 1
+		}
+		sizes, err := workload.MetaDist(sp.SizeDist)
+		if err != nil {
+			return nil, err
+		}
+		mat, err := workload.Matrix(sp.Matrix, ft.Cfg.NumRacks(), rng.New(sp.Seed))
+		if err != nil {
+			return nil, err
+		}
+		wl.Flows, err = workload.Generate(ft, router, workload.Spec{
+			NumFlows: sp.NumFlows, Sizes: sizes, Matrix: mat,
+			Burstiness: sp.Burstiness, MaxLoad: sp.MaxLoad, Seed: sp.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wl.Source = "generated"
+	} else {
+		format := trace.CSV
+		if req.Trace.Format != "" {
+			format, err = trace.ParseFormat(req.Trace.Format)
+			if err != nil {
+				return nil, err
+			}
+		}
+		wl.Flows, err = trace.Load(strings.NewReader(req.Trace.Data), format,
+			trace.LoadOptions{Router: router, Topo: ft.Topology})
+		if err != nil {
+			return nil, err
+		}
+		wl.Source = "trace"
+	}
+	wl.Hash = core.HashWorkload(ft.Topology, wl.Flows)
+	return wl, nil
+}
+
+// workloadInfo is the JSON summary of one registry entry.
+type workloadInfo struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Flows  int    `json:"flows"`
+	Hosts  int    `json:"hosts"`
+	Racks  int    `json:"racks"`
+	Hash   string `json:"hash"`
+}
+
+func (w *Workload) info() workloadInfo {
+	return workloadInfo{
+		Name:   w.Name,
+		Source: w.Source,
+		Flows:  len(w.Flows),
+		Hosts:  len(w.FT.Hosts()),
+		Racks:  w.FT.Cfg.NumRacks(),
+		Hash:   fingerprintString(uint64(w.Hash)),
+	}
+}

@@ -190,8 +190,8 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 		xs[i] = r.Gauss()
 	}
 	f := func(a, b uint8) bool {
-		p1 := float64(a%101)
-		p2 := float64(b%101)
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
 		if p1 > p2 {
 			p1, p2 = p2, p1
 		}

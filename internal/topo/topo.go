@@ -69,9 +69,9 @@ type Link struct {
 
 // Topology is an immutable-after-build network graph.
 type Topology struct {
-	Nodes []Node
-	Links []Link
-	out   map[NodeID][]LinkID
+	Nodes  []Node
+	Links  []Link
+	out    map[NodeID][]LinkID
 	byPair map[[2]NodeID]LinkID
 }
 

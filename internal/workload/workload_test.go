@@ -204,7 +204,7 @@ func TestGenerateLoadCalibration(t *testing.T) {
 	r := rng.New(9)
 	for _, load := range []float64{0.2, 0.5, 0.8} {
 		spec := Spec{
-			NumFlows: 3000, Sizes: CacheFollower, Matrix: MatrixA(32, r.Split(uint64(load * 10))),
+			NumFlows: 3000, Sizes: CacheFollower, Matrix: MatrixA(32, r.Split(uint64(load*10))),
 			Burstiness: 1.5, MaxLoad: load, Seed: 7,
 		}
 		flows, err := Generate(ft, router, spec)
@@ -265,7 +265,7 @@ func TestBurstinessIncreasesClumping(t *testing.T) {
 	ft, router := smallTopoAndRouter(t)
 	r := rng.New(12)
 	cv := func(sigma float64) float64 {
-		spec := Spec{NumFlows: 5000, Sizes: WebServer, Matrix: MatrixB(32, r.Split(uint64(sigma * 100))),
+		spec := Spec{NumFlows: 5000, Sizes: WebServer, Matrix: MatrixB(32, r.Split(uint64(sigma*100))),
 			Burstiness: sigma, MaxLoad: 0.5, Seed: 3}
 		flows, err := Generate(ft, router, spec)
 		if err != nil {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo health gate: formatting, vet, build, and the full test suite under
+# the race detector. Run from the repo root (or let the script cd there).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l cmd internal examples ./*.go)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ok"
