@@ -11,11 +11,13 @@ package m3
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"m3/internal/core"
 	"m3/internal/exp"
@@ -335,18 +337,61 @@ func BenchmarkModelInference(b *testing.B) {
 	}
 }
 
-func BenchmarkEstimateEndToEnd(b *testing.B) {
+// BenchmarkModelInferenceBatch is the batched counterpart of
+// BenchmarkModelInference: one PredictBatch call over 32 samples per
+// iteration, reported per sample so the two are directly comparable.
+func BenchmarkModelInferenceBatch(b *testing.B) {
 	net, _ := benchNets(b)
-	ft, flows := benchWorkload(b, 8000)
-	est := core.NewEstimator(net)
-	est.NumPaths = 200
-	cfg := packetsim.DefaultConfig()
+	r := rng.New(4)
+	const batch = 32
+	samples := make([]*model.Sample, batch)
+	for j := range samples {
+		s := &model.Sample{
+			FgFeat: make([]float64, net.Cfg.FeatDim),
+			Spec:   make([]float64, net.Cfg.SpecDim),
+		}
+		for i := range s.FgFeat {
+			s.FgFeat[i] = r.Float64()
+		}
+		for h := 0; h < 6; h++ {
+			f := make([]float64, net.Cfg.FeatDim)
+			for i := range f {
+				f[i] = r.Float64()
+			}
+			s.BgFeats = append(s.BgFeats, f)
+		}
+		samples[j] = s
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := est.Estimate(ft.Topology, flows, cfg); err != nil {
+		if _, err := net.PredictBatch(samples); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*batch)*1e9, "ns/sample")
+}
+
+func BenchmarkEstimateEndToEnd(b *testing.B) {
+	net, _ := benchNets(b)
+	ft, flows := benchWorkload(b, 8000)
+	est := core.NewEstimator(net, core.WithNumPaths(200))
+	cfg := packetsim.DefaultConfig()
+	ctx := context.Background()
+	var predict, pathsim time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := est.Estimate(ctx, ft.Topology, flows, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		predict += res.Stages.Predict
+		pathsim += res.Stages.PathSim
+	}
+	// Predict and PathSim are summed across workers (CPU time), attributing
+	// the estimate's cost to the ML inference vs flowSim stages.
+	b.ReportMetric(float64(predict.Nanoseconds())/float64(b.N), "predict-ns/op")
+	b.ReportMetric(float64(pathsim.Nanoseconds())/float64(b.N), "pathsim-ns/op")
+	b.ReportMetric(100*float64(predict)/float64(predict+pathsim), "predict-%")
 }
 
 func BenchmarkAblationPaths(b *testing.B) {

@@ -25,10 +25,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -129,7 +131,11 @@ func repl(sess *query.Session) {
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line != "" {
-			if quit := execute(sess, line); quit {
+			// Ctrl-C aborts the in-flight estimate, not the REPL.
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+			quit := execute(ctx, sess, line)
+			stop()
+			if quit {
 				return
 			}
 		}
@@ -137,7 +143,7 @@ func repl(sess *query.Session) {
 	}
 }
 
-func execute(sess *query.Session, line string) (quit bool) {
+func execute(ctx context.Context, sess *query.Session, line string) (quit bool) {
 	args := strings.Fields(line)
 	switch args[0] {
 	case "quit", "exit":
@@ -166,7 +172,7 @@ func execute(sess *query.Session, line string) (quit bool) {
 			bucket = b
 		}
 		start := time.Now()
-		v, err := sess.P99(bucket)
+		v, err := sess.P99(ctx, bucket)
 		if report(err) {
 			return
 		}
@@ -189,7 +195,7 @@ func execute(sess *query.Session, line string) (quit bool) {
 			bucket = b
 		}
 		start := time.Now()
-		v, err := sess.Quantile(bucket, q)
+		v, err := sess.Quantile(ctx, bucket, q)
 		if report(err) {
 			return
 		}
@@ -204,7 +210,7 @@ func execute(sess *query.Session, line string) (quit bool) {
 		if report(err1) || report(err2) {
 			return
 		}
-		rep, err := sess.Path(topo.NodeID(src), topo.NodeID(dst))
+		rep, err := sess.Path(ctx, topo.NodeID(src), topo.NodeID(dst))
 		if report(err) {
 			return
 		}

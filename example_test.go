@@ -1,6 +1,7 @@
 package m3_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,8 +32,8 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	est := m3.NewEstimator(net)
-	res, err := est.Estimate(ft.Topology, flows, m3.DefaultNetConfig())
+	est := m3.NewEstimator(net, m3.WithNumPaths(500))
+	res, err := est.Estimate(context.Background(), ft.Topology, flows, m3.DefaultNetConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

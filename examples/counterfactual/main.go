@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -83,7 +84,7 @@ func main() {
 		cfg.HPCCEta = 0.90
 		cfg.InitWindow = iw
 		cfg.Buffer = 400 * m3.KB
-		res, err := est.Estimate(ft.Topology, flows, cfg)
+		res, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,7 +109,7 @@ func main() {
 		cfg.HPCCEta = eta
 		cfg.InitWindow = 20 * m3.KB
 		cfg.Buffer = 400 * m3.KB
-		res, err := est.Estimate(ft.Topology, flows, cfg)
+		res, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -78,7 +79,7 @@ func main() {
 	cfg.InitWindow = 10 * m3.KB // Table 5's harder setting
 
 	est := m3.NewEstimator(net)
-	res, err := est.Estimate(ft.Topology, flows, cfg)
+	res, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -79,7 +80,7 @@ func main() {
 	// 3. Estimate tail latency with m3.
 	cfg := m3.DefaultNetConfig() // DCTCP, PFC on, Table 4 midpoint
 	est := m3.NewEstimator(net)
-	res, err := est.Estimate(ft.Topology, flows, cfg)
+	res, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -87,15 +88,14 @@ func main() {
 	}
 
 	est := m3.NewEstimator(net)
-	res, err := est.Estimate(ft.Topology, flows, cfg)
+	res, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	report("m3", res.P99(), res.Elapsed)
 
-	fsEst := m3.NewEstimator(nil)
-	fsEst.Method = m3.MethodFlowSim
-	fsRes, err := fsEst.Estimate(ft.Topology, flows, cfg)
+	fsEst := m3.NewEstimator(nil, m3.WithMethod(m3.MethodFlowSim))
+	fsRes, err := fsEst.Estimate(context.Background(), ft.Topology, flows, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"m3/internal/packetsim"
+)
+
+// TestEstimateBatchSizeInvariance: the micro-batch size is a performance
+// knob, not a semantic one — batch 1 (degenerate per-path prediction),
+// a ragged odd size, and the default must produce identical estimates.
+func TestEstimateBatchSizeInvariance(t *testing.T) {
+	net := tinyTrainedNet(t)
+	ft, flows := testWorkload(t, 900, 21)
+	cfg := packetsim.DefaultConfig()
+	run := func(bs int) *Estimate {
+		est := NewEstimator(net, WithNumPaths(60), WithSeed(2), WithBatchSize(bs))
+		res, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, bs := range []int{7, DefaultBatchSize, 1000} {
+		got := run(bs)
+		if got.P99() != want.P99() || got.DistinctPaths != want.DistinctPaths {
+			t.Errorf("batch size %d changed the estimate: p99 %v vs %v",
+				bs, got.P99(), want.P99())
+		}
+	}
+}
+
+// TestEstimateConcurrentSharedPool hammers one shared pool with concurrent
+// batched ML estimates (run under -race by scripts/check.sh): interleaved
+// micro-batches from different requests must not corrupt each other's
+// results.
+func TestEstimateConcurrentSharedPool(t *testing.T) {
+	net := tinyTrainedNet(t)
+	ft, flows := testWorkload(t, 900, 22)
+	cfg := packetsim.DefaultConfig()
+	pool := NewPool(4)
+	defer pool.Close()
+
+	seeds := []uint64{3, 4, 5, 6}
+	want := make([]float64, len(seeds))
+	for i, seed := range seeds {
+		est := NewEstimator(net, WithNumPaths(40), WithSeed(seed), WithBatchSize(8))
+		res, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.P99()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(seeds))
+	for g := 0; g < 2; g++ {
+		for i, seed := range seeds {
+			wg.Add(1)
+			go func(i int, seed uint64) {
+				defer wg.Done()
+				est := NewEstimator(net, WithNumPaths(40), WithSeed(seed),
+					WithBatchSize(8), WithPool(pool))
+				res, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.P99() != want[i] {
+					t.Errorf("seed %d: concurrent p99 %v, sequential %v", seed, res.P99(), want[i])
+				}
+			}(i, seed)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

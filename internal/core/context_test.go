@@ -20,7 +20,7 @@ func TestEstimateContextCancellation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// ns3-path is the slow backend: per-path packet simulation.
-	est := &Estimator{NumPaths: 300, Method: MethodNS3Path, Seed: 3, Decomp: d}
+	est := NewEstimator(nil, WithNumPaths(300), WithMethod(MethodNS3Path), WithSeed(3), WithDecomposition(d))
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -28,7 +28,7 @@ func TestEstimateContextCancellation(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, err = est.EstimateContext(ctx, ft.Topology, flows, packetsim.DefaultConfig())
+	_, err = est.Estimate(ctx, ft.Topology, flows, packetsim.DefaultConfig())
 	elapsed := time.Since(start)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -44,8 +44,8 @@ func TestEstimateDeadline(t *testing.T) {
 	ft, flows := testWorkload(t, 800, 1)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	est := &Estimator{NumPaths: 50, Method: MethodFlowSim, Seed: 1}
-	_, err := est.EstimateContext(ctx, ft.Topology, flows, packetsim.DefaultConfig())
+	est := NewEstimator(nil, WithNumPaths(50), WithMethod(MethodFlowSim), WithSeed(1))
+	_, err := est.Estimate(ctx, ft.Topology, flows, packetsim.DefaultConfig())
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
@@ -63,13 +63,14 @@ func TestEstimateSharedPoolAndDecomp(t *testing.T) {
 	pool := NewPool(4)
 	defer pool.Close()
 
-	plain := &Estimator{NumPaths: 80, Method: MethodFlowSim, Seed: 3}
-	wired := &Estimator{NumPaths: 80, Method: MethodFlowSim, Seed: 3, Pool: pool, Decomp: d}
-	a, err := plain.Estimate(ft.Topology, flows, packetsim.DefaultConfig())
+	plain := NewEstimator(nil, WithNumPaths(80), WithMethod(MethodFlowSim), WithSeed(3))
+	wired := NewEstimator(nil, WithNumPaths(80), WithMethod(MethodFlowSim), WithSeed(3),
+		WithPool(pool), WithDecomposition(d))
+	a, err := plain.Estimate(context.Background(), ft.Topology, flows, packetsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := wired.Estimate(ft.Topology, flows, packetsim.DefaultConfig())
+	b, err := wired.Estimate(context.Background(), ft.Topology, flows, packetsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,34 +55,80 @@ func (m Method) String() string {
 	return fmt.Sprintf("method(%d)", uint8(m))
 }
 
-// Estimator runs the m3 pipeline.
+// Defaults for NewEstimator.
+const (
+	// DefaultNumPaths is the paper's sampled-path budget.
+	DefaultNumPaths = 500
+	// DefaultBatchSize is the ML micro-batch size: large enough that the
+	// per-batch fixed costs (scratch checkout, result slab) amortize, small
+	// enough that batches from concurrent estimates interleave on a shared
+	// pool.
+	DefaultBatchSize = 32
+)
+
+// Estimator runs the m3 pipeline. Construct with NewEstimator; the
+// configuration is fixed at construction (an Estimator is immutable and safe
+// to share between goroutines).
 type Estimator struct {
-	// Net is the trained model (required for MethodML).
-	Net *model.Net
-	// NumPaths is the number of sampled paths (paper default: 500).
-	NumPaths int
-	// Workers bounds per-path parallelism (0 = GOMAXPROCS). Ignored when
-	// Pool is set — the pool's size governs.
-	Workers int
-	// Method selects the backend (default MethodML).
-	Method Method
-	// Seed drives the path sampling.
-	Seed uint64
-	// Pool, when set, supplies the per-path workers. Long-lived callers
-	// (the estimation service) share one Pool across estimators so
-	// concurrent estimates divide the cores instead of oversubscribing
-	// them. When nil, Estimate spins up a transient pool of Workers.
-	Pool *Pool
-	// Decomp, when set, must be the decomposition of exactly the
-	// (topology, flows) passed to Estimate; the decompose stage is then
-	// skipped. Callers that estimate the same workload repeatedly under
-	// different configurations (sessions, the service) cache it.
-	Decomp *pathsim.Decomposition
+	net       *model.Net
+	numPaths  int
+	workers   int
+	method    Method
+	seed      uint64
+	batchSize int
+	pool      *Pool
+	decomp    *pathsim.Decomposition
 }
 
-// NewEstimator returns an estimator with the paper's defaults.
-func NewEstimator(net *model.Net) *Estimator {
-	return &Estimator{Net: net, NumPaths: 500, Seed: 1}
+// Option configures an Estimator at construction.
+type Option func(*Estimator)
+
+// WithNumPaths sets the sampled-path budget (default DefaultNumPaths).
+func WithNumPaths(n int) Option { return func(e *Estimator) { e.numPaths = n } }
+
+// WithWorkers bounds per-path parallelism (0 = GOMAXPROCS). Ignored when a
+// shared pool is set — the pool's size governs.
+func WithWorkers(n int) Option { return func(e *Estimator) { e.workers = n } }
+
+// WithMethod selects the per-path backend (default MethodML).
+func WithMethod(m Method) Option { return func(e *Estimator) { e.method = m } }
+
+// WithSeed seeds the path sampling (default 1).
+func WithSeed(seed uint64) Option { return func(e *Estimator) { e.seed = seed } }
+
+// WithBatchSize sets the ML inference micro-batch size (default
+// DefaultBatchSize; values < 1 fall back to the default). Batch 1 degrades
+// to per-path prediction.
+func WithBatchSize(n int) Option { return func(e *Estimator) { e.batchSize = n } }
+
+// WithPool points the estimator at a shared worker pool. Long-lived callers
+// (the estimation service) share one Pool across estimators so concurrent
+// estimates divide the cores instead of oversubscribing them. Without it,
+// Estimate spins up a transient pool per call.
+func WithPool(p *Pool) Option { return func(e *Estimator) { e.pool = p } }
+
+// WithDecomposition supplies a precomputed decomposition, which must be of
+// exactly the (topology, flows) passed to Estimate; the decompose stage is
+// then skipped. Callers that estimate the same workload repeatedly under
+// different configurations (sessions, the service) cache it.
+func WithDecomposition(d *pathsim.Decomposition) Option {
+	return func(e *Estimator) { e.decomp = d }
+}
+
+// NewEstimator returns an estimator for net with the paper's defaults,
+// adjusted by opts. net may be nil for the model-free backends
+// (WithMethod(MethodFlowSim) or MethodNS3Path).
+func NewEstimator(net *model.Net, opts ...Option) *Estimator {
+	e := &Estimator{
+		net:       net,
+		numPaths:  DefaultNumPaths,
+		seed:      1,
+		batchSize: DefaultBatchSize,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // StageTimings breaks an estimation's cost down by pipeline stage.
@@ -125,30 +171,26 @@ func (e *Estimate) P99PerBucket() [feature.NumOutputBuckets]float64 {
 // P99 returns the network-wide combined p99 slowdown.
 func (e *Estimate) P99() float64 { return e.Agg.CombinedP99() }
 
-// Estimate runs the pipeline on the given workload and network config.
-func (e *Estimator) Estimate(t *topo.Topology, flows []workload.Flow, cfg packetsim.Config) (*Estimate, error) {
-	return e.EstimateContext(context.Background(), t, flows, cfg)
-}
-
-// EstimateContext is Estimate with cooperative cancellation threaded down
-// to the per-path backends: when ctx ends (a client disconnect, a
-// deadline), in-flight path simulations abort mid-run and the estimate
-// returns ctx.Err() promptly instead of running every path to completion.
-func (e *Estimator) EstimateContext(ctx context.Context, t *topo.Topology,
+// Estimate runs the pipeline on the given workload and network config, with
+// cooperative cancellation threaded down to the per-path backends: when ctx
+// ends (a client disconnect, a deadline), in-flight path simulations abort
+// mid-run and the estimate returns ctx.Err() promptly instead of running
+// every path to completion.
+func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 	flows []workload.Flow, cfg packetsim.Config) (*Estimate, error) {
 
 	start := time.Now()
-	if e.Method == MethodML && e.Net == nil {
+	if e.method == MethodML && e.net == nil {
 		return nil, fmt.Errorf("core: MethodML requires a trained model")
 	}
-	if e.NumPaths <= 0 {
+	if e.numPaths <= 0 {
 		return nil, fmt.Errorf("core: NumPaths must be positive")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	var st StageTimings
-	d := e.Decomp
+	d := e.decomp
 	if d == nil {
 		var err error
 		d, err = pathsim.Decompose(t, flows)
@@ -159,8 +201,8 @@ func (e *Estimator) EstimateContext(ctx context.Context, t *topo.Topology,
 	st.Decompose = time.Since(start)
 
 	sampleStart := time.Now()
-	r := rng.New(e.Seed)
-	sample, err := sampling.Weighted(d.FgWeights(), e.NumPaths, r)
+	r := rng.New(e.seed)
+	sample, err := sampling.Weighted(d.FgWeights(), e.numPaths, r)
 	if err != nil {
 		return nil, err
 	}
@@ -169,21 +211,25 @@ func (e *Estimator) EstimateContext(ctx context.Context, t *topo.Topology,
 
 	// Workers pull path indices from the pool; the first error (or a done
 	// ctx) cancels the remaining paths instead of running them all out.
-	pool := e.Pool
+	pool := e.pool
 	if pool == nil {
-		pool = NewPool(e.Workers)
+		pool = NewPool(e.workers)
 		defer pool.Close()
 	}
 	outs := make([]agg.PathOutput, len(distinct))
 	var pathSimNs, predictNs atomic.Int64
-	err = pool.Run(ctx, len(distinct), func(ctx context.Context, i int) error {
-		out, err := e.estimatePath(ctx, d, &d.Paths[distinct[i]], mult[i], cfg, &pathSimNs, &predictNs)
-		if err != nil {
-			return fmt.Errorf("core: path %d: %w", distinct[i], err)
-		}
-		outs[i] = out
-		return nil
-	})
+	if e.method == MethodML {
+		err = e.estimateMLBatched(ctx, pool, d, distinct, mult, cfg, outs, &pathSimNs, &predictNs)
+	} else {
+		err = pool.Run(ctx, len(distinct), func(ctx context.Context, i int) error {
+			out, err := e.estimatePath(ctx, d, &d.Paths[distinct[i]], mult[i], cfg, &pathSimNs)
+			if err != nil {
+				return fmt.Errorf("core: path %d: %w", distinct[i], err)
+			}
+			outs[i] = out
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -205,18 +251,83 @@ func (e *Estimator) EstimateContext(ctx context.Context, t *topo.Topology,
 	}, nil
 }
 
-// estimatePath produces one sampled path's bucketed percentile vectors,
-// accumulating backend and inference time into the stage counters.
+// estimateMLBatched is the ML backend's two-stage pipeline: the worker pool
+// featurizes every sampled path (flowSim + feature maps), then the
+// featurized paths are flushed through Net.PredictBatch in micro-batches —
+// also on the pool, so batches belonging to concurrent estimates interleave
+// instead of serializing behind each other. Stacking paths into one forward
+// pass replaces per-path Predict calls, turning the Predict stage from
+// allocation-bound per-position slices into flat matrix loops over pooled
+// scratch.
+func (e *Estimator) estimateMLBatched(ctx context.Context, pool *Pool,
+	d *pathsim.Decomposition, distinct, mult []int, cfg packetsim.Config,
+	outs []agg.PathOutput, pathSimNs, predictNs *atomic.Int64) error {
+
+	samples := make([]*model.Sample, len(distinct))
+	err := pool.Run(ctx, len(distinct), func(ctx context.Context, i int) error {
+		p := &d.Paths[distinct[i]]
+		sc, err := d.Scenario(p)
+		if err != nil {
+			return fmt.Errorf("core: path %d: %w", distinct[i], err)
+		}
+		simStart := time.Now()
+		fs, err := sc.RunFlowSimContext(ctx)
+		pathSimNs.Add(int64(time.Since(simStart)))
+		if err != nil {
+			return fmt.Errorf("core: path %d: %w", distinct[i], err)
+		}
+		rates := d.T.RouteRates(p.Links)
+		delays := d.T.RouteDelays(p.Links)
+		samples[i] = model.BuildInputs(fs.Fg.Sizes, fs.Fg.Slowdown, fs.BgSizes, fs.BgSldn, cfg, rates, delays)
+		outs[i] = agg.PathOutput{
+			Counts: feature.BucketCounts(fs.Fg.Sizes, feature.OutputBucketBounds),
+			Mult:   mult[i],
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	bs := e.batchSize
+	if bs <= 0 {
+		bs = DefaultBatchSize
+	}
+	numBatches := (len(distinct) + bs - 1) / bs
+	return pool.Run(ctx, numBatches, func(ctx context.Context, bi int) error {
+		lo := bi * bs
+		hi := min(lo+bs, len(distinct))
+		predStart := time.Now()
+		preds, err := e.net.PredictBatch(samples[lo:hi])
+		predictNs.Add(int64(time.Since(predStart)))
+		if err != nil {
+			return fmt.Errorf("core: predict batch %d: %w", bi, err)
+		}
+		for j, pred := range preds {
+			out := &outs[lo+j]
+			out.Buckets = make([][]float64, feature.NumOutputBuckets)
+			for b := 0; b < feature.NumOutputBuckets; b++ {
+				if out.Counts[b] > 0 {
+					out.Buckets[b] = pred[b*feature.NumPercentiles : (b+1)*feature.NumPercentiles]
+				}
+			}
+			samples[lo+j] = nil // release featurized inputs as batches drain
+		}
+		return nil
+	})
+}
+
+// estimatePath produces one sampled path's bucketed percentile vectors for
+// the model-free backends, accumulating backend time into the stage counter.
 func (e *Estimator) estimatePath(ctx context.Context, d *pathsim.Decomposition,
 	p *pathsim.Path, mult int, cfg packetsim.Config,
-	pathSimNs, predictNs *atomic.Int64) (agg.PathOutput, error) {
+	pathSimNs *atomic.Int64) (agg.PathOutput, error) {
 
 	sc, err := d.Scenario(p)
 	if err != nil {
 		return agg.PathOutput{}, err
 	}
 	simStart := time.Now()
-	switch e.Method {
+	switch e.method {
 	case MethodNS3Path:
 		fg, err := sc.RunPacketContext(ctx, cfg)
 		pathSimNs.Add(int64(time.Since(simStart)))
@@ -231,35 +342,8 @@ func (e *Estimator) estimatePath(ctx context.Context, d *pathsim.Decomposition,
 			return agg.PathOutput{}, err
 		}
 		return outputFromSamples(fs.Fg.Sizes, fs.Fg.Slowdown, mult), nil
-	case MethodML:
-		fs, err := sc.RunFlowSimContext(ctx)
-		pathSimNs.Add(int64(time.Since(simStart)))
-		if err != nil {
-			return agg.PathOutput{}, err
-		}
-		rates := d.T.RouteRates(p.Links)
-		delays := d.T.RouteDelays(p.Links)
-		in := model.BuildInputs(fs.Fg.Sizes, fs.Fg.Slowdown, fs.BgSizes, fs.BgSldn, cfg, rates, delays)
-		predStart := time.Now()
-		pred, err := e.Net.Predict(in)
-		predictNs.Add(int64(time.Since(predStart)))
-		if err != nil {
-			return agg.PathOutput{}, err
-		}
-		counts := feature.BuildOutput(fs.Fg.Sizes, fs.Fg.Slowdown).Counts
-		out := agg.PathOutput{
-			Buckets: make([][]float64, feature.NumOutputBuckets),
-			Counts:  counts,
-			Mult:    mult,
-		}
-		for b := 0; b < feature.NumOutputBuckets; b++ {
-			if counts[b] > 0 {
-				out.Buckets[b] = pred[b*feature.NumPercentiles : (b+1)*feature.NumPercentiles]
-			}
-		}
-		return out, nil
 	}
-	return agg.PathOutput{}, fmt.Errorf("core: unknown method %v", e.Method)
+	return agg.PathOutput{}, fmt.Errorf("core: unknown method %v", e.method)
 }
 
 // outputFromSamples bucketizes raw per-flow slowdowns into a PathOutput.

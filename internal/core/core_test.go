@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -61,8 +62,8 @@ func tinyTrainedNet(t *testing.T) *model.Net {
 
 func TestEstimateFlowSimMethod(t *testing.T) {
 	ft, flows := testWorkload(t, 1200, 1)
-	est := &Estimator{NumPaths: 100, Method: MethodFlowSim, Seed: 3}
-	res, err := est.Estimate(ft.Topology, flows, packetsim.DefaultConfig())
+	est := NewEstimator(nil, WithNumPaths(100), WithMethod(MethodFlowSim), WithSeed(3))
+	res, err := est.Estimate(context.Background(), ft.Topology, flows, packetsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,8 +88,8 @@ func TestEstimateNS3PathTracksGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est := &Estimator{NumPaths: 150, Method: MethodNS3Path, Seed: 4}
-	res, err := est.Estimate(ft.Topology, flows, cfg)
+	est := NewEstimator(nil, WithNumPaths(150), WithMethod(MethodNS3Path), WithSeed(4))
+	res, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,10 +102,8 @@ func TestEstimateNS3PathTracksGroundTruth(t *testing.T) {
 func TestEstimateMLRuns(t *testing.T) {
 	net := tinyTrainedNet(t)
 	ft, flows := testWorkload(t, 1000, 5)
-	est := NewEstimator(net)
-	est.NumPaths = 80
-	est.Seed = 6
-	res, err := est.Estimate(ft.Topology, flows, packetsim.DefaultConfig())
+	est := NewEstimator(net, WithNumPaths(80), WithSeed(6))
+	res, err := est.Estimate(context.Background(), ft.Topology, flows, packetsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,8 +132,8 @@ func TestEstimateMLRuns(t *testing.T) {
 func TestEstimateDeterministicAcrossParallelism(t *testing.T) {
 	ft, flows := testWorkload(t, 800, 7)
 	mk := func(workers int) float64 {
-		est := &Estimator{NumPaths: 60, Method: MethodFlowSim, Seed: 9, Workers: workers}
-		res, err := est.Estimate(ft.Topology, flows, packetsim.DefaultConfig())
+		est := NewEstimator(nil, WithNumPaths(60), WithMethod(MethodFlowSim), WithSeed(9), WithWorkers(workers))
+		res, err := est.Estimate(context.Background(), ft.Topology, flows, packetsim.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,21 +147,22 @@ func TestEstimateDeterministicAcrossParallelism(t *testing.T) {
 func TestEstimateValidation(t *testing.T) {
 	ft, flows := testWorkload(t, 50, 8)
 	cfg := packetsim.DefaultConfig()
-	e := &Estimator{NumPaths: 10, Method: MethodML} // no net
-	if _, err := e.Estimate(ft.Topology, flows, cfg); err == nil {
+	ctx := context.Background()
+	e := NewEstimator(nil, WithNumPaths(10)) // MethodML but no net
+	if _, err := e.Estimate(ctx, ft.Topology, flows, cfg); err == nil {
 		t.Error("MethodML without model accepted")
 	}
-	e = &Estimator{NumPaths: 0, Method: MethodFlowSim}
-	if _, err := e.Estimate(ft.Topology, flows, cfg); err == nil {
+	e = NewEstimator(nil, WithNumPaths(0), WithMethod(MethodFlowSim))
+	if _, err := e.Estimate(ctx, ft.Topology, flows, cfg); err == nil {
 		t.Error("zero paths accepted")
 	}
-	e = &Estimator{NumPaths: 10, Method: MethodFlowSim}
+	e = NewEstimator(nil, WithNumPaths(10), WithMethod(MethodFlowSim))
 	bad := cfg
 	bad.InitWindow = 0
-	if _, err := e.Estimate(ft.Topology, flows, bad); err == nil {
+	if _, err := e.Estimate(ctx, ft.Topology, flows, bad); err == nil {
 		t.Error("invalid config accepted")
 	}
-	if _, err := e.Estimate(ft.Topology, nil, cfg); err == nil {
+	if _, err := e.Estimate(ctx, ft.Topology, nil, cfg); err == nil {
 		t.Error("empty workload accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -55,12 +56,10 @@ func RunAblationPaths(s Scale, net *model.Net, w io.Writer) ([]AblationPathsPoin
 			if err != nil {
 				return nil, err
 			}
-			est := core.NewEstimator(net)
-			est.NumPaths = k
-			est.Workers = s.Workers
-			est.Seed = uint64(3000 + i)
+			est := core.NewEstimator(net, core.WithNumPaths(k),
+				core.WithWorkers(s.Workers), core.WithSeed(uint64(3000+i)))
 			t0 := time.Now()
-			res, err := est.Estimate(ft.Topology, flows, packetsim.DefaultConfig())
+			res, err := est.Estimate(context.Background(), ft.Topology, flows, packetsim.DefaultConfig())
 			if err != nil {
 				return nil, err
 			}

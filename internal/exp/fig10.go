@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -46,12 +47,10 @@ func RunSensitivity(s Scale, net *model.Net, w io.Writer) ([]SensitivityPoint, e
 			return nil, err
 		}
 
-		est := core.NewEstimator(net)
-		est.NumPaths = s.Paths
-		est.Workers = s.Workers
-		est.Seed = m.Seed
+		est := core.NewEstimator(net, core.WithNumPaths(s.Paths),
+			core.WithWorkers(s.Workers), core.WithSeed(m.Seed))
 		t0 := time.Now()
-		mr, err := est.Estimate(ft.Topology, flows, cfg)
+		mr, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}

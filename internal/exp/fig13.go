@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -55,12 +56,10 @@ func runSweep(s Scale, net *model.Net, w io.Writer, title string,
 		if err != nil {
 			return nil, err
 		}
-		est := core.NewEstimator(net)
-		est.NumPaths = s.Paths
-		est.Workers = s.Workers
-		est.Seed = 402
+		est := core.NewEstimator(net, core.WithNumPaths(s.Paths),
+			core.WithWorkers(s.Workers), core.WithSeed(402))
 		t0 := time.Now()
-		mr, err := est.Estimate(ft.Topology, flows, cfg)
+		mr, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -57,11 +58,9 @@ func RunFig17(s Scale, net *model.Net, w io.Writer) ([]Fig17Group, error) {
 			if err != nil {
 				return nil, err
 			}
-			est := core.NewEstimator(net)
-			est.NumPaths = s.Paths
-			est.Workers = s.Workers
-			est.Seed = m.Seed
-			mr, err := est.Estimate(ft.Topology, flows, cfg)
+			est := core.NewEstimator(net, core.WithNumPaths(s.Paths),
+				core.WithWorkers(s.Workers), core.WithSeed(m.Seed))
+			mr, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 			if err != nil {
 				return nil, err
 			}

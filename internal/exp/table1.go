@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -49,10 +50,11 @@ func RunTable1(s Scale, w io.Writer) ([]Table1Row, error) {
 		}
 		psTime := time.Since(t0)
 
-		est := &core.Estimator{NumPaths: s.Paths, Method: core.MethodNS3Path,
-			Workers: s.Workers, Seed: m.Seed}
+		est := core.NewEstimator(nil, core.WithNumPaths(s.Paths),
+			core.WithMethod(core.MethodNS3Path), core.WithWorkers(s.Workers),
+			core.WithSeed(m.Seed))
 		t0 = time.Now()
-		pr, err := est.Estimate(ft.Topology, flows, cfg)
+		pr, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}

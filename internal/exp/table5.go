@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -78,12 +79,10 @@ func RunTable5(s Scale, net *model.Net, w io.Writer) ([]Table5Row, error) {
 		psTime := time.Since(t0)
 		psP99 := stats.P99(pr.Slowdown)
 
-		est := core.NewEstimator(net)
-		est.NumPaths = s.Paths
-		est.Workers = s.Workers
-		est.Seed = 502
+		est := core.NewEstimator(net, core.WithNumPaths(s.Paths),
+			core.WithWorkers(s.Workers), core.WithSeed(502))
 		t0 = time.Now()
-		mr, err := est.Estimate(ft.Topology, flows, cfg)
+		mr, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}

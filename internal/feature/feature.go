@@ -6,6 +6,7 @@ package feature
 
 import (
 	"math"
+	"sync"
 
 	"m3/internal/packetsim"
 	"m3/internal/stats"
@@ -63,6 +64,16 @@ func (m *Map) Row(b int) []float64 {
 	return m.Data[b*NumPercentiles : (b+1)*NumPercentiles]
 }
 
+// buildScratch holds the per-bucket slowdown lists and the sort buffer that
+// Build reuses across calls: the batched estimator featurizes hundreds of
+// paths per estimate, and these intermediates dominated its garbage.
+type buildScratch struct {
+	perBucket [][]float64
+	sortBuf   []float64
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
 // Build produces the percentile map of the given slowdowns bucketed by flow
 // size.
 func Build(sizes []unit.ByteSize, sldn []float64, bounds []unit.ByteSize) *Map {
@@ -72,7 +83,14 @@ func Build(sizes []unit.ByteSize, sldn []float64, bounds []unit.ByteSize) *Map {
 		Data:    make([]float64, nb*NumPercentiles),
 		Counts:  make([]int, nb),
 	}
-	perBucket := make([][]float64, nb)
+	sc := buildPool.Get().(*buildScratch)
+	for len(sc.perBucket) < nb {
+		sc.perBucket = append(sc.perBucket, nil)
+	}
+	perBucket := sc.perBucket[:nb]
+	for b := range perBucket {
+		perBucket[b] = perBucket[b][:0]
+	}
 	for i, s := range sizes {
 		b := BucketOf(s, bounds)
 		perBucket[b] = append(perBucket[b], sldn[i])
@@ -82,10 +100,21 @@ func Build(sizes []unit.ByteSize, sldn []float64, bounds []unit.ByteSize) *Map {
 		if len(xs) == 0 {
 			continue
 		}
-		v := stats.PercentileVector(xs)
-		copy(m.Row(b), v)
+		sc.sortBuf = stats.PercentilesInto(xs, stats.PercentileGrid, m.Row(b), sc.sortBuf)
 	}
+	buildPool.Put(sc)
 	return m
+}
+
+// BucketCounts tallies flows per size bucket without building percentile
+// rows — the cheap path for callers that only need occupancy (the batched
+// estimator, which gets its percentiles from the model).
+func BucketCounts(sizes []unit.ByteSize, bounds []unit.ByteSize) []int {
+	counts := make([]int, len(bounds)+1)
+	for _, s := range sizes {
+		counts[BucketOf(s, bounds)]++
+	}
+	return counts
 }
 
 // BuildFeature builds the standard 10-bucket feature map.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"m3/internal/topo"
 	"m3/internal/unit"
@@ -44,11 +45,21 @@ type allocator struct {
 }
 
 func newAllocator(caps []float64) *allocator {
-	return &allocator{
-		caps:     caps,
-		residual: make([]float64, len(caps)),
-		count:    make([]int32, len(caps)),
-		stamp:    make([]uint32, len(caps)),
+	a := &allocator{}
+	a.reset(caps)
+	return a
+}
+
+// reset points the allocator at a (possibly different-sized) capacity vector,
+// growing the per-link buffers as needed. Stale stamps from earlier runs are
+// harmless: epoch only moves forward, so they never match a future epoch.
+func (a *allocator) reset(caps []float64) {
+	a.caps = caps
+	if len(a.residual) < len(caps) {
+		a.residual = make([]float64, len(caps))
+		a.count = make([]int32, len(caps))
+		a.stamp = make([]uint32, len(caps))
+		a.epoch = 0
 	}
 }
 
@@ -152,6 +163,30 @@ func Run(t *topo.Topology, flows []workload.Flow) (*Result, error) {
 // cancellation checks; polling is O(1) but not free, so it is amortized.
 const ctxPollInterval = 512
 
+// active is one in-flight flow's fluid state.
+type active struct {
+	idx       int     // index into flows
+	remaining float64 // wire bits left
+	rate      float64 // bits/s
+}
+
+// runScratch bundles every intermediate a simulation run needs, recycled via
+// a sync.Pool so steady-state callers (the estimator featurizing hundreds of
+// paths per request) only allocate the returned Result.
+type runScratch struct {
+	order    []int
+	caps     []float64
+	routeIdx []int32 // all routes, flattened
+	routeOff []int   // n+1 offsets into routeIdx
+	routes32 [][]int32
+	routes   [][]int32 // active-set views passed to the allocator
+	act      []active
+	rateBuf  []float64
+	alloc    allocator
+}
+
+var runPool = sync.Pool{New: func() any { return new(runScratch) }}
+
 // RunContext is Run with cooperative cancellation: the event loop polls ctx
 // every few hundred iterations and aborts with ctx.Err() once it is done,
 // so callers (the estimation service) can cut short abandoned simulations.
@@ -164,10 +199,13 @@ func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow) (*
 	if n == 0 {
 		return res, nil
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	sc := runPool.Get().(*runScratch)
+	defer runPool.Put(sc)
+	order := sc.order[:0]
+	for i := 0; i < n; i++ {
+		order = append(order, i)
 	}
+	sc.order = order
 	sort.Slice(order, func(a, b int) bool {
 		fa, fb := &flows[order[a]], &flows[order[b]]
 		if fa.Arrival != fb.Arrival {
@@ -185,28 +223,30 @@ func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow) (*
 		}
 	}
 
-	caps := make([]float64, t.NumLinks())
+	caps := sc.caps[:0]
 	for i := range t.Links {
-		caps[i] = float64(t.Links[i].Rate) // bits/s
+		caps = append(caps, float64(t.Links[i].Rate)) // bits/s
 	}
-	// Pre-convert routes once so the per-event recompute allocates nothing.
-	routes32 := make([][]int32, n)
+	sc.caps = caps
+	// Pre-convert routes once (into one flat slab) so the per-event recompute
+	// allocates nothing.
+	routeIdx, routeOff := sc.routeIdx[:0], sc.routeOff[:0]
 	for i := range flows {
-		r32 := make([]int32, len(flows[i].Route))
-		for j, l := range flows[i].Route {
-			r32[j] = int32(l)
+		routeOff = append(routeOff, len(routeIdx))
+		for _, l := range flows[i].Route {
+			routeIdx = append(routeIdx, int32(l))
 		}
-		routes32[i] = r32
 	}
+	routeOff = append(routeOff, len(routeIdx))
+	sc.routeIdx, sc.routeOff = routeIdx, routeOff
+	routes32 := sc.routes32[:0]
+	for i := 0; i < n; i++ {
+		routes32 = append(routes32, routeIdx[routeOff[i]:routeOff[i+1]])
+	}
+	sc.routes32 = routes32
 
-	// Active flow state, stored in parallel slices for cache friendliness.
-	type active struct {
-		idx       int     // index into flows
-		remaining float64 // wire bits left
-		rate      float64 // bits/s
-	}
-	var act []active
-	routes := make([][]int32, 0, 64) // scratch for MaxMinRates
+	act := sc.act[:0]
+	routes := sc.routes[:0] // scratch for the allocator's active set
 
 	const eps = 1e-6 // bits; completion tolerance
 	// done reports whether an active flow should be considered complete. The
@@ -219,8 +259,12 @@ func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow) (*
 	now := 0.0 // seconds
 	next := 0  // next arrival in order
 	stalls := 0
-	alloc := newAllocator(caps)
-	var rateBuf []float64
+	sc.alloc.reset(caps)
+	alloc := &sc.alloc
+	rateBuf := sc.rateBuf
+	// Hand the (possibly re-grown) buffers back to the scratch on every exit
+	// so the pool keeps their capacity.
+	defer func() { sc.act, sc.routes, sc.rateBuf = act, routes, rateBuf }()
 	recompute := func() {
 		routes = routes[:0]
 		for i := range act {

@@ -106,16 +106,21 @@ func (n *RMSNorm) Apply(x []float64) []float64 {
 }
 
 func rmsApply(x, gain []float64) ([]float64, float64) {
+	out := make([]float64, len(x))
+	return out, rmsApplyInto(x, gain, out)
+}
+
+// rmsApplyInto normalizes x into dst and returns 1/rms.
+func rmsApplyInto(x, gain, dst []float64) float64 {
 	var ss float64
 	for _, v := range x {
 		ss += v * v
 	}
 	inv := 1 / math.Sqrt(ss/float64(len(x))+rmsEps)
-	out := make([]float64, len(x))
 	for i, v := range x {
-		out[i] = v * inv * gain[i]
+		dst[i] = v * inv * gain[i]
 	}
-	return out, inv
+	return inv
 }
 
 // Backward accumulates dGain and returns dx.

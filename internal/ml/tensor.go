@@ -1,0 +1,111 @@
+package ml
+
+import "sync"
+
+// Tensor is a dense row-major matrix view over a flat float64 slice. It is
+// the batched-inference counterpart of the [][]float64 sequences the
+// training path uses: one contiguous allocation instead of one slice per
+// position, so whole layers reduce to single loop nests over flat memory.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// Row returns row r as a slice aliasing the tensor's storage.
+func (t Tensor) Row(r int) []float64 {
+	return t.Data[r*t.Cols : (r+1)*t.Cols]
+}
+
+// minSlabFloats is the smallest slab a Scratch allocates (128 KiB). Batches
+// bigger than a slab get a dedicated slab of exactly their size.
+const minSlabFloats = 1 << 14
+
+// Scratch is a bump allocator for inference temporaries. Buffers handed out
+// by Floats/Ints/Tensor stay valid until Reset; the slabs behind them are
+// kept across Reset, so a Scratch reaches a high-water mark once and then
+// serves every later batch of the same shape with zero heap allocation.
+//
+// A Scratch is not safe for concurrent use; GetScratch/PutScratch recycle
+// instances through a sync.Pool so each goroutine works on its own.
+type Scratch struct {
+	slabs [][]float64
+	cur   int // slab currently being bump-allocated
+	off   int // next free float in slabs[cur]
+
+	intSlabs [][]int
+	intCur   int
+	intOff   int
+}
+
+// Reset releases every outstanding buffer at once. Slabs are retained.
+func (s *Scratch) Reset() {
+	s.cur, s.off = 0, 0
+	s.intCur, s.intOff = 0, 0
+}
+
+// Floats returns a zeroed length-n buffer valid until Reset.
+func (s *Scratch) Floats(n int) []float64 {
+	out := s.FloatsUninit(n)
+	clear(out)
+	return out
+}
+
+// FloatsUninit is Floats without the zeroing, for buffers the caller fully
+// overwrites before reading (most layer outputs). Contents are whatever the
+// previous batch left in the slab.
+func (s *Scratch) FloatsUninit(n int) []float64 {
+	for s.cur < len(s.slabs) {
+		if slab := s.slabs[s.cur]; s.off+n <= len(slab) {
+			out := slab[s.off : s.off+n : s.off+n]
+			s.off += n
+			return out
+		}
+		s.cur++
+		s.off = 0
+	}
+	s.slabs = append(s.slabs, make([]float64, max(n, minSlabFloats)))
+	out := s.slabs[s.cur][:n:n]
+	s.off = n
+	return out
+}
+
+// Ints returns a zeroed length-n int buffer valid until Reset.
+func (s *Scratch) Ints(n int) []int {
+	for s.intCur < len(s.intSlabs) {
+		if slab := s.intSlabs[s.intCur]; s.intOff+n <= len(slab) {
+			out := slab[s.intOff : s.intOff+n : s.intOff+n]
+			s.intOff += n
+			clear(out)
+			return out
+		}
+		s.intCur++
+		s.intOff = 0
+	}
+	s.intSlabs = append(s.intSlabs, make([]int, max(n, 256)))
+	out := s.intSlabs[s.intCur][:n:n]
+	s.intOff = n
+	return out
+}
+
+// Tensor returns a zeroed rows x cols tensor backed by the scratch.
+func (s *Scratch) Tensor(rows, cols int) Tensor {
+	return Tensor{Rows: rows, Cols: cols, Data: s.Floats(rows * cols)}
+}
+
+// TensorUninit is Tensor without the zeroing, for tensors whose every cell
+// is written before being read.
+func (s *Scratch) TensorUninit(rows, cols int) Tensor {
+	return Tensor{Rows: rows, Cols: cols, Data: s.FloatsUninit(rows * cols)}
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch takes a reusable Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch resets s and returns it to the pool. Buffers obtained from s
+// must not be used afterwards.
+func PutScratch(s *Scratch) {
+	s.Reset()
+	scratchPool.Put(s)
+}

@@ -1,0 +1,144 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"m3/internal/feature"
+	"m3/internal/rng"
+)
+
+// TestPredictBatchMatchesPredict is the batch/single parity property test:
+// over random batch sizes (including 1) and ragged background-hop counts,
+// PredictBatch must agree with per-sample Predict on every output bucket to
+// within 1e-9 (the implementations share accumulation order, so they agree
+// bitwise; the tolerance guards against reorderings in future refactors).
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	for _, useCtx := range []bool{true, false} {
+		t.Run(fmt.Sprintf("context=%v", useCtx), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Dim = 32
+			cfg.Heads = 2
+			cfg.Layers = 2
+			cfg.Hidden = 48
+			cfg.MaxHops = 8
+			cfg.UseContext = useCtx
+			net, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.New(1234)
+			for trial := 0; trial < 12; trial++ {
+				batch := 1 + r.Intn(17)
+				if trial == 0 {
+					batch = 1 // always cover the degenerate batch
+				}
+				samples := make([]*Sample, batch)
+				for i := range samples {
+					samples[i] = randomSample(r, 1+r.Intn(cfg.MaxHops), cfg)
+				}
+				got, err := net.PredictBatch(samples)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != batch {
+					t.Fatalf("trial %d: %d outputs for %d samples", trial, len(got), batch)
+				}
+				for i, s := range samples {
+					want, err := net.Predict(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := range want {
+						if d := math.Abs(got[i][j] - want[j]); d > 1e-9 || math.IsNaN(got[i][j]) {
+							t.Fatalf("trial %d sample %d (hops=%d) output %d: batch %v vs single %v (|d|=%v)",
+								trial, i, len(s.BgFeats), j, got[i][j], want[j], d)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBatchValidation: shape errors surface instead of panicking,
+// and an empty batch is a no-op.
+func TestPredictBatchValidation(t *testing.T) {
+	net, err := New(Config{
+		FeatDim: feature.FeatureDim, SpecDim: feature.SpecDim, OutDim: feature.OutputDim,
+		Dim: 16, Heads: 2, Layers: 1, Hidden: 32, MaxHops: 4, UseContext: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := net.PredictBatch(nil); err != nil || out != nil {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+	r := rng.New(5)
+	good := randomSample(r, 2, net.Cfg)
+	bad := randomSample(r, 2, net.Cfg)
+	bad.FgFeat = bad.FgFeat[:10]
+	if _, err := net.PredictBatch([]*Sample{good, bad}); err == nil {
+		t.Fatal("bad fg dim accepted")
+	}
+	tooLong := randomSample(r, net.Cfg.MaxHops+1, net.Cfg)
+	if _, err := net.PredictBatch([]*Sample{tooLong}); err == nil {
+		t.Fatal("over-long bg sequence accepted")
+	}
+}
+
+// TestPredictBatchConcurrent hammers one shared net with concurrent batched
+// inference (run under -race by scripts/check.sh): results must be
+// deterministic regardless of interleaving, since Apply paths share no
+// mutable state and scratch arenas are per-goroutine.
+func TestPredictBatchConcurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	cfg.Heads = 2
+	cfg.Layers = 1
+	cfg.Hidden = 32
+	cfg.MaxHops = 6
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(77)
+	samples := make([]*Sample, 24)
+	for i := range samples {
+		samples[i] = randomSample(r, 1+r.Intn(cfg.MaxHops), cfg)
+	}
+	want, err := net.PredictBatch(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				got, err := net.PredictBatch(samples)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range got {
+					for j := range got[i] {
+						if got[i][j] != want[i][j] {
+							errs <- fmt.Errorf("concurrent batch diverged at [%d][%d]", i, j)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"testing"
 
 	"m3/internal/core"
@@ -14,7 +15,7 @@ func TestSetConfigRoundTripKeepsCache(t *testing.T) {
 	s, _ := testSession(t)
 	orig := s.Config()
 
-	a, err := s.Estimate()
+	a, err := s.Estimate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestSetConfigRoundTripKeepsCache(t *testing.T) {
 	if err := s.SetConfig(alt); err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Estimate()
+	b, err := s.Estimate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestSetConfigRoundTripKeepsCache(t *testing.T) {
 	if err := s.SetConfig(orig); err != nil {
 		t.Fatal(err)
 	}
-	c, err := s.Estimate()
+	c, err := s.Estimate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +63,11 @@ func TestSessionsShareCache(t *testing.T) {
 	s1.Cache = shared
 	s2.Cache = shared
 
-	a, err := s1.Estimate()
+	a, err := s1.Estimate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s2.Estimate()
+	b, err := s2.Estimate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,8 @@ type Session struct {
 	// Workers bounds parallelism (ignored when Pool is set).
 	Workers int
 	Seed    uint64
+	// BatchSize is the ML inference micro-batch size (0 = core default).
+	BatchSize int
 	// Pool, when set, supplies per-path workers shared with other sessions
 	// (the estimation service sets it). Nil means a transient pool per
 	// estimate.
@@ -123,14 +125,9 @@ func (s *Session) workloadHash() (core.WorkloadHash, uint64) {
 }
 
 // Estimate returns (computing and caching if needed) the network-wide
-// estimate for the current configuration.
-func (s *Session) Estimate() (*core.Estimate, error) {
-	return s.EstimateContext(context.Background())
-}
-
-// EstimateContext is Estimate with cancellation: a done ctx aborts
-// in-flight path simulations.
-func (s *Session) EstimateContext(ctx context.Context) (*core.Estimate, error) {
+// estimate for the current configuration. A done ctx aborts in-flight path
+// simulations and batched inference.
+func (s *Session) Estimate(ctx context.Context) (*core.Estimate, error) {
 	cfg := s.Config()
 	d, err := s.decomposition()
 	if err != nil {
@@ -146,27 +143,28 @@ func (s *Session) EstimateContext(ctx context.Context) (*core.Estimate, error) {
 		Model:    fp,
 	}
 	res, _, err := s.Cache.Do(ctx, key, func() (*core.Estimate, error) {
-		est := core.NewEstimator(s.Net)
-		est.NumPaths = s.NumPaths
-		est.Workers = s.Workers
-		est.Seed = s.Seed
-		est.Pool = s.Pool
-		est.Decomp = d
-		return est.EstimateContext(ctx, s.T, s.Flows, cfg)
+		est := core.NewEstimator(s.Net,
+			core.WithNumPaths(s.NumPaths),
+			core.WithWorkers(s.Workers),
+			core.WithSeed(s.Seed),
+			core.WithBatchSize(s.BatchSize),
+			core.WithPool(s.Pool),
+			core.WithDecomposition(d))
+		return est.Estimate(ctx, s.T, s.Flows, cfg)
 	})
 	return res, err
 }
 
 // Quantile answers "what is the q-quantile slowdown of bucket b" (b = -1 for
 // the combined distribution). q is in (0, 1].
-func (s *Session) Quantile(bucket int, q float64) (float64, error) {
+func (s *Session) Quantile(ctx context.Context, bucket int, q float64) (float64, error) {
 	if q <= 0 || q > 1 {
 		return 0, fmt.Errorf("query: quantile %v out of (0,1]", q)
 	}
 	if bucket < -1 || bucket >= feature.NumOutputBuckets {
 		return 0, fmt.Errorf("query: bucket %d out of range", bucket)
 	}
-	res, err := s.Estimate()
+	res, err := s.Estimate(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -176,8 +174,10 @@ func (s *Session) Quantile(bucket int, q float64) (float64, error) {
 	return res.Agg.BucketQuantile(bucket, q), nil
 }
 
-// P99 is shorthand for Quantile(bucket, 0.99).
-func (s *Session) P99(bucket int) (float64, error) { return s.Quantile(bucket, 0.99) }
+// P99 is shorthand for Quantile(ctx, bucket, 0.99).
+func (s *Session) P99(ctx context.Context, bucket int) (float64, error) {
+	return s.Quantile(ctx, bucket, 0.99)
+}
 
 // PathReport answers a targeted per-host-pair query: the predicted slowdown
 // distribution of traffic from src to dst, over every populated path between
@@ -195,8 +195,8 @@ type PathReport struct {
 
 // Path estimates the slowdown distribution for traffic between a specific
 // host pair under the current configuration ("sampling from specific paths
-// of interest", §3.6).
-func (s *Session) Path(src, dst topo.NodeID) (*PathReport, error) {
+// of interest", §3.6). A done ctx aborts in-flight path simulations.
+func (s *Session) Path(ctx context.Context, src, dst topo.NodeID) (*PathReport, error) {
 	d, err := s.decomposition()
 	if err != nil {
 		return nil, err
@@ -212,7 +212,7 @@ func (s *Session) Path(src, dst topo.NodeID) (*PathReport, error) {
 		}
 		report.Paths++
 		report.FgFlows += len(p.Fg)
-		out, err := s.pathOutput(d, p)
+		out, err := s.pathOutput(ctx, d, p)
 		if err != nil {
 			return nil, err
 		}
@@ -232,12 +232,12 @@ func (s *Session) Path(src, dst topo.NodeID) (*PathReport, error) {
 	return report, nil
 }
 
-func (s *Session) pathOutput(d *pathsim.Decomposition, p *pathsim.Path) (agg.PathOutput, error) {
+func (s *Session) pathOutput(ctx context.Context, d *pathsim.Decomposition, p *pathsim.Path) (agg.PathOutput, error) {
 	sc, err := d.Scenario(p)
 	if err != nil {
 		return agg.PathOutput{}, err
 	}
-	fs, err := sc.RunFlowSim()
+	fs, err := sc.RunFlowSimContext(ctx)
 	if err != nil {
 		return agg.PathOutput{}, err
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -60,14 +61,14 @@ func testSession(t *testing.T) (*Session, *topo.FatTree) {
 
 func TestSessionQuantiles(t *testing.T) {
 	s, _ := testSession(t)
-	p99, err := s.P99(-1)
+	p99, err := s.P99(context.Background(), -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.IsNaN(p99) || p99 < 1 {
 		t.Errorf("combined p99 = %v", p99)
 	}
-	p50, err := s.Quantile(-1, 0.5)
+	p50, err := s.Quantile(context.Background(), -1, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestSessionQuantiles(t *testing.T) {
 		t.Errorf("p50 (%v) > p99 (%v)", p50, p99)
 	}
 	// Bucket 0 is populated for WebServer.
-	b0, err := s.P99(0)
+	b0, err := s.P99(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,24 +87,24 @@ func TestSessionQuantiles(t *testing.T) {
 
 func TestSessionQuantileValidation(t *testing.T) {
 	s, _ := testSession(t)
-	if _, err := s.Quantile(0, 0); err == nil {
+	if _, err := s.Quantile(context.Background(), 0, 0); err == nil {
 		t.Error("q=0 accepted")
 	}
-	if _, err := s.Quantile(0, 1.5); err == nil {
+	if _, err := s.Quantile(context.Background(), 0, 1.5); err == nil {
 		t.Error("q>1 accepted")
 	}
-	if _, err := s.Quantile(9, 0.5); err == nil {
+	if _, err := s.Quantile(context.Background(), 9, 0.5); err == nil {
 		t.Error("bad bucket accepted")
 	}
 }
 
 func TestSessionEstimateCached(t *testing.T) {
 	s, _ := testSession(t)
-	a, err := s.Estimate()
+	a, err := s.Estimate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Estimate()
+	b, err := s.Estimate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestSessionEstimateCached(t *testing.T) {
 
 func TestSetConfigInvalidatesCache(t *testing.T) {
 	s, _ := testSession(t)
-	a, err := s.Estimate()
+	a, err := s.Estimate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestSetConfigInvalidatesCache(t *testing.T) {
 	if err := s.SetConfig(cfg); err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Estimate()
+	b, err := s.Estimate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestPathQuery(t *testing.T) {
 	s, ft := testSession(t)
 	// Find a populated host pair from the workload itself.
 	src, dst := s.Flows[0].Src, s.Flows[0].Dst
-	rep, err := s.Path(src, dst)
+	rep, err := s.Path(context.Background(), src, dst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestPathQuery(t *testing.T) {
 	}
 	// Unpopulated pair errors cleanly.
 	hosts := ft.Hosts()
-	if _, err := s.Path(hosts[0], hosts[0]); err == nil {
+	if _, err := s.Path(context.Background(), hosts[0], hosts[0]); err == nil {
 		t.Error("self-pair accepted")
 	}
 }

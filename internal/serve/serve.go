@@ -53,6 +53,8 @@ type Options struct {
 	Workers int
 	// CacheSize bounds the estimate LRU (0 = 64).
 	CacheSize int
+	// BatchSize is the ML inference micro-batch size (0 = core default).
+	BatchSize int
 }
 
 // Server is the m3 estimation service. Create with New, mount as an
@@ -246,13 +248,14 @@ func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Meth
 		Model:    fp,
 	}
 	res, cached, err := s.cache.Do(ctx, key, func() (*core.Estimate, error) {
-		est := core.NewEstimator(net)
-		est.Method = method
-		est.NumPaths = numPaths
-		est.Seed = seed
-		est.Pool = s.pool
-		est.Decomp = d
-		return est.EstimateContext(ctx, wl.FT.Topology, wl.Flows, cfg)
+		est := core.NewEstimator(net,
+			core.WithMethod(method),
+			core.WithNumPaths(numPaths),
+			core.WithSeed(seed),
+			core.WithBatchSize(s.opts.BatchSize),
+			core.WithPool(s.pool),
+			core.WithDecomposition(d))
+		return est.Estimate(ctx, wl.FT.Topology, wl.Flows, cfg)
 	})
 	if err == nil && !cached {
 		s.metrics.recordStages(res.Stages)

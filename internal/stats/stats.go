@@ -54,18 +54,28 @@ var PercentileGrid = func() []float64 {
 // done once. Empty input yields a vector of NaN.
 func Percentiles(xs []float64, ps []float64) []float64 {
 	out := make([]float64, len(ps))
-	if len(xs) == 0 {
-		for i := range out {
-			out[i] = math.NaN()
-		}
-		return out
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	for i, p := range ps {
-		out[i] = percentileSorted(sorted, p)
-	}
+	PercentilesInto(xs, ps, out, nil)
 	return out
+}
+
+// PercentilesInto writes the values of xs at each percentile in ps into dst
+// (which must have len(ps)), sorting into buf instead of a fresh copy. It
+// returns buf, grown if needed, so callers can reuse it across calls (the
+// feature builder runs this once per size bucket per path). Empty xs fills
+// dst with NaN.
+func PercentilesInto(xs, ps, dst, buf []float64) []float64 {
+	if len(xs) == 0 {
+		for i := range dst {
+			dst[i] = math.NaN()
+		}
+		return buf
+	}
+	buf = append(buf[:0], xs...)
+	sort.Float64s(buf)
+	for i, p := range ps {
+		dst[i] = percentileSorted(buf, p)
+	}
+	return buf
 }
 
 // PercentileVector returns the standard 100-point percentile vector of xs.

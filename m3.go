@@ -12,9 +12,15 @@
 //	ft, _ := m3.SmallFatTree(m3.Oversub2to1)
 //	flows, _ := m3.GenerateWorkload(ft, m3.WorkloadSpec{ ... })
 //	net, _ := m3.LoadModel("m3.ckpt")             // or m3.TrainModel(...)
-//	est := m3.NewEstimator(net)
-//	res, _ := est.Estimate(ft.Topology, flows, m3.DefaultNetConfig())
+//	est := m3.NewEstimator(net, m3.WithNumPaths(500), m3.WithSeed(1))
+//	res, _ := est.Estimate(ctx, ft.Topology, flows, m3.DefaultNetConfig())
 //	fmt.Println("p99 slowdown:", res.P99())
+//
+// Every estimation entry point takes a context.Context first; cancelling it
+// aborts in-flight path simulations and batched inference promptly. For
+// repeated queries over one workload (quantiles, per-pair paths, config
+// what-ifs) open a Session; to serve estimates over HTTP build a serve
+// handler from ServeConfig.
 package m3
 
 import (
@@ -22,8 +28,10 @@ import (
 	"m3/internal/model"
 	"m3/internal/packetsim"
 	"m3/internal/parsimon"
+	"m3/internal/query"
 	"m3/internal/rng"
 	"m3/internal/routing"
+	"m3/internal/serve"
 	"m3/internal/topo"
 	"m3/internal/unit"
 	"m3/internal/workload"
@@ -63,10 +71,25 @@ type (
 	DataConfig = model.DataConfig
 	// Sample is one path-level training/inference example.
 	Sample = model.Sample
-	// Estimator runs the m3 pipeline.
+	// Estimator runs the m3 pipeline. Construct with NewEstimator; it is
+	// immutable and safe to share between goroutines.
 	Estimator = core.Estimator
+	// EstimatorOption configures NewEstimator.
+	EstimatorOption = core.Option
 	// Estimate is a network-wide estimation result.
 	Estimate = core.Estimate
+	// WorkerPool is a bounded worker pool shared between estimators.
+	WorkerPool = core.Pool
+	// Session answers repeated queries (quantiles, per-pair paths,
+	// configuration what-ifs) over one loaded workload, with caching per
+	// configuration.
+	Session = query.Session
+	// PathReport is a per-host-pair query result.
+	PathReport = query.PathReport
+	// ServeConfig configures the HTTP estimation service handler.
+	ServeConfig = serve.Options
+	// Server is the m3 HTTP estimation service (an http.Handler).
+	Server = serve.Server
 	// GroundTruthResult is a full-network packet-level baseline run.
 	GroundTruthResult = core.GroundTruth
 	// ParsimonResult is the link-level baseline's output.
@@ -163,8 +186,43 @@ func SaveModel(net *Model, path string) error { return net.SaveFile(path) }
 func LoadModel(path string) (*Model, error) { return model.LoadFile(path) }
 
 // NewEstimator returns an m3 estimator with the paper's defaults
-// (500 sampled paths).
-func NewEstimator(net *Model) *Estimator { return core.NewEstimator(net) }
+// (500 sampled paths, seed 1, micro-batched ML inference), adjusted by
+// options. net may be nil for the model-free backends (WithMethod).
+func NewEstimator(net *Model, opts ...EstimatorOption) *Estimator {
+	return core.NewEstimator(net, opts...)
+}
+
+// Estimator options, re-exported from the core pipeline.
+var (
+	// WithNumPaths sets the sampled-path budget (default 500).
+	WithNumPaths = core.WithNumPaths
+	// WithWorkers bounds per-path parallelism (0 = GOMAXPROCS).
+	WithWorkers = core.WithWorkers
+	// WithMethod selects the per-path backend (default MethodML).
+	WithMethod = core.WithMethod
+	// WithSeed seeds the path sampling (default 1).
+	WithSeed = core.WithSeed
+	// WithBatchSize sets the ML inference micro-batch size.
+	WithBatchSize = core.WithBatchSize
+	// WithPool points the estimator at a shared worker pool.
+	WithPool = core.WithPool
+)
+
+// NewWorkerPool builds a bounded worker pool (n <= 0 means GOMAXPROCS) that
+// estimators and sessions can share via WithPool / Session.Pool. Close it
+// when done.
+func NewWorkerPool(n int) *WorkerPool { return core.NewPool(n) }
+
+// NewSession opens a query session over one workload: repeated quantile,
+// per-pair path, and configuration what-if queries share cached estimates.
+func NewSession(t *Topology, flows []Flow, net *Model, cfg NetConfig) (*Session, error) {
+	return query.NewSession(t, flows, net, cfg)
+}
+
+// NewServer builds the HTTP estimation service handler (workload registry,
+// estimate/quantile/what-if endpoints, checkpoint hot-reload). Close it when
+// done to release its worker pool.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // GroundTruth runs the full-network packet-level simulation (ns-3 stand-in).
 func GroundTruth(t *Topology, flows []Flow, cfg NetConfig) (*GroundTruthResult, error) {

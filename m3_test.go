@@ -1,6 +1,7 @@
 package m3
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -49,9 +50,8 @@ func TestPublicAPIPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	est := NewEstimator(net)
-	est.NumPaths = 100
-	res, err := est.Estimate(ft.Topology, flows, DefaultNetConfig())
+	est := NewEstimator(net, WithNumPaths(100))
+	res, err := est.Estimate(context.Background(), ft.Topology, flows, DefaultNetConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

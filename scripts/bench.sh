@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Inference hot-path benchmark workflow: runs the Predict-stage
+# micro-benchmarks (per-sample inference, batched inference, and the
+# end-to-end estimate with its per-stage attribution) and records the
+# results in BENCH_pr3.json next to the frozen pre-batching baseline, so
+# regressions in ns/op or allocs/op are visible in review diffs.
+#
+# Usage:
+#   scripts/bench.sh          full run, rewrites BENCH_pr3.json
+#   scripts/bench.sh -short   one-iteration smoke run (scripts/check.sh),
+#                             writes nothing
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES='^(BenchmarkModelInference|BenchmarkModelInferenceBatch|BenchmarkEstimateEndToEnd)$'
+
+if [[ "${1:-}" == "-short" ]]; then
+    go test -run '^$' -bench "$BENCHES" -benchtime=1x -benchmem .
+    exit 0
+fi
+
+out=$(go test -run '^$' -bench "$BENCHES" -benchtime=2s -benchmem -count=1 .)
+echo "$out"
+
+BENCH_OUT="$out" python3 - <<'EOF'
+import json, os, re
+
+# Pre-change baseline, measured at commit 6df6321 (per-sample Net.Predict
+# in the estimator's per-path loop, no tensor batching, same benchmarks at
+# the same scale on the same machine class). Frozen so the post-change
+# numbers below always have a comparison point.
+baseline = {
+    "commit": "6df6321",
+    "BenchmarkModelInference": {
+        "ns_per_op": 266071, "bytes_per_op": 47616, "allocs_per_op": 124,
+    },
+    "BenchmarkEstimateEndToEnd": {
+        "ns_per_op": 248865864, "bytes_per_op": 149555331, "allocs_per_op": 668666,
+        "predict_stage_ns_per_op": 51377802, "pathsim_stage_ns_per_op": 49719151,
+    },
+}
+
+current = {}
+for line in os.environ["BENCH_OUT"].splitlines():
+    m = re.match(r"^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+(.*)", line)
+    if not m:
+        continue
+    name, rest = m.group(1), m.group(2)
+    row = current.setdefault(name, {})
+    for val, unit in re.findall(r"([\d.]+)\s+([\w/%-]+)", rest):
+        key = {
+            "ns/op": "ns_per_op",
+            "B/op": "bytes_per_op",
+            "allocs/op": "allocs_per_op",
+            "ns/sample": "ns_per_sample",
+            "predict-ns/op": "predict_stage_ns_per_op",
+            "pathsim-ns/op": "pathsim_stage_ns_per_op",
+            "predict-%": "predict_stage_percent",
+        }.get(unit)
+        if key:
+            row[key] = float(val) if "." in val else int(float(val))
+
+doc = {
+    "description": "Predict-stage hot-path benchmarks: per-sample vs "
+                   "batched tensor inference, and the end-to-end estimate "
+                   "with per-stage CPU attribution. Regenerate with "
+                   "scripts/bench.sh.",
+    "baseline_prebatching": baseline,
+    "current": current,
+}
+mi = current.get("BenchmarkModelInference")
+mb = current.get("BenchmarkModelInferenceBatch")
+eb = current.get("BenchmarkEstimateEndToEnd")
+if mi and eb:
+    doc["summary"] = {
+        "predict_ns_per_op_speedup": round(
+            baseline["BenchmarkEstimateEndToEnd"]["predict_stage_ns_per_op"]
+            / eb["predict_stage_ns_per_op"], 3),
+        "estimate_allocs_per_op_ratio": round(
+            eb["allocs_per_op"]
+            / baseline["BenchmarkEstimateEndToEnd"]["allocs_per_op"], 3),
+    }
+    if mb:
+        # Same-run comparison of the two inference paths — immune to
+        # machine drift between baseline and current runs.
+        doc["summary"]["batch_vs_single_ns_per_sample_speedup"] = round(
+            mi["ns_per_op"] / mb["ns_per_sample"], 3)
+with open("BENCH_pr3.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_pr3.json")
+EOF

@@ -21,4 +21,7 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke (-short) =="
+scripts/bench.sh -short
+
 echo "ok"
