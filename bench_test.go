@@ -24,6 +24,7 @@ import (
 	"m3/internal/flowsim"
 	"m3/internal/model"
 	"m3/internal/packetsim"
+	"m3/internal/parsimon"
 	"m3/internal/rng"
 	"m3/internal/routing"
 	"m3/internal/serve"
@@ -61,7 +62,7 @@ func benchNets(b *testing.B) (*model.Net, *model.Net) {
 		dc := model.DefaultDataConfig()
 		dc.Scenarios = 40
 		dc.Workers = 8
-		samples, err := model.Generate(dc)
+		samples, err := model.Generate(context.Background(), dc)
 		if err != nil {
 			benchModelErr = err
 			return
@@ -106,7 +107,7 @@ func writerFor(i int) interface{ Write([]byte) (int, error) } {
 func BenchmarkTable1(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunTable1(s, writerFor(i)); err != nil {
+		if _, err := exp.RunTable1(context.Background(), s, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +116,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkFig2(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunFig2(s, writerFor(i)); err != nil {
+		if _, err := exp.RunFig2(context.Background(), s, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -124,7 +125,7 @@ func BenchmarkFig2(b *testing.B) {
 func BenchmarkFig3(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunFig3(s, writerFor(i)); err != nil {
+		if _, err := exp.RunFig3(context.Background(), s, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -133,7 +134,7 @@ func BenchmarkFig3(b *testing.B) {
 func BenchmarkFig5(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunFig5(s, writerFor(i)); err != nil {
+		if _, err := exp.RunFig5(context.Background(), s, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -144,7 +145,7 @@ func BenchmarkFig6(b *testing.B) {
 	net, _ := benchNets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunFig6(s, net, writerFor(i)); err != nil {
+		if _, err := exp.RunFig6(context.Background(), s, net, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -155,7 +156,7 @@ func BenchmarkTable5(b *testing.B) {
 	net, _ := benchNets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.RunTable5(s, net, writerFor(i))
+		rows, err := exp.RunTable5(context.Background(), s, net, writerFor(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func BenchmarkFig10(b *testing.B) {
 	net, _ := benchNets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts, err := exp.RunFig10(s, net, writerFor(i))
+		pts, err := exp.RunFig10(context.Background(), s, net, writerFor(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -185,7 +186,7 @@ func BenchmarkFig13(b *testing.B) {
 	net, _ := benchNets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunFig13(s, net, writerFor(i)); err != nil {
+		if _, err := exp.RunFig13(context.Background(), s, net, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -196,7 +197,7 @@ func BenchmarkFig14(b *testing.B) {
 	net, _ := benchNets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunFig14(s, net, writerFor(i)); err != nil {
+		if _, err := exp.RunFig14(context.Background(), s, net, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -207,7 +208,7 @@ func BenchmarkFig15(b *testing.B) {
 	net, _ := benchNets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunFig15(s, net, writerFor(i)); err != nil {
+		if _, err := exp.RunFig15(context.Background(), s, net, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -218,7 +219,7 @@ func BenchmarkFig16(b *testing.B) {
 	net, noCtx := benchNets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunFig16(s, net, noCtx, writerFor(i)); err != nil {
+		if _, err := exp.RunFig16(context.Background(), s, net, noCtx, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -230,7 +231,7 @@ func BenchmarkFig17(b *testing.B) {
 	net, _ := benchNets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunFig17(s, net, writerFor(i)); err != nil {
+		if _, err := exp.RunFig17(context.Background(), s, net, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -399,7 +400,7 @@ func BenchmarkAblationPaths(b *testing.B) {
 	net, _ := benchNets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunAblationPaths(s, net, writerFor(i)); err != nil {
+		if _, err := exp.RunAblationPaths(context.Background(), s, net, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -410,7 +411,7 @@ func BenchmarkAblationKnockout(b *testing.B) {
 	net, _ := benchNets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunAblationKnockout(s, net, writerFor(i)); err != nil {
+		if _, err := exp.RunAblationKnockout(context.Background(), s, net, writerFor(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -464,4 +465,53 @@ func BenchmarkServeEstimate(b *testing.B) {
 			estimate(1)
 		}
 	})
+}
+
+// BenchmarkPacketsim is the ground-truth engine benchmark: one large
+// parking-lot scenario (thousands of flows at packet granularity) per
+// iteration. Allocations are reported because the engine is expected to run
+// allocation-free in steady state (pooled per-run sim state).
+func BenchmarkPacketsim(b *testing.B) {
+	syn, err := workload.GenerateSynthetic(workload.SynthSpec{
+		Hops: 4, NumFg: 300, BgPerLink: 4,
+		Sizes: workload.WebServer, Burstiness: 1.5, MaxLoad: 0.45, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := packetsim.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packetsim.Run(syn.Lot.Topology, syn.Flows, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(syn.Flows))/b.Elapsed().Seconds()*float64(b.N), "flows/s")
+}
+
+// BenchmarkParsimon measures the link-level baseline end to end: thousands
+// of per-link packet simulations fanned out across the worker pool.
+func BenchmarkParsimon(b *testing.B) {
+	ft, flows := benchWorkload(b, 2500)
+	cfg := packetsim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parsimon.Run(context.Background(), ft.Topology, flows, cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatasetGen measures synthetic training-set generation (flowSim
+// features + packet-level ground-truth labels per scenario).
+func BenchmarkDatasetGen(b *testing.B) {
+	dc := model.DefaultDataConfig()
+	dc.Scenarios = 16 // DefaultDataConfig workers (8) drive the fan-out
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Generate(context.Background(), dc); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	m3 "m3"
@@ -35,7 +36,7 @@ func main() {
 		panic(err)
 	}
 	cfg := packetsim.DefaultConfig()
-	gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+	gt, err := core.RunGroundTruth(context.Background(), ft.Topology, flows, cfg)
 	if err != nil {
 		panic(err)
 	}

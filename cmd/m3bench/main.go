@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"m3/internal/exp"
@@ -45,6 +47,9 @@ func main() {
 		*noCtxCkpt = filepath.Join(filepath.Dir(*ckpt), "m3-noctx.ckpt")
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	var net *model.Net
 	loadNet := func() *model.Net {
 		if net != nil {
@@ -53,7 +58,7 @@ func main() {
 		if dir := filepath.Dir(*ckpt); dir != "." {
 			_ = os.MkdirAll(dir, 0o755)
 		}
-		n, err := exp.TrainedModel(s, *ckpt, os.Stderr)
+		n, err := exp.TrainedModel(ctx, s, *ckpt, os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
@@ -81,24 +86,24 @@ func main() {
 	var sensitivity []exp.SensitivityPoint
 	var table5 []exp.Table5Row
 
-	run("table1", func() error { _, err := exp.RunTable1(s, os.Stdout); return err })
-	run("fig2", func() error { _, err := exp.RunFig2(s, os.Stdout); return err })
-	run("fig3", func() error { _, err := exp.RunFig3(s, os.Stdout); return err })
-	run("fig5", func() error { _, err := exp.RunFig5(s, os.Stdout); return err })
-	run("fig6", func() error { _, err := exp.RunFig6(s, loadNet(), os.Stdout); return err })
+	run("table1", func() error { _, err := exp.RunTable1(ctx, s, os.Stdout); return err })
+	run("fig2", func() error { _, err := exp.RunFig2(ctx, s, os.Stdout); return err })
+	run("fig3", func() error { _, err := exp.RunFig3(ctx, s, os.Stdout); return err })
+	run("fig5", func() error { _, err := exp.RunFig5(ctx, s, os.Stdout); return err })
+	run("fig6", func() error { _, err := exp.RunFig6(ctx, s, loadNet(), os.Stdout); return err })
 	run("table5", func() error {
-		rows, err := exp.RunTable5(s, loadNet(), os.Stdout)
+		rows, err := exp.RunTable5(ctx, s, loadNet(), os.Stdout)
 		table5 = rows
 		return err
 	})
 	run("fig10", func() error {
-		pts, err := exp.RunFig10(s, loadNet(), os.Stdout)
+		pts, err := exp.RunFig10(ctx, s, loadNet(), os.Stdout)
 		sensitivity = pts
 		return err
 	})
 	run("fig11", func() error {
 		if sensitivity == nil {
-			pts, err := exp.RunSensitivity(s, loadNet(), exp.Discard)
+			pts, err := exp.RunSensitivity(ctx, s, loadNet(), exp.Discard)
 			if err != nil {
 				return err
 			}
@@ -109,7 +114,7 @@ func main() {
 	})
 	run("fig12", func() error {
 		if table5 == nil {
-			rows, err := exp.RunTable5(s, loadNet(), exp.Discard)
+			rows, err := exp.RunTable5(ctx, s, loadNet(), exp.Discard)
 			if err != nil {
 				return err
 			}
@@ -118,22 +123,22 @@ func main() {
 		exp.RunFig12(table5, os.Stdout)
 		return nil
 	})
-	run("fig13", func() error { _, err := exp.RunFig13(s, loadNet(), os.Stdout); return err })
-	run("fig14", func() error { _, err := exp.RunFig14(s, loadNet(), os.Stdout); return err })
-	run("fig15", func() error { _, err := exp.RunFig15(s, loadNet(), os.Stdout); return err })
+	run("fig13", func() error { _, err := exp.RunFig13(ctx, s, loadNet(), os.Stdout); return err })
+	run("fig14", func() error { _, err := exp.RunFig14(ctx, s, loadNet(), os.Stdout); return err })
+	run("fig15", func() error { _, err := exp.RunFig15(ctx, s, loadNet(), os.Stdout); return err })
 	run("fig16", func() error {
-		full, noCtx, err := exp.TrainedPair(s, *ckpt, *noCtxCkpt, os.Stderr)
+		full, noCtx, err := exp.TrainedPair(ctx, s, *ckpt, *noCtxCkpt, os.Stderr)
 		if err != nil {
 			return err
 		}
 		net = full
-		_, err = exp.RunFig16(s, full, noCtx, os.Stdout)
+		_, err = exp.RunFig16(ctx, s, full, noCtx, os.Stdout)
 		return err
 	})
-	run("fig17", func() error { _, err := exp.RunFig17(s, loadNet(), os.Stdout); return err })
+	run("fig17", func() error { _, err := exp.RunFig17(ctx, s, loadNet(), os.Stdout); return err })
 	run("fig18", func() error { return exp.RunFig18(os.Stdout) })
-	run("ablation-paths", func() error { _, err := exp.RunAblationPaths(s, loadNet(), os.Stdout); return err })
-	run("ablation-knockout", func() error { _, err := exp.RunAblationKnockout(s, loadNet(), os.Stdout); return err })
+	run("ablation-paths", func() error { _, err := exp.RunAblationPaths(ctx, s, loadNet(), os.Stdout); return err })
+	run("ablation-knockout", func() error { _, err := exp.RunAblationKnockout(ctx, s, loadNet(), os.Stdout); return err })
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no known experiment in %v\n", flag.Args())

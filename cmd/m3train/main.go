@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -48,6 +50,9 @@ func main() {
 		}
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	dc := model.DefaultDataConfig()
 	dc.Scenarios = *scenarios
 	dc.Workers = *workers
@@ -56,7 +61,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "generating %d scenarios (%d workers)...\n", dc.Scenarios, dc.Workers)
 	t0 := time.Now()
-	samples, err := model.Generate(dc)
+	samples, err := model.Generate(ctx, dc)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,7 +74,7 @@ func main() {
 		nc.CCs = ccs
 		fmt.Fprintf(os.Stderr, "generating network-derived samples (%d workloads x %d paths)...\n",
 			nc.Workloads, nc.PathsPerWorkload)
-		netSamples, err := model.GenerateFromNetworks(nc)
+		netSamples, err := model.GenerateFromNetworks(ctx, nc)
 		if err != nil {
 			fatal(err)
 		}

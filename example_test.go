@@ -55,7 +55,7 @@ func ExampleGroundTruth() {
 	cfg := m3.DefaultNetConfig()
 	cfg.CC = m3.HPCC
 	cfg.HPCCEta = 0.85
-	gt, err := m3.GroundTruth(ft.Topology, flows, cfg)
+	gt, err := m3.GroundTruth(context.Background(), ft.Topology, flows, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func ExampleTrainModel() {
 	dc.CCs = []m3.CCType{m3.DCTCP}
 	opt := m3.DefaultTrainOptions()
 	opt.Epochs = 60
-	net, err := m3.TrainModel(mc, dc, opt)
+	net, err := m3.TrainModel(context.Background(), mc, dc, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

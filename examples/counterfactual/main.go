@@ -38,7 +38,7 @@ func main() {
 		dc.Scenarios = 300
 		opt := m3.DefaultTrainOptions()
 		opt.Epochs = 40
-		n, err := m3.TrainModel(m3.DefaultModelConfig(), dc, opt)
+		n, err := m3.TrainModel(context.Background(), m3.DefaultModelConfig(), dc, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

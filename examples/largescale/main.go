@@ -42,7 +42,7 @@ func main() {
 		dc.CCs = []m3.CCType{m3.DCTCP}
 		opt := m3.DefaultTrainOptions()
 		opt.Epochs = 30
-		n, err := m3.TrainModel(m3.DefaultModelConfig(), dc, opt)
+		n, err := m3.TrainModel(context.Background(), m3.DefaultModelConfig(), dc, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -88,7 +88,7 @@ func main() {
 
 	if *withTruth {
 		fmt.Println("running packet-level ground truth (this is the slow part)...")
-		gt, err := m3.GroundTruth(ft.Topology, flows, cfg)
+		gt, err := m3.GroundTruth(context.Background(), ft.Topology, flows, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

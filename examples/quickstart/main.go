@@ -41,7 +41,7 @@ func main() {
 		opt := m3.DefaultTrainOptions()
 		opt.Epochs = 30
 		start := time.Now()
-		n, err := m3.TrainModel(m3.DefaultModelConfig(), dc, opt)
+		n, err := m3.TrainModel(context.Background(), m3.DefaultModelConfig(), dc, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -94,7 +94,7 @@ func main() {
 
 	// 4. Compare against the packet-level ground truth.
 	fmt.Println("running packet-level ground truth for comparison...")
-	gt, err := m3.GroundTruth(ft.Topology, flows, cfg)
+	gt, err := m3.GroundTruth(context.Background(), ft.Topology, flows, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -40,7 +40,7 @@ func main() {
 		dc.CCs = []m3.CCType{m3.DCTCP}
 		opt := m3.DefaultTrainOptions()
 		opt.Epochs = 30
-		n, err := m3.TrainModel(m3.DefaultModelConfig(), dc, opt)
+		n, err := m3.TrainModel(context.Background(), m3.DefaultModelConfig(), dc, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,7 +75,7 @@ func main() {
 	fmt.Printf("scenario: matrix %s, %s, %.0f%% load, %d flows, DCTCP\n",
 		*matrixName, *dist, 100**load, len(flows))
 
-	gt, err := m3.GroundTruth(ft.Topology, flows, cfg)
+	gt, err := m3.GroundTruth(context.Background(), ft.Topology, flows, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func main() {
 	report("flowSim", fsRes.P99(), fsRes.Elapsed)
 
 	t0 := time.Now()
-	ps, err := m3.Parsimon(ft.Topology, flows, cfg, 0)
+	ps, err := m3.Parsimon(context.Background(), ft.Topology, flows, cfg, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

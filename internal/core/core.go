@@ -372,10 +372,11 @@ type GroundTruth struct {
 }
 
 // RunGroundTruth executes the full-network packet simulation (the ns-3
-// stand-in) and returns bucketizable results.
-func RunGroundTruth(t *topo.Topology, flows []workload.Flow, cfg packetsim.Config) (*GroundTruth, error) {
+// stand-in) and returns bucketizable results. Cancelling ctx aborts the
+// simulation mid-run with ctx.Err().
+func RunGroundTruth(ctx context.Context, t *topo.Topology, flows []workload.Flow, cfg packetsim.Config) (*GroundTruth, error) {
 	start := time.Now()
-	res, err := packetsim.Run(t, flows, cfg)
+	res, err := packetsim.RunContext(ctx, t, flows, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -44,7 +44,7 @@ func tinyTrainedNet(t *testing.T) *model.Net {
 	if err != nil {
 		t.Fatal(err)
 	}
-	samples, err := model.Generate(model.DataConfig{
+	samples, err := model.Generate(context.Background(), model.DataConfig{
 		Scenarios: 12, FgPerScenario: 80, BgPerLink: 0.4,
 		Hops: []int{2, 4}, Seed: 11, Workers: 4,
 		CCs: []packetsim.CCType{packetsim.DCTCP},
@@ -84,7 +84,7 @@ func TestEstimateNS3PathTracksGroundTruth(t *testing.T) {
 	// reports ~2% error at paper scale; allow a loose band at test scale).
 	ft, flows := testWorkload(t, 1500, 2)
 	cfg := packetsim.DefaultConfig()
-	gt, err := RunGroundTruth(ft.Topology, flows, cfg)
+	gt, err := RunGroundTruth(context.Background(), ft.Topology, flows, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestEstimateValidation(t *testing.T) {
 
 func TestGroundTruthBuckets(t *testing.T) {
 	ft, flows := testWorkload(t, 600, 10)
-	gt, err := RunGroundTruth(ft.Topology, flows, packetsim.DefaultConfig())
+	gt, err := RunGroundTruth(context.Background(), ft.Topology, flows, packetsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,9 @@ type AblationPathsPoint struct {
 }
 
 // RunAblationPaths sweeps the path-sampling budget.
-func RunAblationPaths(s Scale, net *model.Net, w io.Writer) ([]AblationPathsPoint, error) {
+func RunAblationPaths(ctx context.Context, s Scale, net *model.Net, w io.Writer) ([]AblationPathsPoint, error) {
+	p := core.NewPool(s.Workers)
+	defer p.Close()
 	budgets := []int{25, 50, 100, 200, 500}
 	root := rng.New(2100)
 	type scenario struct {
@@ -40,7 +42,7 @@ func RunAblationPaths(s Scale, net *model.Net, w io.Writer) ([]AblationPathsPoin
 		if err != nil {
 			return nil, err
 		}
-		gt, err := core.RunGroundTruth(ft.Topology, flows, packetsim.DefaultConfig())
+		gt, err := core.RunGroundTruth(ctx, ft.Topology, flows, packetsim.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -57,9 +59,9 @@ func RunAblationPaths(s Scale, net *model.Net, w io.Writer) ([]AblationPathsPoin
 				return nil, err
 			}
 			est := core.NewEstimator(net, core.WithNumPaths(k),
-				core.WithWorkers(s.Workers), core.WithSeed(uint64(3000+i)))
+				core.WithPool(p), core.WithSeed(uint64(3000+i)))
 			t0 := time.Now()
-			res, err := est.Estimate(context.Background(), ft.Topology, flows, packetsim.DefaultConfig())
+			res, err := est.Estimate(ctx, ft.Topology, flows, packetsim.DefaultConfig())
 			if err != nil {
 				return nil, err
 			}
@@ -88,7 +90,7 @@ type KnockoutResult struct {
 // full inputs, zeroed spec vector, zeroed foreground features, and zeroed
 // background features, scored against path-level packet ground truth on
 // synthetic scenarios.
-func RunAblationKnockout(s Scale, net *model.Net, w io.Writer) ([]KnockoutResult, error) {
+func RunAblationKnockout(ctx context.Context, s Scale, net *model.Net, w io.Writer) ([]KnockoutResult, error) {
 	variants := []struct {
 		name   string
 		mutate func(*model.Sample)
@@ -122,7 +124,7 @@ func RunAblationKnockout(s Scale, net *model.Net, w io.Writer) ([]KnockoutResult
 		r := root.Split(uint64(sc))
 		spec := randomSynthSpec(r, s)
 		cfg := model.RandomNetConfig(r, packetsim.DCTCP)
-		base, err := model.GenerateScenarioSample(spec, cfg)
+		base, err := model.GenerateScenarioSample(ctx, spec, cfg)
 		if err != nil {
 			return nil, err
 		}

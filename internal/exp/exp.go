@@ -10,6 +10,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -136,7 +137,7 @@ func RandomMix(r *rng.RNG, flows int, seed uint64) Mix {
 // TrainedModel loads the checkpoint at path, or (if absent) generates a
 // Table 2 training set and trains a fresh model, saving it to path. ccs
 // restricts the protocols in the training set (nil = all four).
-func TrainedModel(s Scale, path string, log io.Writer, ccs ...packetsim.CCType) (*model.Net, error) {
+func TrainedModel(ctx context.Context, s Scale, path string, log io.Writer, ccs ...packetsim.CCType) (*model.Net, error) {
 	if path != "" {
 		if net, err := model.LoadFile(path); err == nil {
 			fmt.Fprintf(log, "loaded model checkpoint %s (%d params)\n", path, net.NumParams())
@@ -144,7 +145,7 @@ func TrainedModel(s Scale, path string, log io.Writer, ccs ...packetsim.CCType) 
 		}
 	}
 	fmt.Fprintf(log, "training model (%d scenarios, %d epochs)...\n", s.TrainScenarios, s.TrainEpochs)
-	samples, err := trainingSet(s, ccs)
+	samples, err := trainingSet(ctx, s, ccs)
 	if err != nil {
 		return nil, err
 	}
@@ -171,12 +172,12 @@ func TrainedModel(s Scale, path string, log io.Writer, ccs ...packetsim.CCType) 
 // trainingSet builds the combined synthetic + network-derived training set
 // (the network-derived samples use ns-3-path ground truth on decomposed real
 // workloads, keeping inference in-distribution at this repository's scales).
-func trainingSet(s Scale, ccs []packetsim.CCType) ([]*model.Sample, error) {
+func trainingSet(ctx context.Context, s Scale, ccs []packetsim.CCType) ([]*model.Sample, error) {
 	dc := model.DefaultDataConfig()
 	dc.Scenarios = s.TrainScenarios
 	dc.Workers = s.Workers
 	dc.CCs = ccs
-	samples, err := model.Generate(dc)
+	samples, err := model.Generate(ctx, dc)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +185,7 @@ func trainingSet(s Scale, ccs []packetsim.CCType) ([]*model.Sample, error) {
 	nc.Workloads = max(2, s.TrainScenarios/50)
 	nc.Workers = s.Workers
 	nc.CCs = ccs
-	netSamples, err := model.GenerateFromNetworks(nc)
+	netSamples, err := model.GenerateFromNetworks(ctx, nc)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +195,7 @@ func trainingSet(s Scale, ccs []packetsim.CCType) ([]*model.Sample, error) {
 // TrainedPair returns a full model and a no-context ablation model trained
 // on the same synthetic dataset (used by Fig. 16). Checkpoints are cached at
 // fullPath/noCtxPath when non-empty.
-func TrainedPair(s Scale, fullPath, noCtxPath string, log io.Writer,
+func TrainedPair(ctx context.Context, s Scale, fullPath, noCtxPath string, log io.Writer,
 	ccs ...packetsim.CCType) (*model.Net, *model.Net, error) {
 
 	var full, noCtx *model.Net
@@ -213,7 +214,7 @@ func TrainedPair(s Scale, fullPath, noCtxPath string, log io.Writer,
 		return full, noCtx, nil
 	}
 	fmt.Fprintf(log, "generating %d training scenarios for model pair...\n", s.TrainScenarios)
-	samples, err := trainingSet(s, ccs)
+	samples, err := trainingSet(ctx, s, ccs)
 	if err != nil {
 		return nil, nil, err
 	}

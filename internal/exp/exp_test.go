@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"path/filepath"
 	"strings"
@@ -41,7 +42,7 @@ func microModel(t *testing.T) *model.Net {
 	dc.Scenarios = 10
 	dc.Workers = 8
 	dc.CCs = []packetsim.CCType{packetsim.DCTCP}
-	samples, err := model.Generate(dc)
+	samples, err := model.Generate(context.Background(), dc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestTable1Quick(t *testing.T) {
 		t.Skip("experiment smoke test")
 	}
 	var buf bytes.Buffer
-	rows, err := RunTable1(microScale(), &buf)
+	rows, err := RunTable1(context.Background(), microScale(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestTable1Quick(t *testing.T) {
 
 func TestFig3Quick(t *testing.T) {
 	var buf bytes.Buffer
-	cells, err := RunFig3(microScale(), &buf)
+	cells, err := RunFig3(context.Background(), microScale(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestFig5Quick(t *testing.T) {
 	s := microScale()
 	s.Scenarios = 2
 	var buf bytes.Buffer
-	out, err := RunFig5(s, &buf)
+	out, err := RunFig5(context.Background(), s, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestFig6Quick(t *testing.T) {
 	}
 	net := microModel(t)
 	var buf bytes.Buffer
-	res, err := RunFig6(microScale(), net, &buf)
+	res, err := RunFig6(context.Background(), microScale(), net, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestSensitivityQuick(t *testing.T) {
 	net := microModel(t)
 	s := microScale()
 	var buf bytes.Buffer
-	pts, err := RunFig10(s, net, &buf)
+	pts, err := RunFig10(context.Background(), s, net, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,13 +213,13 @@ func TestFig16Quick(t *testing.T) {
 	}
 	dir := t.TempDir()
 	s := microScale()
-	full, noCtx, err := TrainedPair(s, filepath.Join(dir, "f.ckpt"), filepath.Join(dir, "n.ckpt"),
+	full, noCtx, err := TrainedPair(context.Background(), s, filepath.Join(dir, "f.ckpt"), filepath.Join(dir, "n.ckpt"),
 		Discard, packetsim.DCTCP)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Cached round trip.
-	full2, _, err := TrainedPair(s, filepath.Join(dir, "f.ckpt"), filepath.Join(dir, "n.ckpt"), Discard)
+	full2, _, err := TrainedPair(context.Background(), s, filepath.Join(dir, "f.ckpt"), filepath.Join(dir, "n.ckpt"), Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestFig16Quick(t *testing.T) {
 		t.Error("cache round trip changed model")
 	}
 	var buf bytes.Buffer
-	pts, err := RunFig16(s, full, noCtx, &buf)
+	pts, err := RunFig16(context.Background(), s, full, noCtx, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,11 +257,11 @@ func TestTrainedModelCaching(t *testing.T) {
 	path := filepath.Join(dir, "m.ckpt")
 	s := microScale()
 	var log bytes.Buffer
-	a, err := TrainedModel(s, path, &log, packetsim.DCTCP)
+	a, err := TrainedModel(context.Background(), s, path, &log, packetsim.DCTCP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := TrainedModel(s, path, &log)
+	b, err := TrainedModel(context.Background(), s, path, &log)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestAblationKnockoutQuick(t *testing.T) {
 	s := microScale()
 	s.Scenarios = 3
 	var buf bytes.Buffer
-	out, err := RunAblationKnockout(s, net, &buf)
+	out, err := RunAblationKnockout(context.Background(), s, net, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestAblationPathsQuick(t *testing.T) {
 	net := microModel(t)
 	s := microScale()
 	var buf bytes.Buffer
-	out, err := RunAblationPaths(s, net, &buf)
+	out, err := RunAblationPaths(context.Background(), s, net, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,7 +31,9 @@ type SensitivityPoint struct {
 // RunSensitivity executes the paper's §5.2 study: random scenarios from the
 // Table 3 axes with DCTCP, comparing m3 and Parsimon to the full packet
 // simulation.
-func RunSensitivity(s Scale, net *model.Net, w io.Writer) ([]SensitivityPoint, error) {
+func RunSensitivity(ctx context.Context, s Scale, net *model.Net, w io.Writer) ([]SensitivityPoint, error) {
+	p := core.NewPool(s.Workers)
+	defer p.Close()
 	root := rng.New(1010)
 	points := make([]SensitivityPoint, 0, s.Scenarios)
 	for i := 0; i < s.Scenarios; i++ {
@@ -42,48 +44,48 @@ func RunSensitivity(s Scale, net *model.Net, w io.Writer) ([]SensitivityPoint, e
 		}
 		cfg := packetsim.DefaultConfig() // DCTCP (Parsimon supports DCTCP only)
 
-		gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+		gt, err := core.RunGroundTruth(ctx, ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}
 
 		est := core.NewEstimator(net, core.WithNumPaths(s.Paths),
-			core.WithWorkers(s.Workers), core.WithSeed(m.Seed))
+			core.WithPool(p), core.WithSeed(m.Seed))
 		t0 := time.Now()
-		mr, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
+		mr, err := est.Estimate(ctx, ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}
 		m3Time := time.Since(t0)
 
 		t0 = time.Now()
-		pr, err := parsimon.Run(ft.Topology, flows, cfg, s.Workers)
+		pr, err := parsimon.RunWithPool(ctx, ft.Topology, flows, cfg, p)
 		if err != nil {
 			return nil, err
 		}
 		psTime := time.Since(t0)
 		psP99 := stats.P99(pr.Slowdown)
 
-		p := SensitivityPoint{
+		pt := SensitivityPoint{
 			Mix: m, TruthP99: gt.P99(), M3P99: mr.P99(), ParsimonP99: psP99,
 			M3Err:       stats.RelError(mr.P99(), gt.P99()),
 			ParsimonErr: stats.RelError(psP99, gt.P99()),
 			TruthTime:   gt.Elapsed, M3Time: m3Time, ParsimonTime: psTime,
 		}
-		points = append(points, p)
+		points = append(points, pt)
 		fmt.Fprintf(w, "  scenario %2d (%s/%s/%s load %.0f%% sigma %.0f): gt %.2f, m3 %.2f (%+.1f%%), parsimon %.2f (%+.1f%%)\n",
-			i, p.Mix.MatrixName, p.Mix.Sizes.Name(), p.Mix.Oversub, 100*p.Mix.MaxLoad,
-			p.Mix.Burstiness, p.TruthP99, p.M3P99, 100*p.M3Err, p.ParsimonP99, 100*p.ParsimonErr)
+			i, pt.Mix.MatrixName, pt.Mix.Sizes.Name(), pt.Mix.Oversub, 100*pt.Mix.MaxLoad,
+			pt.Mix.Burstiness, pt.TruthP99, pt.M3P99, 100*pt.M3Err, pt.ParsimonP99, 100*pt.ParsimonErr)
 	}
 	return points, nil
 }
 
 // RunFig10 formats the sensitivity study as Fig. 10: error distribution,
 // error vs load, runtime distribution, and runtime vs workload.
-func RunFig10(s Scale, net *model.Net, w io.Writer) ([]SensitivityPoint, error) {
+func RunFig10(ctx context.Context, s Scale, net *model.Net, w io.Writer) ([]SensitivityPoint, error) {
 	fmt.Fprintf(w, "Fig 10: m3 vs Parsimon across %d random DCTCP scenarios (%d flows each)\n",
 		s.Scenarios, s.TestFlows)
-	points, err := RunSensitivity(s, net, w)
+	points, err := RunSensitivity(ctx, s, net, w)
 	if err != nil {
 		return nil, err
 	}

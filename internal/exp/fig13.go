@@ -34,9 +34,11 @@ func counterfactualMix(flows int) Mix {
 	}
 }
 
-func runSweep(s Scale, net *model.Net, w io.Writer, title string,
+func runSweep(ctx context.Context, s Scale, net *model.Net, w io.Writer, title string,
 	configs []packetsim.Config, labels []string) ([]SweepPoint, error) {
 
+	pl := core.NewPool(s.Workers)
+	defer pl.Close()
 	m := counterfactualMix(s.TestFlows)
 	ft, flows, err := m.Build()
 	if err != nil {
@@ -52,14 +54,14 @@ func runSweep(s Scale, net *model.Net, w io.Writer, title string,
 
 	var out []SweepPoint
 	for i, cfg := range configs {
-		gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+		gt, err := core.RunGroundTruth(ctx, ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}
 		est := core.NewEstimator(net, core.WithNumPaths(s.Paths),
-			core.WithWorkers(s.Workers), core.WithSeed(402))
+			core.WithPool(pl), core.WithSeed(402))
 		t0 := time.Now()
-		mr, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
+		mr, err := est.Estimate(ctx, ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +92,7 @@ func runSweep(s Scale, net *model.Net, w io.Writer, title string,
 
 // RunFig13 reproduces Fig. 13: sweeping HPCC's initial congestion window and
 // predicting the per-bucket p99 effect with m3.
-func RunFig13(s Scale, net *model.Net, w io.Writer) ([]SweepPoint, error) {
+func RunFig13(ctx context.Context, s Scale, net *model.Net, w io.Writer) ([]SweepPoint, error) {
 	var configs []packetsim.Config
 	var labels []string
 	for _, iw := range []unit.ByteSize{5 * unit.KB, 10 * unit.KB, 15 * unit.KB,
@@ -104,11 +106,11 @@ func RunFig13(s Scale, net *model.Net, w io.Writer) ([]SweepPoint, error) {
 		configs = append(configs, cfg)
 		labels = append(labels, fmt.Sprintf("initWnd %v", iw))
 	}
-	return runSweep(s, net, w, "Fig 13: HPCC initial-window sweep", configs, labels)
+	return runSweep(ctx, s, net, w, "Fig 13: HPCC initial-window sweep", configs, labels)
 }
 
 // RunFig14 reproduces Fig. 14: sweeping HPCC's eta with a 20KB window.
-func RunFig14(s Scale, net *model.Net, w io.Writer) ([]SweepPoint, error) {
+func RunFig14(ctx context.Context, s Scale, net *model.Net, w io.Writer) ([]SweepPoint, error) {
 	var configs []packetsim.Config
 	var labels []string
 	for _, eta := range []float64{0.70, 0.75, 0.80, 0.85, 0.90, 0.95} {
@@ -121,5 +123,5 @@ func RunFig14(s Scale, net *model.Net, w io.Writer) ([]SweepPoint, error) {
 		configs = append(configs, cfg)
 		labels = append(labels, fmt.Sprintf("eta %.2f", eta))
 	}
-	return runSweep(s, net, w, "Fig 14: HPCC eta sweep", configs, labels)
+	return runSweep(ctx, s, net, w, "Fig 14: HPCC eta sweep", configs, labels)
 }

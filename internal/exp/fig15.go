@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -31,18 +32,18 @@ type Fig15Result struct {
 var Fig15Methods = [3]string{"ns3-path", "m3", "parsimon"}
 
 // RunFig15 reproduces Fig. 15's error breakdown on the small fat-tree.
-func RunFig15(s Scale, net *model.Net, w io.Writer) (*Fig15Result, error) {
+func RunFig15(ctx context.Context, s Scale, net *model.Net, w io.Writer) (*Fig15Result, error) {
 	m := Table1Mixes(s.TestFlows)[2] // the high-load mix stresses all methods
 	ft, flows, err := m.Build()
 	if err != nil {
 		return nil, err
 	}
 	cfg := packetsim.DefaultConfig()
-	gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+	gt, err := core.RunGroundTruth(ctx, ft.Topology, flows, cfg)
 	if err != nil {
 		return nil, err
 	}
-	pr, err := parsimon.Run(ft.Topology, flows, cfg, s.Workers)
+	pr, err := parsimon.Run(ctx, ft.Topology, flows, cfg, s.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -67,12 +68,12 @@ func RunFig15(s Scale, net *model.Net, w io.Writer) (*Fig15Result, error) {
 			return nil, err
 		}
 		// ns-3-path per-flow slowdowns.
-		np, err := sc.RunPacket(cfg)
+		np, err := sc.RunPacketContext(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
 		// m3 per-bucket predictions.
-		fs, err := sc.RunFlowSim()
+		fs, err := sc.RunFlowSimContext(ctx)
 		if err != nil {
 			return nil, err
 		}

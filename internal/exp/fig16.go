@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,7 +29,7 @@ type Fig16Point struct {
 // Table 2 scenarios, compare flowSim alone, m3 without background context,
 // and full m3 against packet-level ground truth. net and noCtx must share
 // training data (train both with TrainedModel-style setups).
-func RunFig16(s Scale, net, noCtx *model.Net, w io.Writer) ([]Fig16Point, error) {
+func RunFig16(ctx context.Context, s Scale, net, noCtx *model.Net, w io.Writer) ([]Fig16Point, error) {
 	root := rng.New(1600)
 	var out []Fig16Point
 	for i := 0; i < s.Scenarios; i++ {
@@ -50,11 +51,11 @@ func RunFig16(s Scale, net, noCtx *model.Net, w io.Writer) ([]Fig16Point, error)
 		if err != nil {
 			return nil, err
 		}
-		gt, err := packetsim.Run(syn.Lot.Topology, syn.Flows, cfg)
+		gt, err := packetsim.RunContext(ctx, syn.Lot.Topology, syn.Flows, cfg)
 		if err != nil {
 			return nil, err
 		}
-		fs, err := flowsim.Run(syn.Lot.Topology, syn.Flows)
+		fs, err := flowsim.RunContext(ctx, syn.Lot.Topology, syn.Flows)
 		if err != nil {
 			return nil, err
 		}

@@ -23,7 +23,9 @@ type Fig17Group struct {
 
 // RunFig17 reproduces Fig. 17: m3's estimation error across the Table 4
 // configuration axes — buffer size, initial window, CC protocol, and PFC.
-func RunFig17(s Scale, net *model.Net, w io.Writer) ([]Fig17Group, error) {
+func RunFig17(ctx context.Context, s Scale, net *model.Net, w io.Writer) ([]Fig17Group, error) {
+	p := core.NewPool(s.Workers)
+	defer p.Close()
 	type axisPoint struct {
 		axis, value string
 		mutate      func(*packetsim.Config)
@@ -54,13 +56,13 @@ func RunFig17(s Scale, net *model.Net, w io.Writer) ([]Fig17Group, error) {
 			}
 			cfg := packetsim.DefaultConfig()
 			pt.mutate(&cfg)
-			gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+			gt, err := core.RunGroundTruth(ctx, ft.Topology, flows, cfg)
 			if err != nil {
 				return nil, err
 			}
 			est := core.NewEstimator(net, core.WithNumPaths(s.Paths),
-				core.WithWorkers(s.Workers), core.WithSeed(m.Seed))
-			mr, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
+				core.WithPool(p), core.WithSeed(m.Seed))
+			mr, err := est.Estimate(ctx, ft.Topology, flows, cfg)
 			if err != nil {
 				return nil, err
 			}

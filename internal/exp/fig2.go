@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -31,7 +32,7 @@ type Fig2Result struct {
 
 // RunFig2 reproduces Fig. 2: how faithful path-level packet simulation is to
 // the full simulation, per sampled path, across the three mixes.
-func RunFig2(s Scale, w io.Writer) ([]Fig2Result, error) {
+func RunFig2(ctx context.Context, s Scale, w io.Writer) ([]Fig2Result, error) {
 	mixes := Table1Mixes(s.TestFlows)
 	var out []Fig2Result
 	for _, m := range mixes {
@@ -40,7 +41,7 @@ func RunFig2(s Scale, w io.Writer) ([]Fig2Result, error) {
 			return nil, err
 		}
 		cfg := packetsim.DefaultConfig()
-		gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+		gt, err := core.RunGroundTruth(ctx, ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +62,7 @@ func RunFig2(s Scale, w io.Writer) ([]Fig2Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			fg, err := sc.RunPacket(cfg)
+			fg, err := sc.RunPacketContext(ctx, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -133,7 +134,7 @@ type Fig5Result struct {
 // the p99 sampling error shrinks with the number of sampled paths. It uses
 // the ground-truth per-flow slowdowns directly (sampling study only — no
 // per-path simulation).
-func RunFig5(s Scale, w io.Writer) ([]Fig5Result, error) {
+func RunFig5(ctx context.Context, s Scale, w io.Writer) ([]Fig5Result, error) {
 	ks := []int{50, 100, 200, 500, 1000}
 	const draws = 20
 	root := rng.New(55)
@@ -144,7 +145,7 @@ func RunFig5(s Scale, w io.Writer) ([]Fig5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		gt, err := core.RunGroundTruth(ft.Topology, flows, packetsim.DefaultConfig())
+		gt, err := core.RunGroundTruth(ctx, ft.Topology, flows, packetsim.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}

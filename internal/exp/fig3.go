@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,7 +23,7 @@ type Fig3Cell struct {
 // burstiness, load, and workload vary around the baseline (CacheFollower,
 // sigma=1.5, 50% load). The printed summary shows each size bucket's p50 and
 // p99 slowdown; the returned cells carry the full 10x100 maps.
-func RunFig3(s Scale, w io.Writer) ([]Fig3Cell, error) {
+func RunFig3(ctx context.Context, s Scale, w io.Writer) ([]Fig3Cell, error) {
 	numFg := min(s.TestFlows, 20000)
 	type variant struct {
 		label string
@@ -51,7 +52,7 @@ func RunFig3(s Scale, w io.Writer) ([]Fig3Cell, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := flowsim.Run(syn.Lot.Topology, syn.Flows)
+		res, err := flowsim.RunContext(ctx, syn.Lot.Topology, syn.Flows)
 		if err != nil {
 			return nil, err
 		}

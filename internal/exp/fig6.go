@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,7 +25,7 @@ type Fig6Result struct {
 
 // RunFig6 reproduces Fig. 6: per-size-bucket slowdown distributions from the
 // three estimators on a Meta-workload 4-hop path scenario.
-func RunFig6(s Scale, net *model.Net, w io.Writer) (*Fig6Result, error) {
+func RunFig6(ctx context.Context, s Scale, net *model.Net, w io.Writer) (*Fig6Result, error) {
 	spec := workload.SynthSpec{
 		Hops: 4, NumFg: min(s.TestFlows/4, 4000), BgPerLink: 1.0,
 		Sizes: workload.CacheFollower, Burstiness: 2, MaxLoad: 0.55, Seed: 66,
@@ -35,11 +36,11 @@ func RunFig6(s Scale, net *model.Net, w io.Writer) (*Fig6Result, error) {
 	}
 	cfg := packetsim.DefaultConfig()
 
-	gt, err := packetsim.Run(syn.Lot.Topology, syn.Flows, cfg)
+	gt, err := packetsim.RunContext(ctx, syn.Lot.Topology, syn.Flows, cfg)
 	if err != nil {
 		return nil, err
 	}
-	fs, err := flowsim.Run(syn.Lot.Topology, syn.Flows)
+	fs, err := flowsim.RunContext(ctx, syn.Lot.Topology, syn.Flows)
 	if err != nil {
 		return nil, err
 	}

@@ -24,8 +24,11 @@ type Table1Row struct {
 }
 
 // RunTable1 reproduces Table 1: p99 slowdown and runtime of ns-3, Parsimon,
-// and ns-3-path on the three mixes.
-func RunTable1(s Scale, w io.Writer) ([]Table1Row, error) {
+// and ns-3-path on the three mixes. One worker pool drives every method's
+// fan-out; cancelling ctx aborts whichever simulation is in flight.
+func RunTable1(ctx context.Context, s Scale, w io.Writer) ([]Table1Row, error) {
+	p := core.NewPool(s.Workers)
+	defer p.Close()
 	mixes := Table1Mixes(s.TestFlows)
 	rows := make([]Table1Row, 0, len(mixes))
 	fmt.Fprintf(w, "Table 1: p99 FCT slowdown and runtime (%d flows/mix)\n", s.TestFlows)
@@ -38,23 +41,23 @@ func RunTable1(s Scale, w io.Writer) ([]Table1Row, error) {
 		}
 		cfg := packetsim.DefaultConfig()
 
-		gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+		gt, err := core.RunGroundTruth(ctx, ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}
 
 		t0 := time.Now()
-		ps, err := parsimon.Run(ft.Topology, flows, cfg, s.Workers)
+		ps, err := parsimon.RunWithPool(ctx, ft.Topology, flows, cfg, p)
 		if err != nil {
 			return nil, err
 		}
 		psTime := time.Since(t0)
 
 		est := core.NewEstimator(nil, core.WithNumPaths(s.Paths),
-			core.WithMethod(core.MethodNS3Path), core.WithWorkers(s.Workers),
+			core.WithMethod(core.MethodNS3Path), core.WithPool(p),
 			core.WithSeed(m.Seed))
 		t0 = time.Now()
-		pr, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
+		pr, err := est.Estimate(ctx, ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -41,7 +41,9 @@ type Table5Row struct {
 // the 384-rack, 6144-host fat-tree with traffic matrix B, the WebServer
 // workload at sigma=2 and 50% max load, under 10KB and 18KB initial
 // congestion windows.
-func RunTable5(s Scale, net *model.Net, w io.Writer) ([]Table5Row, error) {
+func RunTable5(ctx context.Context, s Scale, net *model.Net, w io.Writer) ([]Table5Row, error) {
+	p := core.NewPool(s.Workers)
+	defer p.Close()
 	ft, err := topo.LargeFatTree()
 	if err != nil {
 		return nil, err
@@ -66,13 +68,13 @@ func RunTable5(s Scale, net *model.Net, w io.Writer) ([]Table5Row, error) {
 		cfg := packetsim.DefaultConfig()
 		cfg.InitWindow = iw
 
-		gt, err := core.RunGroundTruth(ft.Topology, flows, cfg)
+		gt, err := core.RunGroundTruth(ctx, ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}
 
 		t0 := time.Now()
-		pr, err := parsimon.Run(ft.Topology, flows, cfg, s.Workers)
+		pr, err := parsimon.RunWithPool(ctx, ft.Topology, flows, cfg, p)
 		if err != nil {
 			return nil, err
 		}
@@ -80,9 +82,9 @@ func RunTable5(s Scale, net *model.Net, w io.Writer) ([]Table5Row, error) {
 		psP99 := stats.P99(pr.Slowdown)
 
 		est := core.NewEstimator(net, core.WithNumPaths(s.Paths),
-			core.WithWorkers(s.Workers), core.WithSeed(502))
+			core.WithPool(p), core.WithSeed(502))
 		t0 = time.Now()
-		mr, err := est.Estimate(context.Background(), ft.Topology, flows, cfg)
+		mr, err := est.Estimate(ctx, ft.Topology, flows, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,34 @@
+package model
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"m3/internal/packetsim"
+	"m3/internal/workload"
+)
+
+// TestGenerateCancelled checks that every dataset-generation entry point
+// aborts a cancelled context with ctx.Err() instead of a partial dataset.
+func TestGenerateCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dc := DefaultDataConfig()
+	dc.Scenarios = 8
+	if _, err := Generate(ctx, dc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Generate err = %v, want context.Canceled", err)
+	}
+	nc := DefaultNetworkDataConfig()
+	nc.Workloads = 2
+	if _, err := GenerateFromNetworks(ctx, nc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GenerateFromNetworks err = %v, want context.Canceled", err)
+	}
+	spec := workload.SynthSpec{
+		Hops: 4, NumFg: 120, BgPerLink: 0.5,
+		Sizes: workload.CacheFollower, Burstiness: 1.5, MaxLoad: 0.5, Seed: 3,
+	}
+	if _, err := GenerateScenarioSample(ctx, spec, packetsim.DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GenerateScenarioSample err = %v, want context.Canceled", err)
+	}
+}

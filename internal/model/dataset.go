@@ -1,13 +1,14 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"m3/internal/feature"
 	"m3/internal/flowsim"
 	"m3/internal/packetsim"
+	"m3/internal/pool"
 	"m3/internal/rng"
 	"m3/internal/topo"
 	"m3/internal/unit"
@@ -175,13 +176,14 @@ func spanOf(lot *topo.ParkingLot, route []topo.LinkID) (join, exit int, ok bool)
 
 // GenerateScenarioSample builds one training sample: generate the synthetic
 // parking-lot workload, extract flowSim features, and label with the packet
-// simulator's foreground slowdowns.
-func GenerateScenarioSample(spec workload.SynthSpec, cfg packetsim.Config) (*Sample, error) {
+// simulator's foreground slowdowns. Cancelling ctx aborts either simulation
+// mid-run with ctx.Err().
+func GenerateScenarioSample(ctx context.Context, spec workload.SynthSpec, cfg packetsim.Config) (*Sample, error) {
 	syn, err := workload.GenerateSynthetic(spec)
 	if err != nil {
 		return nil, err
 	}
-	fs, err := flowsim.Run(syn.Lot.Topology, syn.Flows)
+	fs, err := flowsim.RunContext(ctx, syn.Lot.Topology, syn.Flows)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +212,7 @@ func GenerateScenarioSample(spec workload.SynthSpec, cfg packetsim.Config) (*Sam
 	delays := syn.Lot.RouteDelays(syn.Lot.PathLinks)
 	sample := BuildInputs(fgSizes, fgSldn, bgSizes, bgSldn, cfg, rates, delays)
 
-	gt, err := packetsim.Run(syn.Lot.Topology, syn.Flows, cfg)
+	gt, err := packetsim.RunContext(ctx, syn.Lot.Topology, syn.Flows, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -224,17 +226,27 @@ func GenerateScenarioSample(spec workload.SynthSpec, cfg packetsim.Config) (*Sam
 	return sample, nil
 }
 
-// Generate produces the synthetic training set in parallel.
-func Generate(dc DataConfig) ([]*Sample, error) {
+// Generate produces the synthetic training set in parallel on a worker pool
+// sized by dc.Workers, aborting early with ctx.Err() on cancellation.
+func Generate(ctx context.Context, dc DataConfig) ([]*Sample, error) {
+	workers := dc.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	p := pool.New(workers)
+	defer p.Close()
+	return GenerateWithPool(ctx, dc, p)
+}
+
+// GenerateWithPool is Generate scheduling its per-scenario simulations on
+// the caller's pool, so dataset generation shares cores with the other
+// ground-truth producers in the process.
+func GenerateWithPool(ctx context.Context, dc DataConfig, p *pool.Pool) ([]*Sample, error) {
 	if dc.Scenarios <= 0 || (dc.FgPerScenario <= 0 && dc.FgMax <= 0) || len(dc.Hops) == 0 {
 		return nil, fmt.Errorf("model: bad data config %+v", dc)
 	}
 	if dc.FgMax > 0 && (dc.FgMin <= 0 || dc.FgMin > dc.FgMax) {
 		return nil, fmt.Errorf("model: need 0 < FgMin <= FgMax, got [%d, %d]", dc.FgMin, dc.FgMax)
-	}
-	workers := dc.Workers
-	if workers <= 0 {
-		workers = 1
 	}
 	root := rng.New(dc.Seed)
 	type job struct {
@@ -292,27 +304,17 @@ func Generate(dc DataConfig) ([]*Sample, error) {
 		}
 	}
 	samples := make([]*Sample, dc.Scenarios)
-	errs := make([]error, dc.Scenarios)
-	var wg sync.WaitGroup
-	ch := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				samples[j.idx], errs[j.idx] = GenerateScenarioSample(j.spec, j.cfg)
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	for i, err := range errs {
+	err := p.Run(ctx, len(jobs), func(ctx context.Context, i int) error {
+		j := jobs[i]
+		s, err := GenerateScenarioSample(ctx, j.spec, j.cfg)
 		if err != nil {
-			return nil, fmt.Errorf("model: scenario %d: %w", i, err)
+			return fmt.Errorf("model: scenario %d: %w", j.idx, err)
 		}
+		samples[j.idx] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return samples, nil
 }

@@ -2,6 +2,7 @@ package model
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -298,7 +299,7 @@ func TestGenerateScenarioSample(t *testing.T) {
 		Hops: 4, NumFg: 120, BgPerLink: 0.5,
 		Sizes: workload.CacheFollower, Burstiness: 1.5, MaxLoad: 0.5, Seed: 3,
 	}
-	s, err := GenerateScenarioSample(spec, packetsim.DefaultConfig())
+	s, err := GenerateScenarioSample(context.Background(), spec, packetsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestGenerateDatasetParallel(t *testing.T) {
 		Scenarios: 6, FgPerScenario: 60, BgPerLink: 0.3,
 		Hops: []int{2, 4}, Seed: 9, Workers: 3,
 	}
-	samples, err := Generate(dc)
+	samples, err := Generate(context.Background(), dc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestGenerateDatasetParallel(t *testing.T) {
 		t.Error("hop cycling broken")
 	}
 	// Determinism: same config -> same samples.
-	again, err := Generate(dc)
+	again, err := Generate(context.Background(), dc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +363,7 @@ func TestGenerateDatasetParallel(t *testing.T) {
 }
 
 func TestGenerateValidation(t *testing.T) {
-	if _, err := Generate(DataConfig{}); err == nil {
+	if _, err := Generate(context.Background(), DataConfig{}); err == nil {
 		t.Error("empty data config accepted")
 	}
 }

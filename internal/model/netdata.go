@@ -1,11 +1,12 @@
 package model
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"m3/internal/packetsim"
 	"m3/internal/pathsim"
+	"m3/internal/pool"
 	"m3/internal/rng"
 	"m3/internal/routing"
 	"m3/internal/sampling"
@@ -41,8 +42,11 @@ func DefaultNetworkDataConfig() NetworkDataConfig {
 	}
 }
 
-// GenerateFromNetworks produces network-derived training samples.
-func GenerateFromNetworks(nc NetworkDataConfig) ([]*Sample, error) {
+// GenerateFromNetworks produces network-derived training samples on a
+// worker pool, aborting early with ctx.Err() on cancellation. Each workload
+// is memory-heavy (a full fat-tree decomposition), so concurrency is capped
+// at a quarter of the worker count.
+func GenerateFromNetworks(ctx context.Context, nc NetworkDataConfig) ([]*Sample, error) {
 	if nc.Workloads <= 0 || nc.FlowsPerWorkload <= 0 || nc.PathsPerWorkload <= 0 {
 		return nil, fmt.Errorf("model: bad network data config %+v", nc)
 	}
@@ -50,39 +54,32 @@ func GenerateFromNetworks(nc NetworkDataConfig) ([]*Sample, error) {
 	if workers <= 0 {
 		workers = 1
 	}
+	p := pool.New(max(1, workers/4))
+	defer p.Close()
 	root := rng.New(nc.Seed)
-	type result struct {
-		samples []*Sample
-		err     error
-	}
-	results := make([]result, nc.Workloads)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(1, workers/4))
-	for i := 0; i < nc.Workloads; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r := root.Split(uint64(i) + 1)
-			samples, err := networkSamples(r, nc)
-			results[i] = result{samples, err}
-		}(i)
-	}
-	wg.Wait()
-	var out []*Sample
-	for i, res := range results {
-		if res.err != nil {
-			return nil, fmt.Errorf("model: network workload %d: %w", i, res.err)
+	results := make([][]*Sample, nc.Workloads)
+	err := p.Run(ctx, nc.Workloads, func(ctx context.Context, i int) error {
+		r := root.Split(uint64(i) + 1)
+		samples, err := networkSamples(ctx, r, nc)
+		if err != nil {
+			return fmt.Errorf("model: network workload %d: %w", i, err)
 		}
-		out = append(out, res.samples...)
+		results[i] = samples
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Sample
+	for _, samples := range results {
+		out = append(out, samples...)
 	}
 	return out, nil
 }
 
 // networkSamples generates one workload, decomposes it, and labels sampled
 // paths with the path-level packet simulation.
-func networkSamples(r *rng.RNG, nc NetworkDataConfig) ([]*Sample, error) {
+func networkSamples(ctx context.Context, r *rng.RNG, nc NetworkDataConfig) ([]*Sample, error) {
 	oversubs := []topo.Oversub{topo.Oversub1to1, topo.Oversub2to1, topo.Oversub4to1}
 	ft, err := topo.SmallFatTree(oversubs[r.Intn(len(oversubs))])
 	if err != nil {
@@ -124,11 +121,11 @@ func networkSamples(r *rng.RNG, nc NetworkDataConfig) ([]*Sample, error) {
 		if err != nil {
 			return nil, err
 		}
-		fs, err := sc.RunFlowSim()
+		fs, err := sc.RunFlowSimContext(ctx)
 		if err != nil {
 			return nil, err
 		}
-		gt, err := sc.RunPacket(cfg) // ns-3-path ground truth
+		gt, err := sc.RunPacketContext(ctx, cfg) // ns-3-path ground truth
 		if err != nil {
 			return nil, err
 		}

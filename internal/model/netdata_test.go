@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"testing"
 
 	"m3/internal/feature"
@@ -15,7 +16,7 @@ func TestGenerateFromNetworks(t *testing.T) {
 		Workloads: 2, FlowsPerWorkload: 1500, PathsPerWorkload: 15,
 		Seed: 3, Workers: 8, CCs: []packetsim.CCType{packetsim.DCTCP},
 	}
-	samples, err := GenerateFromNetworks(nc)
+	samples, err := GenerateFromNetworks(context.Background(), nc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestGenerateFromNetworks(t *testing.T) {
 }
 
 func TestGenerateFromNetworksValidation(t *testing.T) {
-	if _, err := GenerateFromNetworks(NetworkDataConfig{}); err == nil {
+	if _, err := GenerateFromNetworks(context.Background(), NetworkDataConfig{}); err == nil {
 		t.Error("empty config accepted")
 	}
 }
@@ -68,11 +69,11 @@ func TestGenerateFromNetworksDeterministic(t *testing.T) {
 		Workloads: 1, FlowsPerWorkload: 800, PathsPerWorkload: 8,
 		Seed: 4, Workers: 4, CCs: []packetsim.CCType{packetsim.DCTCP},
 	}
-	a, err := GenerateFromNetworks(nc)
+	a, err := GenerateFromNetworks(context.Background(), nc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := GenerateFromNetworks(nc)
+	b, err := GenerateFromNetworks(context.Background(), nc)
 	if err != nil {
 		t.Fatal(err)
 	}

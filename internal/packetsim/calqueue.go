@@ -1,0 +1,208 @@
+package packetsim
+
+import "m3/internal/unit"
+
+// The discrete-event scheduler is a calendar queue: a bucketed time wheel
+// for the near future with a ladder overflow for events beyond the horizon.
+// Packet simulations emit near-monotonic event streams — almost every event
+// is scheduled within a few serialization times or one propagation delay of
+// now, with only RTO timers landing far out — so push degrades to an O(1)
+// bucket append and pop to a tiny per-bucket heap, instead of the O(log n)
+// sift of a global binary heap over tens of thousands of pending events.
+//
+// Ordering is total and FIFO-stable: events are popped in strictly
+// ascending (t, seq) order, where seq is the push sequence number. This is
+// exactly the order of the reference binary heap the engine used before
+// (see the parity property tests), so simulation results are bit-identical.
+const (
+	// calBuckets * calWidth is the wheel horizon (512us): wide enough that
+	// serialization, propagation, pacing, and default-RTO events all land in
+	// the wheel, small enough that per-bucket heaps stay tiny.
+	calBuckets = 512
+	calWidth   = unit.Microsecond
+)
+
+type calQueue struct {
+	ctr uint64 // push sequence counter (FIFO tie-break)
+	n   int    // total pending events
+	// cur is a min-heap (by less) of the events in the drained window
+	// [..., curEnd): the global minimum always lives here.
+	cur []event
+	// buckets[i] holds events with t in [wheelStart+i*W, wheelStart+(i+1)*W),
+	// unsorted; a bucket is heapified wholesale when the wheel reaches it.
+	buckets [calBuckets][]event
+	// overflow holds events at or beyond the horizon; re-binned when the
+	// wheel is exhausted.
+	overflow   []event
+	wheelStart unit.Time
+	curEnd     unit.Time // buckets before this time are drained into cur
+	horizon    unit.Time // wheelStart + calBuckets*calWidth
+	curIdx     int       // next wheel bucket to drain
+}
+
+// reset prepares a (possibly reused) queue for a fresh run, keeping bucket
+// capacity. The wheel starts exhausted with a zero horizon, so initial
+// pushes (flow arrivals at arbitrary times) collect in overflow and the
+// first pop re-bins them around the earliest arrival.
+func (q *calQueue) reset() {
+	q.ctr, q.n = 0, 0
+	q.cur = q.cur[:0]
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.overflow = q.overflow[:0]
+	q.wheelStart, q.curEnd, q.horizon = 0, 0, 0
+	q.curIdx = calBuckets
+}
+
+func (q *calQueue) push(e event) {
+	e.seq = q.ctr
+	q.ctr++
+	q.n++
+	q.insert(e)
+}
+
+func (q *calQueue) empty() bool { return q.n == 0 }
+
+func (q *calQueue) insert(e event) {
+	switch {
+	case e.t < q.curEnd:
+		// Inside (or before) the drained window — including t <= now. The
+		// heap keeps such late arrivals correctly ordered.
+		q.curPush(e)
+	case e.t < q.horizon:
+		i := int((e.t - q.wheelStart) / calWidth)
+		q.buckets[i] = append(q.buckets[i], e)
+	default:
+		q.overflow = append(q.overflow, e)
+	}
+}
+
+func (q *calQueue) pop() event {
+	for len(q.cur) == 0 {
+		if q.curIdx < calBuckets {
+			b := q.buckets[q.curIdx]
+			q.buckets[q.curIdx] = b[:0]
+			q.curIdx++
+			q.curEnd += calWidth
+			if len(b) > 0 {
+				q.cur = append(q.cur[:0], b...)
+				q.heapifyCur()
+			}
+			continue
+		}
+		q.rebin()
+	}
+	q.n--
+	return q.curPop()
+}
+
+// rebin restarts the wheel at the earliest overflow event and re-inserts
+// the overflow; events still beyond the new horizon stay in overflow (the
+// in-place filter is safe: the write index never passes the read index).
+func (q *calQueue) rebin() {
+	if len(q.overflow) == 0 {
+		panic("packetsim: pop on empty calendar queue")
+	}
+	minT := q.overflow[0].t
+	for i := 1; i < len(q.overflow); i++ {
+		if q.overflow[i].t < minT {
+			minT = q.overflow[i].t
+		}
+	}
+	q.wheelStart = minT
+	q.horizon = minT + calBuckets*calWidth
+	q.curEnd = minT
+	q.curIdx = 0
+	ov := q.overflow
+	q.overflow = ov[:0]
+	for i := range ov {
+		q.insert(ov[i])
+	}
+}
+
+func less(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (q *calQueue) curPush(e event) {
+	q.cur = append(q.cur, e)
+	i := len(q.cur) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(&q.cur[i], &q.cur[p]) {
+			break
+		}
+		q.cur[i], q.cur[p] = q.cur[p], q.cur[i]
+		i = p
+	}
+}
+
+func (q *calQueue) curPop() event {
+	top := q.cur[0]
+	last := len(q.cur) - 1
+	q.cur[0] = q.cur[last]
+	q.cur = q.cur[:last]
+	q.siftDown(0)
+	return top
+}
+
+func (q *calQueue) heapifyCur() {
+	for i := len(q.cur)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
+func (q *calQueue) siftDown(i int) {
+	n := len(q.cur)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && less(&q.cur[l], &q.cur[smallest]) {
+			smallest = l
+		}
+		if r < n && less(&q.cur[r], &q.cur[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.cur[i], q.cur[smallest] = q.cur[smallest], q.cur[i]
+		i = smallest
+	}
+}
+
+// pktArena is the per-run packet store. Events and link queues reference
+// packets by dense index instead of embedding 32-byte packet structs, which
+// halves the event record and lets freed slots be recycled without the
+// allocator. Slots are not stable pointers: alloc may grow the backing
+// array, so callers must re-resolve after any alloc.
+type pktArena struct {
+	pkts []packet
+	free []int32
+}
+
+func (a *pktArena) reset() {
+	a.pkts = a.pkts[:0]
+	a.free = a.free[:0]
+}
+
+// alloc returns a zeroed packet slot and its index.
+func (a *pktArena) alloc() (int32, *packet) {
+	if n := len(a.free); n > 0 {
+		i := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.pkts[i] = packet{}
+		return i, &a.pkts[i]
+	}
+	a.pkts = append(a.pkts, packet{})
+	i := int32(len(a.pkts) - 1)
+	return i, &a.pkts[i]
+}
+
+func (a *pktArena) at(i int32) *packet { return &a.pkts[i] }
+
+func (a *pktArena) release(i int32) { a.free = append(a.free, i) }

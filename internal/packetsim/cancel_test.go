@@ -1,0 +1,50 @@
+package packetsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancelled checks that a cancelled context aborts a run with
+// ctx.Err() instead of a partial result.
+func TestRunContextCancelled(t *testing.T) {
+	lot, flows, err := buildRandomScenario(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, lot.Topology, flows, DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("got a result from a cancelled run")
+	}
+}
+
+// TestRunContextCancelPrompt cancels mid-run and checks the simulator
+// notices within its polling interval rather than finishing the workload.
+func TestRunContextCancelPrompt(t *testing.T) {
+	lot, flows, err := buildRandomScenario(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	for time.Since(t0) < 2*time.Second {
+		if _, err := RunContext(ctx, lot.Topology, flows, DefaultConfig()); err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			return
+		}
+	}
+	t.Fatal("run never observed cancellation")
+}

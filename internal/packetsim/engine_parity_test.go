@@ -1,0 +1,235 @@
+package packetsim
+
+import (
+	"sync"
+	"testing"
+
+	"m3/internal/rng"
+	"m3/internal/unit"
+)
+
+// refHeap is the binary-heap scheduler the engine used before the calendar
+// queue, kept as the ordering oracle: both order events by (t, seq), so the
+// calendar queue must pop exactly the same sequence.
+type refHeap struct {
+	es  []event
+	ctr uint64
+}
+
+func (h *refHeap) push(e event) {
+	e.seq = h.ctr
+	h.ctr++
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(&h.es[i], &h.es[p]) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
+
+func (h *refHeap) pop() event {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && less(&h.es[l], &h.es[smallest]) {
+			smallest = l
+		}
+		if r < n && less(&h.es[r], &h.es[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.es[i], h.es[smallest] = h.es[smallest], h.es[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h *refHeap) empty() bool { return len(h.es) == 0 }
+
+// TestCalQueueMatchesHeap drives the calendar queue and the reference heap
+// with identical interleaved push/pop streams and asserts identical pop
+// sequences. The stream is adversarial for the calendar queue: event times
+// cluster near the current drain point (exercising the cur heap), land
+// across wheel buckets, repeat exactly (FIFO tie-breaks), and jump far
+// beyond the horizon (exercising overflow re-binning).
+func TestCalQueueMatchesHeap(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 99} {
+		r := rng.New(seed)
+		var q calQueue
+		q.reset()
+		var h refHeap
+		now := unit.Time(0)
+		pending := 0
+		for step := 0; step < 50_000; step++ {
+			if pending == 0 || r.Float64() < 0.55 {
+				var dt unit.Time
+				switch r.Intn(10) {
+				case 0: // same timestamp — FIFO stability
+					dt = 0
+				case 1: // far future — overflow ladder
+					dt = unit.Time(r.Intn(int(10 * unit.Millisecond)))
+				default: // near future — wheel buckets
+					dt = unit.Time(r.Intn(int(20 * unit.Microsecond)))
+				}
+				e := event{t: now + dt, kind: uint8(r.Intn(5)), a: int32(r.Intn(1 << 16))}
+				q.push(e)
+				h.push(e)
+				pending++
+				continue
+			}
+			got, want := q.pop(), h.pop()
+			if got != want {
+				t.Fatalf("seed %d step %d: calendar queue popped %+v, heap popped %+v",
+					seed, step, got, want)
+			}
+			if got.t < now {
+				t.Fatalf("seed %d step %d: time went backwards: %v < %v", seed, step, got.t, now)
+			}
+			now = got.t
+			pending--
+		}
+		for !h.empty() {
+			got, want := q.pop(), h.pop()
+			if got != want {
+				t.Fatalf("seed %d drain: calendar queue popped %+v, heap popped %+v", seed, got, want)
+			}
+		}
+		if !q.empty() {
+			t.Fatalf("seed %d: calendar queue has %d leftover events", seed, q.n)
+		}
+	}
+}
+
+// TestCalQueueFIFOStability pins the tie-break: events pushed at the same
+// timestamp pop in push order, even when they arrive interleaved with other
+// times and across a re-bin.
+func TestCalQueueFIFOStability(t *testing.T) {
+	var q calQueue
+	q.reset()
+	const ties = 64
+	tieT := unit.Time(3 * unit.Millisecond) // beyond the initial horizon
+	for i := 0; i < ties; i++ {
+		q.push(event{t: tieT, a: int32(i)})
+		q.push(event{t: tieT + unit.Time(i+1), a: -1}) // interleaved non-ties
+	}
+	seen := int32(0)
+	for !q.empty() {
+		e := q.pop()
+		if e.a < 0 {
+			continue
+		}
+		if e.a != seen {
+			t.Fatalf("same-timestamp events out of push order: got %d, want %d", e.a, seen)
+		}
+		seen++
+	}
+	if seen != ties {
+		t.Fatalf("lost tie events: saw %d of %d", seen, ties)
+	}
+}
+
+// goldenResults froze the per-case result hashes of the pre-calendar-queue
+// engine (binary-heap scheduler, per-packet allocation, per-run state).
+// The rebuilt engine must reproduce every result bit for bit: FCTs,
+// slowdowns, drop and retransmit counters — including DCQCN's RED marking
+// RNG draw order, which any scheduling reorder would scramble.
+var goldenResults = map[string]uint64{
+	"dctcp/pfc/seed11":    0x0d3f7ff8b7f529bf,
+	"dctcp/pfc/seed42":    0xfc9dd73a1fc4e644,
+	"dctcp/pfc/seed1337":  0xc7a9574155d3cf56,
+	"timely/pfc/seed11":   0xa6ec7216ac9f447e,
+	"timely/pfc/seed42":   0x7cf11a14efb6a052,
+	"timely/pfc/seed1337": 0x11b428ec29068c79,
+	"dcqcn/pfc/seed11":    0x8d4156beebaefd49,
+	"dcqcn/pfc/seed42":    0x18a6d5e6a839eec5,
+	"dcqcn/pfc/seed1337":  0xc325f60785e47676,
+	"hpcc/pfc/seed11":     0x5d41d1e9a1038090,
+	"hpcc/pfc/seed42":     0xee83c73c39f13fe9,
+	"hpcc/pfc/seed1337":   0x821e23cd5c1e51af,
+	"dctcp/lossy/seed7":   0x44822e36fa176d85,
+	"dcqcn/lossy/seed7":   0xe7111f58b59929bf,
+}
+
+func TestEngineGoldenParity(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			want, ok := goldenResults[gc.name]
+			if !ok {
+				t.Fatalf("no frozen hash for %s (regenerate with PACKETSIM_GOLDEN_DUMP=1)", gc.name)
+			}
+			res, err := runGoldenCase(gc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := goldenHash(res); got != want {
+				t.Errorf("result hash = %#016x, want frozen %#016x", got, want)
+			}
+		})
+	}
+}
+
+// TestRunDeterministicAcrossPoolReuse re-runs one scenario repeatedly on the
+// same goroutine — each run checks a sim out of simPool, so later runs reuse
+// the first run's links, arena, buckets, and sender arrays — and asserts
+// every repetition is bit-identical.
+func TestRunDeterministicAcrossPoolReuse(t *testing.T) {
+	gc := goldenCase{name: "reuse", cc: DCQCN, pfc: true, seed: 42}
+	first, err := runGoldenCase(gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenHash(first)
+	for i := 0; i < 5; i++ {
+		res, err := runGoldenCase(gc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := goldenHash(res); got != want {
+			t.Fatalf("run %d: hash %#016x != first run %#016x (pooled state leaked)", i, got, want)
+		}
+	}
+}
+
+// TestRunDeterministicConcurrent hammers Run from many goroutines (mixing
+// cases, so sims of different shapes churn through simPool) and asserts each
+// case still produces its frozen result. Run under -race this also proves
+// pooled state is never shared across concurrent runs.
+func TestRunDeterministicConcurrent(t *testing.T) {
+	cases := goldenCases()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*len(cases))
+	for rep := 0; rep < 4; rep++ {
+		for _, gc := range cases {
+			gc := gc
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := runGoldenCase(gc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := goldenHash(res); got != goldenResults[gc.name] {
+					t.Errorf("%s: concurrent hash %#016x != frozen %#016x", gc.name, got, goldenResults[gc.name])
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

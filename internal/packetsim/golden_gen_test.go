@@ -1,0 +1,96 @@
+package packetsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"testing"
+
+	"m3/internal/workload"
+)
+
+// goldenHash condenses a Result into one FNV-1a hash over the raw bits of
+// every FCT and slowdown plus the aggregate counters, so bit-level engine
+// parity can be asserted against frozen constants.
+func goldenHash(res *Result) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, t := range res.FCT {
+		binary.LittleEndian.PutUint64(b[:], uint64(t))
+		h.Write(b[:])
+	}
+	for _, s := range res.Slowdown {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(s))
+		h.Write(b[:])
+	}
+	binary.LittleEndian.PutUint64(b[:], uint64(res.Drops))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(res.Retransmits))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// goldenCase is one frozen seeded scenario.
+type goldenCase struct {
+	name string
+	cc   CCType
+	pfc  bool
+	seed uint64
+}
+
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, cc := range []CCType{DCTCP, TIMELY, DCQCN, HPCC} {
+		for _, seed := range []uint64{11, 42, 1337} {
+			cases = append(cases, goldenCase{
+				name: fmt.Sprintf("%v/pfc/seed%d", cc, seed), cc: cc, pfc: true, seed: seed,
+			})
+		}
+	}
+	// Lossy variants exercise drops + go-back-N (and the DCQCN RED RNG).
+	for _, cc := range []CCType{DCTCP, DCQCN} {
+		cases = append(cases, goldenCase{
+			name: fmt.Sprintf("%v/lossy/seed7", cc), cc: cc, pfc: false, seed: 7,
+		})
+	}
+	return cases
+}
+
+func runGoldenCase(gc goldenCase) (*Result, error) {
+	lot, flows, err := buildRandomScenario(gc.seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultConfig()
+	cfg.CC = gc.cc
+	cfg.PFC = gc.pfc
+	if !gc.pfc {
+		cfg.Buffer = 20 * 1000
+		cfg.DCTCPK = 5 * 1000
+	}
+	// A synthetic burst on top keeps queues busy enough to matter.
+	base := len(flows)
+	for i := 0; i < 40; i++ {
+		flows = append(flows, workload.Flow{
+			ID: workload.FlowID(base + i), Src: lot.FgSrc(), Dst: lot.FgDst(),
+			Size: 50_000, Arrival: 0, Route: lot.FgRoute(),
+		})
+	}
+	return Run(lot.Topology, flows, cfg)
+}
+
+// TestGoldenDump prints the golden table (run manually with -golden-dump).
+func TestGoldenDump(t *testing.T) {
+	if os.Getenv("PACKETSIM_GOLDEN_DUMP") == "" {
+		t.Skip("set PACKETSIM_GOLDEN_DUMP=1 to dump")
+	}
+	for _, gc := range goldenCases() {
+		res, err := runGoldenCase(gc)
+		if err != nil {
+			t.Fatalf("%s: %v", gc.name, err)
+		}
+		fmt.Printf("\t%q: 0x%016x,\n", gc.name, goldenHash(res))
+	}
+}

@@ -196,95 +196,46 @@ const (
 	evTimeout
 )
 
+// event is a compact 32-byte scheduler record. Packets are referenced by
+// arena index (evArrive), never embedded, so pushing an event moves half
+// the bytes the old fat record did and the calendar-queue buckets stay
+// cache-dense.
 type event struct {
 	t    unit.Time
-	seq  uint64 // tie-break for determinism
+	seq  uint64 // push order; tie-break for FIFO-stable determinism
 	kind uint8
-	link int32 // evTxDone
-	flow int32 // evFlowStart, evPace, evTimeout
-	tok  int32 // evTimeout: validity token
-	pkt  packet
+	// a is the event's subject: link ID (evTxDone), flow ID (evFlowStart,
+	// evPace, evTimeout), or packet arena index (evArrive).
+	a int32
+	// b is evTimeout's validity token.
+	b int32
 }
 
-type eventHeap struct {
-	es  []event
-	ctr uint64
-}
-
-func (h *eventHeap) push(e event) {
-	e.seq = h.ctr
-	h.ctr++
-	h.es = append(h.es, e)
-	i := len(h.es) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if less(&h.es[i], &h.es[p]) {
-			h.es[i], h.es[p] = h.es[p], h.es[i]
-			i = p
-			continue
-		}
-		break
-	}
-}
-
-func less(a, b *event) bool {
-	if a.t != b.t {
-		return a.t < b.t
-	}
-	return a.seq < b.seq
-}
-
-func (h *eventHeap) pop() event {
-	top := h.es[0]
-	last := len(h.es) - 1
-	h.es[0] = h.es[last]
-	h.es = h.es[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && less(&h.es[l], &h.es[smallest]) {
-			smallest = l
-		}
-		if r < last && less(&h.es[r], &h.es[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		h.es[i], h.es[smallest] = h.es[smallest], h.es[i]
-		i = smallest
-	}
-	return top
-}
-
-func (h *eventHeap) empty() bool { return len(h.es) == 0 }
-
-// pktQueue is a FIFO ring buffer of packets.
+// pktQueue is a FIFO ring buffer of packet arena indices.
 type pktQueue struct {
-	buf  []packet
+	buf  []int32
 	head int
 	n    int
 }
 
-func (q *pktQueue) push(p packet) {
+func (q *pktQueue) push(pi int32) {
 	if q.n == len(q.buf) {
-		grown := make([]packet, max(8, 2*len(q.buf)))
+		grown := make([]int32, max(8, 2*len(q.buf)))
 		for i := 0; i < q.n; i++ {
 			grown[i] = q.buf[(q.head+i)%len(q.buf)]
 		}
 		q.buf = grown
 		q.head = 0
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.buf[(q.head+q.n)%len(q.buf)] = pi
 	q.n++
 }
 
-func (q *pktQueue) pop() packet {
-	p := q.buf[q.head]
+func (q *pktQueue) pop() int32 {
+	pi := q.buf[q.head]
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
-	return p
+	return pi
 }
 
 func (q *pktQueue) len() int { return q.n }
@@ -294,7 +245,7 @@ type linkState struct {
 	rate   unit.Rate
 	delay  unit.Time
 	busy   bool
-	cur    packet // packet being serialized when busy
+	cur    int32 // packet being serialized when busy (arena index)
 	q      pktQueue
 	qBytes int64 // queued wire bytes (excluding the one in service)
 

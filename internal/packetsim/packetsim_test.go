@@ -356,17 +356,18 @@ func TestBgFlowsDelayFgFlows(t *testing.T) {
 	}
 }
 
-func TestEventHeapOrdering(t *testing.T) {
-	var h eventHeap
+func TestCalQueueOrdering(t *testing.T) {
+	var q calQueue
+	q.reset()
 	times := []unit.Time{50, 10, 30, 10, 40, 20}
 	for _, tm := range times {
-		h.push(event{t: tm})
+		q.push(event{t: tm})
 	}
 	var prev unit.Time = -1
-	for !h.empty() {
-		e := h.pop()
+	for !q.empty() {
+		e := q.pop()
 		if e.t < prev {
-			t.Fatalf("heap order violated: %v after %v", e.t, prev)
+			t.Fatalf("queue order violated: %v after %v", e.t, prev)
 		}
 		prev = e.t
 	}
@@ -375,17 +376,17 @@ func TestEventHeapOrdering(t *testing.T) {
 func TestPktQueueFIFO(t *testing.T) {
 	var q pktQueue
 	for i := int32(0); i < 100; i++ {
-		q.push(packet{seq: i})
+		q.push(i)
 		if i%3 == 0 && q.len() > 1 {
 			q.pop() // interleave pops to exercise wraparound
 		}
 	}
 	prev := int32(-1)
 	for q.len() > 0 {
-		p := q.pop()
-		if p.seq <= prev {
-			t.Fatalf("FIFO violated: %d after %d", p.seq, prev)
+		pi := q.pop()
+		if pi <= prev {
+			t.Fatalf("FIFO violated: %d after %d", pi, prev)
 		}
-		prev = p.seq
+		prev = pi
 	}
 }

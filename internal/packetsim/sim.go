@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"m3/internal/rng"
 	"m3/internal/topo"
@@ -28,8 +29,9 @@ type sender struct {
 	done     bool
 
 	baseRTT  unit.Time
-	bdpWire  float64 // bytes
-	lineRate float64 // first-hop rate, bits/s
+	ideal    unit.Time // unloaded-network FCT (slowdown denominator)
+	bdpWire  float64   // bytes
+	lineRate float64   // first-hop rate, bits/s
 
 	rtoToken int32
 	lastProg unit.Time
@@ -68,20 +70,33 @@ func (s *sender) pktWire(seq int32) int64 {
 	return int64(s.pktSize(seq)) + int64(unit.HeaderBytes)
 }
 
+// sim is one run's complete state. Runs check sims out of simPool, so the
+// big retained pieces — link states with their ring buffers, sender array,
+// calendar-queue buckets, the packet arena, the reverse-route slab — are
+// reused across runs and steady-state execution is allocation-free (only
+// the returned Result is freshly allocated).
 type sim struct {
-	t     *topo.Topology
-	cfg   Config
-	flows []workload.Flow
-	links []linkState
-	snd   []sender
-	recvN []int32
-	res   *Result
-	h     eventHeap
-	now   unit.Time
-	left  int
-	rng   *rng.RNG
-	rto   unit.Time
+	t       *topo.Topology
+	cfg     Config
+	flows   []workload.Flow
+	links   []linkState
+	snd     []sender
+	recvN   []int32
+	revSlab []topo.LinkID // backing store for all senders' reverse routes
+	revOff  int           // slab bytes consumed by initSender so far
+	res     *Result
+	q       calQueue
+	arena   pktArena
+	now     unit.Time
+	left    int
+	rng     *rng.RNG
+	rto     unit.Time
 }
+
+var simPool = sync.Pool{New: func() any { return new(sim) }}
+
+// simSeed seeds the per-run RNG (DCQCN's RED marking draws).
+const simSeed = 0x6d33
 
 // Run simulates the flows on t under cfg and returns per-flow FCTs and
 // slowdowns (indexed by FlowID, which must be dense in [0, len(flows))).
@@ -98,31 +113,13 @@ func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow, cf
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := len(flows)
 	res := &Result{FCT: make([]unit.Time, n), Slowdown: make([]float64, n)}
 	if n == 0 {
 		return res, nil
-	}
-	s := &sim{
-		t:     t,
-		cfg:   cfg,
-		flows: flows,
-		links: make([]linkState, t.NumLinks()),
-		snd:   make([]sender, n),
-		recvN: make([]int32, n),
-		res:   res,
-		left:  n,
-		rng:   rng.New(0x6d33),
-	}
-	s.rto = cfg.RTO
-	if s.rto <= 0 {
-		s.rto = 500 * unit.Microsecond
-	}
-	for i := range t.Links {
-		l := &s.links[i]
-		l.rate = t.Links[i].Rate
-		l.delay = t.Links[i].Delay
-		l.bdp = l.rate.BytesPerSecond() * utilTau.Seconds()
 	}
 	for i := range flows {
 		f := &flows[i]
@@ -132,10 +129,15 @@ func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow, cf
 		if len(f.Route) == 0 {
 			return nil, fmt.Errorf("packetsim: flow %d has no route", f.ID)
 		}
-		if err := s.initSender(f); err != nil {
-			return nil, err
-		}
-		s.h.push(event{t: f.Arrival, kind: evFlowStart, flow: int32(f.ID)})
+	}
+
+	s := simPool.Get().(*sim)
+	defer s.release()
+	s.reset(t, flows, cfg, res)
+	for i := range flows {
+		f := &flows[i]
+		s.initSender(f)
+		s.q.push(event{t: f.Arrival, kind: evFlowStart, a: int32(f.ID)})
 	}
 
 	// Generous safety budget: data+ack events per packet per hop, plus
@@ -148,7 +150,7 @@ func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow, cf
 	budget += 1 << 20
 
 	var events int64
-	for !s.h.empty() && s.left > 0 {
+	for !s.q.empty() && s.left > 0 {
 		if budget--; budget < 0 {
 			return nil, fmt.Errorf("packetsim: event budget exhausted (livelock?)")
 		}
@@ -159,21 +161,21 @@ func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow, cf
 			default:
 			}
 		}
-		e := s.h.pop()
+		e := s.q.pop()
 		s.now = e.t
 		switch e.kind {
 		case evFlowStart:
-			s.startFlow(e.flow)
+			s.startFlow(e.a)
 		case evTxDone:
-			s.txDone(e.link)
+			s.txDone(e.a)
 		case evArrive:
-			s.arrive(e.pkt)
+			s.arrive(e.a)
 		case evPace:
-			snd := &s.snd[e.flow]
+			snd := &s.snd[e.a]
 			snd.paceQd = false
-			s.trySend(e.flow)
+			s.trySend(e.a)
 		case evTimeout:
-			s.timeout(e.flow, e.tok)
+			s.timeout(e.a, e.b)
 		}
 	}
 	if s.left > 0 {
@@ -182,28 +184,101 @@ func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow, cf
 	return res, nil
 }
 
-func (s *sim) initSender(f *workload.Flow) error {
+// reset rebinds a pooled sim to a fresh run, reusing every retained slice
+// whose capacity suffices.
+func (s *sim) reset(t *topo.Topology, flows []workload.Flow, cfg Config, res *Result) {
+	n := len(flows)
+	s.t, s.cfg, s.flows, s.res = t, cfg, flows, res
+	s.now = 0
+	s.left = n
+	if s.rng == nil {
+		s.rng = rng.New(simSeed)
+	} else {
+		*s.rng = *rng.New(simSeed)
+	}
+	s.rto = cfg.RTO
+	if s.rto <= 0 {
+		s.rto = 500 * unit.Microsecond
+	}
+
+	s.links = growTo(s.links, t.NumLinks())
+	for i := range s.links {
+		l := &s.links[i]
+		qbuf := l.q.buf // keep the ring buffer across runs
+		*l = linkState{}
+		l.q.buf = qbuf
+		l.rate = t.Links[i].Rate
+		l.delay = t.Links[i].Delay
+		l.bdp = l.rate.BytesPerSecond() * utilTau.Seconds()
+	}
+
+	s.snd = growTo(s.snd, n)
+	clear(s.snd)
+	s.recvN = growTo(s.recvN, n)
+	clear(s.recvN)
+
+	need := 0
+	for i := range flows {
+		need += len(flows[i].Route)
+	}
+	s.revSlab = growTo(s.revSlab, need)
+	s.revOff = 0
+
+	s.q.reset()
+	s.arena.reset()
+}
+
+// release drops the run-scoped references (caller-owned topology, flows,
+// result, and the senders' route pointers into them) so pooled sims never
+// pin a finished run's memory, then returns the sim to the pool.
+func (s *sim) release() {
+	s.t, s.flows, s.res = nil, nil, nil
+	clear(s.snd)
+	simPool.Put(s)
+}
+
+// growTo returns s resized to n, reusing its backing array when possible.
+func growTo[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+func (s *sim) initSender(f *workload.Flow) {
 	snd := &s.snd[f.ID]
 	snd.route = f.Route
-	snd.rev = s.t.ReverseRoute(f.Route)
+	snd.rev = s.reverseRoute(f.Route)
 	snd.numPkts = int32(unit.Packets(f.Size))
 	last := int64(f.Size) - int64(snd.numPkts-1)*int64(unit.MTU)
 	snd.lastSz = int32(last)
 
-	rates := s.t.RouteRates(f.Route)
-	delays := s.t.RouteDelays(f.Route)
-	bottleneck := rates[0]
-	var rtt unit.Time
-	for i, r := range rates {
-		if r < bottleneck {
-			bottleneck = r
+	// Base RTT, bottleneck, and ideal FCT in one pass over the route,
+	// without materializing rate/delay slices. The arithmetic mirrors
+	// unit.IdealFCT exactly so slowdowns stay bit-identical to
+	// Topology.IdealFCT.
+	links := s.t.Links
+	bottleneck := links[f.Route[0]].Rate
+	var rtt, prop unit.Time
+	for _, id := range f.Route {
+		l := &links[id]
+		if l.Rate < bottleneck {
+			bottleneck = l.Rate
 		}
-		rtt += 2*delays[i] + unit.TxTime(unit.MTU+unit.HeaderBytes, r) +
-			unit.TxTime(unit.HeaderBytes, r)
+		prop += l.Delay
+		rtt += 2*l.Delay + unit.TxTime(unit.MTU+unit.HeaderBytes, l.Rate) +
+			unit.TxTime(unit.HeaderBytes, l.Rate)
 	}
 	snd.baseRTT = rtt
 	snd.bdpWire = bottleneck.BytesPerSecond() * rtt.Seconds()
-	snd.lineRate = float64(rates[0])
+	snd.lineRate = float64(links[f.Route[0]].Rate)
+
+	ideal := prop + unit.TxTime(unit.WireSize(f.Size), bottleneck)
+	lastPayload := f.Size - unit.ByteSize(unit.Packets(f.Size)-1)*unit.MTU
+	for _, id := range f.Route[1:] {
+		ideal += unit.TxTime(lastPayload+unit.HeaderBytes, links[id].Rate)
+	}
+	snd.ideal = ideal
 
 	iw := float64(s.cfg.InitWindow)
 	switch s.cfg.CC {
@@ -225,7 +300,23 @@ func (s *sim) initSender(f *workload.Flow) error {
 		snd.cwnd = math.Max(iw, snd.bdpWire)
 		snd.rate = snd.lineRate
 	}
-	return nil
+}
+
+// reverseRoute carves the next run of the reverse-route slab and fills it
+// with the ACK-direction route, avoiding topo.ReverseRoute's per-flow
+// allocation. Semantics match Topology.ReverseRoute, including the panic on
+// a simplex link.
+func (s *sim) reverseRoute(route []topo.LinkID) []topo.LinkID {
+	rev := s.revSlab[s.revOff : s.revOff+len(route)]
+	s.revOff += len(route)
+	for i, id := range route {
+		r := s.t.Links[id].Reverse
+		if r < 0 {
+			panic(fmt.Sprintf("packetsim: link %d has no reverse", id))
+		}
+		rev[len(route)-1-i] = r
+	}
+	return rev
 }
 
 func (s *sim) startFlow(fid int32) {
@@ -238,7 +329,7 @@ func (s *sim) startFlow(fid int32) {
 func (s *sim) armRTO(fid int32) {
 	snd := &s.snd[fid]
 	snd.rtoToken++
-	s.h.push(event{t: s.now + s.rto, kind: evTimeout, flow: fid, tok: snd.rtoToken})
+	s.q.push(event{t: s.now + s.rto, kind: evTimeout, a: fid, b: snd.rtoToken})
 }
 
 func (s *sim) timeout(fid int32, tok int32) {
@@ -258,7 +349,7 @@ func (s *sim) timeout(fid int32, tok int32) {
 	if s.now < snd.lastProg+rto {
 		// Progress happened since arming; re-arm relative to it.
 		snd.rtoToken++
-		s.h.push(event{t: snd.lastProg + rto, kind: evTimeout, flow: fid, tok: snd.rtoToken})
+		s.q.push(event{t: snd.lastProg + rto, kind: evTimeout, a: fid, b: snd.rtoToken})
 		return
 	}
 	// Go-back-N: rewind to the last cumulative ACK.
@@ -286,16 +377,15 @@ func (s *sim) trySend(fid int32) {
 		if snd.rate > 0 && s.now < snd.paceNext {
 			if !snd.paceQd {
 				snd.paceQd = true
-				s.h.push(event{t: snd.paceNext, kind: evPace, flow: fid})
+				s.q.push(event{t: snd.paceNext, kind: evPace, a: fid})
 			}
 			return
 		}
-		p := packet{
-			flow: fid,
-			seq:  snd.nextSeq,
-			size: snd.pktSize(snd.nextSeq),
-			sent: s.now,
-		}
+		pi, p := s.arena.alloc()
+		p.flow = fid
+		p.seq = snd.nextSeq
+		p.size = snd.pktSize(snd.nextSeq)
+		p.sent = s.now
 		snd.nextSeq++
 		snd.inflight += w
 		snd.lastProg = s.now // sending counts as progress for the RTO
@@ -306,33 +396,36 @@ func (s *sim) trySend(fid int32) {
 			}
 			snd.paceNext = base + unit.FromSeconds(float64(w*8)/snd.rate)
 		}
-		s.enqueue(snd.route[0], p)
+		s.enqueue(snd.route[0], pi)
 	}
 }
 
-// enqueue places p on link id's egress queue (or starts transmitting it).
-func (s *sim) enqueue(id topo.LinkID, p packet) {
+// enqueue places packet pi on link id's egress queue (or starts
+// transmitting it).
+func (s *sim) enqueue(id topo.LinkID, pi int32) {
 	l := &s.links[id]
+	p := s.arena.at(pi)
 	w := int64(p.wire())
 	if !l.busy {
 		l.busy = true
-		l.cur = p
-		s.h.push(event{
+		l.cur = pi
+		s.q.push(event{
 			t:    s.now + unit.TxTime(p.wire(), l.rate),
 			kind: evTxDone,
-			link: int32(id),
+			a:    int32(id),
 		})
 		return
 	}
 	if !s.cfg.PFC && l.qBytes+w > int64(s.cfg.Buffer) {
 		s.res.Drops++
+		s.arena.release(pi)
 		return
 	}
 	if !p.ack {
-		s.markECN(l, &p)
+		s.markECN(l, p)
 	}
 	l.qBytes += w
-	l.q.push(p)
+	l.q.push(pi)
 }
 
 // markECN applies the protocol's marking discipline at enqueue time.
@@ -364,7 +457,8 @@ func (s *sim) markECN(l *linkState, p *packet) {
 
 func (s *sim) txDone(id int32) {
 	l := &s.links[id]
-	p := l.cur
+	pi := l.cur
+	p := s.arena.at(pi)
 	// Utilization telemetry (HPCC INT): EWMA of tx rate plus queue term.
 	dt := s.now - l.lastTx
 	if dt > 0 {
@@ -378,22 +472,24 @@ func (s *sim) txDone(id int32) {
 			p.util = float32(u)
 		}
 	}
-	s.h.push(event{t: s.now + l.delay, kind: evArrive, pkt: p})
+	s.q.push(event{t: s.now + l.delay, kind: evArrive, a: pi})
 	if l.q.len() > 0 {
 		next := l.q.pop()
-		l.qBytes -= int64(next.wire())
+		np := s.arena.at(next)
+		l.qBytes -= int64(np.wire())
 		l.cur = next
-		s.h.push(event{
-			t:    s.now + unit.TxTime(next.wire(), l.rate),
+		s.q.push(event{
+			t:    s.now + unit.TxTime(np.wire(), l.rate),
 			kind: evTxDone,
-			link: id,
+			a:    id,
 		})
 	} else {
 		l.busy = false
 	}
 }
 
-func (s *sim) arrive(p packet) {
+func (s *sim) arrive(pi int32) {
+	p := s.arena.at(pi)
 	snd := &s.snd[p.flow]
 	route := snd.route
 	if p.ack {
@@ -401,38 +497,39 @@ func (s *sim) arrive(p packet) {
 	}
 	if int(p.hop) == len(route)-1 {
 		if p.ack {
-			s.onAck(&p)
+			s.onAck(p)
 		} else {
-			s.deliver(&p)
+			s.deliver(p)
 		}
+		s.arena.release(pi)
 		return
 	}
 	p.hop++
-	s.enqueue(route[p.hop], p)
+	s.enqueue(route[p.hop], pi)
 }
 
-// deliver handles a data packet reaching the destination host.
+// deliver handles a data packet reaching the destination host. p is
+// invalidated by the ACK allocation, so its fields are read first.
 func (s *sim) deliver(p *packet) {
 	fid := p.flow
-	if p.seq == s.recvN[fid] {
+	seq, ecn, util, sent := p.seq, p.ecn, p.util, p.sent
+	if seq == s.recvN[fid] {
 		s.recvN[fid]++
 		if s.recvN[fid] == s.snd[fid].numPkts {
 			f := &s.flows[fid]
 			fct := s.now - f.Arrival
 			s.res.FCT[fid] = fct
-			ideal := s.t.IdealFCT(f.Size, f.Route)
-			s.res.Slowdown[fid] = float64(fct) / float64(ideal)
+			s.res.Slowdown[fid] = float64(fct) / float64(s.snd[fid].ideal)
 			s.left--
 		}
 	}
 	// Cumulative ACK (also duplicate ACK on out-of-order).
-	ack := packet{
-		flow: fid,
-		seq:  s.recvN[fid],
-		ack:  true,
-		ecn:  p.ecn,
-		util: p.util,
-		sent: p.sent,
-	}
-	s.enqueue(s.snd[fid].rev[0], ack)
+	ai, ack := s.arena.alloc()
+	ack.flow = fid
+	ack.seq = s.recvN[fid]
+	ack.ack = true
+	ack.ecn = ecn
+	ack.util = util
+	ack.sent = sent
+	s.enqueue(s.snd[fid].rev[0], ai)
 }

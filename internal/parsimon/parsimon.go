@@ -13,11 +13,13 @@
 package parsimon
 
 import (
+	"context"
 	"fmt"
-	"runtime"
+	"sort"
 	"sync"
 
 	"m3/internal/packetsim"
+	"m3/internal/pool"
 	"m3/internal/topo"
 	"m3/internal/unit"
 	"m3/internal/workload"
@@ -32,8 +34,19 @@ type Result struct {
 }
 
 // Run executes the link-level decomposition with the given parallelism
-// (workers <= 0 uses GOMAXPROCS).
-func Run(t *topo.Topology, flows []workload.Flow, cfg packetsim.Config, workers int) (*Result, error) {
+// (workers <= 0 uses GOMAXPROCS), aborting early with ctx.Err() on
+// cancellation. Callers that already hold a worker pool should use
+// RunWithPool instead of paying for a throwaway one.
+func Run(ctx context.Context, t *topo.Topology, flows []workload.Flow, cfg packetsim.Config, workers int) (*Result, error) {
+	p := pool.New(workers)
+	defer p.Close()
+	return RunWithPool(ctx, t, flows, cfg, p)
+}
+
+// RunWithPool is Run scheduling its per-link simulations on the caller's
+// pool, so Parsimon fan-out shares cores with every other ground-truth
+// producer in the process instead of oversubscribing them.
+func RunWithPool(ctx context.Context, t *topo.Topology, flows []workload.Flow, cfg packetsim.Config, p *pool.Pool) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -51,11 +64,9 @@ func Run(t *topo.Topology, flows []workload.Flow, cfg packetsim.Config, workers 
 			return nil, fmt.Errorf("parsimon: flow %d has no route", f.ID)
 		}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 
-	// Group flows by link.
+	// Group flows by link; sort the links so task order (and thus error
+	// selection under cancellation) is deterministic.
 	linkFlows := make(map[topo.LinkID][]workload.FlowID)
 	for i := range flows {
 		for _, l := range flows[i].Route {
@@ -66,34 +77,27 @@ func Run(t *topo.Topology, flows []workload.Flow, cfg packetsim.Config, workers 
 	for l := range linkFlows {
 		links = append(links, l)
 	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
 
-	// delays[flow] accumulates per-link extra delay.
+	// delays[flow] accumulates per-link extra delay. Addition commutes, so
+	// the pool's completion order cannot perturb the result.
 	delays := make([]unit.Time, n)
 	var mu sync.Mutex
-	errs := make(chan error, len(links))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for _, l := range links {
-		wg.Add(1)
-		go func(l topo.LinkID) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			extra, err := simulateLink(t, flows, linkFlows[l], l, cfg)
-			if err != nil {
-				errs <- fmt.Errorf("parsimon: link %d: %w", l, err)
-				return
-			}
-			mu.Lock()
-			for id, d := range extra {
-				delays[id] += d
-			}
-			mu.Unlock()
-		}(l)
-	}
-	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
+	err := p.Run(ctx, len(links), func(ctx context.Context, i int) error {
+		l := links[i]
+		ids := linkFlows[l]
+		extra, err := simulateLink(ctx, t, flows, ids, l, cfg)
+		if err != nil {
+			return fmt.Errorf("parsimon: link %d: %w", l, err)
+		}
+		mu.Lock()
+		for j, id := range ids {
+			delays[id] += extra[j]
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 
@@ -110,9 +114,9 @@ func Run(t *topo.Topology, flows []workload.Flow, cfg packetsim.Config, workers 
 
 // simulateLink builds the single-link topology for l, runs the packet
 // simulator, and returns each flow's delay beyond its ideal FCT on that
-// link-level topology.
-func simulateLink(t *topo.Topology, flows []workload.Flow, ids []workload.FlowID,
-	l topo.LinkID, cfg packetsim.Config) (map[workload.FlowID]unit.Time, error) {
+// link-level topology, aligned index-for-index with ids.
+func simulateLink(ctx context.Context, t *topo.Topology, flows []workload.Flow,
+	ids []workload.FlowID, l topo.LinkID, cfg packetsim.Config) ([]unit.Time, error) {
 
 	link := t.Link(l)
 	lot, err := topo.NewParkingLot([]unit.Rate{link.Rate}, []unit.Time{link.Delay})
@@ -134,18 +138,18 @@ func simulateLink(t *topo.Topology, flows []workload.Flow, ids []workload.FlowID
 			Size: f.Size, Arrival: f.Arrival, Route: route,
 		})
 	}
-	res, err := packetsim.Run(lot.Topology, local, cfg)
+	res, err := packetsim.RunContext(ctx, lot.Topology, local, cfg)
 	if err != nil {
 		return nil, err
 	}
-	extra := make(map[workload.FlowID]unit.Time, len(ids))
-	for i, id := range ids {
+	extra := make([]unit.Time, len(ids))
+	for i := range ids {
 		ideal := lot.IdealFCT(local[i].Size, local[i].Route)
 		d := res.FCT[i] - ideal
 		if d < 0 {
 			d = 0
 		}
-		extra[id] = d
+		extra[i] = d
 	}
 	return extra, nil
 }

@@ -1,8 +1,11 @@
 package parsimon
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"m3/internal/packetsim"
 	"m3/internal/rng"
@@ -32,7 +35,7 @@ func genWorkload(t *testing.T, n int, load float64, seed uint64) (*topo.FatTree,
 
 func TestRunBasics(t *testing.T) {
 	ft, flows := genWorkload(t, 400, 0.4, 1)
-	res, err := Run(ft.Topology, flows, packetsim.DefaultConfig(), 4)
+	res, err := Run(context.Background(), ft.Topology, flows, packetsim.DefaultConfig(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +63,7 @@ func TestParsimonOverestimatesVsGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := Run(ft.Topology, flows, cfg, 0)
+	est, err := Run(context.Background(), ft.Topology, flows, cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +86,11 @@ func TestParsimonOverestimatesVsGroundTruth(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	ft, flows := genWorkload(t, 200, 0.4, 3)
 	cfg := packetsim.DefaultConfig()
-	a, err := Run(ft.Topology, flows, cfg, 4)
+	a, err := Run(context.Background(), ft.Topology, flows, cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(ft.Topology, flows, cfg, 2) // different parallelism
+	b, err := Run(context.Background(), ft.Topology, flows, cfg, 2) // different parallelism
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +112,7 @@ func TestSingleFlowNearIdeal(t *testing.T) {
 		t.Fatal(err)
 	}
 	flows := []workload.Flow{{ID: 0, Src: src, Dst: dst, Size: 10 * unit.KB, Route: route}}
-	res, err := Run(ft.Topology, flows, packetsim.DefaultConfig(), 1)
+	res, err := Run(context.Background(), ft.Topology, flows, packetsim.DefaultConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,19 +124,53 @@ func TestSingleFlowNearIdeal(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	ft, _ := genWorkload(t, 10, 0.4, 5)
 	cfg := packetsim.DefaultConfig()
-	if _, err := Run(ft.Topology, []workload.Flow{{ID: 4}}, cfg, 1); err == nil {
+	if _, err := Run(context.Background(), ft.Topology, []workload.Flow{{ID: 4}}, cfg, 1); err == nil {
 		t.Error("out-of-range ID accepted")
 	}
-	if _, err := Run(ft.Topology, []workload.Flow{{ID: 0}}, cfg, 1); err == nil {
+	if _, err := Run(context.Background(), ft.Topology, []workload.Flow{{ID: 0}}, cfg, 1); err == nil {
 		t.Error("routeless flow accepted")
 	}
-	res, err := Run(ft.Topology, nil, cfg, 1)
+	res, err := Run(context.Background(), ft.Topology, nil, cfg, 1)
 	if err != nil || len(res.FCT) != 0 {
 		t.Error("empty input should succeed")
 	}
 	bad := cfg
 	bad.InitWindow = 0
-	if _, err := Run(ft.Topology, nil, bad, 1); err == nil {
+	if _, err := Run(context.Background(), ft.Topology, nil, bad, 1); err == nil {
 		t.Error("invalid config accepted")
+	}
+}
+
+// TestRunCancelled checks that a cancelled context aborts the per-link
+// fan-out with ctx.Err() instead of a partial result.
+func TestRunCancelled(t *testing.T) {
+	ft, flows := genWorkload(t, 400, 0.4, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, ft.Topology, flows, packetsim.DefaultConfig(), 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("got a result from a cancelled run")
+	}
+}
+
+// TestRunCancelPrompt cancels shortly after the fan-out starts and checks
+// Run returns well before the full workload would have finished.
+func TestRunCancelPrompt(t *testing.T) {
+	ft, flows := genWorkload(t, 4000, 0.7, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err := Run(ctx, ft.Topology, flows, packetsim.DefaultConfig(), 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", d)
 	}
 }

@@ -1,0 +1,81 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAllIndices(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var seen [100]int32
+	if err := p.Run(context.Background(), len(seen), func(ctx context.Context, i int) error {
+		atomic.AddInt32(&seen[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestRunFirstErrorCancels(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	boom := errors.New("boom")
+	var started int32
+	err := p.Run(context.Background(), 1000, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := atomic.LoadInt32(&started); n == 1000 {
+		t.Fatal("error did not stop submission of remaining indices")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.Run(ctx, 100, func(ctx context.Context, i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCancelPrompt(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	err := p.Run(ctx, 1<<20, func(ctx context.Context, i int) error {
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", d)
+	}
+}

@@ -29,7 +29,7 @@ func testSession(t *testing.T) (*Session, *topo.FatTree) {
 	dc.Scenarios = 8
 	dc.Workers = 8
 	dc.CCs = []packetsim.CCType{packetsim.DCTCP}
-	samples, err := model.Generate(dc)
+	samples, err := model.Generate(context.Background(), dc)
 	if err != nil {
 		t.Fatal(err)
 	}

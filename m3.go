@@ -24,6 +24,8 @@
 package m3
 
 import (
+	"context"
+
 	"m3/internal/core"
 	"m3/internal/model"
 	"m3/internal/packetsim"
@@ -163,13 +165,14 @@ func DefaultDataConfig() DataConfig { return model.DefaultDataConfig() }
 func DefaultTrainOptions() TrainOptions { return model.DefaultTrainOptions() }
 
 // TrainModel generates a synthetic Table 2 dataset and trains a fresh model
-// on it, returning the trained network.
-func TrainModel(mc ModelConfig, dc DataConfig, opt TrainOptions) (*Model, error) {
+// on it, returning the trained network. Cancelling ctx aborts the parallel
+// ground-truth generation promptly.
+func TrainModel(ctx context.Context, mc ModelConfig, dc DataConfig, opt TrainOptions) (*Model, error) {
 	net, err := model.New(mc)
 	if err != nil {
 		return nil, err
 	}
-	samples, err := model.Generate(dc)
+	samples, err := model.Generate(ctx, dc)
 	if err != nil {
 		return nil, err
 	}
@@ -225,13 +228,15 @@ func NewSession(t *Topology, flows []Flow, net *Model, cfg NetConfig) (*Session,
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // GroundTruth runs the full-network packet-level simulation (ns-3 stand-in).
-func GroundTruth(t *Topology, flows []Flow, cfg NetConfig) (*GroundTruthResult, error) {
-	return core.RunGroundTruth(t, flows, cfg)
+// Cancelling ctx aborts the run promptly with ctx.Err().
+func GroundTruth(ctx context.Context, t *Topology, flows []Flow, cfg NetConfig) (*GroundTruthResult, error) {
+	return core.RunGroundTruth(ctx, t, flows, cfg)
 }
 
-// Parsimon runs the link-level decomposition baseline.
-func Parsimon(t *Topology, flows []Flow, cfg NetConfig, workers int) (*ParsimonResult, error) {
-	return parsimon.Run(t, flows, cfg, workers)
+// Parsimon runs the link-level decomposition baseline. Per-link simulations
+// fan out over a worker pool; cancelling ctx stops the fan-out promptly.
+func Parsimon(ctx context.Context, t *Topology, flows []Flow, cfg NetConfig, workers int) (*ParsimonResult, error) {
+	return parsimon.Run(ctx, t, flows, cfg, workers)
 }
 
 // Matrix builds traffic matrix "A", "B", "C", or "uniform" for the given

@@ -21,7 +21,7 @@ func trainTinyModel(t *testing.T) *Model {
 	dc.CCs = []CCType{DCTCP}
 	opt := DefaultTrainOptions()
 	opt.Epochs = 3
-	net, err := TrainModel(mc, dc, opt)
+	net, err := TrainModel(context.Background(), mc, dc, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestPublicAPIPipeline(t *testing.T) {
 		t.Errorf("p99 = %v", p99)
 	}
 
-	gt, err := GroundTruth(ft.Topology, flows, DefaultNetConfig())
+	gt, err := GroundTruth(context.Background(), ft.Topology, flows, DefaultNetConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestPublicAPIPipeline(t *testing.T) {
 		t.Errorf("ground truth p99 = %v", gt.P99())
 	}
 
-	ps, err := Parsimon(ft.Topology, flows, DefaultNetConfig(), 0)
+	ps, err := Parsimon(context.Background(), ft.Topology, flows, DefaultNetConfig(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

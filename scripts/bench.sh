@@ -1,21 +1,23 @@
 #!/usr/bin/env bash
-# Inference hot-path benchmark workflow: runs the Predict-stage
-# micro-benchmarks (per-sample inference, batched inference, and the
-# end-to-end estimate with its per-stage attribution) and records the
-# results in BENCH_pr3.json next to the frozen pre-batching baseline, so
-# regressions in ns/op or allocs/op are visible in review diffs.
+# Simulator hot-path benchmark workflow: runs the ground-truth engine
+# benchmarks (the packet simulator itself, the Parsimon per-link fan-out,
+# and training-set generation) and records the results in BENCH_pr4.json
+# next to the frozen pre-calendar-queue baseline, so regressions in ns/op
+# or allocs/op are visible in review diffs. BENCH_pr3.json holds the
+# inference-stage record from the batching PR and is not rewritten here.
 #
 # Usage:
-#   scripts/bench.sh          full run, rewrites BENCH_pr3.json
+#   scripts/bench.sh          full run, rewrites BENCH_pr4.json
 #   scripts/bench.sh -short   one-iteration smoke run (scripts/check.sh),
 #                             writes nothing
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkModelInference|BenchmarkModelInferenceBatch|BenchmarkEstimateEndToEnd)$'
+BENCHES='^(BenchmarkPacketsim|BenchmarkParsimon|BenchmarkDatasetGen)$'
+SMOKE='^(BenchmarkPacketsim|BenchmarkParsimon|BenchmarkDatasetGen|BenchmarkModelInference|BenchmarkModelInferenceBatch|BenchmarkEstimateEndToEnd)$'
 
 if [[ "${1:-}" == "-short" ]]; then
-    go test -run '^$' -bench "$BENCHES" -benchtime=1x -benchmem .
+    go test -run '^$' -bench "$SMOKE" -benchtime=1x -benchmem .
     exit 0
 fi
 
@@ -25,18 +27,21 @@ echo "$out"
 BENCH_OUT="$out" python3 - <<'EOF'
 import json, os, re
 
-# Pre-change baseline, measured at commit 6df6321 (per-sample Net.Predict
-# in the estimator's per-path loop, no tensor batching, same benchmarks at
-# the same scale on the same machine class). Frozen so the post-change
-# numbers below always have a comparison point.
+# Pre-change baseline, measured at commit 48f1db2 (binary-heap event queue,
+# heap-allocated events and packets, per-run simulator state allocated
+# fresh, ad-hoc goroutine fan-outs; same benchmarks at the same scale on
+# the same machine class). Frozen so the post-change numbers below always
+# have a comparison point.
 baseline = {
-    "commit": "6df6321",
-    "BenchmarkModelInference": {
-        "ns_per_op": 266071, "bytes_per_op": 47616, "allocs_per_op": 124,
+    "commit": "48f1db2",
+    "BenchmarkPacketsim": {
+        "ns_per_op": 92149780, "bytes_per_op": 3600901, "allocs_per_op": 25677,
     },
-    "BenchmarkEstimateEndToEnd": {
-        "ns_per_op": 248865864, "bytes_per_op": 149555331, "allocs_per_op": 668666,
-        "predict_stage_ns_per_op": 51377802, "pathsim_stage_ns_per_op": 49719151,
+    "BenchmarkParsimon": {
+        "ns_per_op": 121342750, "bytes_per_op": 25775164, "allocs_per_op": 168831,
+    },
+    "BenchmarkDatasetGen": {
+        "ns_per_op": 1720586446, "bytes_per_op": 31408795, "allocs_per_op": 262513,
     },
 }
 
@@ -52,41 +57,39 @@ for line in os.environ["BENCH_OUT"].splitlines():
             "ns/op": "ns_per_op",
             "B/op": "bytes_per_op",
             "allocs/op": "allocs_per_op",
-            "ns/sample": "ns_per_sample",
-            "predict-ns/op": "predict_stage_ns_per_op",
-            "pathsim-ns/op": "pathsim_stage_ns_per_op",
-            "predict-%": "predict_stage_percent",
+            "flows/s": "flows_per_sec",
         }.get(unit)
         if key:
             row[key] = float(val) if "." in val else int(float(val))
 
 doc = {
-    "description": "Predict-stage hot-path benchmarks: per-sample vs "
-                   "batched tensor inference, and the end-to-end estimate "
-                   "with per-stage CPU attribution. Regenerate with "
+    "description": "Ground-truth engine benchmarks: the packet-level "
+                   "simulator (calendar queue + pooled run state), the "
+                   "Parsimon per-link fan-out on the shared worker pool, "
+                   "and training-set generation. Regenerate with "
                    "scripts/bench.sh.",
-    "baseline_prebatching": baseline,
+    "baseline_preoverhaul": baseline,
     "current": current,
 }
-mi = current.get("BenchmarkModelInference")
-mb = current.get("BenchmarkModelInferenceBatch")
-eb = current.get("BenchmarkEstimateEndToEnd")
-if mi and eb:
-    doc["summary"] = {
-        "predict_ns_per_op_speedup": round(
-            baseline["BenchmarkEstimateEndToEnd"]["predict_stage_ns_per_op"]
-            / eb["predict_stage_ns_per_op"], 3),
-        "estimate_allocs_per_op_ratio": round(
-            eb["allocs_per_op"]
-            / baseline["BenchmarkEstimateEndToEnd"]["allocs_per_op"], 3),
-    }
-    if mb:
-        # Same-run comparison of the two inference paths — immune to
-        # machine drift between baseline and current runs.
-        doc["summary"]["batch_vs_single_ns_per_sample_speedup"] = round(
-            mi["ns_per_op"] / mb["ns_per_sample"], 3)
-with open("BENCH_pr3.json", "w") as f:
+summary = {}
+for name, ratio_key in [
+    ("BenchmarkPacketsim", "packetsim_ns_per_op_speedup"),
+    ("BenchmarkParsimon", "parsimon_ns_per_op_speedup"),
+    ("BenchmarkDatasetGen", "datasetgen_ns_per_op_speedup"),
+]:
+    cur = current.get(name)
+    if cur and "ns_per_op" in cur:
+        summary[ratio_key] = round(
+            baseline[name]["ns_per_op"] / cur["ns_per_op"], 3)
+ps = current.get("BenchmarkPacketsim")
+if ps and "allocs_per_op" in ps:
+    summary["packetsim_allocs_per_op"] = ps["allocs_per_op"]
+    summary["packetsim_allocs_per_op_baseline"] = \
+        baseline["BenchmarkPacketsim"]["allocs_per_op"]
+if summary:
+    doc["summary"] = summary
+with open("BENCH_pr4.json", "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
-print("wrote BENCH_pr3.json")
+print("wrote BENCH_pr4.json")
 EOF

@@ -21,6 +21,12 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== packetsim determinism =="
+# Golden-parity and pool-reuse tests pin the engine to the frozen
+# bit-identical result hashes; -count=2 reruns them in one process so any
+# state leaking through the sync.Pool between runs fails the second pass.
+go test -run 'TestEngineGoldenParity|TestRunDeterministic' -count=2 ./internal/packetsim/
+
 echo "== bench smoke (-short) =="
 scripts/bench.sh -short
 
