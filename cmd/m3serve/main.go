@@ -36,6 +36,10 @@ func main() {
 	workers := flag.Int("workers", 0, "shared path-simulation workers (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 64, "finished-estimate LRU capacity")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	maxInflight := flag.Int("max-inflight", 0,
+		"estimation requests admitted concurrently before shedding with 429 (0 = 4x workers, <0 = unlimited)")
+	estimateTimeout := flag.Duration("estimate-timeout", 0,
+		"per-estimate deadline (0 = serve default)")
 	flag.Parse()
 
 	if *checkpoint == "" {
@@ -46,10 +50,12 @@ func main() {
 		fatal(err)
 	}
 	srv, err := serve.New(serve.Options{
-		Net:            net,
-		CheckpointPath: *checkpoint,
-		Workers:        *workers,
-		CacheSize:      *cacheSize,
+		Net:             net,
+		CheckpointPath:  *checkpoint,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		MaxInflight:     *maxInflight,
+		EstimateTimeout: *estimateTimeout,
 	})
 	if err != nil {
 		fatal(err)
@@ -80,11 +86,13 @@ func main() {
 	case err := <-done:
 		fatal(err)
 	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "m3serve: %v, draining (budget %v)\n", sig, *drain)
+		fmt.Fprintf(os.Stderr, "m3serve: %v, draining %d in-flight requests (budget %v)\n",
+			sig, srv.Inflight(), *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "m3serve: drain incomplete: %v\n", err)
+			fmt.Fprintf(os.Stderr, "m3serve: drain incomplete, %d requests abandoned: %v\n",
+				srv.Inflight(), err)
 		}
 		srv.Close()
 	}

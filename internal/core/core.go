@@ -13,10 +13,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
 	"m3/internal/agg"
+	"m3/internal/faultinject"
 	"m3/internal/feature"
 	"m3/internal/model"
 	"m3/internal/packetsim"
@@ -78,6 +80,7 @@ type Estimator struct {
 	batchSize int
 	pool      *Pool
 	decomp    *pathsim.Decomposition
+	fallback  bool
 }
 
 // Option configures an Estimator at construction.
@@ -106,6 +109,14 @@ func WithBatchSize(n int) Option { return func(e *Estimator) { e.batchSize = n }
 // estimates divide the cores instead of oversubscribing them. Without it,
 // Estimate spins up a transient pool per call.
 func WithPool(p *Pool) Option { return func(e *Estimator) { e.pool = p } }
+
+// WithFlowSimFallback enables graceful degradation for MethodML: when the
+// model is missing, fails to predict, or emits non-finite slowdowns, the
+// affected paths fall back to the raw flowSim estimate instead of failing the
+// whole run. The result carries Degraded/DegradedPaths so callers can see the
+// answer is the weaker no-ML estimate (Fig. 16's ablation), not full m3.
+// Off by default: library callers get hard errors; the serving layer opts in.
+func WithFlowSimFallback(on bool) Option { return func(e *Estimator) { e.fallback = on } }
 
 // WithDecomposition supplies a precomputed decomposition, which must be of
 // exactly the (topology, flows) passed to Estimate; the decompose stage is
@@ -156,6 +167,11 @@ type Estimate struct {
 	Elapsed time.Duration
 	// Stages attributes the cost to pipeline stages.
 	Stages StageTimings
+	// Degraded reports that at least one path fell back from the ML
+	// correction to the raw flowSim estimate (see WithFlowSimFallback).
+	Degraded bool
+	// DegradedPaths counts the distinct paths that fell back.
+	DegradedPaths int
 }
 
 // P99PerBucket returns the estimated p99 slowdown for the four output size
@@ -180,8 +196,15 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 	flows []workload.Flow, cfg packetsim.Config) (*Estimate, error) {
 
 	start := time.Now()
-	if e.method == MethodML && e.net == nil {
-		return nil, fmt.Errorf("core: MethodML requires a trained model")
+	method := e.method
+	wholeDegraded := false
+	if method == MethodML && e.net == nil {
+		if !e.fallback {
+			return nil, fmt.Errorf("core: MethodML requires a trained model")
+		}
+		// No model at all: the entire run degrades to the flowSim backend.
+		method = MethodFlowSim
+		wholeDegraded = true
 	}
 	if e.numPaths <= 0 {
 		return nil, fmt.Errorf("core: NumPaths must be positive")
@@ -192,6 +215,12 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 	var st StageTimings
 	d := e.decomp
 	if d == nil {
+		// An injected decomposition was validated when it was built; a raw
+		// (topology, flows) pair gets the full structural gate here, before
+		// any simulator code can trip over it.
+		if err := (workload.Workload{Topo: t, Flows: flows}).Validate(); err != nil {
+			return nil, err
+		}
 		var err error
 		d, err = pathsim.Decompose(t, flows)
 		if err != nil {
@@ -218,11 +247,13 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 	}
 	outs := make([]agg.PathOutput, len(distinct))
 	var pathSimNs, predictNs atomic.Int64
-	if e.method == MethodML {
-		err = e.estimateMLBatched(ctx, pool, d, distinct, mult, cfg, outs, &pathSimNs, &predictNs)
+	var degraded atomic.Int64
+	if method == MethodML {
+		err = e.estimateMLBatched(ctx, pool, d, distinct, mult, cfg, outs, &pathSimNs, &predictNs, &degraded)
 	} else {
 		err = pool.Run(ctx, len(distinct), func(ctx context.Context, i int) error {
-			out, err := e.estimatePath(ctx, d, &d.Paths[distinct[i]], mult[i], cfg, &pathSimNs)
+			faultinject.At("core.path", distinct[i])
+			out, err := e.estimatePath(ctx, d, &d.Paths[distinct[i]], mult[i], cfg, method, &pathSimNs)
 			if err != nil {
 				return fmt.Errorf("core: path %d: %w", distinct[i], err)
 			}
@@ -242,12 +273,18 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 		return nil, err
 	}
 	st.Aggregate = time.Since(aggStart)
+	degradedPaths := int(degraded.Load())
+	if wholeDegraded {
+		degradedPaths = len(distinct)
+	}
 	return &Estimate{
 		Agg:           a,
 		DistinctPaths: len(distinct),
 		TotalPaths:    len(d.Paths),
 		Elapsed:       time.Since(start),
 		Stages:        st,
+		Degraded:      degradedPaths > 0,
+		DegradedPaths: degradedPaths,
 	}, nil
 }
 
@@ -261,10 +298,23 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 // scratch.
 func (e *Estimator) estimateMLBatched(ctx context.Context, pool *Pool,
 	d *pathsim.Decomposition, distinct, mult []int, cfg packetsim.Config,
-	outs []agg.PathOutput, pathSimNs, predictNs *atomic.Int64) error {
+	outs []agg.PathOutput, pathSimNs, predictNs, degraded *atomic.Int64) error {
 
 	samples := make([]*model.Sample, len(distinct))
+	// With fallback enabled, the featurize stage retains each path's raw
+	// flowSim slowdowns (slices RunFlowSimContext already allocated) so a
+	// failed or non-finite prediction can be bucketized per-path without
+	// re-simulating. The happy path pays only the two slice stores —
+	// bucketizing happens lazily, at failure time. When fallback is off the
+	// slices stay nil and this stage is unchanged.
+	var fbSizes [][]unit.ByteSize
+	var fbSldn [][]float64
+	if e.fallback {
+		fbSizes = make([][]unit.ByteSize, len(distinct))
+		fbSldn = make([][]float64, len(distinct))
+	}
 	err := pool.Run(ctx, len(distinct), func(ctx context.Context, i int) error {
+		faultinject.At("core.path", distinct[i])
 		p := &d.Paths[distinct[i]]
 		sc, err := d.Scenario(p)
 		if err != nil {
@@ -283,6 +333,9 @@ func (e *Estimator) estimateMLBatched(ctx context.Context, pool *Pool,
 			Counts: feature.BucketCounts(fs.Fg.Sizes, feature.OutputBucketBounds),
 			Mult:   mult[i],
 		}
+		if fbSizes != nil {
+			fbSizes[i], fbSldn[i] = fs.Fg.Sizes, fs.Fg.Slowdown
+		}
 		return nil
 	})
 	if err != nil {
@@ -300,9 +353,26 @@ func (e *Estimator) estimateMLBatched(ctx context.Context, pool *Pool,
 		preds, err := e.net.PredictBatch(samples[lo:hi])
 		predictNs.Add(int64(time.Since(predStart)))
 		if err != nil {
-			return fmt.Errorf("core: predict batch %d: %w", bi, err)
+			if fbSizes == nil {
+				return fmt.Errorf("core: predict batch %d: %w", bi, err)
+			}
+			// The model refused the whole batch; serve its paths from the
+			// flowSim estimates instead of failing the run.
+			for j := lo; j < hi; j++ {
+				outs[j] = outputFromSamples(fbSizes[j], fbSldn[j], mult[j])
+				samples[j] = nil
+			}
+			degraded.Add(int64(hi - lo))
+			return nil
 		}
+		faultinject.At("core.predict", preds)
 		for j, pred := range preds {
+			if fbSizes != nil && !finiteSlice(pred) {
+				outs[lo+j] = outputFromSamples(fbSizes[lo+j], fbSldn[lo+j], mult[lo+j])
+				samples[lo+j] = nil
+				degraded.Add(1)
+				continue
+			}
 			out := &outs[lo+j]
 			out.Buckets = make([][]float64, feature.NumOutputBuckets)
 			for b := 0; b < feature.NumOutputBuckets; b++ {
@@ -316,10 +386,22 @@ func (e *Estimator) estimateMLBatched(ctx context.Context, pool *Pool,
 	})
 }
 
+// finiteSlice reports whether every value is a usable slowdown — Predict
+// clamps below-1 outputs but NaN and Inf pass through a broken model
+// untouched, so they are the degradation signal.
+func finiteSlice(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // estimatePath produces one sampled path's bucketed percentile vectors for
 // the model-free backends, accumulating backend time into the stage counter.
 func (e *Estimator) estimatePath(ctx context.Context, d *pathsim.Decomposition,
-	p *pathsim.Path, mult int, cfg packetsim.Config,
+	p *pathsim.Path, mult int, cfg packetsim.Config, method Method,
 	pathSimNs *atomic.Int64) (agg.PathOutput, error) {
 
 	sc, err := d.Scenario(p)
@@ -327,7 +409,7 @@ func (e *Estimator) estimatePath(ctx context.Context, d *pathsim.Decomposition,
 		return agg.PathOutput{}, err
 	}
 	simStart := time.Now()
-	switch e.method {
+	switch method {
 	case MethodNS3Path:
 		fg, err := sc.RunPacketContext(ctx, cfg)
 		pathSimNs.Add(int64(time.Since(simStart)))
@@ -343,7 +425,7 @@ func (e *Estimator) estimatePath(ctx context.Context, d *pathsim.Decomposition,
 		}
 		return outputFromSamples(fs.Fg.Sizes, fs.Fg.Slowdown, mult), nil
 	}
-	return agg.PathOutput{}, fmt.Errorf("core: unknown method %v", e.method)
+	return agg.PathOutput{}, fmt.Errorf("core: unknown method %v", method)
 }
 
 // outputFromSamples bucketizes raw per-flow slowdowns into a PathOutput.

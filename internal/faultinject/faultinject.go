@@ -1,0 +1,66 @@
+// Package faultinject provides test-only failure hooks for the estimation
+// stack. Production code calls At at a handful of named injection points; in
+// normal operation the call is a single atomic load and a branch. Tests
+// install hooks with Set to force panics mid-simulation, slow a path sim
+// down, or corrupt checkpoint bytes in flight, proving the fault-tolerance
+// layer isolates each failure instead of taking the process down.
+//
+// Injection points currently wired:
+//
+//	core.path      per sampled path, before its simulation (detail: path index int)
+//	core.predict   after each ML micro-batch (detail: [][]float64 predictions,
+//	               mutable — tests poison them with NaN/Inf)
+//	model.load     before checkpoint CRC verification (detail: *[]byte payload,
+//	               mutable — tests corrupt it to exercise integrity checks)
+//	serve.estimate per estimate request, before admission (detail: nil)
+//
+// Hooks are process-global; tests must Clear them when done (use
+// t.Cleanup(faultinject.Clear)) and must not run in parallel with other
+// tests that install hooks.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	armed atomic.Bool
+	mu    sync.Mutex
+	hooks map[string]func(detail any)
+)
+
+// Set installs fn at the named injection point, replacing any previous hook
+// there. The hook may sleep, mutate detail, or panic, depending on the fault
+// being modeled.
+func Set(point string, fn func(detail any)) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks == nil {
+		hooks = make(map[string]func(any))
+	}
+	hooks[point] = fn
+	armed.Store(true)
+}
+
+// Clear removes every installed hook, returning At to its zero-cost path.
+func Clear() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = nil
+	armed.Store(false)
+}
+
+// At fires the hook installed at point, if any. When no hooks are installed
+// anywhere (the production state) it costs one atomic load.
+func At(point string, detail any) {
+	if !armed.Load() {
+		return
+	}
+	mu.Lock()
+	fn := hooks[point]
+	mu.Unlock()
+	if fn != nil {
+		fn(detail)
+	}
+}

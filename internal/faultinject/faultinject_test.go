@@ -1,0 +1,68 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHookFires(t *testing.T) {
+	t.Cleanup(Clear)
+	var got any
+	Set("x", func(detail any) { got = detail })
+	At("x", 42)
+	if got != 42 {
+		t.Errorf("detail = %v, want 42", got)
+	}
+	At("other", 1) // no hook at this point: no-op
+}
+
+func TestHookClearDisarms(t *testing.T) {
+	fired := false
+	Set("x", func(any) { fired = true })
+	Clear()
+	At("x", nil)
+	if fired {
+		t.Error("hook fired after Clear")
+	}
+}
+
+func TestHookSetReplaces(t *testing.T) {
+	t.Cleanup(Clear)
+	calls := 0
+	Set("x", func(any) { calls += 100 })
+	Set("x", func(any) { calls++ })
+	At("x", nil)
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (second hook only)", calls)
+	}
+}
+
+// TestHookConcurrent checks the fast path and hook dispatch race-free against
+// Set/Clear (run under -race in scripts/check.sh).
+func TestHookConcurrent(t *testing.T) {
+	t.Cleanup(Clear)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					At("x", nil)
+				}
+			}
+		}()
+	}
+	var n int64
+	var mu sync.Mutex
+	for i := 0; i < 1000; i++ {
+		Set("x", func(any) { mu.Lock(); n++; mu.Unlock() })
+		Clear()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,20 +1,60 @@
 package model
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
+
+	"m3/internal/faultinject"
 )
 
-// checkpoint is the gob wire format: the architecture config plus weights
-// keyed by parameter name.
+// Checkpoint wire format v2: a fixed header followed by the gob payload.
+//
+//	[4]byte  magic "m3cp"
+//	uint32   format version (little-endian)
+//	uint32   CRC-32C (Castagnoli) of the payload
+//	uint64   payload length in bytes
+//	[]byte   gob-encoded checkpoint struct
+//
+// The CRC catches torn writes and bit rot before the gob decoder sees the
+// bytes; the version gates future format changes; the explicit length
+// detects truncation. Files written before the header existed (bare gob)
+// are still readable — Load sniffs the magic and falls back.
+const (
+	ckptMagic   = "m3cp"
+	ckptVersion = 2
+	// ckptMaxPayload bounds the decoded payload so a corrupt length field
+	// cannot drive a multi-gigabyte allocation.
+	ckptMaxPayload = 1 << 30
+)
+
+var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports a checkpoint that failed an integrity check: bad CRC,
+// truncated payload, absurd length, or non-finite weights. Callers (the
+// serving layer's reload endpoint) use it to distinguish a damaged artifact
+// (422) from an operational error.
+type CorruptError struct{ Reason string }
+
+// Error implements the error interface.
+func (e *CorruptError) Error() string { return "model: corrupt checkpoint: " + e.Reason }
+
+// checkpoint is the gob payload: the architecture config plus weights keyed
+// by parameter name.
 type checkpoint struct {
 	Cfg     Config
 	Weights map[string][]float64
 }
 
-// Save writes the network (architecture + weights) to w.
+// Save writes the network (architecture + weights) to w in the versioned,
+// CRC-protected format.
 func (n *Net) Save(w io.Writer) error {
 	ck := checkpoint{Cfg: n.Cfg, Weights: make(map[string][]float64, len(n.params))}
 	for _, p := range n.params {
@@ -23,11 +63,65 @@ func (n *Net) Save(w io.Writer) error {
 		}
 		ck.Weights[p.Name] = p.W
 	}
-	return gob.NewEncoder(w).Encode(&ck)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&ck); err != nil {
+		return fmt.Errorf("model: encoding checkpoint: %w", err)
+	}
+	var head [20]byte
+	copy(head[:4], ckptMagic)
+	binary.LittleEndian.PutUint32(head[4:8], ckptVersion)
+	binary.LittleEndian.PutUint32(head[8:12], crc32.Checksum(payload.Bytes(), ckptCRCTable))
+	binary.LittleEndian.PutUint64(head[12:20], uint64(payload.Len()))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
 }
 
-// Load reads a network saved by Save.
+// Load reads a network saved by Save, verifying the header, CRC, parameter
+// shapes, and weight finiteness before any byte reaches the model. Malformed
+// or corrupt input of any kind returns an error (typically *CorruptError) —
+// never a panic. Legacy headerless checkpoints (bare gob) remain loadable.
 func Load(r io.Reader) (*Net, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil || string(head) != ckptMagic {
+		// Legacy format: the stream is the gob payload itself.
+		return decodePayload(br)
+	}
+	var fixed [20]byte
+	if _, err := io.ReadFull(br, fixed[:]); err != nil {
+		return nil, &CorruptError{Reason: "truncated header"}
+	}
+	version := binary.LittleEndian.Uint32(fixed[4:8])
+	if version != ckptVersion {
+		return nil, fmt.Errorf("model: unsupported checkpoint format version %d (want %d)", version, ckptVersion)
+	}
+	wantCRC := binary.LittleEndian.Uint32(fixed[8:12])
+	length := binary.LittleEndian.Uint64(fixed[12:20])
+	if length > ckptMaxPayload {
+		return nil, &CorruptError{Reason: fmt.Sprintf("payload length %d exceeds limit %d", length, int64(ckptMaxPayload))}
+	}
+	payload, err := io.ReadAll(io.LimitReader(br, int64(length)))
+	if err != nil {
+		return nil, fmt.Errorf("model: reading checkpoint payload: %w", err)
+	}
+	if uint64(len(payload)) != length {
+		return nil, &CorruptError{Reason: fmt.Sprintf("payload truncated: %d of %d bytes", len(payload), length)}
+	}
+	faultinject.At("model.load", &payload)
+	if got := crc32.Checksum(payload, ckptCRCTable); got != wantCRC {
+		return nil, &CorruptError{Reason: fmt.Sprintf("CRC mismatch: file says %08x, payload hashes to %08x", wantCRC, got)}
+	}
+	return decodePayload(bytes.NewReader(payload))
+}
+
+// decodePayload turns the gob payload into a validated Net: the architecture
+// must pass Config.Validate (via New), every parameter must be present with
+// the exact shape, no unknown parameters may remain, and every weight must
+// be finite.
+func decodePayload(r io.Reader) (*Net, error) {
 	var ck checkpoint
 	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
 		return nil, fmt.Errorf("model: decoding checkpoint: %w", err)
@@ -36,6 +130,7 @@ func Load(r io.Reader) (*Net, error) {
 	if err != nil {
 		return nil, err
 	}
+	seen := 0
 	for _, p := range n.params {
 		w, ok := ck.Weights[p.Name]
 		if !ok {
@@ -45,22 +140,54 @@ func Load(r io.Reader) (*Net, error) {
 			return nil, fmt.Errorf("model: parameter %q has %d weights, want %d",
 				p.Name, len(w), len(p.W))
 		}
+		for i, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, &CorruptError{Reason: fmt.Sprintf("parameter %q weight %d is %v", p.Name, i, v)}
+			}
+		}
 		copy(p.W, w)
+		seen++
+	}
+	if seen != len(ck.Weights) {
+		return nil, fmt.Errorf("model: checkpoint carries %d parameters, architecture declares %d",
+			len(ck.Weights), seen)
 	}
 	return n, nil
 }
 
-// SaveFile writes the network to path.
+// SaveFile writes the network to path atomically: the bytes land in a
+// temp file in the same directory, are synced, and replace path with a
+// rename — so a crash mid-save can never leave a half-written checkpoint
+// where a reloading server will find it.
 func (n *Net) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	if err := n.Save(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		tmp = ""
+		return err
+	}
+	tmp = "" // success: nothing to clean up
+	return nil
 }
 
 // LoadFile reads a network from path.
@@ -70,5 +197,9 @@ func LoadFile(path string) (*Net, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	n, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("model: checkpoint %s: %w", path, err)
+	}
+	return n, nil
 }

@@ -324,6 +324,34 @@ func (n *Net) PredictBatch(samples []*Sample) ([][]float64, error) {
 	return outs, nil
 }
 
+// SelfCheck runs a probe inference through the full network (encoder +
+// head) and verifies the output has the declared shape and only finite
+// values. The serving layer calls it on every reload candidate so a
+// checkpoint that decodes cleanly but computes garbage (NaN/Inf slowdowns)
+// is rejected before it replaces a working model.
+func (n *Net) SelfCheck() error {
+	s := &Sample{
+		FgFeat: make([]float64, n.Cfg.FeatDim),
+		Spec:   make([]float64, n.Cfg.SpecDim),
+	}
+	if n.Cfg.UseContext {
+		s.BgFeats = [][]float64{make([]float64, n.Cfg.FeatDim)}
+	}
+	out, err := n.Predict(s)
+	if err != nil {
+		return fmt.Errorf("model: self-check probe failed: %w", err)
+	}
+	if len(out) != n.Cfg.OutDim {
+		return fmt.Errorf("model: self-check: output dim %d, want %d", len(out), n.Cfg.OutDim)
+	}
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("model: self-check: output[%d] = %v, model computes non-finite slowdowns", i, v)
+		}
+	}
+	return nil
+}
+
 // maskedL1 computes the L1 loss over the cells of valid buckets only and
 // writes the gradient into dout (zero for masked-out cells).
 func maskedL1(pred, target []float64, mask []bool, dout []float64) float64 {

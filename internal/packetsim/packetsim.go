@@ -18,6 +18,7 @@ import (
 	"strconv"
 
 	"m3/internal/unit"
+	"m3/internal/validate"
 )
 
 // CCType selects the congestion control protocol.
@@ -98,23 +99,32 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Every error is a typed
+// *validate.Error naming the offending field, so API boundaries (the serving
+// layer, the REPL) classify bad configurations as client errors.
 func (c Config) Validate() error {
 	switch {
 	case c.InitWindow <= 0:
-		return fmt.Errorf("packetsim: InitWindow must be positive")
+		return validate.Errf("packetsim", "InitWindow", "must be positive, got %d", c.InitWindow)
 	case c.Buffer < unit.MTU+unit.HeaderBytes:
-		return fmt.Errorf("packetsim: Buffer must hold at least one packet")
+		return validate.Errf("packetsim", "Buffer", "must hold at least one packet (%d bytes), got %d",
+			unit.MTU+unit.HeaderBytes, c.Buffer)
+	case c.RTO < 0:
+		return validate.Errf("packetsim", "RTO", "must be non-negative, got %d", c.RTO)
 	case c.CC > HPCC:
-		return fmt.Errorf("packetsim: unknown CC %d", c.CC)
+		return validate.Errf("packetsim", "CC", "unknown protocol %d", c.CC)
 	case c.CC == DCTCP && c.DCTCPK <= 0:
-		return fmt.Errorf("packetsim: DCTCP needs positive K")
+		return validate.Errf("packetsim", "DCTCPK", "DCTCP needs positive K, got %d", c.DCTCPK)
 	case c.CC == DCQCN && (c.DCQCNKmin <= 0 || c.DCQCNKmax <= c.DCQCNKmin):
-		return fmt.Errorf("packetsim: DCQCN needs 0 < Kmin < Kmax")
-	case c.CC == HPCC && (c.HPCCEta <= 0 || c.HPCCEta > 1 || c.HPCCRateAI <= 0):
-		return fmt.Errorf("packetsim: HPCC needs eta in (0,1] and positive RateAI")
+		return validate.Errf("packetsim", "DCQCNKmin", "DCQCN needs 0 < Kmin < Kmax, got Kmin=%d Kmax=%d",
+			c.DCQCNKmin, c.DCQCNKmax)
+	case c.CC == HPCC && (c.HPCCEta <= 0 || c.HPCCEta > 1):
+		return validate.Errf("packetsim", "HPCCEta", "must be in (0,1], got %v", c.HPCCEta)
+	case c.CC == HPCC && c.HPCCRateAI <= 0:
+		return validate.Errf("packetsim", "HPCCRateAI", "must be positive, got %v", c.HPCCRateAI)
 	case c.CC == TIMELY && (c.TimelyTLow <= 0 || c.TimelyTHigh <= c.TimelyTLow):
-		return fmt.Errorf("packetsim: TIMELY needs 0 < TLow < THigh")
+		return validate.Errf("packetsim", "TimelyTLow", "TIMELY needs 0 < TLow < THigh, got TLow=%d THigh=%d",
+			c.TimelyTLow, c.TimelyTHigh)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"m3/internal/rng"
 	"m3/internal/topo"
 	"m3/internal/unit"
+	"m3/internal/validate"
 	"m3/internal/workload"
 )
 
@@ -121,13 +122,28 @@ func RunContext(ctx context.Context, t *topo.Topology, flows []workload.Flow, cf
 	if n == 0 {
 		return res, nil
 	}
+	// Validate every route up front: link IDs in range and every hop
+	// duplex (ACKs travel the reverse path), so the hot per-sender setup
+	// below can index and reverse routes without rechecking. Malformed
+	// input is a typed validation error here, never a panic later.
 	for i := range flows {
 		f := &flows[i]
 		if int(f.ID) < 0 || int(f.ID) >= n {
-			return nil, fmt.Errorf("packetsim: flow ID %d out of range", f.ID)
+			return nil, validate.Errf("packetsim", fmt.Sprintf("flows[%d].ID", i),
+				"%d out of range [0,%d)", f.ID, n)
 		}
 		if len(f.Route) == 0 {
-			return nil, fmt.Errorf("packetsim: flow %d has no route", f.ID)
+			return nil, validate.Errf("packetsim", fmt.Sprintf("flows[%d].Route", i), "is empty")
+		}
+		for _, id := range f.Route {
+			if int(id) < 0 || int(id) >= t.NumLinks() {
+				return nil, validate.Errf("packetsim", fmt.Sprintf("flows[%d].Route", i),
+					"link %d out of range [0,%d)", id, t.NumLinks())
+			}
+			if t.Links[id].Reverse < 0 {
+				return nil, validate.Errf("packetsim", fmt.Sprintf("flows[%d].Route", i),
+					"link %d has no reverse (simplex); ACKs need a duplex path", id)
+			}
 		}
 	}
 
@@ -304,17 +320,13 @@ func (s *sim) initSender(f *workload.Flow) {
 
 // reverseRoute carves the next run of the reverse-route slab and fills it
 // with the ACK-direction route, avoiding topo.ReverseRoute's per-flow
-// allocation. Semantics match Topology.ReverseRoute, including the panic on
-// a simplex link.
+// allocation. RunContext validated every hop as duplex before any sender is
+// initialized, so the Reverse lookups here cannot fail.
 func (s *sim) reverseRoute(route []topo.LinkID) []topo.LinkID {
 	rev := s.revSlab[s.revOff : s.revOff+len(route)]
 	s.revOff += len(route)
 	for i, id := range route {
-		r := s.t.Links[id].Reverse
-		if r < 0 {
-			panic(fmt.Sprintf("packetsim: link %d has no reverse", id))
-		}
-		rev[len(route)-1-i] = r
+		rev[len(route)-1-i] = s.t.Links[id].Reverse
 	}
 	return rev
 }

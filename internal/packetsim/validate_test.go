@@ -1,0 +1,81 @@
+package packetsim
+
+import (
+	"testing"
+
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/validate"
+	"m3/internal/workload"
+)
+
+// TestRunRejectsSimplexRoute proves a route over a link without a reverse
+// companion is a typed validation error at the Run boundary, not a panic
+// inside sender setup.
+func TestRunRejectsSimplexRoute(t *testing.T) {
+	tp := topo.New()
+	a := tp.AddHost(0, 0)
+	b := tp.AddHost(1, 0)
+	ab := tp.AddDuplex(a, b, unit.Gbps, unit.Microsecond)
+	// Sever the reverse direction after construction.
+	rev := tp.Links[ab].Reverse
+	tp.Links[ab].Reverse = -1
+	tp.Links[rev].Reverse = -1
+
+	flows := []workload.Flow{{
+		ID: 0, Src: a, Dst: b, Size: 10 * unit.KB, Route: []topo.LinkID{ab},
+	}}
+	_, err := Run(tp, flows, DefaultConfig())
+	if err == nil {
+		t.Fatal("simplex route accepted")
+	}
+	if !validate.IsValidation(err) {
+		t.Errorf("error %T is not a validation error: %v", err, err)
+	}
+}
+
+// TestRunRejectsBadLinkID proves an out-of-range link ID in a route errors
+// instead of indexing out of bounds.
+func TestRunRejectsBadLinkID(t *testing.T) {
+	tp := topo.New()
+	a := tp.AddHost(0, 0)
+	b := tp.AddHost(1, 0)
+	tp.AddDuplex(a, b, unit.Gbps, unit.Microsecond)
+	flows := []workload.Flow{{
+		ID: 0, Src: a, Dst: b, Size: unit.KB, Route: []topo.LinkID{99},
+	}}
+	if _, err := Run(tp, flows, DefaultConfig()); err == nil {
+		t.Fatal("out-of-range route link accepted")
+	}
+}
+
+// TestConfigValidateFieldNames checks the typed errors name the offending
+// knob.
+func TestConfigValidateFieldNames(t *testing.T) {
+	cases := []struct {
+		corrupt func(c *Config)
+		field   string
+	}{
+		{func(c *Config) { c.InitWindow = 0 }, "InitWindow"},
+		{func(c *Config) { c.Buffer = 1 }, "Buffer"},
+		{func(c *Config) { c.RTO = -1 }, "RTO"},
+		{func(c *Config) { c.CC = HPCC; c.HPCCEta = 2 }, "HPCCEta"},
+		{func(c *Config) { c.CC = HPCC; c.HPCCRateAI = 0 }, "HPCCRateAI"},
+		{func(c *Config) { c.CC = TIMELY; c.TimelyTLow = 0 }, "TimelyTLow"},
+		{func(c *Config) { c.CC = DCQCN; c.DCQCNKmax = c.DCQCNKmin }, "DCQCNKmin"},
+		{func(c *Config) { c.CC = DCTCP; c.DCTCPK = 0 }, "DCTCPK"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.corrupt(&cfg)
+		err := cfg.Validate()
+		ve, ok := err.(*validate.Error)
+		if !ok {
+			t.Errorf("%s: error %T, want *validate.Error (err=%v)", tc.field, err, err)
+			continue
+		}
+		if ve.Field != tc.field {
+			t.Errorf("field = %q, want %q", ve.Field, tc.field)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunPanicIsolated panics in a task mid-fan-out and checks the run fails
+// with a typed *PanicError carrying the panic value and stack, while the
+// process (and the pool) survive. Run under -race via scripts/check.sh.
+func TestRunPanicIsolated(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+
+	var started atomic.Int64
+	err := p.Run(context.Background(), 64, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 17 {
+			panic("boom on path 17")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking task returned nil error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *PanicError: %v", err, err)
+	}
+	if pe.Value != "boom on path 17" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "panic_test.go") {
+		t.Errorf("stack does not reference the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "boom on path 17") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+
+	// The pool stays usable after a panicked run.
+	var ok atomic.Int64
+	if err := p.Run(context.Background(), 32, func(ctx context.Context, i int) error {
+		ok.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("run after panic: %v", err)
+	}
+	if ok.Load() != 32 {
+		t.Errorf("post-panic run executed %d/32 tasks", ok.Load())
+	}
+}
+
+// TestRunPanicCancelsRemainder checks a panic cancels unstarted indices like
+// a returned error would.
+func TestRunPanicCancelsRemainder(t *testing.T) {
+	p := New(1) // serial: the panic at index 0 must cancel everything after
+	defer p.Close()
+	var ran atomic.Int64
+	err := p.Run(context.Background(), 1000, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			panic(errors.New("first task dies"))
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *PanicError", err)
+	}
+	if v, okCast := pe.Value.(error); !okCast || v.Error() != "first task dies" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("panic did not cancel the remaining fan-out")
+	}
+}
+
+// TestRunConcurrentPanics stresses panic recovery from many goroutines so
+// the race detector can see the PanicError publication.
+func TestRunConcurrentPanics(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	for round := 0; round < 10; round++ {
+		err := p.Run(context.Background(), 64, func(ctx context.Context, i int) error {
+			if i%7 == 3 {
+				panic(i)
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("round %d: %T is not *PanicError", round, err)
+		}
+	}
+}

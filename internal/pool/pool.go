@@ -8,9 +8,25 @@ package pool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is a panic recovered from a worker task, converted into an
+// error so one panicking per-path simulation fails its run instead of
+// killing the process. Value is the recovered panic value and Stack the
+// goroutine stack captured at the recovery point.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: task panicked: %v\n%s", e.Value, e.Stack)
+}
 
 // Pool is a fixed-size worker pool. A long-lived process (the estimation
 // service) creates one Pool and points every Estimator at it, so concurrent
@@ -52,12 +68,27 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
+// call invokes fn(i) with panic isolation: a panic inside the task is
+// recovered, stamped with the stack, and returned as a *PanicError, so a
+// crashing simulation cancels its own Run without unwinding the worker
+// goroutine (which is shared by every other run on the pool).
+func call(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
+
 // Run executes fn(0..n-1) on the pool and blocks until all started indices
 // finish. Indices are submitted one at a time (never one goroutine per
 // item), so a huge fan-out queues instead of oversubscribing. The first
 // error cancels the remainder: unstarted indices are skipped and fn's ctx
 // is done, so in-flight simulations abort early. Run returns the first
-// fn error, or ctx.Err() when the caller's context ended the run.
+// fn error, or ctx.Err() when the caller's context ended the run. A panic
+// in fn is recovered and returned as a *PanicError instead of crashing the
+// process; the pool remains usable afterwards.
 func (p *Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -78,7 +109,7 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i in
 			if runCtx.Err() != nil {
 				return
 			}
-			if err := fn(runCtx, i); err != nil {
+			if err := call(runCtx, i, fn); err != nil {
 				fail(err)
 			}
 		}

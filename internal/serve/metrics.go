@@ -90,6 +90,15 @@ type Metrics struct {
 	estimates atomic.Int64
 	reloads   atomic.Int64
 
+	// Fault-tolerance counters: requests shed by admission control,
+	// reloads rejected by integrity checks, handler panics recovered, and
+	// estimates (and their path counts) that fell back to flowSim.
+	shed              atomic.Int64
+	reloadRejected    atomic.Int64
+	panics            atomic.Int64
+	degradedEstimates atomic.Int64
+	degradedPaths     atomic.Int64
+
 	// Cumulative per-stage estimator time (ns).
 	decomposeNs atomic.Int64
 	sampleNs    atomic.Int64
@@ -144,7 +153,13 @@ func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP 
 	return map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"inflight":       m.inflight.Load(),
-		"requests":       routes,
+		"shed":           m.shed.Load(),
+		"panics":         m.panics.Load(),
+		"degraded": map[string]any{
+			"estimates": m.degradedEstimates.Load(),
+			"paths":     m.degradedPaths.Load(),
+		},
+		"requests": routes,
 		"cache": map[string]any{
 			"hits":     cacheStats.Hits,
 			"misses":   cacheStats.Misses,
@@ -160,9 +175,10 @@ func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP 
 			"aggregate": ms(&m.aggregateNs),
 		},
 		"model": map[string]any{
-			"params":      modelParams,
-			"fingerprint": fingerprintString(modelFP),
-			"reloads":     m.reloads.Load(),
+			"params":           modelParams,
+			"fingerprint":      fingerprintString(modelFP),
+			"reloads":          m.reloads.Load(),
+			"reloads_rejected": m.reloadRejected.Load(),
 		},
 	}
 }
@@ -178,29 +194,47 @@ func fingerprintString(fp uint64) string {
 }
 
 // instrument wraps a handler with per-route counters, the in-flight gauge,
-// and the latency histogram.
+// the latency histogram, and last-resort panic containment: a handler that
+// panics answers 500 (when no bytes have been written yet) and the server
+// keeps serving — one poisoned request must never take the process down.
 func (m *Metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	rs := m.route(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		m.inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				m.panics.Add(1)
+				if !sw.wrote {
+					sw.status = http.StatusInternalServerError
+					http.Error(sw.ResponseWriter, "internal error", http.StatusInternalServerError)
+				}
+			}
+			m.inflight.Add(-1)
+			rs.count.Add(1)
+			if sw.status >= 400 {
+				rs.errors.Add(1)
+			}
+			rs.latency.observe(time.Since(start))
+		}()
 		h(sw, r)
-		m.inflight.Add(-1)
-		rs.count.Add(1)
-		if sw.status >= 400 {
-			rs.errors.Add(1)
-		}
-		rs.latency.observe(time.Since(start))
 	}
 }
 
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -34,13 +35,28 @@ import (
 	"time"
 
 	"m3/internal/core"
+	"m3/internal/faultinject"
 	"m3/internal/feature"
 	"m3/internal/model"
 	"m3/internal/packetsim"
+	"m3/internal/validate"
 )
 
-// maxBodyBytes caps request bodies (trace uploads dominate).
-const maxBodyBytes = 64 << 20
+// Request-shape bounds: anything beyond these is a malformed request, not a
+// bigger job.
+const (
+	// maxBodyBytes caps request bodies (trace uploads dominate).
+	maxBodyBytes = 64 << 20
+	// maxNumPaths bounds one estimate's sampled-path budget.
+	maxNumPaths = 100_000
+	// maxSweeps bounds one what-if batch.
+	maxSweeps = 64
+	// maxWorkloadName bounds registry entry names.
+	maxWorkloadName = 128
+	// DefaultEstimateTimeout bounds one estimate's wall clock when
+	// Options.EstimateTimeout is zero.
+	DefaultEstimateTimeout = 2 * time.Minute
+)
 
 // Options configures a Server.
 type Options struct {
@@ -55,6 +71,14 @@ type Options struct {
 	CacheSize int
 	// BatchSize is the ML inference micro-batch size (0 = core default).
 	BatchSize int
+	// MaxInflight bounds concurrently admitted estimation requests
+	// (estimate, quantiles, whatif); excess requests are shed immediately
+	// with 429 + Retry-After instead of queueing until they time out.
+	// 0 = 4× the pool's worker count; negative = unlimited.
+	MaxInflight int
+	// EstimateTimeout bounds one estimate's wall clock
+	// (0 = DefaultEstimateTimeout).
+	EstimateTimeout time.Duration
 }
 
 // Server is the m3 estimation service. Create with New, mount as an
@@ -69,6 +93,14 @@ type Server struct {
 
 	mu        sync.RWMutex
 	workloads map[string]*Workload
+
+	// sem is the admission-control semaphore for estimation endpoints;
+	// nil means unlimited.
+	sem chan struct{}
+	// reloadMu serializes checkpoint reloads (TryLock: a concurrent reload
+	// is rejected with 409, not queued).
+	reloadMu   sync.Mutex
+	estTimeout time.Duration
 
 	mux *http.ServeMux
 }
@@ -85,6 +117,21 @@ func New(opts Options) (*Server, error) {
 		metrics:   newMetrics(),
 		workloads: make(map[string]*Workload),
 		mux:       http.NewServeMux(),
+	}
+	maxInflight := opts.MaxInflight
+	if maxInflight == 0 {
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		maxInflight = 4 * workers
+	}
+	if maxInflight > 0 {
+		s.sem = make(chan struct{}, maxInflight)
+	}
+	s.estTimeout = opts.EstimateTimeout
+	if s.estTimeout <= 0 {
+		s.estTimeout = DefaultEstimateTimeout
 	}
 	s.SwapModel(opts.Net)
 	s.routes()
@@ -112,9 +159,20 @@ func (s *Server) SwapModel(net *model.Net) {
 // Model returns the currently served model.
 func (s *Server) Model() *model.Net { return s.net.Load() }
 
+// errReloadInProgress reports a reload racing another reload; the caller
+// should retry after the winner finishes.
+var errReloadInProgress = errors.New("serve: a reload is already in progress")
+
 // Reload re-reads the checkpoint from path (empty = the configured
-// CheckpointPath) and swaps it in.
+// CheckpointPath), vets it, and swaps it in. A candidate that fails to load,
+// fails integrity checks, or cannot produce finite predictions is rejected
+// and the current model keeps serving — a bad artifact on disk can degrade a
+// reload, never the running service.
 func (s *Server) Reload(path string) error {
+	if !s.reloadMu.TryLock() {
+		return errReloadInProgress
+	}
+	defer s.reloadMu.Unlock()
 	if path == "" {
 		path = s.opts.CheckpointPath
 	}
@@ -123,12 +181,21 @@ func (s *Server) Reload(path string) error {
 	}
 	net, err := model.LoadFile(path)
 	if err != nil {
-		return err
+		s.metrics.reloadRejected.Add(1)
+		return fmt.Errorf("serve: reload rejected, keeping current model: %w", err)
+	}
+	if err := net.SelfCheck(); err != nil {
+		s.metrics.reloadRejected.Add(1)
+		return fmt.Errorf("serve: reload rejected, keeping current model: %w", err)
 	}
 	s.SwapModel(net)
 	s.metrics.reloads.Add(1)
 	return nil
 }
+
+// Inflight reports the number of requests currently being served (all
+// routes); cmd/m3serve logs it when draining at shutdown.
+func (s *Server) Inflight() int64 { return s.metrics.inflight.Load() }
 
 func (s *Server) routes() {
 	h := func(name string, fn http.HandlerFunc) http.HandlerFunc {
@@ -167,8 +234,9 @@ func decodeBody(r *http.Request, v any) error {
 }
 
 // errorCode maps an estimation error to an HTTP status: a dead client
-// context is 499-style (client closed request), everything else 500 unless
-// the handler classified it earlier.
+// context is 499-style (client closed request), a blown deadline 504, a
+// validation failure 400, everything else 500 unless the handler classified
+// it earlier.
 func errorCode(r *http.Request, err error) int {
 	if errors.Is(err, context.Canceled) || r.Context().Err() != nil {
 		return 499 // client closed request (nginx convention)
@@ -176,7 +244,37 @@ func errorCode(r *http.Request, err error) int {
 	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
 	}
+	if validate.IsValidation(err) {
+		return http.StatusBadRequest
+	}
 	return http.StatusInternalServerError
+}
+
+// admit reserves an estimation slot, shedding the request with 429 +
+// Retry-After when MaxInflight slots are taken. Shedding immediately beats
+// queueing: the client learns in microseconds that it should back off,
+// instead of tying up a connection until the deadline kills it. Returns
+// whether the caller may proceed (and must release()).
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if s.sem == nil {
+		return true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("serve: estimation capacity exhausted (%d in flight); retry", cap(s.sem)))
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
 }
 
 func (s *Server) workload(name string) (*Workload, bool) {
@@ -224,12 +322,18 @@ func buildConfig(knobs map[string]string) (packetsim.Config, error) {
 func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Method,
 	numPaths int, seed uint64, cfg packetsim.Config) (*core.Estimate, bool, error) {
 
-	if numPaths <= 0 {
+	if numPaths == 0 {
 		numPaths = 500
+	}
+	if numPaths < 0 || numPaths > maxNumPaths {
+		return nil, false, validate.Errf("serve", "num_paths", "%d outside [1,%d]", numPaths, maxNumPaths)
 	}
 	if seed == 0 {
 		seed = 1
 	}
+	faultinject.At("serve.estimate", nil)
+	ctx, cancel := context.WithTimeout(ctx, s.estTimeout)
+	defer cancel()
 	d, err := wl.Decomposition()
 	if err != nil {
 		return nil, false, err
@@ -254,11 +358,16 @@ func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Meth
 			core.WithSeed(seed),
 			core.WithBatchSize(s.opts.BatchSize),
 			core.WithPool(s.pool),
-			core.WithDecomposition(d))
+			core.WithDecomposition(d),
+			core.WithFlowSimFallback(true))
 		return est.Estimate(ctx, wl.FT.Topology, wl.Flows, cfg)
 	})
 	if err == nil && !cached {
 		s.metrics.recordStages(res.Stages)
+		if res.Degraded {
+			s.metrics.degradedEstimates.Add(1)
+			s.metrics.degradedPaths.Add(int64(res.DegradedPaths))
+		}
 	}
 	return res, cached, err
 }
@@ -344,12 +453,17 @@ type estimateRequest struct {
 
 // estimateResponse reports one estimate.
 type estimateResponse struct {
-	Workload      string             `json:"workload"`
-	Method        string             `json:"method"`
-	Cached        bool               `json:"cached"`
-	ElapsedMS     float64            `json:"elapsed_ms"`
-	DistinctPaths int                `json:"distinct_paths"`
-	TotalPaths    int                `json:"total_paths"`
+	Workload      string  `json:"workload"`
+	Method        string  `json:"method"`
+	Cached        bool    `json:"cached"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	DistinctPaths int     `json:"distinct_paths"`
+	TotalPaths    int     `json:"total_paths"`
+	// Degraded marks an estimate where some paths fell back from the ML
+	// correction to raw flowSim numbers (model missing or emitting
+	// non-finite slowdowns); DegradedPaths counts them.
+	Degraded      bool               `json:"degraded,omitempty"`
+	DegradedPaths int                `json:"degraded_paths,omitempty"`
 	P99           map[string]float64 `json:"p99"`
 	StagesMS      map[string]float64 `json:"stages_ms"`
 }
@@ -377,6 +491,8 @@ func estimateToResponse(wl *Workload, method core.Method, res *core.Estimate, ca
 		ElapsedMS:     ms(res.Elapsed),
 		DistinctPaths: res.DistinctPaths,
 		TotalPaths:    res.TotalPaths,
+		Degraded:      res.Degraded,
+		DegradedPaths: res.DegradedPaths,
 		P99:           p99,
 		StagesMS: map[string]float64{
 			"decompose": ms(res.Stages.Decompose),
@@ -394,6 +510,10 @@ var bucketNames = [feature.NumOutputBuckets]string{
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
 	var req estimateRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -432,6 +552,10 @@ var quantilesReserved = map[string]bool{
 // per-bucket and combined slowdown quantiles. Any other query parameter is
 // treated as a config knob (cc, buffer, pfc, ...).
 func (s *Server) handleQuantiles(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
 	qv := r.URL.Query()
 	wl, ok := s.workload(qv.Get("workload"))
 	if !ok {
@@ -508,6 +632,10 @@ type whatIfSweep struct {
 }
 
 func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
 	var req whatIfRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -525,6 +653,11 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Sweeps) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: whatif needs at least one sweep"))
+		return
+	}
+	if len(req.Sweeps) > maxSweeps {
+		writeError(w, http.StatusBadRequest,
+			validate.Errf("serve", "sweeps", "%d sweeps exceed the limit of %d", len(req.Sweeps), maxSweeps))
 		return
 	}
 	// The baseline plus each sweep, estimated sequentially: path-level
@@ -598,7 +731,19 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.Reload(req.Checkpoint); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// A damaged artifact (bad CRC, shapes, non-finite weights or
+		// predictions) is 422; a racing reload is 409; everything else —
+		// missing file, no path configured — is a plain bad request.
+		code := http.StatusBadRequest
+		var corrupt *model.CorruptError
+		switch {
+		case errors.Is(err, errReloadInProgress):
+			code = http.StatusConflict
+		case errors.As(err, &corrupt), validate.IsValidation(err),
+			strings.Contains(err.Error(), "self-check"):
+			code = http.StatusUnprocessableEntity
+		}
+		writeError(w, code, err)
 		return
 	}
 	net := s.net.Load()

@@ -11,6 +11,7 @@ import (
 	"m3/internal/routing"
 	"m3/internal/topo"
 	"m3/internal/trace"
+	"m3/internal/validate"
 	"m3/internal/workload"
 )
 
@@ -63,13 +64,45 @@ type traceJSON struct {
 	Data   string `json:"data"`
 }
 
+// validWorkloadName restricts registry names to short printable tokens that
+// survive a URL path segment unescaped.
+func validWorkloadName(name string) error {
+	if name == "" {
+		return validate.Errf("serve", "name", "is required")
+	}
+	if len(name) > maxWorkloadName {
+		return validate.Errf("serve", "name", "%d bytes exceeds limit %d", len(name), maxWorkloadName)
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return validate.Errf("serve", "name", "character %q not allowed (want [a-zA-Z0-9._-])", c)
+		}
+	}
+	return nil
+}
+
 // buildWorkload materializes a registry entry from an upload request.
 func buildWorkload(req *workloadRequest) (*Workload, error) {
-	if req.Name == "" {
-		return nil, fmt.Errorf("serve: workload name is required")
+	if err := validWorkloadName(req.Name); err != nil {
+		return nil, err
 	}
 	if (req.Spec == nil) == (req.Trace == nil) {
 		return nil, fmt.Errorf("serve: exactly one of spec or trace must be set")
+	}
+	if req.Spec != nil {
+		sp := req.Spec
+		if sp.NumFlows < 1 || sp.NumFlows > 10_000_000 {
+			return nil, validate.Errf("serve", "spec.num_flows", "%d outside [1,10000000]", sp.NumFlows)
+		}
+		if sp.MaxLoad < 0 || sp.MaxLoad > 1 {
+			return nil, validate.Errf("serve", "spec.max_load", "%v outside [0,1]", sp.MaxLoad)
+		}
+		if sp.Burstiness < 0 {
+			return nil, validate.Errf("serve", "spec.burstiness", "must be non-negative, got %v", sp.Burstiness)
+		}
 	}
 
 	var (
@@ -141,6 +174,12 @@ func buildWorkload(req *workloadRequest) (*Workload, error) {
 			return nil, err
 		}
 		wl.Source = "trace"
+	}
+	// Registration is the API boundary: every estimate against this entry
+	// reuses the cached decomposition and skips re-validation, so the
+	// structural gate runs exactly once, here.
+	if err := workload.ValidateFlows(ft.Topology, wl.Flows); err != nil {
+		return nil, err
 	}
 	wl.Hash = core.HashWorkload(ft.Topology, wl.Flows)
 	return wl, nil

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"m3/internal/unit"
+	"m3/internal/validate"
 )
 
 // NodeID identifies a node within one Topology.
@@ -143,17 +144,73 @@ func (t *Topology) NumNodes() int { return len(t.Nodes) }
 func (t *Topology) NumLinks() int { return len(t.Links) }
 
 // ReverseRoute maps a route (sequence of directed links) to the reverse
-// route, used by simulators to send ACKs back to the source.
-func (t *Topology) ReverseRoute(route []LinkID) []LinkID {
+// route, used by simulators to send ACKs back to the source. A route over a
+// simplex link (or an out-of-range link ID) is a validation error, not a
+// panic: ACK traffic needs the companion link to exist.
+func (t *Topology) ReverseRoute(route []LinkID) ([]LinkID, error) {
 	rev := make([]LinkID, len(route))
 	for i, id := range route {
+		if int(id) < 0 || int(id) >= len(t.Links) {
+			return nil, validate.Errf("topo", "route", "link %d out of range [0,%d)", id, len(t.Links))
+		}
 		r := t.Links[id].Reverse
 		if r < 0 {
-			panic(fmt.Sprintf("topo: link %d has no reverse", id))
+			return nil, validate.Errf("topo", "route", "link %d has no reverse (simplex)", id)
 		}
 		rev[len(route)-1-i] = r
 	}
-	return rev
+	return rev, nil
+}
+
+// Validate checks the graph's structural invariants: dense node and link
+// IDs, endpoints in range, positive rates, non-negative delays, and mutually
+// consistent reverse links. Every error is a *validate.Error naming the
+// offending field, so API boundaries (workload registration, the serving
+// layer) can reject a malformed topology before it reaches a simulator.
+func (t *Topology) Validate() error {
+	if t == nil {
+		return validate.Errf("topo", "Topology", "is nil")
+	}
+	for i := range t.Nodes {
+		if int(t.Nodes[i].ID) != i {
+			return validate.Errf("topo", fmt.Sprintf("Nodes[%d].ID", i),
+				"is %d, want %d (IDs must be dense)", t.Nodes[i].ID, i)
+		}
+	}
+	nn := NodeID(len(t.Nodes))
+	for i := range t.Links {
+		l := &t.Links[i]
+		field := func(f string) string { return fmt.Sprintf("Links[%d].%s", i, f) }
+		switch {
+		case int(l.ID) != i:
+			return validate.Errf("topo", field("ID"), "is %d, want %d (IDs must be dense)", l.ID, i)
+		case l.Src < 0 || l.Src >= nn:
+			return validate.Errf("topo", field("Src"), "node %d out of range [0,%d)", l.Src, nn)
+		case l.Dst < 0 || l.Dst >= nn:
+			return validate.Errf("topo", field("Dst"), "node %d out of range [0,%d)", l.Dst, nn)
+		case l.Src == l.Dst:
+			return validate.Errf("topo", field("Dst"), "self-loop at node %d", l.Src)
+		case l.Rate <= 0:
+			return validate.Errf("topo", field("Rate"), "must be positive, got %v", l.Rate)
+		case l.Delay < 0:
+			return validate.Errf("topo", field("Delay"), "must be non-negative, got %v", l.Delay)
+		}
+		if l.Reverse >= 0 {
+			if int(l.Reverse) >= len(t.Links) {
+				return validate.Errf("topo", field("Reverse"), "link %d out of range [0,%d)", l.Reverse, len(t.Links))
+			}
+			r := &t.Links[l.Reverse]
+			if r.Reverse != l.ID {
+				return validate.Errf("topo", field("Reverse"),
+					"link %d's reverse is %d, not mutual", l.Reverse, r.Reverse)
+			}
+			if r.Src != l.Dst || r.Dst != l.Src {
+				return validate.Errf("topo", field("Reverse"),
+					"link %d runs %d->%d, want %d->%d", l.Reverse, r.Src, r.Dst, l.Dst, l.Src)
+			}
+		}
+	}
+	return nil
 }
 
 // RouteRates returns the link rates along a route, in order.

@@ -48,7 +48,10 @@ func TestReverseRoute(t *testing.T) {
 	ab := tp.AddDuplex(a, b, unit.Gbps, 0)
 	bc := tp.AddDuplex(b, c, unit.Gbps, 0)
 	fwd := []LinkID{ab, bc}
-	rev := tp.ReverseRoute(fwd)
+	rev, err := tp.ReverseRoute(fwd)
+	if err != nil {
+		t.Fatalf("ReverseRoute: %v", err)
+	}
 	if err := tp.ValidateRoute(c, a, rev); err != nil {
 		t.Errorf("reverse route invalid: %v", err)
 	}

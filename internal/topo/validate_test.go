@@ -1,0 +1,96 @@
+package topo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"m3/internal/unit"
+	"m3/internal/validate"
+)
+
+func duplexPair(t *testing.T) *Topology {
+	t.Helper()
+	tp := New()
+	a := tp.AddHost(0, 0)
+	b := tp.AddNode(Switch, -1, -1)
+	c := tp.AddHost(0, 0)
+	tp.AddDuplex(a, b, unit.Gbps, unit.Microsecond)
+	tp.AddDuplex(b, c, unit.Gbps, unit.Microsecond)
+	return tp
+}
+
+func TestValidateOK(t *testing.T) {
+	tp := duplexPair(t)
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	ft, err := SmallFatTree(Oversub2to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Topology.Validate(); err != nil {
+		t.Errorf("fat-tree rejected: %v", err)
+	}
+}
+
+func TestValidateFieldErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(tp *Topology)
+		field   string
+	}{
+		{"bad rate", func(tp *Topology) { tp.Links[1].Rate = 0 }, "Links[1].Rate"},
+		{"negative delay", func(tp *Topology) { tp.Links[2].Delay = -1 }, "Links[2].Delay"},
+		{"dst out of range", func(tp *Topology) { tp.Links[0].Dst = 99 }, "Links[0].Dst"},
+		{"self loop", func(tp *Topology) { tp.Links[0].Dst = tp.Links[0].Src }, "Links[0].Dst"},
+		// Breaking link 3's back-pointer surfaces at link 2, whose Reverse
+		// field names a link that no longer points back.
+		{"reverse not mutual via 3", func(tp *Topology) { tp.Links[3].Reverse = 77 }, "Links[2].Reverse"},
+		{"reverse out of range", func(tp *Topology) { tp.Links[3].Reverse = 77; tp.Links[2].Reverse = -1 }, "Links[3].Reverse"},
+		{"reverse not mutual", func(tp *Topology) { tp.Links[0].Reverse = 3 }, "Links[0].Reverse"},
+		{"non-dense link id", func(tp *Topology) { tp.Links[2].ID = 9 }, "Links[2].ID"},
+		{"non-dense node id", func(tp *Topology) { tp.Nodes[1].ID = 5 }, "Nodes[1].ID"},
+	}
+	for _, tc := range cases {
+		tp := duplexPair(t)
+		tc.corrupt(tp)
+		err := tp.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var ve *validate.Error
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: error %T is not *validate.Error", tc.name, err)
+			continue
+		}
+		if ve.Field != tc.field {
+			t.Errorf("%s: field = %q, want %q", tc.name, ve.Field, tc.field)
+		}
+	}
+	var nilTopo *Topology
+	if err := nilTopo.Validate(); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
+
+func TestReverseRouteSimplexError(t *testing.T) {
+	tp := duplexPair(t)
+	// Sever one direction: links 0/1 are a<->b; make 0 simplex.
+	tp.Links[0].Reverse = -1
+	tp.Links[1].Reverse = -1
+	_, err := tp.ReverseRoute([]LinkID{0, 2})
+	if err == nil {
+		t.Fatal("simplex route reversed without error")
+	}
+	if !validate.IsValidation(err) {
+		t.Errorf("error %T is not a validation error: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "no reverse") {
+		t.Errorf("error = %q", err)
+	}
+	if _, err := tp.ReverseRoute([]LinkID{42}); err == nil {
+		t.Error("out-of-range link reversed without error")
+	}
+}

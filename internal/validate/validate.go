@@ -1,0 +1,39 @@
+// Package validate provides the typed, field-naming validation error used at
+// every API boundary of the estimation stack: topology and workload
+// construction, simulator configuration, and the serving layer's request
+// payloads. Handlers map it to 4xx responses with errors.As, so malformed
+// user input is rejected with a precise field reference instead of reaching
+// (and panicking) the simulation layers.
+package validate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error reports one invalid field at an API boundary.
+type Error struct {
+	// Scope names the package or payload that rejected the input
+	// ("topo", "packetsim", "serve", ...).
+	Scope string
+	// Field is the offending field, as a dotted/indexed path into the
+	// rejected value ("Links[3].Reverse", "spec.num_flows", ...).
+	Field string
+	// Msg says what about the field was invalid.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Scope + ": " + e.Field + ": " + e.Msg }
+
+// Errf builds an *Error with a formatted message.
+func Errf(scope, field, format string, args ...any) *Error {
+	return &Error{Scope: scope, Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsValidation reports whether err is (or wraps) a validation *Error, so
+// transport layers can classify it as a client error.
+func IsValidation(err error) bool {
+	var v *Error
+	return errors.As(err, &v)
+}

@@ -153,7 +153,13 @@ func (e *EmpiricalSize) Mean() float64 { return e.mean }
 // Name implements SizeDist.
 func (e *EmpiricalSize) Name() string { return e.DistName }
 
-func mustEmpirical(name string, pts [][2]float64) *EmpiricalSize {
+// metaDistErr records the first construction error of the built-in Meta
+// distributions. The transcribed CDF points are static and valid, but a bad
+// edit surfaces here as a returned error from MetaDist (and a nil
+// distribution that Spec.Validate rejects) instead of an init-time panic.
+var metaDistErr error
+
+func buildEmpirical(name string, pts [][2]float64) *EmpiricalSize {
 	sizes := make([]float64, len(pts))
 	probs := make([]float64, len(pts))
 	for i, p := range pts {
@@ -161,7 +167,10 @@ func mustEmpirical(name string, pts [][2]float64) *EmpiricalSize {
 	}
 	e, err := NewEmpiricalSize(name, sizes, probs)
 	if err != nil {
-		panic(err)
+		if metaDistErr == nil {
+			metaDistErr = err
+		}
+		return nil
 	}
 	return e
 }
@@ -173,27 +182,32 @@ func mustEmpirical(name string, pts [][2]float64) *EmpiricalSize {
 // between with a heavier mid-range.
 var (
 	// WebServer: mostly small request/response traffic.
-	WebServer = mustEmpirical("WebServer", [][2]float64{
+	WebServer = buildEmpirical("WebServer", [][2]float64{
 		{100, 0.12}, {200, 0.30}, {300, 0.45}, {500, 0.60}, {700, 0.70},
 		{1e3, 0.78}, {2e3, 0.87}, {5e3, 0.93}, {1e4, 0.96}, {5e4, 0.985},
 		{1e5, 0.992}, {5e5, 0.998}, {1e6, 1.0},
 	})
 	// CacheFollower: cache read/write traffic with a heavier mid-range.
-	CacheFollower = mustEmpirical("CacheFollower", [][2]float64{
+	CacheFollower = buildEmpirical("CacheFollower", [][2]float64{
 		{250, 0.10}, {500, 0.18}, {1e3, 0.28}, {2e3, 0.40}, {5e3, 0.52},
 		{1e4, 0.62}, {3e4, 0.74}, {5e4, 0.80}, {1e5, 0.87}, {5e5, 0.95},
 		{1e6, 0.98}, {5e6, 1.0},
 	})
 	// Hadoop: RPC-heavy with a long shuffle tail.
-	Hadoop = mustEmpirical("Hadoop", [][2]float64{
+	Hadoop = buildEmpirical("Hadoop", [][2]float64{
 		{250, 0.20}, {500, 0.40}, {1e3, 0.55}, {2e3, 0.65}, {5e3, 0.75},
 		{1e4, 0.82}, {5e4, 0.90}, {1e5, 0.93}, {5e5, 0.965}, {1e6, 0.98},
 		{1e7, 1.0},
 	})
 )
 
-// MetaDist returns one of the three Meta distributions by name.
+// MetaDist returns one of the three Meta distributions by name. It reports
+// any construction error of the built-in tables instead of serving a nil
+// distribution.
 func MetaDist(name string) (SizeDist, error) {
+	if metaDistErr != nil {
+		return nil, metaDistErr
+	}
 	switch name {
 	case "WebServer":
 		return WebServer, nil

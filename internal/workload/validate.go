@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+
+	"m3/internal/topo"
+	"m3/internal/validate"
+)
+
+// Workload bundles a topology with the flows routed on it: the unit every
+// estimation entry point (core.Estimator, the serving layer's registry,
+// ground-truth runs) consumes. Validate is the API-boundary gate that makes
+// simulator panics unreachable for user-supplied input.
+type Workload struct {
+	Topo  *topo.Topology
+	Flows []Flow
+}
+
+// MaxFlowSize bounds one flow's size; it matches the size-distribution clamp
+// in this package, so anything larger is malformed input, not traffic.
+const MaxFlowSize = 1e9
+
+// Validate checks the workload end to end with typed, field-naming errors:
+// the topology's structural invariants, then every flow's ID density,
+// size/arrival sanity, and route (in-range duplex links forming a connected
+// src->dst chain). Cost is O(nodes + links + total hops), paid once per
+// registration, never per estimate.
+func (w Workload) Validate() error {
+	if err := w.Topo.Validate(); err != nil {
+		return err
+	}
+	if len(w.Flows) == 0 {
+		return validate.Errf("workload", "Flows", "is empty")
+	}
+	nn := topo.NodeID(w.Topo.NumNodes())
+	nl := w.Topo.NumLinks()
+	for i := range w.Flows {
+		f := &w.Flows[i]
+		field := func(name string) string { return fmt.Sprintf("Flows[%d].%s", i, name) }
+		switch {
+		case int(f.ID) != i:
+			return validate.Errf("workload", field("ID"),
+				"is %d, want %d (IDs must be dense and in order)", f.ID, i)
+		case f.Src < 0 || f.Src >= nn:
+			return validate.Errf("workload", field("Src"), "node %d out of range [0,%d)", f.Src, nn)
+		case f.Dst < 0 || f.Dst >= nn:
+			return validate.Errf("workload", field("Dst"), "node %d out of range [0,%d)", f.Dst, nn)
+		case f.Src == f.Dst:
+			return validate.Errf("workload", field("Dst"), "equals Src (%d); flows need two endpoints", f.Src)
+		case f.Size < 1 || f.Size > MaxFlowSize:
+			return validate.Errf("workload", field("Size"), "%d outside [1,%d] bytes", f.Size, int64(MaxFlowSize))
+		case f.Arrival < 0:
+			return validate.Errf("workload", field("Arrival"), "must be non-negative, got %d", f.Arrival)
+		case len(f.Route) == 0:
+			return validate.Errf("workload", field("Route"), "is empty")
+		}
+		cur := f.Src
+		for h, id := range f.Route {
+			if int(id) < 0 || int(id) >= nl {
+				return validate.Errf("workload", field("Route"),
+					"hop %d: link %d out of range [0,%d)", h, id, nl)
+			}
+			l := w.Topo.Link(id)
+			if l.Src != cur {
+				return validate.Errf("workload", field("Route"),
+					"hop %d: link %d starts at node %d, expected %d (disconnected route)", h, id, l.Src, cur)
+			}
+			if l.Reverse < 0 {
+				return validate.Errf("workload", field("Route"),
+					"hop %d: link %d has no reverse (simplex); ACKs need a duplex path", h, id)
+			}
+			cur = l.Dst
+		}
+		if cur != f.Dst {
+			return validate.Errf("workload", field("Route"),
+				"ends at node %d, expected Dst %d", cur, f.Dst)
+		}
+	}
+	return nil
+}
+
+// ValidateFlows is Workload.Validate for callers holding the pieces
+// separately.
+func ValidateFlows(t *topo.Topology, flows []Flow) error {
+	return Workload{Topo: t, Flows: flows}.Validate()
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/validate"
+)
+
+func generatedWorkload(t *testing.T) (*topo.FatTree, []Flow) {
+	t.Helper()
+	ft, err := topo.SmallFatTree(topo.Oversub2to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	flows, err := Generate(ft, routing.NewFatTreeRouter(ft), Spec{
+		NumFlows: 200, Sizes: WebServer, Matrix: MatrixB(32, r),
+		Burstiness: 1.5, MaxLoad: 0.4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft, flows
+}
+
+func TestWorkloadValidateOK(t *testing.T) {
+	ft, flows := generatedWorkload(t)
+	if err := (Workload{Topo: ft.Topology, Flows: flows}).Validate(); err != nil {
+		t.Fatalf("generated workload rejected: %v", err)
+	}
+	if err := ValidateFlows(ft.Topology, flows); err != nil {
+		t.Fatalf("ValidateFlows: %v", err)
+	}
+}
+
+func TestWorkloadValidateFieldErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(flows []Flow)
+		field   string
+	}{
+		{"sparse id", func(fl []Flow) { fl[5].ID = 99 }, "Flows[5].ID"},
+		{"zero size", func(fl []Flow) { fl[1].Size = 0 }, "Flows[1].Size"},
+		{"huge size", func(fl []Flow) { fl[1].Size = MaxFlowSize + 1 }, "Flows[1].Size"},
+		{"negative arrival", func(fl []Flow) { fl[2].Arrival = -5 }, "Flows[2].Arrival"},
+		{"no route", func(fl []Flow) { fl[3].Route = nil }, "Flows[3].Route"},
+		{"bad link", func(fl []Flow) { fl[4].Route = []topo.LinkID{-1} }, "Flows[4].Route"},
+		{"src out of range", func(fl []Flow) { fl[6].Src = -2 }, "Flows[6].Src"},
+		{"self flow", func(fl []Flow) { fl[7].Dst = fl[7].Src }, "Flows[7].Dst"},
+		{"disconnected route", func(fl []Flow) {
+			fl[8].Route = append([]topo.LinkID{}, fl[8].Route...)
+			fl[8].Route[0], fl[8].Route[len(fl[8].Route)-1] =
+				fl[8].Route[len(fl[8].Route)-1], fl[8].Route[0]
+		}, "Flows[8].Route"},
+	}
+	for _, tc := range cases {
+		ft, flows := generatedWorkload(t)
+		tc.corrupt(flows)
+		err := Workload{Topo: ft.Topology, Flows: flows}.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var ve *validate.Error
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: error %T is not *validate.Error: %v", tc.name, err, err)
+			continue
+		}
+		if ve.Field != tc.field {
+			t.Errorf("%s: field = %q, want %q (%v)", tc.name, ve.Field, tc.field, err)
+		}
+	}
+	if err := (Workload{Topo: nil, Flows: nil}).Validate(); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
+
+// TestMetaDistsValid proves the transcribed Meta CDF tables construct
+// cleanly — the check that used to be an init-time panic.
+func TestMetaDistsValid(t *testing.T) {
+	if metaDistErr != nil {
+		t.Fatalf("built-in Meta distributions failed to build: %v", metaDistErr)
+	}
+	for _, name := range []string{"WebServer", "CacheFollower", "Hadoop"} {
+		d, err := MetaDist(name)
+		if err != nil {
+			t.Fatalf("MetaDist(%s): %v", name, err)
+		}
+		if d == nil || d.Mean() <= 0 {
+			t.Errorf("%s: nil or degenerate distribution", name)
+		}
+	}
+	if _, err := MetaDist("nope"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown name error = %v", err)
+	}
+}

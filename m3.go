@@ -209,6 +209,9 @@ var (
 	WithBatchSize = core.WithBatchSize
 	// WithPool points the estimator at a shared worker pool.
 	WithPool = core.WithPool
+	// WithFlowSimFallback degrades gracefully to raw flowSim estimates
+	// when the ML model is missing or emits non-finite slowdowns.
+	WithFlowSimFallback = core.WithFlowSimFallback
 )
 
 // NewWorkerPool builds a bounded worker pool (n <= 0 means GOMAXPROCS) that

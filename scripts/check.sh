@@ -21,6 +21,18 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fault injection (-race) =="
+# The fault-tolerance suite: panic isolation in the pool, flowSim fallback
+# and panic containment in core, reload/shed/degraded behavior in serve —
+# all with fault hooks armed, under the race detector.
+go test -race -run 'Panic|Fault|Fallback|Degraded|Reload|Admission|Hook' \
+    ./internal/pool/ ./internal/core/ ./internal/serve/ ./internal/faultinject/
+
+echo "== checkpoint fuzz smoke =="
+# Five seconds of coverage-guided corruption against the checkpoint decoder:
+# any input may be rejected, none may panic.
+go test -run '^$' -fuzz '^FuzzCheckpoint$' -fuzztime=5s ./internal/model/
+
 echo "== packetsim determinism =="
 # Golden-parity and pool-reuse tests pin the engine to the frozen
 # bit-identical result hashes; -count=2 reruns them in one process so any
