@@ -1,0 +1,222 @@
+// Command m3fleetbench drives a cluster of m3serve replicas for the
+// scaling benchmarks and the cluster smoke gate.
+//
+// Two modes:
+//
+//	m3fleetbench -mkckpt tiny.ckpt
+//	    Write a small untrained (inference-valid) checkpoint, so benches
+//	    and smoke tests need no training run.
+//
+//	m3fleetbench -targets 127.0.0.1:9001,127.0.0.1:9002 \
+//	    -workload bench -flows 2000 -requests 400 -seeds 64 -paths 64
+//	    Register the workload once (it replicates fleet-wide), then run a
+//	    closed-loop load of estimate requests whose seeds cycle through a
+//	    working set of -seeds distinct cache keys, spread across the
+//	    targets pseudo-randomly. Reports JSON on stdout.
+//
+// The -seeds knob is the point of the benchmark: each distinct seed is a
+// distinct estimate cache key, so -seeds sets the working-set size. A
+// single replica whose LRU is smaller than the working set thrashes; a
+// fleet holds the set partitioned across its owned tiers, and throughput
+// scales with aggregate cache capacity.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"m3/internal/model"
+)
+
+func main() {
+	mkckpt := flag.String("mkckpt", "", "write a tiny untrained checkpoint here and exit")
+	ckptSeed := flag.Uint64("ckpt-seed", 1, "weight-init seed for -mkckpt")
+	targets := flag.String("targets", "", "comma-separated host:port of the replicas to load")
+	workloadName := flag.String("workload", "fleetbench", "workload name to register and estimate")
+	flows := flag.Int("flows", 2000, "synthetic workload size (flows)")
+	requests := flag.Int("requests", 400, "total estimate requests to issue")
+	seeds := flag.Int("seeds", 64, "distinct sampling seeds (estimate cache working-set size)")
+	paths := flag.Int("paths", 64, "sampled paths per estimate")
+	concurrency := flag.Int("concurrency", 4, "closed-loop client workers")
+	method := flag.String("method", "m3", "estimation method (m3 | flowsim | ns3-path)")
+	rngSeed := flag.Int64("rng", 1, "load-generator RNG seed (target + key sequence)")
+	out := flag.String("out", "", "write the JSON report here instead of stdout")
+	flag.Parse()
+
+	if *mkckpt != "" {
+		writeCheckpoint(*mkckpt, *ckptSeed)
+		return
+	}
+	var reps []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			reps = append(reps, "http://"+t)
+		}
+	}
+	if len(reps) == 0 {
+		fatal(fmt.Errorf("-targets is required (or use -mkckpt)"))
+	}
+	if *requests < 1 || *seeds < 1 || *concurrency < 1 {
+		fatal(fmt.Errorf("-requests, -seeds and -concurrency must be positive"))
+	}
+
+	hc := &http.Client{Timeout: 2 * time.Minute}
+	if err := register(hc, reps, *workloadName, *flows); err != nil {
+		fatal(err)
+	}
+
+	type estResp struct {
+		Cached   bool `json:"cached"`
+		Degraded bool `json:"degraded"`
+	}
+	var (
+		issued, failures, degraded, cached atomic.Int64
+		wg                                 sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker deterministic RNG: run-to-run request sequences are
+			// reproducible, and workers do not contend on one source.
+			r := rand.New(rand.NewSource(*rngSeed + int64(w)*7919))
+			for {
+				n := issued.Add(1)
+				if n > int64(*requests) {
+					return
+				}
+				body, _ := json.Marshal(map[string]any{
+					"workload":  *workloadName,
+					"method":    *method,
+					"num_paths": *paths,
+					"seed":      uint64(1 + r.Intn(*seeds)),
+				})
+				target := reps[r.Intn(len(reps))]
+				resp, err := hc.Post(target+"/v1/estimate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				var er estResp
+				if json.Unmarshal(raw, &er) == nil {
+					if er.Cached {
+						cached.Add(1)
+					}
+					if er.Degraded {
+						degraded.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := map[string]any{
+		"replicas":       len(reps),
+		"requests":       *requests,
+		"failures":       failures.Load(),
+		"cached":         cached.Load(),
+		"degraded":       degraded.Load(),
+		"seeds":          *seeds,
+		"paths":          *paths,
+		"concurrency":    *concurrency,
+		"elapsed_s":      elapsed.Seconds(),
+		"throughput_rps": float64(*requests-int(failures.Load())) / elapsed.Seconds(),
+	}
+	enc, _ := json.MarshalIndent(report, "", "  ")
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	os.Stdout.Write(enc)
+}
+
+// register creates the benchmark workload on the first answering replica
+// (fleet replication spreads it), then waits until every replica serves it.
+func register(hc *http.Client, reps []string, name string, flows int) error {
+	body, _ := json.Marshal(map[string]any{
+		"name": name,
+		"spec": map[string]any{"num_flows": flows, "max_load": 0.5, "burstiness": 1.5, "seed": 7},
+	})
+	created := false
+	for _, rep := range reps {
+		resp, err := hc.Post(rep+"/v1/workloads", "application/json", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// 201 = created here; 409 = already registered (a rerun, or
+		// replication from an earlier attempt won the race). Both fine.
+		if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusConflict {
+			created = true
+			break
+		}
+	}
+	if !created {
+		return fmt.Errorf("m3fleetbench: no replica accepted workload %q", name)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, rep := range reps {
+		for {
+			resp, err := hc.Get(rep + "/v1/workloads/" + name)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("m3fleetbench: workload %q never replicated to %s", name, rep)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// writeCheckpoint saves a small untrained model — valid weights, instant to
+// build — which is all serving-path benchmarks need.
+func writeCheckpoint(path string, seed uint64) {
+	cfg := model.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Heads = 2
+	cfg.Layers = 1
+	cfg.Hidden = 32
+	cfg.Seed = seed
+	net, err := model.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := net.SaveFile(path); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "m3fleetbench: wrote %s (%d params)\n", path, net.NumParams())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

@@ -6,10 +6,16 @@
 //
 //	m3serve -checkpoint m3.ckpt [-addr :8053] [-workers N] [-cache 64]
 //
+// Clustered (one process per replica, each listing the others):
+//
+//	m3serve -checkpoint m3.ckpt -addr 127.0.0.1:9001 \
+//	        -peers 127.0.0.1:9002,127.0.0.1:9003 [-scatter]
+//
 // Signals:
 //
 //	SIGHUP          re-read the checkpoint and swap the model atomically
-//	SIGINT/SIGTERM  graceful drain: stop accepting, finish in-flight requests
+//	SIGINT/SIGTERM  graceful drain: deregister from peers, stop accepting,
+//	                finish in-flight requests
 //
 // See internal/serve for the endpoint reference and README.md for a curl
 // walkthrough.
@@ -23,9 +29,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"m3/internal/cluster"
 	"m3/internal/model"
 	"m3/internal/serve"
 )
@@ -34,17 +42,50 @@ func main() {
 	addr := flag.String("addr", ":8053", "listen address")
 	checkpoint := flag.String("checkpoint", "", "trained model checkpoint (required)")
 	workers := flag.Int("workers", 0, "shared path-simulation workers (0 = GOMAXPROCS)")
-	cacheSize := flag.Int("cache", 64, "finished-estimate LRU capacity")
+	cacheSize := flag.Int("cache", 64, "finished-estimate LRU capacity (per tier when clustered)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	maxInflight := flag.Int("max-inflight", 0,
 		"estimation requests admitted concurrently before shedding with 429 (0 = 4x workers, <0 = unlimited)")
 	estimateTimeout := flag.Duration("estimate-timeout", 0,
 		"per-estimate deadline (0 = serve default)")
+	peers := flag.String("peers", "",
+		"comma-separated host:port of the other fleet replicas (empty = standalone)")
+	advertise := flag.String("advertise", "",
+		"address peers dial this replica at (default: -addr when it has a host)")
+	peerTimeout := flag.Duration("peer-timeout", 0,
+		"per-peer-call deadline when clustered (0 = cluster default)")
+	scatter := flag.Bool("scatter", false,
+		"scatter-gather each estimate's per-path work across the fleet")
 	flag.Parse()
 
 	if *checkpoint == "" {
 		fatal(fmt.Errorf("-checkpoint is required (train one with cmd/m3train)"))
 	}
+
+	// Cluster flags are validated before anything listens or loads, so a
+	// typo'd peer list fails in milliseconds with a message naming the flag,
+	// not after the model is up and the first scatter times out.
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	self := *advertise
+	if self == "" && len(peerList) > 0 {
+		self = *addr
+	}
+	if len(peerList) > 0 || self != "" {
+		if err := cluster.ValidateMembers(self, peerList); err != nil {
+			fatal(err)
+		}
+	}
+	if *scatter && len(peerList) == 0 {
+		fatal(fmt.Errorf("-scatter requires -peers (nothing to scatter across)"))
+	}
+
 	net, err := model.LoadFile(*checkpoint)
 	if err != nil {
 		fatal(err)
@@ -56,12 +97,21 @@ func main() {
 		CacheSize:       *cacheSize,
 		MaxInflight:     *maxInflight,
 		EstimateTimeout: *estimateTimeout,
+		Advertise:       self,
+		Peers:           peerList,
+		PeerTimeout:     *peerTimeout,
+		Scatter:         *scatter,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "m3serve: model loaded (%d params), listening on %s\n",
 		net.NumParams(), *addr)
+	if fleet := srv.Fleet(); fleet != nil {
+		adopted := srv.JoinFleet(context.Background())
+		fmt.Fprintf(os.Stderr, "m3serve: fleet of %d (self %s, scatter %v), %d workloads adopted from peers\n",
+			len(fleet.Members()), fleet.Self(), *scatter, adopted)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -90,6 +140,10 @@ func main() {
 			sig, srv.Inflight(), *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Deregister before draining: peers stop scattering to (and
+		// fetching from) this replica immediately, so the drain window holds
+		// only requests that were already here.
+		srv.LeaveFleet(ctx)
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "m3serve: drain incomplete, %d requests abandoned: %v\n",
 				srv.Inflight(), err)

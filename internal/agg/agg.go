@@ -149,3 +149,43 @@ func (e *NetworkEstimate) CombinedQuantile(q float64) float64 {
 
 // CombinedP99 returns the network-wide p99 slowdown across all buckets.
 func (e *NetworkEstimate) CombinedP99() float64 { return e.CombinedQuantile(0.99) }
+
+// Snapshot exports the aggregated state — per-bucket pooled sorted samples
+// and multiplicity-weighted flow counts — for serialization across process
+// boundaries (the cluster's peer cache tier). The returned slices alias the
+// estimate's internals; callers must not modify them.
+func (e *NetworkEstimate) Snapshot() (pooled [][]float64, weight []float64) {
+	return e.pooled, e.weight
+}
+
+// FromSnapshot rebuilds a NetworkEstimate from a Snapshot transported from
+// another replica. Shapes are validated (one pooled slice and one weight per
+// output bucket, finite non-negative weights, finite samples) so a damaged
+// or hostile peer payload is rejected instead of poisoning quantile queries.
+// Pooled samples are re-sorted defensively: quantile lookups assume order.
+func FromSnapshot(pooled [][]float64, weight []float64) (*NetworkEstimate, error) {
+	if len(pooled) != feature.NumOutputBuckets || len(weight) != feature.NumOutputBuckets {
+		return nil, fmt.Errorf("agg: snapshot has %d/%d buckets, want %d",
+			len(pooled), len(weight), feature.NumOutputBuckets)
+	}
+	e := &NetworkEstimate{
+		pooled: make([][]float64, feature.NumOutputBuckets),
+		weight: make([]float64, feature.NumOutputBuckets),
+	}
+	for b := 0; b < feature.NumOutputBuckets; b++ {
+		if math.IsNaN(weight[b]) || math.IsInf(weight[b], 0) || weight[b] < 0 {
+			return nil, fmt.Errorf("agg: snapshot bucket %d has bad weight %v", b, weight[b])
+		}
+		for _, v := range pooled[b] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("agg: snapshot bucket %d has non-finite sample", b)
+			}
+		}
+		e.pooled[b] = append([]float64(nil), pooled[b]...)
+		if !sort.Float64sAreSorted(e.pooled[b]) {
+			sort.Float64s(e.pooled[b])
+		}
+		e.weight[b] = weight[b]
+	}
+	return e, nil
+}

@@ -71,6 +71,16 @@ func (c *LRU[K, V]) Remove(key K) {
 // Len returns the current entry count.
 func (c *LRU[K, V]) Len() int { return c.ll.Len() }
 
+// Keys returns every key, most recently used first. The slice is a
+// snapshot; mutating the cache afterwards does not affect it.
+func (c *LRU[K, V]) Keys() []K {
+	keys := make([]K, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry[K, V]).key)
+	}
+	return keys
+}
+
 // Cap returns the capacity.
 func (c *LRU[K, V]) Cap() int { return c.capacity }
 

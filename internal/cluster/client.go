@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"m3/internal/core"
+)
+
+// PeerError is a peer's structured refusal: the HTTP status plus the
+// machine-readable code from the response body, so callers branch on
+// Retryable(Code) instead of matching message strings.
+type PeerError struct {
+	Peer   string
+	Status int
+	Code   string
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("cluster: peer %s: %s (http %d, code %s)", e.Peer, e.Msg, e.Status, e.Code)
+}
+
+// Retryable reports whether the refusal is transient.
+func (e *PeerError) Retryable() bool { return Retryable(e.Code) }
+
+// Client dials one peer's internal endpoints. Connections are pooled and
+// reused across calls (the fleet chats constantly; handshakes must not be
+// per-request).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the peer at addr (host:port). timeout
+// bounds each call end-to-end unless the caller's ctx is shorter.
+func NewClient(addr string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	return &Client{
+		base: "http://" + addr,
+		hc: &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+}
+
+// post sends one JSON request and decodes the JSON answer into out (out may
+// be nil). Non-2xx answers come back as *PeerError.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// Replicated mutations carry the internal marker so the receiving
+	// replica applies them without re-broadcasting (no forwarding loops).
+	req.Header.Set("X-M3-Internal", "1")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(raw, &eb) != nil || eb.Code == "" {
+			eb = ErrorBody{Error: string(raw), Code: CodeInternal}
+		}
+		return &PeerError{Peer: c.base, Status: resp.StatusCode, Code: eb.Code, Msg: eb.Error}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: decode %s from %s: %w", path, c.base, err)
+	}
+	return nil
+}
+
+// Paths executes one shard on the peer.
+func (c *Client) Paths(ctx context.Context, req *PathsRequest) (*PathsResponse, error) {
+	var resp PathsResponse
+	if err := c.post(ctx, PathsEndpoint, req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Outs) != len(req.Indices) {
+		return nil, fmt.Errorf("cluster: peer %s returned %d outputs for %d paths",
+			c.base, len(resp.Outs), len(req.Indices))
+	}
+	return &resp, nil
+}
+
+// CacheFetch asks the key's owner for a cached estimate. wait joins an
+// in-flight computation at the owner instead of reporting a miss.
+func (c *Client) CacheFetch(ctx context.Context, key core.EstimateKey, wait bool) (*core.Estimate, bool, error) {
+	var resp FetchResponse
+	if err := c.post(ctx, CacheFetchEndpoint, &KeyRequest{Key: key, Wait: wait}, &resp); err != nil {
+		return nil, false, err
+	}
+	if !resp.Hit || resp.Estimate == nil {
+		return nil, false, nil
+	}
+	est, err := resp.Estimate.Estimate()
+	if err != nil {
+		return nil, false, err
+	}
+	return est, true, nil
+}
+
+// CachePut offers a computed estimate to its hash owner.
+func (c *Client) CachePut(ctx context.Context, key core.EstimateKey, est *core.Estimate) error {
+	return c.post(ctx, CachePutEndpoint, &PutRequest{Key: key, Estimate: WireFromEstimate(est)}, nil)
+}
+
+// SyncWorkload replicates one registry mutation.
+func (c *Client) SyncWorkload(ctx context.Context, req *SyncRequest) error {
+	return c.post(ctx, WorkloadSyncEndpoint, req, nil)
+}
+
+// PullWorkloads fetches the peer's full registry (as original creation
+// requests) for a replica joining the fleet.
+func (c *Client) PullWorkloads(ctx context.Context) ([]json.RawMessage, error) {
+	var resp SyncList
+	if err := c.post(ctx, WorkloadSyncEndpoint, &SyncRequest{Op: "pull"}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Workloads, nil
+}
+
+// Invalidate broadcasts a model swap to the peer.
+func (c *Client) Invalidate(ctx context.Context, req *InvalidateRequest) error {
+	return c.post(ctx, InvalidateEndpoint, req, nil)
+}
+
+// Announce sends a membership event ("joining"/"leaving") for addr.
+func (c *Client) Announce(ctx context.Context, addr, event string) error {
+	return c.post(ctx, MembershipEndpoint, &MembershipUpdate{Addr: addr, Event: event}, nil)
+}

@@ -1,0 +1,284 @@
+// Package cluster turns N m3serve replicas into one estimation fleet. It
+// provides the three mechanisms the serving layer composes:
+//
+//   - Membership and placement: a static member set (self + peers from the
+//     -peers flag) with rendezvous (highest-random-weight) hashing, so every
+//     replica independently agrees which member owns a workload name or an
+//     estimate cache key without any coordination traffic.
+//
+//   - Health: per-peer circuit breaking. A failed call marks the peer down
+//     for a cooldown so subsequent requests skip it instead of re-paying the
+//     timeout; an explicit leave (drain-aware shutdown) or join notification
+//     flips it immediately.
+//
+//   - Scatter-gather: partitioning one estimate's sampled paths into
+//     contiguous shards across the live members, fanning the remote shards
+//     out over plain JSON/HTTP on a shared worker pool with first-error
+//     cancellation, and falling back to local computation for any shard
+//     whose peer is down, times out, or answers with a retryable error —
+//     the estimate degrades to "computed with less parallelism", never to
+//     "failed".
+//
+// The wire protocol (wire.go) is deliberately plain JSON over HTTP: Go's
+// float64 JSON encoding round-trips exactly, so a scatter-gathered estimate
+// is byte-identical to the single-process one.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"m3/internal/pool"
+)
+
+// Defaults for Options.
+const (
+	// DefaultPeerTimeout bounds one peer call (shard execution is the slow
+	// case; cache fetches finish in milliseconds).
+	DefaultPeerTimeout = 30 * time.Second
+	// DefaultCooldown is how long a failed peer stays marked down before
+	// the next request probes it again.
+	DefaultCooldown = 2 * time.Second
+)
+
+// Options configures a Fleet.
+type Options struct {
+	// PeerTimeout bounds each peer HTTP call (0 = DefaultPeerTimeout).
+	PeerTimeout time.Duration
+	// Cooldown is how long a peer stays down after a failed call
+	// (0 = DefaultCooldown).
+	Cooldown time.Duration
+}
+
+// Peer is one remote replica: its address, client, and health state.
+type Peer struct {
+	Addr   string
+	Client *Client
+
+	cooldown time.Duration
+	// downUntil is the unix-nano deadline of the current failure cooldown.
+	downUntil atomic.Int64
+	// left marks a peer that announced drain-aware shutdown; it stays down
+	// (no cooldown expiry) until it announces joining again.
+	left     atomic.Bool
+	failures atomic.Int64
+}
+
+// Up reports whether the peer should receive traffic right now.
+func (p *Peer) Up() bool {
+	return !p.left.Load() && time.Now().UnixNano() >= p.downUntil.Load()
+}
+
+// MarkFailure records a failed call: the peer is skipped until the cooldown
+// expires, so one dead replica costs the fleet one timeout per cooldown
+// window instead of one per request.
+func (p *Peer) MarkFailure() {
+	p.failures.Add(1)
+	p.downUntil.Store(time.Now().Add(p.cooldown).UnixNano())
+}
+
+// MarkSuccess clears any failure cooldown.
+func (p *Peer) MarkSuccess() { p.downUntil.Store(0) }
+
+// MarkLeft takes the peer out of rotation until it rejoins (drain-aware
+// shutdown deregistration).
+func (p *Peer) MarkLeft() { p.left.Store(true) }
+
+// MarkJoined returns the peer to rotation immediately.
+func (p *Peer) MarkJoined() {
+	p.left.Store(false)
+	p.downUntil.Store(0)
+}
+
+// Failures returns the cumulative failed-call count.
+func (p *Peer) Failures() int64 { return p.failures.Load() }
+
+// Fleet is one replica's view of the member set. Construct with New; the
+// member list is fixed for the process lifetime (static -peers flag), only
+// health states change.
+type Fleet struct {
+	self    string
+	peers   []*Peer  // sorted by address; excludes self
+	members []string // sorted member addresses, including self
+
+	peerTimeout time.Duration
+	// rpc is the fleet's own small worker pool for peer fan-out — separate
+	// from the CPU-bound path-simulation pool so blocking HTTP calls never
+	// occupy simulation workers (and a scatter shard falling back to local
+	// compute can still get pool workers underneath it).
+	rpc *pool.Pool
+}
+
+// New builds a fleet view for self plus its peers. Addresses must pass
+// ValidateMembers (the caller's flag layer reports those errors with
+// context); New re-checks and fails loudly on violations.
+func New(self string, peerAddrs []string, opts Options) (*Fleet, error) {
+	if err := ValidateMembers(self, peerAddrs); err != nil {
+		return nil, err
+	}
+	if opts.PeerTimeout <= 0 {
+		opts.PeerTimeout = DefaultPeerTimeout
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = DefaultCooldown
+	}
+	f := &Fleet{self: self, peerTimeout: opts.PeerTimeout}
+	for _, addr := range peerAddrs {
+		f.peers = append(f.peers, &Peer{
+			Addr:     addr,
+			Client:   NewClient(addr, opts.PeerTimeout),
+			cooldown: opts.Cooldown,
+		})
+	}
+	sort.Slice(f.peers, func(i, j int) bool { return f.peers[i].Addr < f.peers[j].Addr })
+	f.members = append(f.members, self)
+	for _, p := range f.peers {
+		f.members = append(f.members, p.Addr)
+	}
+	sort.Strings(f.members)
+	f.rpc = newRPCPool(len(f.members))
+	return f, nil
+}
+
+// Self returns this replica's advertised address.
+func (f *Fleet) Self() string { return f.self }
+
+// Members returns all member addresses (including self), sorted.
+func (f *Fleet) Members() []string { return f.members }
+
+// Peers returns the remote peers, sorted by address.
+func (f *Fleet) Peers() []*Peer { return f.peers }
+
+// Peer returns the peer with the given address, or nil (self or unknown).
+func (f *Fleet) Peer(addr string) *Peer {
+	i := sort.Search(len(f.peers), func(i int) bool { return f.peers[i].Addr >= addr })
+	if i < len(f.peers) && f.peers[i].Addr == addr {
+		return f.peers[i]
+	}
+	return nil
+}
+
+// PeerTimeout returns the per-call deadline peers are dialed with.
+func (f *Fleet) PeerTimeout() time.Duration { return f.peerTimeout }
+
+// --- rendezvous hashing -----------------------------------------------------
+
+// rendezvous scores (member, key) with FNV-1a over the member address bytes
+// followed by the key bytes. Highest score owns the key; every replica
+// computes the same winner with zero coordination, and removing a member
+// only moves the keys that member owned (the consistent-hashing property,
+// without a ring or virtual nodes to maintain).
+func rendezvousScore(member string, key uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(member); i++ {
+		h ^= uint64(member[i])
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= key & 0xff
+		h *= prime64
+		key >>= 8
+	}
+	return h
+}
+
+// OwnerOf returns the member that owns the 64-bit key digest, considering
+// every configured member regardless of health (ownership must be stable
+// while a peer bounces; callers fall back when the owner is down).
+func (f *Fleet) OwnerOf(key uint64) string {
+	best := f.members[0]
+	var bestScore uint64
+	for i, m := range f.members {
+		s := rendezvousScore(m, key)
+		if i == 0 || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// OwnerOfName returns the owner of a workload name (hashing the name bytes
+// first). The registry is fully replicated, so name ownership is placement
+// metadata — which replica "homes" a workload — not a routing requirement.
+func (f *Fleet) OwnerOfName(name string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return f.OwnerOf(h)
+}
+
+// --- address validation -----------------------------------------------------
+
+// ValidateAddr rejects addresses that cannot name a peer: the form must be
+// host:port with a non-empty host (peers must be dialable from elsewhere,
+// so ":8053" is not enough) and a numeric port in [1, 65535].
+func ValidateAddr(addr string) error {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("cluster: address %q is not host:port: %v", addr, err)
+	}
+	if host == "" {
+		return fmt.Errorf("cluster: address %q has no host; peers must be dialable (use 127.0.0.1:%s, not :%s)", addr, port, port)
+	}
+	n, err := strconv.Atoi(port)
+	if err != nil || n < 1 || n > 65535 {
+		return fmt.Errorf("cluster: address %q has bad port %q (want 1-65535)", addr, port)
+	}
+	return nil
+}
+
+// ValidateMembers checks a full member configuration up front: self and
+// every peer must be well-formed, self must not appear in the peer list
+// (a replica scattering to itself over HTTP would deadlock its own
+// admission), and no peer may be listed twice (double-weighted ownership
+// and duplicate replication).
+func ValidateMembers(self string, peers []string) error {
+	if err := ValidateAddr(self); err != nil {
+		return fmt.Errorf("%w (self address; set -advertise to how peers reach this replica)", err)
+	}
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if err := ValidateAddr(p); err != nil {
+			return fmt.Errorf("%w (in -peers)", err)
+		}
+		if p == self {
+			return fmt.Errorf("cluster: peer list contains this replica's own address %q; -peers must list only the other replicas", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("cluster: peer %q listed twice in -peers", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// PeerStatus is one peer's health snapshot for /metrics.
+type PeerStatus struct {
+	Addr     string `json:"addr"`
+	Up       bool   `json:"up"`
+	Left     bool   `json:"left"`
+	Failures int64  `json:"failures"`
+}
+
+// Status snapshots every peer's health.
+func (f *Fleet) Status() []PeerStatus {
+	out := make([]PeerStatus, len(f.peers))
+	for i, p := range f.peers {
+		out[i] = PeerStatus{Addr: p.Addr, Up: p.Up(), Left: p.left.Load(), Failures: p.Failures()}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testFleet(t *testing.T, self string, peers ...string) *Fleet {
+	t.Helper()
+	f, err := New(self, peers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// TestOwnerAgreement: every member must independently compute the same
+// owner for the same key — the property that lets the fleet place cache
+// entries with zero coordination.
+func TestOwnerAgreement(t *testing.T) {
+	addrs := []string{"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003", "127.0.0.1:9004"}
+	fleets := make([]*Fleet, len(addrs))
+	for i, self := range addrs {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		fleets[i] = testFleet(t, self, peers...)
+	}
+	for key := uint64(0); key < 1000; key++ {
+		want := fleets[0].OwnerOf(key)
+		for _, f := range fleets[1:] {
+			if got := f.OwnerOf(key); got != want {
+				t.Fatalf("key %d: %s says owner %s, %s says %s",
+					key, fleets[0].Self(), want, f.Self(), got)
+			}
+		}
+	}
+}
+
+// TestOwnerDistribution: rendezvous hashing should spread keys roughly
+// evenly — no member may own a grossly disproportionate share.
+func TestOwnerDistribution(t *testing.T) {
+	f := testFleet(t, "127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003", "127.0.0.1:9004")
+	counts := make(map[string]int)
+	const n = 4000
+	for key := uint64(0); key < n; key++ {
+		counts[f.OwnerOf(key*2654435761)]++
+	}
+	for _, m := range f.Members() {
+		share := float64(counts[m]) / n
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("member %s owns %.1f%% of keys (want ~25%%)", m, 100*share)
+		}
+	}
+}
+
+// TestOwnerStability: removing one member must only move the keys that
+// member owned (the consistent-hashing property).
+func TestOwnerStability(t *testing.T) {
+	four := testFleet(t, "127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003", "127.0.0.1:9004")
+	three := testFleet(t, "127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003")
+	for key := uint64(0); key < 2000; key++ {
+		before := four.OwnerOf(key)
+		after := three.OwnerOf(key)
+		if before != "127.0.0.1:9004" && before != after {
+			t.Fatalf("key %d moved %s -> %s though its owner did not leave", key, before, after)
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	f := testFleet(t, "127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003")
+	shards := f.Partition(10)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	lo, total := 0, 0
+	foundSelf := false
+	for _, sh := range shards {
+		if sh.Lo != lo {
+			t.Fatalf("shard %v not contiguous (want lo %d)", sh, lo)
+		}
+		if sh.Hi-sh.Lo < 3 || sh.Hi-sh.Lo > 4 {
+			t.Fatalf("shard %v not near-equal", sh)
+		}
+		if sh.Member == f.Self() {
+			foundSelf = true
+		}
+		total += sh.Hi - sh.Lo
+		lo = sh.Hi
+	}
+	if total != 10 || !foundSelf {
+		t.Fatalf("partition covered %d paths (self included: %v)", total, foundSelf)
+	}
+
+	// Down peers are excluded; their share redistributes.
+	f.Peer("127.0.0.1:9002").MarkFailure()
+	shards = f.Partition(10)
+	if len(shards) != 2 {
+		t.Fatalf("with one peer down got %d shards, want 2", len(shards))
+	}
+	// More members than paths: shards shrink to one path each.
+	shards = f.Partition(1)
+	if len(shards) != 1 || shards[0].Hi != 1 {
+		t.Fatalf("partition(1) = %v", shards)
+	}
+}
+
+func TestPeerHealth(t *testing.T) {
+	f, err := New("127.0.0.1:9001", []string{"127.0.0.1:9002"}, Options{Cooldown: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer("127.0.0.1:9002")
+	if !p.Up() {
+		t.Fatal("fresh peer should be up")
+	}
+	p.MarkFailure()
+	if p.Up() {
+		t.Fatal("failed peer should be down during cooldown")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if !p.Up() {
+		t.Fatal("cooldown expired, peer should be probed again")
+	}
+	p.MarkLeft()
+	time.Sleep(25 * time.Millisecond)
+	if p.Up() {
+		t.Fatal("left peer must stay down past any cooldown")
+	}
+	p.MarkJoined()
+	if !p.Up() {
+		t.Fatal("rejoined peer should be up")
+	}
+}
+
+func TestValidateMembers(t *testing.T) {
+	cases := []struct {
+		self    string
+		peers   []string
+		wantErr string
+	}{
+		{"127.0.0.1:9001", []string{"127.0.0.1:9002"}, ""},
+		{"127.0.0.1:9001", nil, ""},
+		{":9001", nil, "no host"},
+		{"127.0.0.1", nil, "not host:port"},
+		{"127.0.0.1:0", nil, "bad port"},
+		{"127.0.0.1:notaport", nil, "bad port"},
+		{"127.0.0.1:9001", []string{"127.0.0.1:9001"}, "own address"},
+		{"127.0.0.1:9001", []string{"127.0.0.1:9002", "127.0.0.1:9002"}, "listed twice"},
+		{"127.0.0.1:9001", []string{"broken"}, "not host:port"},
+	}
+	for _, tc := range cases {
+		err := ValidateMembers(tc.self, tc.peers)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("ValidateMembers(%q, %q) = %v, want ok", tc.self, tc.peers, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ValidateMembers(%q, %q) = %v, want error containing %q", tc.self, tc.peers, err, tc.wantErr)
+		}
+	}
+}
+
+func TestRetryableCodes(t *testing.T) {
+	for _, code := range []string{CodeShed, CodeTimeout, CodeModelMismatch} {
+		if !Retryable(code) {
+			t.Errorf("code %s should be retryable", code)
+		}
+	}
+	for _, code := range []string{CodeValidation, CodeNotFound, CodeConflict, CodeInternal, CodeUnprocessable, CodeCanceled} {
+		if Retryable(code) {
+			t.Errorf("code %s should be terminal", code)
+		}
+	}
+}

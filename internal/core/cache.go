@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -72,18 +73,72 @@ type EstimateKey struct {
 	Model    uint64 // model fingerprint; 0 for model-free methods
 }
 
+// Digest folds every key field into one uint64, giving the cluster's
+// rendezvous hash a stable byte string to place the key with. Float fields
+// hash by bit pattern, so two keys compare equal iff their digest inputs
+// match.
+func (k EstimateKey) Digest() uint64 {
+	h := fnv64(fnvOffset64)
+	h.mix(uint64(k.Workload))
+	h.mix(uint64(k.Cfg.CC))
+	h.mix(uint64(k.Cfg.InitWindow))
+	h.mix(uint64(k.Cfg.Buffer))
+	if k.Cfg.PFC {
+		h.mix(1)
+	} else {
+		h.mix(0)
+	}
+	h.mix(uint64(k.Cfg.RTO))
+	h.mix(uint64(k.Cfg.DCTCPK))
+	h.mix(uint64(k.Cfg.DCQCNKmin))
+	h.mix(uint64(k.Cfg.DCQCNKmax))
+	h.mix(math.Float64bits(k.Cfg.HPCCEta))
+	h.mix(math.Float64bits(float64(k.Cfg.HPCCRateAI)))
+	h.mix(uint64(k.Cfg.TimelyTLow))
+	h.mix(uint64(k.Cfg.TimelyTHigh))
+	h.mix(uint64(k.Method))
+	h.mix(uint64(k.NumPaths))
+	h.mix(k.Seed)
+	h.mix(k.Model)
+	return uint64(h)
+}
+
+// PeerFetch is the cache's second tier: given a key this replica does not
+// hold, fetch it from the key's hash owner elsewhere in the fleet. ok
+// reports a hit; failures (peer down, timeout, miss) are all "no".
+type PeerFetch func(ctx context.Context, key EstimateKey) (*Estimate, bool)
+
+// PeerPut offers a freshly computed estimate to the key's hash owner so
+// later misses anywhere in the fleet find it there. Implementations are
+// expected to be asynchronous and best-effort.
+type PeerPut func(key EstimateKey, res *Estimate)
+
 // EstimateCache is a synchronized LRU of finished estimates with
 // single-flight semantics: concurrent requests for the same key share one
 // computation instead of duplicating work. It generalizes the one-entry
 // per-config cache the query REPL used to keep, and is shared by the REPL
 // and the estimation service.
+//
+// When the serving layer runs clustered, the cache becomes two-tier: tier
+// one is the local LRU (plus an "owned" LRU holding entries this replica is
+// the fleet-wide hash owner of), tier two is a peer fetch from the key's
+// owner, consulted on local miss before computing. Computed entries are
+// offered back to their owner via PeerPut, so the fleet's aggregate cache
+// capacity scales with replica count instead of each replica thrashing its
+// own LRU independently.
 type EstimateCache struct {
 	mu       sync.Mutex
 	lru      *cache.LRU[EstimateKey, *Estimate]
+	owned    *cache.LRU[EstimateKey, *Estimate]
 	inflight map[EstimateKey]*inflightEstimate
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	peerFetch PeerFetch
+	peerPut   PeerPut
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	peerHits   atomic.Int64
+	peerMisses atomic.Int64
 }
 
 type inflightEstimate struct {
@@ -93,28 +148,49 @@ type inflightEstimate struct {
 }
 
 // NewEstimateCache returns a cache holding up to capacity finished
-// estimates (capacity <= 0 defaults to 64).
+// estimates (capacity <= 0 defaults to 64). The owned tier — populated only
+// when a cluster peer tier is installed — holds up to the same again.
 func NewEstimateCache(capacity int) *EstimateCache {
 	if capacity <= 0 {
 		capacity = 64
 	}
 	return &EstimateCache{
 		lru:      cache.New[EstimateKey, *Estimate](capacity),
+		owned:    cache.New[EstimateKey, *Estimate](capacity),
 		inflight: make(map[EstimateKey]*inflightEstimate),
 	}
 }
 
+// SetPeerTier installs the cluster hooks that turn the cache two-tier:
+// fetch consults a key's hash owner on local miss, put offers computed
+// entries to their owner. Either may be nil. Install before serving;
+// the hooks are read without synchronization on the miss path.
+func (c *EstimateCache) SetPeerTier(fetch PeerFetch, put PeerPut) {
+	c.mu.Lock()
+	c.peerFetch = fetch
+	c.peerPut = put
+	c.mu.Unlock()
+}
+
 // Do returns the cached estimate for key, or computes it via compute. The
-// second result reports whether the value came from the cache (including
-// joining another caller's in-flight computation). Errors are not cached;
-// if an in-flight leader is cancelled, one waiter takes over and
-// recomputes.
+// second result reports whether the value came from a cache tier (including
+// joining another caller's in-flight computation or a peer fetch). Errors
+// are not cached; if an in-flight leader is cancelled, one waiter takes
+// over and recomputes.
 func (c *EstimateCache) Do(ctx context.Context, key EstimateKey,
 	compute func() (*Estimate, error)) (*Estimate, bool, error) {
 
 	for {
 		c.mu.Lock()
 		if res, ok := c.lru.Get(key); ok {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return res, true, nil
+		}
+		if res, ok := c.owned.Get(key); ok {
+			// Promote: an entry this replica owns fleet-wide is as good as a
+			// local hit; copying it into tier one keeps it hot for repeats.
+			c.lru.Add(key, res)
 			c.mu.Unlock()
 			c.hits.Add(1)
 			return res, true, nil
@@ -142,27 +218,127 @@ func (c *EstimateCache) Do(ctx context.Context, key EstimateKey,
 		}
 		call := &inflightEstimate{done: make(chan struct{})}
 		c.inflight[key] = call
+		fetch, put := c.peerFetch, c.peerPut
 		c.mu.Unlock()
+
+		// Tier two: ask the key's hash owner before paying for a compute.
+		// The fetch runs outside the lock (it is a network call) but inside
+		// the single-flight window, so concurrent same-key requests wait on
+		// this one fetch/compute rather than stampeding the owner.
+		if fetch != nil {
+			if res, ok := fetch(ctx, key); ok {
+				c.peerHits.Add(1)
+				c.mu.Lock()
+				delete(c.inflight, key)
+				c.lru.Add(key, res)
+				c.mu.Unlock()
+				call.res, call.err = res, nil
+				close(call.done)
+				return res, true, nil
+			}
+			c.peerMisses.Add(1)
+			if ctx.Err() != nil {
+				c.resolve(key, call, nil, ctx.Err())
+				return nil, false, ctx.Err()
+			}
+		}
 
 		c.misses.Add(1)
 		res, err := compute()
-		c.mu.Lock()
-		delete(c.inflight, key)
-		if err == nil {
-			c.lru.Add(key, res)
+		c.resolve(key, call, res, err)
+		if err == nil && put != nil {
+			put(key, res)
 		}
-		c.mu.Unlock()
-		call.res, call.err = res, err
-		close(call.done)
 		return res, false, err
 	}
 }
 
-// Get returns the cached estimate for key without computing.
+// resolve finishes an in-flight computation: caches a success and wakes the
+// waiters with the outcome.
+func (c *EstimateCache) resolve(key EstimateKey, call *inflightEstimate, res *Estimate, err error) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.lru.Add(key, res)
+	}
+	c.mu.Unlock()
+	call.res, call.err = res, err
+	close(call.done)
+}
+
+// Get returns the cached estimate for key without computing or touching the
+// peer tier.
 func (c *EstimateCache) Get(key EstimateKey) (*Estimate, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.lru.Get(key)
+	if res, ok := c.lru.Get(key); ok {
+		return res, true
+	}
+	return c.owned.Get(key)
+}
+
+// Fetch answers a peer's cachefetch for a key this replica owns: a hit in
+// either local tier returns immediately; if the key is currently being
+// computed here, the caller joins that computation (bounded by ctx) instead
+// of recomputing on its side — single-flight held across the fleet. A miss
+// is (nil, false, nil).
+func (c *EstimateCache) Fetch(ctx context.Context, key EstimateKey) (*Estimate, bool, error) {
+	c.mu.Lock()
+	if res, ok := c.owned.Get(key); ok {
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if res, ok := c.lru.Get(key); ok {
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	call, ok := c.inflight[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	select {
+	case <-call.done:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	if call.err != nil {
+		return nil, false, nil
+	}
+	return call.res, true, nil
+}
+
+// PutOwned stores an entry this replica is the fleet-wide hash owner of
+// (populated by peers after they compute, or by the owner itself). The
+// owned tier is separate from the request-facing LRU so client traffic
+// churning tier one cannot evict the fleet's partitioned working set.
+func (c *EstimateCache) PutOwned(key EstimateKey, res *Estimate) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	c.owned.Add(key, res)
+	c.mu.Unlock()
+}
+
+// InvalidateModel drops every cached estimate bound to a model fingerprint
+// other than keep (0-model entries — the model-free backends — always
+// survive). Reload broadcasts call this on each replica so no tier can
+// serve results from a checkpoint the fleet has moved off of. Returns the
+// number of entries dropped.
+func (c *EstimateCache) InvalidateModel(keep uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for _, lru := range [...]*cache.LRU[EstimateKey, *Estimate]{c.lru, c.owned} {
+		for _, key := range lru.Keys() {
+			if key.Model != 0 && key.Model != keep {
+				lru.Remove(key)
+				dropped++
+			}
+		}
+	}
+	return dropped
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
@@ -170,12 +346,26 @@ type CacheStats struct {
 	Hits    int64
 	Misses  int64
 	Entries int
+	// Two-tier counters: local misses answered by the key's hash owner
+	// elsewhere in the fleet, and fetches that came back empty.
+	PeerHits   int64
+	PeerMisses int64
+	// OwnedEntries counts entries held for the fleet as this key's owner.
+	OwnedEntries int
 }
 
 // Stats snapshots hit/miss counters and the current entry count.
 func (c *EstimateCache) Stats() CacheStats {
 	c.mu.Lock()
 	entries := c.lru.Len()
+	ownedEntries := c.owned.Len()
 	c.mu.Unlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: entries}
+	return CacheStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Entries:      entries,
+		PeerHits:     c.peerHits.Load(),
+		PeerMisses:   c.peerMisses.Load(),
+		OwnedEntries: ownedEntries,
+	}
 }

@@ -187,32 +187,32 @@ func (e *Estimate) P99PerBucket() [feature.NumOutputBuckets]float64 {
 // P99 returns the network-wide combined p99 slowdown.
 func (e *Estimate) P99() float64 { return e.Agg.CombinedP99() }
 
-// Estimate runs the pipeline on the given workload and network config, with
-// cooperative cancellation threaded down to the per-path backends: when ctx
-// ends (a client disconnect, a deadline), in-flight path simulations abort
-// mid-run and the estimate returns ctx.Err() promptly instead of running
-// every path to completion.
-func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
-	flows []workload.Flow, cfg packetsim.Config) (*Estimate, error) {
+// Plan is the deterministic front half of an estimate: the path
+// decomposition plus the deduplicated weighted path sample. Given the same
+// (topology, flows, numPaths, seed), Plan is identical in every process —
+// pathsim.Decompose orders paths by first appearance in the flow list and
+// the sampler is seeded — which is what lets a cluster coordinator ship
+// bare path indices to replicas and trust they name the same paths there.
+type Plan struct {
+	D *pathsim.Decomposition
+	// Distinct holds the distinct sampled path indices (into D.Paths);
+	// Mult[i] is how many times Distinct[i] was drawn.
+	Distinct []int
+	Mult     []int
 
-	start := time.Now()
-	method := e.method
-	wholeDegraded := false
-	if method == MethodML && e.net == nil {
-		if !e.fallback {
-			return nil, fmt.Errorf("core: MethodML requires a trained model")
-		}
-		// No model at all: the entire run degrades to the flowSim backend.
-		method = MethodFlowSim
-		wholeDegraded = true
-	}
+	decomposeTime time.Duration
+	sampleTime    time.Duration
+}
+
+// Plan decomposes and samples the workload without running any per-path
+// backend. Callers that scatter the per-path work across processes run the
+// plan's shards via RunShard and combine them with Assemble; Estimate does
+// exactly that in-process.
+func (e *Estimator) Plan(t *topo.Topology, flows []workload.Flow) (*Plan, error) {
 	if e.numPaths <= 0 {
 		return nil, fmt.Errorf("core: NumPaths must be positive")
 	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	var st StageTimings
+	start := time.Now()
 	d := e.decomp
 	if d == nil {
 		// An injected decomposition was validated when it was built; a raw
@@ -227,7 +227,8 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 			return nil, err
 		}
 	}
-	st.Decompose = time.Since(start)
+	p := &Plan{D: d}
+	p.decomposeTime = time.Since(start)
 
 	sampleStart := time.Now()
 	r := rng.New(e.seed)
@@ -235,9 +236,53 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 	if err != nil {
 		return nil, err
 	}
-	distinct, mult := sampling.Dedup(sample)
-	st.Sample = time.Since(sampleStart)
+	p.Distinct, p.Mult = sampling.Dedup(sample)
+	p.sampleTime = time.Since(sampleStart)
+	return p, nil
+}
 
+// ShardResult is one shard's per-path outputs plus its backend cost, in the
+// JSON-transportable form the cluster's /internal/v1/paths endpoint returns.
+type ShardResult struct {
+	// Outs[i] is the output of path distinct[i] (same order as the request).
+	Outs []agg.PathOutput
+	// PathSimNs and PredictNs are summed backend time across workers.
+	PathSimNs int64
+	PredictNs int64
+	// DegradedPaths counts paths that fell back from ML to flowSim.
+	DegradedPaths int
+}
+
+// RunShard executes the per-path backends for one slice of a plan's
+// distinct paths — distinct[i] indexes d.Paths and mult[i] is its sampling
+// multiplicity. It is the unit of scatter-gather: a coordinator partitions
+// a plan's paths into contiguous shards and runs each wherever it likes;
+// concatenating the shard outputs in plan order reproduces exactly what a
+// single-process Estimate computes.
+func (e *Estimator) RunShard(ctx context.Context, d *pathsim.Decomposition,
+	distinct, mult []int, cfg packetsim.Config) (*ShardResult, error) {
+
+	if len(distinct) != len(mult) {
+		return nil, fmt.Errorf("core: shard has %d paths but %d multiplicities", len(distinct), len(mult))
+	}
+	for i, pi := range distinct {
+		if pi < 0 || pi >= len(d.Paths) {
+			return nil, fmt.Errorf("core: shard path index %d out of range [0,%d)", pi, len(d.Paths))
+		}
+		if mult[i] <= 0 {
+			return nil, fmt.Errorf("core: shard multiplicity %d must be positive", mult[i])
+		}
+	}
+	method := e.method
+	wholeDegraded := false
+	if method == MethodML && e.net == nil {
+		if !e.fallback {
+			return nil, fmt.Errorf("core: MethodML requires a trained model")
+		}
+		// No model at all: the entire shard degrades to the flowSim backend.
+		method = MethodFlowSim
+		wholeDegraded = true
+	}
 	// Workers pull path indices from the pool; the first error (or a done
 	// ctx) cancels the remaining paths instead of running them all out.
 	pool := e.pool
@@ -245,11 +290,12 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 		pool = NewPool(e.workers)
 		defer pool.Close()
 	}
-	outs := make([]agg.PathOutput, len(distinct))
+	sr := &ShardResult{Outs: make([]agg.PathOutput, len(distinct))}
 	var pathSimNs, predictNs atomic.Int64
 	var degraded atomic.Int64
+	var err error
 	if method == MethodML {
-		err = e.estimateMLBatched(ctx, pool, d, distinct, mult, cfg, outs, &pathSimNs, &predictNs, &degraded)
+		err = e.estimateMLBatched(ctx, pool, d, distinct, mult, cfg, sr.Outs, &pathSimNs, &predictNs, &degraded)
 	} else {
 		err = pool.Run(ctx, len(distinct), func(ctx context.Context, i int) error {
 			faultinject.At("core.path", distinct[i])
@@ -257,35 +303,77 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 			if err != nil {
 				return fmt.Errorf("core: path %d: %w", distinct[i], err)
 			}
-			outs[i] = out
+			sr.Outs[i] = out
 			return nil
 		})
 	}
 	if err != nil {
 		return nil, err
 	}
-	st.PathSim = time.Duration(pathSimNs.Load())
-	st.Predict = time.Duration(predictNs.Load())
+	sr.PathSimNs = pathSimNs.Load()
+	sr.PredictNs = predictNs.Load()
+	sr.DegradedPaths = int(degraded.Load())
+	if wholeDegraded {
+		sr.DegradedPaths = len(distinct)
+	}
+	return sr, nil
+}
 
+// Assemble aggregates per-path outputs — ordered exactly as p.Distinct —
+// into the final estimate. st carries the caller's PathSim/Predict totals;
+// the plan's Decompose/Sample timings and the Aggregate stage are filled in
+// here. Elapsed is left zero for the caller to stamp.
+func (p *Plan) Assemble(outs []agg.PathOutput, st StageTimings, degradedPaths int) (*Estimate, error) {
+	if len(outs) != len(p.Distinct) {
+		return nil, fmt.Errorf("core: assemble got %d outputs for %d sampled paths", len(outs), len(p.Distinct))
+	}
+	st.Decompose = p.decomposeTime
+	st.Sample = p.sampleTime
 	aggStart := time.Now()
 	a, err := agg.Aggregate(outs)
 	if err != nil {
 		return nil, err
 	}
 	st.Aggregate = time.Since(aggStart)
-	degradedPaths := int(degraded.Load())
-	if wholeDegraded {
-		degradedPaths = len(distinct)
-	}
 	return &Estimate{
 		Agg:           a,
-		DistinctPaths: len(distinct),
-		TotalPaths:    len(d.Paths),
-		Elapsed:       time.Since(start),
+		DistinctPaths: len(p.Distinct),
+		TotalPaths:    len(p.D.Paths),
 		Stages:        st,
 		Degraded:      degradedPaths > 0,
 		DegradedPaths: degradedPaths,
 	}, nil
+}
+
+// Estimate runs the pipeline on the given workload and network config, with
+// cooperative cancellation threaded down to the per-path backends: when ctx
+// ends (a client disconnect, a deadline), in-flight path simulations abort
+// mid-run and the estimate returns ctx.Err() promptly instead of running
+// every path to completion.
+func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
+	flows []workload.Flow, cfg packetsim.Config) (*Estimate, error) {
+
+	start := time.Now()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := e.Plan(t, flows)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := e.RunShard(ctx, plan.D, plan.Distinct, plan.Mult, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := plan.Assemble(sr.Outs, StageTimings{
+		PathSim: time.Duration(sr.PathSimNs),
+		Predict: time.Duration(sr.PredictNs),
+	}, sr.DegradedPaths)
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
 }
 
 // estimateMLBatched is the ML backend's two-stage pipeline: the worker pool

@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"m3/internal/cluster"
+	"m3/internal/core"
+)
+
+// This file is the server side of the cluster protocol: the
+// /internal/v1/* handlers every replica mounts when it runs as part of a
+// fleet, plus the peer-tier hooks the estimate cache calls on local
+// misses. All of it is plain JSON over HTTP between replicas that trust
+// each other; the public API surface is unchanged.
+
+// --- scatter-gather shard execution ----------------------------------------
+
+// handleInternalPaths executes one shard of a peer's scatter-gathered
+// estimate: a slice of the coordinator's sampled path indices, run under
+// this replica's own pool, model, and admission control. Refusals are
+// structured (shed, model_mismatch, conflict) so the coordinator can tell
+// "healthy peer saying not now" from "peer in trouble".
+func (s *Server) handleInternalPaths(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	var req cluster.PathsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, ok := s.workload(req.Workload)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no workload %q", req.Workload))
+		return
+	}
+	if uint64(wl.Hash) != req.Hash {
+		// Registry skew: this replica's copy of the workload is not the one
+		// the coordinator planned against. Running the shard anyway would
+		// index into a different decomposition and silently compute wrong
+		// paths, so refuse and let the coordinator compute it locally.
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("serve: workload %q hash mismatch (have %x, shard wants %x)",
+				req.Workload, uint64(wl.Hash), req.Hash))
+		return
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fp := s.modelFP.Load()
+	if method == core.MethodML && req.ModelFP != 0 && req.ModelFP != fp {
+		// A reload is propagating through the fleet; mixing model
+		// generations inside one estimate would produce answers no single
+		// process could. Retryable: the coordinator recomputes locally now
+		// and the fleet converges via the invalidate broadcast.
+		writeErrorCode(w, http.StatusConflict, cluster.CodeModelMismatch,
+			fmt.Errorf("serve: serving model %s, shard pinned %s",
+				fingerprintString(fp), fingerprintString(req.ModelFP)))
+		return
+	}
+	d, err := wl.Decomposition()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.estTimeout)
+	defer cancel()
+	est := core.NewEstimator(s.net.Load(),
+		core.WithMethod(method),
+		core.WithBatchSize(s.opts.BatchSize),
+		core.WithPool(s.pool),
+		core.WithDecomposition(d),
+		core.WithFlowSimFallback(true))
+	sr, err := est.RunShard(ctx, d, req.Indices, req.Mults, req.Cfg)
+	if err != nil {
+		writeError(w, errorCode(r, err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.PathsResponse{
+		Outs:          sr.Outs,
+		PathSimNs:     sr.PathSimNs,
+		PredictNs:     sr.PredictNs,
+		DegradedPaths: sr.DegradedPaths,
+	})
+}
+
+// --- two-tier cache: owner side --------------------------------------------
+
+// handleInternalCacheFetch answers a peer's tier-two lookup for a key this
+// replica owns. Wait joins an in-flight local computation (fleet-wide
+// single-flight) instead of reporting a miss the peer would then recompute.
+func (s *Server) handleInternalCacheFetch(w http.ResponseWriter, r *http.Request) {
+	var req cluster.KeyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		res *core.Estimate
+		hit bool
+	)
+	if req.Wait {
+		ctx, cancel := context.WithTimeout(r.Context(), s.estTimeout)
+		defer cancel()
+		var err error
+		res, hit, err = s.cache.Fetch(ctx, req.Key)
+		if err != nil {
+			writeError(w, errorCode(r, err), err)
+			return
+		}
+	} else {
+		res, hit = s.cache.Get(req.Key)
+	}
+	resp := cluster.FetchResponse{Hit: hit}
+	if hit {
+		resp.Estimate = cluster.WireFromEstimate(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleInternalCachePut stores an estimate a peer computed for a key this
+// replica owns. The wire snapshot is validated before it can enter the
+// cache — a peer cannot poison the owned tier with malformed data.
+func (s *Server) handleInternalCachePut(w http.ResponseWriter, r *http.Request) {
+	var req cluster.PutRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Estimate == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: cacheput without estimate"))
+		return
+	}
+	res, err := req.Estimate.Estimate()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.cache.PutOwned(req.Key, res)
+	writeJSON(w, http.StatusOK, map[string]bool{"stored": true})
+}
+
+// peerFetch is the estimate cache's second tier: on a local miss, ask the
+// key's rendezvous owner before paying for a compute. Any trouble — owner
+// is self, owner down, transport error, clean miss — is simply "no", and
+// the caller computes locally; the peer tier can only ever save work.
+func (s *Server) peerFetch(ctx context.Context, key core.EstimateKey) (*core.Estimate, bool) {
+	owner := s.fleet.OwnerOf(key.Digest())
+	if owner == s.fleet.Self() {
+		return nil, false
+	}
+	p := s.fleet.Peer(owner)
+	if p == nil || !p.Up() {
+		return nil, false
+	}
+	callCtx, cancel := context.WithTimeout(ctx, s.fleet.PeerTimeout())
+	defer cancel()
+	res, ok, err := p.Client.CacheFetch(callCtx, key, true)
+	if err != nil {
+		s.markPeerError(p, err)
+		return nil, false
+	}
+	p.MarkSuccess()
+	return res, ok
+}
+
+// peerPut offers a freshly computed estimate to its hash owner,
+// asynchronously and best-effort: estimate latency never waits on cache
+// placement, and a failed put costs nothing but a future peer miss.
+func (s *Server) peerPut(key core.EstimateKey, res *core.Estimate) {
+	owner := s.fleet.OwnerOf(key.Digest())
+	if owner == s.fleet.Self() {
+		s.cache.PutOwned(key, res)
+		return
+	}
+	p := s.fleet.Peer(owner)
+	if p == nil || !p.Up() {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), s.fleet.PeerTimeout())
+		defer cancel()
+		if err := p.Client.CachePut(ctx, key, res); err != nil {
+			s.metrics.syncErrors.Add(1)
+			s.markPeerError(p, err)
+		}
+	}()
+}
+
+// markPeerError trips the peer's circuit breaker for transport-level
+// trouble only. A structured refusal (*cluster.PeerError) came from a
+// replica healthy enough to answer; marking it down would also cut it out
+// of the cache tier for nothing.
+func (s *Server) markPeerError(p *cluster.Peer, err error) {
+	if _, ok := err.(*cluster.PeerError); !ok {
+		p.MarkFailure()
+	}
+}
+
+// --- registry replication ---------------------------------------------------
+
+// handleInternalWorkloadSync applies a replicated registry mutation, or
+// serves the full registry to a (re)joining replica. Mutations are
+// idempotent and last-writer-wins: replicas rebuild the workload from the
+// original creation request (deterministic spec seeds or raw trace bytes),
+// so every member materializes bit-identical flows.
+func (s *Server) handleInternalWorkloadSync(w http.ResponseWriter, r *http.Request) {
+	var req cluster.SyncRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch req.Op {
+	case "create":
+		var wreq workloadRequest
+		if err := json.Unmarshal(req.Request, &wreq); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		wl, err := buildWorkload(&wreq)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		wl.raw = req.Request
+		s.mu.Lock()
+		s.workloads[wl.Name] = wl
+		s.mu.Unlock()
+		s.metrics.workloadsSynced.Add(1)
+		writeJSON(w, http.StatusOK, wl.info())
+	case "delete":
+		s.mu.Lock()
+		delete(s.workloads, req.Name)
+		s.mu.Unlock()
+		s.metrics.workloadsSynced.Add(1)
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": req.Name})
+	case "pull":
+		s.mu.RLock()
+		list := cluster.SyncList{Workloads: make([]json.RawMessage, 0, len(s.workloads))}
+		for _, wl := range s.workloads {
+			if wl.raw != nil {
+				list.Workloads = append(list.Workloads, wl.raw)
+			}
+		}
+		s.mu.RUnlock()
+		writeJSON(w, http.StatusOK, list)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown sync op %q", req.Op))
+	}
+}
+
+// replicate fans a registry mutation out to every peer, asynchronously:
+// the client's create/delete answers at local speed, and a peer that is
+// down simply misses the update (it pulls the full registry when it
+// rejoins). raw is nil for deletes.
+func (s *Server) replicate(op, name string, raw json.RawMessage) {
+	if s.fleet == nil {
+		return
+	}
+	req := &cluster.SyncRequest{Op: op, Name: name, Request: raw}
+	for _, p := range s.fleet.Peers() {
+		p := p
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), s.fleet.PeerTimeout())
+			defer cancel()
+			if err := p.Client.SyncWorkload(ctx, req); err != nil {
+				s.metrics.syncErrors.Add(1)
+				s.markPeerError(p, err)
+			}
+		}()
+	}
+}
+
+// --- model invalidation -----------------------------------------------------
+
+// handleInternalInvalidate applies a peer's model-swap broadcast: drop
+// every cached estimate keyed to another fingerprint, then converge on the
+// same checkpoint if this replica is still serving a different model. The
+// reload here never re-broadcasts (only the external /v1/reload handler
+// originates invalidations), so broadcasts cannot loop.
+func (s *Server) handleInternalInvalidate(w http.ResponseWriter, r *http.Request) {
+	var req cluster.InvalidateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	dropped := s.cache.InvalidateModel(req.Fingerprint)
+	s.metrics.invalidations.Add(1)
+	if s.modelFP.Load() != req.Fingerprint && req.Checkpoint != "" {
+		// Best-effort: a failed reload keeps the current model serving (the
+		// fingerprint pin on shard requests contains the damage to "this
+		// replica computes fewer shards"), so it degrades, never errors.
+		_ = s.Reload(req.Checkpoint)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dropped": dropped,
+		"model":   fingerprintString(s.modelFP.Load()),
+	})
+}
+
+// broadcastInvalidate tells every peer about a model swap (fire-and-forget;
+// a peer that misses it still refuses mismatched shards via the
+// fingerprint pin, then converges on its next broadcast or restart).
+func (s *Server) broadcastInvalidate(fingerprint uint64, checkpoint string) {
+	if s.fleet == nil {
+		return
+	}
+	req := &cluster.InvalidateRequest{Fingerprint: fingerprint, Checkpoint: checkpoint}
+	for _, p := range s.fleet.Peers() {
+		p := p
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), s.fleet.PeerTimeout())
+			defer cancel()
+			if err := p.Client.Invalidate(ctx, req); err != nil {
+				s.metrics.syncErrors.Add(1)
+				s.markPeerError(p, err)
+			}
+		}()
+	}
+}
+
+// --- membership -------------------------------------------------------------
+
+// handleInternalMembership applies a join/leave announcement, flipping the
+// peer's health immediately instead of waiting for a timeout to discover
+// the change.
+func (s *Server) handleInternalMembership(w http.ResponseWriter, r *http.Request) {
+	var req cluster.MembershipUpdate
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p := s.fleet.Peer(req.Addr)
+	if p == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("serve: %q is not in this replica's peer list", req.Addr))
+		return
+	}
+	switch req.Event {
+	case "joining":
+		p.MarkJoined()
+	case "leaving":
+		p.MarkLeft()
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown membership event %q", req.Event))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"peer": req.Addr, "event": req.Event})
+}
+
+// JoinFleet announces this replica to its peers and pulls the full
+// workload registry from the first peer that answers, so a replica joining
+// (or restarting into) a running fleet serves the same registry as
+// everyone else. Best-effort by design: at cold start every member joins
+// simultaneously and nobody has anything to pull. Returns the number of
+// workloads adopted.
+func (s *Server) JoinFleet(ctx context.Context) int {
+	if s.fleet == nil {
+		return 0
+	}
+	for _, p := range s.fleet.Peers() {
+		callCtx, cancel := context.WithTimeout(ctx, s.fleet.PeerTimeout())
+		_ = p.Client.Announce(callCtx, s.fleet.Self(), "joining")
+		cancel()
+	}
+	adopted := 0
+	for _, p := range s.fleet.Peers() {
+		callCtx, cancel := context.WithTimeout(ctx, s.fleet.PeerTimeout())
+		raws, err := p.Client.PullWorkloads(callCtx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		for _, raw := range raws {
+			var wreq workloadRequest
+			if err := json.Unmarshal(raw, &wreq); err != nil {
+				continue
+			}
+			s.mu.RLock()
+			_, exists := s.workloads[wreq.Name]
+			s.mu.RUnlock()
+			if exists {
+				continue
+			}
+			wl, err := buildWorkload(&wreq)
+			if err != nil {
+				continue
+			}
+			wl.raw = raw
+			s.mu.Lock()
+			if _, exists := s.workloads[wl.Name]; !exists {
+				s.workloads[wl.Name] = wl
+				adopted++
+			}
+			s.mu.Unlock()
+		}
+		return adopted
+	}
+	return adopted
+}
+
+// LeaveFleet announces drain-aware shutdown to every peer so they stop
+// scattering to (and fetching from) this replica immediately, instead of
+// discovering the drain one timeout at a time.
+func (s *Server) LeaveFleet(ctx context.Context) {
+	if s.fleet == nil {
+		return
+	}
+	for _, p := range s.fleet.Peers() {
+		callCtx, cancel := context.WithTimeout(ctx, s.fleet.PeerTimeout())
+		_ = p.Client.Announce(callCtx, s.fleet.Self(), "leaving")
+		cancel()
+	}
+}

@@ -99,6 +99,18 @@ type Metrics struct {
 	degradedEstimates atomic.Int64
 	degradedPaths     atomic.Int64
 
+	// Cluster counters: estimates executed via scatter-gather, shards peers
+	// actually computed, shards that fell back to local compute, registry
+	// mutations applied from peers, fire-and-forget peer calls that failed
+	// (replication, cache puts, invalidate broadcasts), and model
+	// invalidation broadcasts received.
+	scatterEstimates      atomic.Int64
+	scatterRemoteShards   atomic.Int64
+	scatterFallbackShards atomic.Int64
+	workloadsSynced       atomic.Int64
+	syncErrors            atomic.Int64
+	invalidations         atomic.Int64
+
 	// Cumulative per-stage estimator time (ns).
 	decomposeNs atomic.Int64
 	sampleNs    atomic.Int64
@@ -132,8 +144,10 @@ func (m *Metrics) recordStages(st core.StageTimings) {
 	m.aggregateNs.Add(int64(st.Aggregate))
 }
 
-// snapshot renders all counters for the /metrics endpoint.
-func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP uint64) map[string]any {
+// snapshot renders all counters for the /metrics endpoint. clusterInfo is
+// the fleet section (nil when standalone).
+func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP uint64,
+	clusterInfo map[string]any) map[string]any {
 	m.mu.Lock()
 	routes := make(map[string]any, len(m.routes))
 	for name, rs := range m.routes {
@@ -150,7 +164,7 @@ func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP 
 	if total := cacheStats.Hits + cacheStats.Misses; total > 0 {
 		hitRate = float64(cacheStats.Hits) / float64(total)
 	}
-	return map[string]any{
+	out := map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"inflight":       m.inflight.Load(),
 		"shed":           m.shed.Load(),
@@ -161,10 +175,13 @@ func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP 
 		},
 		"requests": routes,
 		"cache": map[string]any{
-			"hits":     cacheStats.Hits,
-			"misses":   cacheStats.Misses,
-			"entries":  cacheStats.Entries,
-			"hit_rate": hitRate,
+			"hits":          cacheStats.Hits,
+			"misses":        cacheStats.Misses,
+			"entries":       cacheStats.Entries,
+			"hit_rate":      hitRate,
+			"peer_hits":     cacheStats.PeerHits,
+			"peer_misses":   cacheStats.PeerMisses,
+			"owned_entries": cacheStats.OwnedEntries,
 		},
 		"estimates": m.estimates.Load(),
 		"stages_ms": map[string]any{
@@ -181,6 +198,18 @@ func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP 
 			"reloads_rejected": m.reloadRejected.Load(),
 		},
 	}
+	if clusterInfo != nil {
+		clusterInfo["scatter"] = map[string]any{
+			"estimates":       m.scatterEstimates.Load(),
+			"remote_shards":   m.scatterRemoteShards.Load(),
+			"fallback_shards": m.scatterFallbackShards.Load(),
+		}
+		clusterInfo["workloads_synced"] = m.workloadsSynced.Load()
+		clusterInfo["sync_errors"] = m.syncErrors.Load()
+		clusterInfo["invalidations"] = m.invalidations.Load()
+		out["cluster"] = clusterInfo
+	}
+	return out
 }
 
 func fingerprintString(fp uint64) string {

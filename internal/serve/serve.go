@@ -20,10 +20,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime"
@@ -34,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"m3/internal/cluster"
 	"m3/internal/core"
 	"m3/internal/faultinject"
 	"m3/internal/feature"
@@ -79,6 +82,22 @@ type Options struct {
 	// EstimateTimeout bounds one estimate's wall clock
 	// (0 = DefaultEstimateTimeout).
 	EstimateTimeout time.Duration
+
+	// Advertise is this replica's address as peers dial it (host:port).
+	// Setting it together with Peers runs the server as one replica of an
+	// N-member fleet: the workload registry replicates on create/delete,
+	// the estimate cache grows a peer tier partitioned by rendezvous hash,
+	// and (with Scatter) big estimates fan their per-path work out across
+	// the live members. Empty = standalone, exactly the pre-cluster server.
+	Advertise string
+	// Peers lists the other replicas' advertised addresses.
+	Peers []string
+	// PeerTimeout bounds each internal peer call (0 = cluster default).
+	PeerTimeout time.Duration
+	// Scatter enables scatter-gather execution of estimates across the
+	// fleet. Off, replicas still share the registry and the two-tier
+	// cache but each computes its own estimates whole.
+	Scatter bool
 }
 
 // Server is the m3 estimation service. Create with New, mount as an
@@ -101,6 +120,9 @@ type Server struct {
 	// is rejected with 409, not queued).
 	reloadMu   sync.Mutex
 	estTimeout time.Duration
+
+	// fleet is the cluster membership view; nil when standalone.
+	fleet *cluster.Fleet
 
 	mux *http.ServeMux
 }
@@ -133,14 +155,35 @@ func New(opts Options) (*Server, error) {
 	if s.estTimeout <= 0 {
 		s.estTimeout = DefaultEstimateTimeout
 	}
+	if opts.Advertise != "" || len(opts.Peers) > 0 {
+		fleet, err := cluster.New(opts.Advertise, opts.Peers, cluster.Options{
+			PeerTimeout: opts.PeerTimeout,
+		})
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.fleet = fleet
+		// The estimate cache becomes two-tier: local miss → ask the key's
+		// rendezvous owner; local compute → offer the result to the owner.
+		s.cache.SetPeerTier(s.peerFetch, s.peerPut)
+	}
 	s.SwapModel(opts.Net)
 	s.routes()
 	return s, nil
 }
 
-// Close releases the worker pool. In-flight Run calls must have finished
-// (drain the HTTP server first).
-func (s *Server) Close() { s.pool.Close() }
+// Close releases the worker pool and the peer fan-out pool. In-flight Run
+// calls must have finished (drain the HTTP server first).
+func (s *Server) Close() {
+	s.pool.Close()
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
+}
+
+// Fleet returns the cluster membership view (nil when standalone).
+func (s *Server) Fleet() *cluster.Fleet { return s.fleet }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -211,6 +254,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/quantiles", h("quantiles", s.handleQuantiles))
 	s.mux.HandleFunc("POST /v1/whatif", h("whatif", s.handleWhatIf))
 	s.mux.HandleFunc("POST /v1/reload", h("reload", s.handleReload))
+	if s.fleet != nil {
+		s.mux.HandleFunc("POST "+cluster.PathsEndpoint, h("internal_paths", s.handleInternalPaths))
+		s.mux.HandleFunc("POST "+cluster.CacheFetchEndpoint, h("internal_cachefetch", s.handleInternalCacheFetch))
+		s.mux.HandleFunc("POST "+cluster.CachePutEndpoint, h("internal_cacheput", s.handleInternalCachePut))
+		s.mux.HandleFunc("POST "+cluster.WorkloadSyncEndpoint, h("internal_workload_sync", s.handleInternalWorkloadSync))
+		s.mux.HandleFunc("POST "+cluster.InvalidateEndpoint, h("internal_invalidate", s.handleInternalInvalidate))
+		s.mux.HandleFunc("POST "+cluster.MembershipEndpoint, h("internal_membership", s.handleInternalMembership))
+	}
 }
 
 // --- plumbing ---------------------------------------------------------------
@@ -223,8 +274,39 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeError answers with the JSON error envelope {"error", "code"}: the
+// human-readable message plus a stable machine-readable code, so cluster
+// peers (and clients) distinguish retryable failures (shed, timeout) from
+// terminal ones (validation) without matching message strings. The code is
+// derived from the HTTP status; handlers with a sharper classification use
+// writeErrorCode directly.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeErrorCode(w, status, codeForStatus(status), err)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, cluster.ErrorBody{Error: err.Error(), Code: code})
+}
+
+// codeForStatus maps an HTTP status to the default machine-readable code.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return cluster.CodeValidation
+	case http.StatusNotFound:
+		return cluster.CodeNotFound
+	case http.StatusConflict:
+		return cluster.CodeConflict
+	case http.StatusTooManyRequests:
+		return cluster.CodeShed
+	case http.StatusGatewayTimeout:
+		return cluster.CodeTimeout
+	case 499:
+		return cluster.CodeCanceled
+	case http.StatusUnprocessableEntity:
+		return cluster.CodeUnprocessable
+	}
+	return cluster.CodeInternal
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -360,6 +442,9 @@ func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Meth
 			core.WithPool(s.pool),
 			core.WithDecomposition(d),
 			core.WithFlowSimFallback(true))
+		if s.fleet != nil && s.opts.Scatter {
+			return s.scatterEstimate(ctx, est, wl, method, fp, cfg)
+		}
 		return est.Estimate(ctx, wl.FT.Topology, wl.Flows, cfg)
 	})
 	if err == nil && !cached {
@@ -370,6 +455,67 @@ func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Meth
 		}
 	}
 	return res, cached, err
+}
+
+// scatterMinPaths is the smallest sampled-path count worth scattering; a
+// tiny estimate's HTTP overhead would dwarf the shard work.
+const scatterMinPaths = 8
+
+// scatterEstimate runs one estimate with its per-path work partitioned
+// across the fleet's live members. The plan (decompose + sample) is
+// computed here; peers receive bare path indices, valid because the
+// replicated registry makes every member's decomposition identical (the
+// request carries the workload hash so skew is refused, not silently
+// miscomputed). A shard whose peer fails is recomputed locally and the
+// estimate is marked Degraded — the fleet losing a member costs latency,
+// never correctness or availability.
+func (s *Server) scatterEstimate(ctx context.Context, est *core.Estimator,
+	wl *Workload, method core.Method, fp uint64, cfg packetsim.Config) (*core.Estimate, error) {
+
+	start := time.Now()
+	plan, err := est.Plan(wl.FT.Topology, wl.Flows)
+	if err != nil {
+		return nil, err
+	}
+	local := func(ctx context.Context, distinct, mult []int) (*core.ShardResult, error) {
+		return est.RunShard(ctx, plan.D, distinct, mult, cfg)
+	}
+	var sr *core.ShardResult
+	var stats *cluster.ScatterStats
+	if len(plan.Distinct) < scatterMinPaths {
+		sr, err = local(ctx, plan.Distinct, plan.Mult)
+	} else {
+		tmpl := &cluster.PathsRequest{
+			Workload: wl.Name,
+			Hash:     uint64(wl.Hash),
+			Method:   method.String(),
+			ModelFP:  fp,
+			Cfg:      cfg,
+		}
+		sr, stats, err = s.fleet.Scatter(ctx, tmpl, plan.Distinct, plan.Mult, local)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := plan.Assemble(sr.Outs, core.StageTimings{
+		PathSim: time.Duration(sr.PathSimNs),
+		Predict: time.Duration(sr.PredictNs),
+	}, sr.DegradedPaths)
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	if stats != nil {
+		s.metrics.scatterEstimates.Add(1)
+		s.metrics.scatterRemoteShards.Add(int64(stats.RemoteShards))
+		s.metrics.scatterFallbackShards.Add(int64(stats.FallbackShards))
+		if stats.FallbackShards > 0 {
+			// Surfaced exactly like a model fallback: the answer is valid
+			// but the fleet did not execute as planned.
+			res.Degraded = true
+		}
+	}
+	return res, nil
 }
 
 // --- handlers ---------------------------------------------------------------
@@ -383,13 +529,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	net := s.net.Load()
+	var clusterInfo map[string]any
+	if s.fleet != nil {
+		clusterInfo = map[string]any{
+			"self":    s.fleet.Self(),
+			"members": len(s.fleet.Members()),
+			"peers":   s.fleet.Status(),
+		}
+	}
 	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(s.cache.Stats(), net.NumParams(), s.modelFP.Load()))
+		s.metrics.snapshot(s.cache.Stats(), net.NumParams(), s.modelFP.Load(), clusterInfo))
 }
 
 func (s *Server) handleWorkloadCreate(w http.ResponseWriter, r *http.Request) {
+	// The body is read whole (bounded by MaxBytesReader) so the original
+	// request bytes can be retained for cluster replication.
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	var req workloadRequest
-	if err := decodeBody(r, &req); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -398,6 +561,7 @@ func (s *Server) handleWorkloadCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	wl.raw = raw
 	s.mu.Lock()
 	if _, exists := s.workloads[wl.Name]; exists {
 		s.mu.Unlock()
@@ -406,6 +570,7 @@ func (s *Server) handleWorkloadCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.workloads[wl.Name] = wl
 	s.mu.Unlock()
+	s.replicate("create", wl.Name, raw)
 	writeJSON(w, http.StatusCreated, wl.info())
 }
 
@@ -439,6 +604,7 @@ func (s *Server) handleWorkloadDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no workload %q", name))
 		return
 	}
+	s.replicate("delete", name, nil)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
@@ -746,9 +912,21 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err)
 		return
 	}
+	// A successful swap invalidates estimates keyed to older fingerprints
+	// (they can never be served again; holding them only wastes capacity)
+	// and broadcasts the new model to the fleet so peers converge on the
+	// same checkpoint. Only this external handler originates the broadcast;
+	// the internal invalidate handler never re-broadcasts, so it cannot loop.
+	newFP := s.modelFP.Load()
+	s.cache.InvalidateModel(newFP)
+	ckpt := req.Checkpoint
+	if ckpt == "" {
+		ckpt = s.opts.CheckpointPath
+	}
+	s.broadcastInvalidate(newFP, ckpt)
 	net := s.net.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"model":   fingerprintString(s.modelFP.Load()),
+		"model":   fingerprintString(newFP),
 		"params":  net.NumParams(),
 		"reloads": s.metrics.reloads.Load(),
 	})

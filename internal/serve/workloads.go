@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -23,6 +24,12 @@ type Workload struct {
 	Flows  []workload.Flow
 	Hash   core.WorkloadHash
 	Source string // "generated" or "trace"
+
+	// raw is the original creation request body, retained for cluster
+	// replication: peers rebuild the workload from the same deterministic
+	// inputs (spec seeds, trace bytes) instead of shipping materialized
+	// flows, so every replica's decomposition is bit-identical.
+	raw json.RawMessage
 
 	decompOnce sync.Once
 	decomp     *pathsim.Decomposition

@@ -7,8 +7,8 @@
 # inference-stage record from the batching PR and is not rewritten here.
 #
 # Usage:
-#   scripts/bench.sh          full run, rewrites BENCH_pr4.json and
-#                             BENCH_pr5.json
+#   scripts/bench.sh          full run, rewrites BENCH_pr4.json,
+#                             BENCH_pr5.json and BENCH_pr6.json
 #   scripts/bench.sh -short   one-iteration smoke run (scripts/check.sh),
 #                             writes nothing
 #
@@ -161,3 +161,7 @@ with open("BENCH_pr5.json", "w") as f:
     f.write("\n")
 print("wrote BENCH_pr5.json")
 EOF
+
+# Distributed-serving scaling + graceful-degradation record (BENCH_pr6.json):
+# real multi-process fleets on loopback, see scripts/cluster_bench.sh.
+scripts/cluster_bench.sh

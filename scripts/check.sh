@@ -39,6 +39,11 @@ echo "== packetsim determinism =="
 # state leaking through the sync.Pool between runs fails the second pass.
 go test -run 'TestEngineGoldenParity|TestRunDeterministic' -count=2 ./internal/packetsim/
 
+echo "== cluster smoke (3-replica scatter parity) =="
+# Boots real m3serve processes: a standalone reference and a 3-replica
+# scatter fleet; the fleet's quantiles must be byte-identical to standalone.
+scripts/cluster_smoke.sh
+
 echo "== bench smoke (-short) =="
 scripts/bench.sh -short
 
