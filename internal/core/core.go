@@ -22,6 +22,7 @@ import (
 	"m3/internal/feature"
 	"m3/internal/model"
 	"m3/internal/packetsim"
+	"m3/internal/parsimon"
 	"m3/internal/pathsim"
 	"m3/internal/rng"
 	"m3/internal/sampling"
@@ -535,10 +536,17 @@ func outputFromSamples(sizes []unit.ByteSize, sldn []float64, mult int) agg.Path
 // GroundTruth holds full-network packet-level results bucketized the same
 // way as estimates, for error computation.
 type GroundTruth struct {
+	// Result is the full-network packet simulation output. Nil when the
+	// ground truth came from the clustered Parsimon decomposition
+	// (RunClusteredGroundTruth), which has no single network-wide run.
 	Result   *packetsim.Result
 	Sizes    []unit.ByteSize
 	Slowdown []float64
 	Elapsed  time.Duration
+	// LinksSimulated/LinksTotal report the clustered decomposition's
+	// coverage (zero for the full packet-level path).
+	LinksSimulated int
+	LinksTotal     int
 }
 
 // RunGroundTruth executes the full-network packet simulation (the ns-3
@@ -551,6 +559,34 @@ func RunGroundTruth(ctx context.Context, t *topo.Topology, flows []workload.Flow
 		return nil, err
 	}
 	gt := &GroundTruth{Result: res, Elapsed: time.Since(start)}
+	for i := range flows {
+		gt.Sizes = append(gt.Sizes, flows[i].Size)
+		gt.Slowdown = append(gt.Slowdown, res.Slowdown[flows[i].ID])
+	}
+	return gt, nil
+}
+
+// RunClusteredGroundTruth produces ground truth from the Parsimon link-level
+// decomposition with clustering, on the caller's shared pool. This is the
+// scale path: where RunGroundTruth's single packet simulation caps out
+// around the 6144-host topology, the clustered decomposition simulates one
+// representative per link cluster and stays tractable at O(100k) hosts. The
+// exact tier is lossless relative to unclustered Parsimon; the distance tier
+// (opts.ClusterThreshold > 0) trades accuracy for fewer simulations, bounded
+// in EXPERIMENTS.md.
+func RunClusteredGroundTruth(ctx context.Context, t *topo.Topology, flows []workload.Flow,
+	cfg packetsim.Config, p *Pool, opts parsimon.Options) (*GroundTruth, error) {
+
+	start := time.Now()
+	res, err := parsimon.RunWithOptions(ctx, t, flows, cfg, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	gt := &GroundTruth{
+		Elapsed:        time.Since(start),
+		LinksSimulated: res.LinksSimulated,
+		LinksTotal:     res.LinksTotal,
+	}
 	for i := range flows {
 		gt.Sizes = append(gt.Sizes, flows[i].Size)
 		gt.Slowdown = append(gt.Slowdown, res.Slowdown[flows[i].ID])

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"m3/internal/packetsim"
+	"m3/internal/parsimon"
+	"m3/internal/rng"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/workload"
+)
+
+// Memory ceilings for the 100k-host smoke, in bytes. Live heap after the
+// clustered ground-truth pass must stay under heapCeiling, and the process's
+// total OS reservation (runtime high-water mark) under sysCeiling. Measured
+// on the dense-slab topology: ~15 MB live heap for the built 102k-node
+// graph, ~250 MB Sys across the whole run. A per-pair route index at this
+// scale costs GBs (100k² pairs), so ceilings an order of magnitude above the
+// measurement still catch any reintroduction of per-pair state.
+const (
+	smokeHeapCeiling = 512 << 20  // 512 MiB
+	smokeSysCeiling  = 1536 << 20 // 1.5 GiB
+)
+
+func liveHeap() (heap, sys uint64) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc, ms.Sys
+}
+
+// TestScaleSmoke100k is the O(100k)-host end-to-end smoke (gated behind
+// M3_SCALE_SMOKE=1; scripts/check.sh runs it under a time budget): build the
+// 100,352-host fat-tree, validate it structurally, spot-check routing, run a
+// short clustered ground-truth pass under a hard memory ceiling, and verify
+// cancellation stays prompt and the pool reusable at this scale.
+func TestScaleSmoke100k(t *testing.T) {
+	if os.Getenv("M3_SCALE_SMOKE") == "" {
+		t.Skip("set M3_SCALE_SMOKE=1 to run the 100k-host smoke")
+	}
+
+	ft, err := topo.HugeFatTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ft.Cfg.NumHosts(); n < 100_000 {
+		t.Fatalf("topology has %d hosts, want >= 100k", n)
+	}
+	if err := ft.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("topology: %d nodes, %d links, %d hosts",
+		ft.NumNodes(), ft.NumLinks(), ft.Cfg.NumHosts())
+
+	// Routing spot-check: deterministic host pairs covering intra-rack,
+	// intra-pod, and cross-pod cases; every route must be a connected chain.
+	r := routing.NewFatTreeRouter(ft)
+	racks := ft.Cfg.NumRacks()
+	for i := 0; i < 512; i++ {
+		srcRack := (i * 37) % racks
+		dstRack := (i*151 + i/7) % racks
+		src := ft.HostsByRack[srcRack][i%ft.Cfg.HostsPerRack]
+		dst := ft.HostsByRack[dstRack][(i*13+1)%ft.Cfg.HostsPerRack]
+		if src == dst {
+			continue
+		}
+		route, err := r.Route(src, dst, uint64(i))
+		if err != nil {
+			t.Fatalf("pair %d (%d->%d): %v", i, src, dst, err)
+		}
+		if err := ft.ValidateRoute(src, dst, route); err != nil {
+			t.Fatalf("pair %d (%d->%d): %v", i, src, dst, err)
+		}
+	}
+
+	heap0, _ := liveHeap()
+	t.Logf("live heap after topology build: %.2f MB", float64(heap0)/(1<<20))
+
+	flows, err := workload.Generate(ft, r, workload.Spec{
+		NumFlows: 30_000, Sizes: workload.WebServer,
+		Matrix: workload.MatrixB(racks, rng.New(11)), Burstiness: 1.5,
+		MaxLoad: 0.4, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := packetsim.DefaultConfig()
+	p := NewPool(0)
+	defer p.Close()
+	opts := parsimon.Options{Cluster: true, ClusterThreshold: 1}
+
+	// Cancellation at scale: aborting mid-clustered-run must return promptly
+	// with ctx.Err(), and the pool must stay usable for the real pass below.
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	if _, err := RunClusteredGroundTruth(cctx, ft.Topology, flows, cfg, p, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(t0); d > 30*time.Second {
+		t.Fatalf("cancellation took %v at 100k scale, want prompt return", d)
+	}
+
+	gt, err := RunClusteredGroundTruth(context.Background(), ft.Topology, flows, cfg, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clustered ground truth: %d/%d links simulated in %v",
+		gt.LinksSimulated, gt.LinksTotal, gt.Elapsed)
+	if gt.LinksSimulated == 0 || gt.LinksSimulated >= gt.LinksTotal {
+		t.Fatalf("clustering ineffective: %d/%d links", gt.LinksSimulated, gt.LinksTotal)
+	}
+	for i, s := range gt.Slowdown {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 1 {
+			t.Fatalf("flow %d slowdown %v", i, s)
+		}
+	}
+
+	heap, sys := liveHeap()
+	t.Logf("live heap after run: %.2f MB, Sys %.2f MB", float64(heap)/(1<<20), float64(sys)/(1<<20))
+	if heap > smokeHeapCeiling {
+		t.Fatalf("live heap %d exceeds ceiling %d", heap, smokeHeapCeiling)
+	}
+	if sys > smokeSysCeiling {
+		t.Fatalf("runtime Sys %d exceeds ceiling %d", sys, smokeSysCeiling)
+	}
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"m3/internal/packetsim"
+	"m3/internal/parsimon"
+	"m3/internal/pool"
+	"m3/internal/stats"
+)
+
+// ClusterSweepRow is one (scenario, threshold) point of the link-clustering
+// accuracy/cost sweep recorded in EXPERIMENTS.md: how many links the
+// clustered Parsimon decomposition actually simulates, how long the fan-out
+// takes relative to simulating every congested link, and how far the p99
+// slowdown drifts.
+type ClusterSweepRow struct {
+	Scenario       string
+	Threshold      float64
+	LinksTotal     int
+	ExactGroups    int
+	Clusters       int
+	FullP99        float64
+	ClusterP99     float64
+	RelErr         float64
+	FullElapsed    time.Duration
+	ClusterElapsed time.Duration
+	Speedup        float64
+}
+
+// ClusterSweepThresholds are the distance-tier settings the sweep (and the
+// pinned accuracy-bound test in internal/parsimon) evaluates; 0 is the
+// lossless exact tier.
+var ClusterSweepThresholds = []float64{0, 0.25, 1, 4}
+
+// RunClusterSweep measures link clustering on two Table 1 mixes: the
+// 4-to-1 oversubscribed Mix 1 and the high-load Mix 3. For each mix it runs
+// the unclustered Parsimon decomposition once as the baseline, then the
+// clustered path at each threshold, reporting simulated-link counts and p99
+// slowdown error.
+func RunClusterSweep(ctx context.Context, s Scale, w io.Writer) ([]ClusterSweepRow, error) {
+	mixes := Table1Mixes(s.TestFlows)
+	cfg := packetsim.DefaultConfig()
+	p := pool.New(s.Workers)
+	defer p.Close()
+
+	var rows []ClusterSweepRow
+	fmt.Fprintf(w, "Link clustering sweep (%d flows per mix)\n", s.TestFlows)
+	fmt.Fprintf(w, "  %-8s %9s %8s %8s %8s %9s %8s %8s\n",
+		"mix", "threshold", "links", "groups", "sims", "speedup", "p99", "relerr")
+	for _, m := range []Mix{mixes[0], mixes[2]} {
+		ft, flows, err := m.Build()
+		if err != nil {
+			return nil, err
+		}
+		fullStart := time.Now()
+		full, err := parsimon.RunWithOptions(ctx, ft.Topology, flows, cfg, p, parsimon.Options{})
+		if err != nil {
+			return nil, err
+		}
+		fullElapsed := time.Since(fullStart)
+		fullP99 := stats.P99(full.Slowdown)
+
+		for _, thr := range ClusterSweepThresholds {
+			start := time.Now()
+			res, err := parsimon.RunWithOptions(ctx, ft.Topology, flows, cfg, p,
+				parsimon.Options{Cluster: true, ClusterThreshold: thr})
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			p99 := stats.P99(res.Slowdown)
+			row := ClusterSweepRow{
+				Scenario:       m.Name,
+				Threshold:      thr,
+				LinksTotal:     res.LinksTotal,
+				ExactGroups:    res.ExactGroups,
+				Clusters:       res.Clusters,
+				FullP99:        fullP99,
+				ClusterP99:     p99,
+				RelErr:         abs(p99-fullP99) / fullP99,
+				FullElapsed:    fullElapsed,
+				ClusterElapsed: elapsed,
+				Speedup:        float64(fullElapsed) / float64(elapsed),
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "  %-8s %9.2f %8d %8d %8d %8.2fx %8.4f %7.2f%%\n",
+				row.Scenario, row.Threshold, row.LinksTotal, row.ExactGroups,
+				row.Clusters, row.Speedup, row.ClusterP99, 100*row.RelErr)
+		}
+	}
+	return rows, nil
+}

@@ -5,12 +5,14 @@ import (
 	"fmt"
 
 	"m3/internal/packetsim"
+	"m3/internal/parsimon"
 	"m3/internal/pathsim"
 	"m3/internal/pool"
 	"m3/internal/rng"
 	"m3/internal/routing"
 	"m3/internal/sampling"
 	"m3/internal/topo"
+	"m3/internal/unit"
 	"m3/internal/workload"
 )
 
@@ -29,6 +31,16 @@ type NetworkDataConfig struct {
 	Workers          int
 	// CCs restricts the ground-truth protocols (empty = all four).
 	CCs []packetsim.CCType
+	// LinkLabels switches ground-truth labeling from one packet-level path
+	// simulation per sampled path (ns-3-path) to one clustered Parsimon run
+	// per workload: sampled paths are labeled with the decomposition's
+	// per-flow slowdowns. This is the Parsimon lever — labeling cost stops
+	// scaling with the sampled-path count and the cluster count replaces the
+	// congested-link count.
+	LinkLabels bool
+	// ClusterThreshold is the distance-tier threshold for LinkLabels runs
+	// (zero keeps only the lossless exact tier).
+	ClusterThreshold float64
 }
 
 // DefaultNetworkDataConfig matches DefaultDataConfig's scale.
@@ -114,6 +126,20 @@ func networkSamples(ctx context.Context, r *rng.RNG, nc NetworkDataConfig) ([]*S
 		return nil, err
 	}
 	distinct, _ := sampling.Dedup(sample)
+
+	// Link-label mode: one clustered Parsimon run labels every sampled path
+	// of this workload, instead of one packet-level path simulation each.
+	var ps *parsimon.Result
+	if nc.LinkLabels {
+		lp := pool.New(max(1, nc.Workers/2))
+		defer lp.Close()
+		ps, err = parsimon.RunWithOptions(ctx, ft.Topology, flows, cfg, lp,
+			parsimon.Options{Cluster: true, ClusterThreshold: nc.ClusterThreshold})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var out []*Sample
 	for _, pi := range distinct {
 		p := &d.Paths[pi]
@@ -125,13 +151,23 @@ func networkSamples(ctx context.Context, r *rng.RNG, nc NetworkDataConfig) ([]*S
 		if err != nil {
 			return nil, err
 		}
-		gt, err := sc.RunPacketContext(ctx, cfg) // ns-3-path ground truth
-		if err != nil {
-			return nil, err
-		}
 		s := BuildInputs(fs.Fg.Sizes, fs.Fg.Slowdown, fs.BgSizes, fs.BgSldn, cfg,
 			d.T.RouteRates(p.Links), d.T.RouteDelays(p.Links))
-		s.SetTarget(gt.Sizes, gt.Slowdown)
+		if ps != nil {
+			sizes := make([]unit.ByteSize, len(p.Fg))
+			sldn := make([]float64, len(p.Fg))
+			for j, id := range p.Fg {
+				sizes[j] = flows[id].Size
+				sldn[j] = ps.Slowdown[id]
+			}
+			s.SetTarget(sizes, sldn)
+		} else {
+			gt, err := sc.RunPacketContext(ctx, cfg) // ns-3-path ground truth
+			if err != nil {
+				return nil, err
+			}
+			s.SetTarget(gt.Sizes, gt.Slowdown)
+		}
 		out = append(out, s)
 	}
 	return out, nil

@@ -1,0 +1,356 @@
+package parsimon
+
+// Link clustering in the style of Parsimon [Zhao et al., NSDI'23] §5: links
+// whose offered workloads look alike produce near-identical queueing, so one
+// representative per cluster is simulated at packet level and its per-flow
+// extra delays are broadcast to every member. Two tiers:
+//
+//   - Exact tier (always on with Options.Cluster): links are grouped by a
+//     canonical workload signature — link rate and delay plus, for every
+//     crossing flow in canonical (arrival, ID) order, its size, its arrival
+//     offset from the link's earliest arrival, dense first-appearance class
+//     indices of its source and destination hosts, and its access rates.
+//     Links with equal signatures present bit-identical inputs to the packet
+//     simulator (the engine is invariant under time translation, stub
+//     identity is determined by the class indices), so broadcasting the
+//     representative's extras index-for-index is lossless by construction.
+//
+//   - Distance tier (Options.ClusterThreshold > 0): exact groups are further
+//     merged when their feature vectors (log link rate, delay, log flow
+//     count, offered load, log size percentiles) fall in the same quantized
+//     bucket. Bucket width is the threshold snapped up to a power of two, so
+//     buckets nest as the threshold grows and cluster count is monotone
+//     non-increasing in it. Members of a merged group receive extras by
+//     nearest-size lookup in the representative's (size -> mean extra) table;
+//     this tier is an approximation, bounded empirically in EXPERIMENTS.md.
+
+import (
+	"math"
+	"sort"
+
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/validate"
+	"m3/internal/workload"
+)
+
+// Options selects the clustered execution path and its accuracy knob.
+type Options struct {
+	// Cluster enables link clustering. With it set, only one representative
+	// link per cluster is packet-simulated.
+	Cluster bool
+	// ClusterThreshold is the feature-space bucket width of the approximate
+	// distance tier. Zero keeps only the (lossless) exact tier; larger values
+	// merge more links at the cost of accuracy. Consulted only when Cluster
+	// is set. Must be finite and non-negative.
+	ClusterThreshold float64
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if math.IsNaN(o.ClusterThreshold) || math.IsInf(o.ClusterThreshold, 0) || o.ClusterThreshold < 0 {
+		return validate.Errf("parsimon", "ClusterThreshold",
+			"must be finite and non-negative, got %v", o.ClusterThreshold)
+	}
+	return nil
+}
+
+// featDims is the dimensionality of the distance-tier feature vector.
+const featDims = 8
+
+type featVec [featDims]float64
+
+// sigKey is the exact-tier canonical workload signature: two independently
+// seeded 64-bit hashes over the canonical workload stream. 128 bits keeps the
+// collision probability negligible (~1e-20 at a million links), which is what
+// lets the exact tier claim losslessness without retaining the full streams.
+type sigKey [2]uint64
+
+type sigHasher struct{ a, b uint64 }
+
+func hmix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+func (h *sigHasher) add(x uint64) {
+	h.a = hmix(h.a ^ x)
+	h.b = hmix(h.b + x + 0x9e3779b97f4a7c15)
+}
+
+func (h *sigHasher) addFloat(f float64) { h.add(math.Float64bits(f)) }
+
+func (h *sigHasher) key() sigKey { return sigKey{h.a, h.b} }
+
+// linkWork is one congested link's canonicalized workload plus the derived
+// clustering inputs.
+type linkWork struct {
+	link topo.LinkID
+	// ids lists the crossing flows in canonical (Arrival, ID) order; extras
+	// from a representative simulation are broadcast index-aligned onto it.
+	ids   []workload.FlowID
+	sig   sigKey
+	feat  featVec
+	flows int
+}
+
+// canonicalize sorts ids into the canonical (Arrival, ID) order that both
+// the clustered and unclustered paths simulate in, so their results are
+// directly comparable bit-for-bit.
+func canonicalize(ids []workload.FlowID, flows []workload.Flow) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := &flows[ids[i]], &flows[ids[j]]
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		return ids[i] < ids[j]
+	})
+}
+
+func log2Pos(x float64) float64 {
+	if x < 1 {
+		x = 1
+	}
+	return math.Log2(x)
+}
+
+// buildLinkWork fills w for one link whose ids are already canonical. The
+// scratch maps carry dense first-appearance numbering of source/destination
+// hosts and are reset by the caller between links.
+func buildLinkWork(w *linkWork, t *topo.Topology, flows []workload.Flow,
+	srcClass, dstClass map[topo.NodeID]uint64) {
+
+	link := t.Link(w.link)
+	h := &sigHasher{a: 0x6d33, b: 0x70617273} // fixed seeds: "m3", "pars"
+	h.addFloat(float64(link.Rate))
+	h.add(uint64(link.Delay))
+	h.add(uint64(len(w.ids)))
+
+	base := flows[w.ids[0]].Arrival
+	span := flows[w.ids[len(w.ids)-1]].Arrival - base // ids are arrival-sorted
+	var busy unit.Time
+	sizes := make([]float64, len(w.ids))
+	var sizeSum float64
+	for i, id := range w.ids {
+		f := &flows[id]
+		sc, ok := srcClass[f.Src]
+		if !ok {
+			sc = uint64(len(srcClass))
+			srcClass[f.Src] = sc
+		}
+		dc, ok := dstClass[f.Dst]
+		if !ok {
+			dc = uint64(len(dstClass))
+			dstClass[f.Dst] = dc
+		}
+		srcRate := t.Link(f.Route[0]).Rate
+		dstRate := t.Link(f.Route[len(f.Route)-1]).Rate
+		h.add(uint64(f.Size))
+		h.add(uint64(f.Arrival - base))
+		h.add(sc)
+		h.add(dc)
+		h.addFloat(float64(srcRate))
+		h.addFloat(float64(dstRate))
+
+		busy += unit.TxTime(unit.WireSize(f.Size), link.Rate)
+		sizes[i] = float64(f.Size)
+		sizeSum += float64(f.Size)
+	}
+	w.sig = h.key()
+	w.flows = len(w.ids)
+
+	sort.Float64s(sizes)
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(sizes)))
+		if i >= len(sizes) {
+			i = len(sizes) - 1
+		}
+		return sizes[i]
+	}
+	// Offered load proxy: serialization demand over the window it arrived in.
+	// In (0, 1]; equals 1 when all flows arrive at once.
+	load := float64(busy) / float64(span+busy)
+	w.feat = featVec{
+		log2Pos(float64(link.Rate) / float64(unit.Gbps)),
+		float64(link.Delay) / float64(unit.Microsecond),
+		log2Pos(float64(len(w.ids))),
+		load,
+		log2Pos(pct(0.50)),
+		log2Pos(pct(0.90)),
+		log2Pos(pct(0.99)),
+		log2Pos(sizeSum / float64(len(sizes))),
+	}
+}
+
+// quantWidth snaps thr up to the nearest power of two. Power-of-two widths
+// nest: every bucket at width w is contained in exactly one bucket at width
+// 2w, which is what makes cluster count monotone in the threshold.
+func quantWidth(thr float64) float64 {
+	return math.Ldexp(1, int(math.Ceil(math.Log2(thr))))
+}
+
+type quantKey [featDims]int64
+
+func quantize(f featVec, w float64) quantKey {
+	var k quantKey
+	for i, v := range f {
+		k[i] = int64(math.Floor(v / w))
+	}
+	return k
+}
+
+// simUnit is one packet simulation to run: the representative exact group
+// (whose members get lossless index-aligned extras) plus the exact groups
+// merged into it by the distance tier (whose members get nearest-size
+// approximated extras).
+type simUnit struct {
+	groupIdx int
+	approx   []int
+}
+
+// clusterPlan is the full deterministic assignment of links to simulations.
+type clusterPlan struct {
+	works []linkWork
+	// groups are the exact-tier groups: indices into works, ascending (and
+	// therefore ascending by LinkID). groups[i][0] is the group's
+	// representative link.
+	groups [][]int
+	sims   []simUnit
+}
+
+// planClusters builds the two-tier clustering over canonicalized links.
+// Everything is derived from sorted orders and first-appearance maps, so the
+// plan is identical across runs, pool widths, and input permutations.
+func planClusters(t *topo.Topology, flows []workload.Flow,
+	links []topo.LinkID, linkFlows map[topo.LinkID][]workload.FlowID,
+	threshold float64) *clusterPlan {
+
+	plan := &clusterPlan{works: make([]linkWork, len(links))}
+	srcClass := make(map[topo.NodeID]uint64)
+	dstClass := make(map[topo.NodeID]uint64)
+	for i, l := range links {
+		w := &plan.works[i]
+		w.link = l
+		w.ids = linkFlows[l]
+		clear(srcClass)
+		clear(dstClass)
+		buildLinkWork(w, t, flows, srcClass, dstClass)
+	}
+
+	// Exact tier: group by signature, members in ascending work order.
+	bySig := make(map[sigKey]int, len(links))
+	for i := range plan.works {
+		g, ok := bySig[plan.works[i].sig]
+		if !ok {
+			g = len(plan.groups)
+			bySig[plan.works[i].sig] = g
+			plan.groups = append(plan.groups, nil)
+		}
+		plan.groups[g] = append(plan.groups[g], i)
+	}
+
+	if threshold <= 0 {
+		plan.sims = make([]simUnit, len(plan.groups))
+		for g := range plan.groups {
+			plan.sims[g] = simUnit{groupIdx: g}
+		}
+		return plan
+	}
+
+	// Distance tier: merge exact groups sharing a quantized feature bucket.
+	w := quantWidth(threshold)
+	byBucket := make(map[quantKey]int)
+	var clusters [][]int // exact-group indices, first-appearance order
+	for g := range plan.groups {
+		rep := &plan.works[plan.groups[g][0]]
+		k := quantize(rep.feat, w)
+		c, ok := byBucket[k]
+		if !ok {
+			c = len(clusters)
+			byBucket[k] = c
+			clusters = append(clusters, nil)
+		}
+		clusters[c] = append(clusters[c], g)
+	}
+	plan.sims = make([]simUnit, len(clusters))
+	for c, gs := range clusters {
+		// Representative: the exact group with the most flows (most queueing
+		// signal), ties broken toward the smallest representative LinkID.
+		best := gs[0]
+		for _, g := range gs[1:] {
+			bw, gw := &plan.works[plan.groups[best][0]], &plan.works[plan.groups[g][0]]
+			if gw.flows > bw.flows || (gw.flows == bw.flows && gw.link < bw.link) {
+				best = g
+			}
+		}
+		su := simUnit{groupIdx: best}
+		for _, g := range gs {
+			if g != best {
+				su.approx = append(su.approx, g)
+			}
+		}
+		plan.sims[c] = su
+	}
+	return plan
+}
+
+// sizeTable maps flow size to the mean extra delay the representative link's
+// flows of that size experienced; approximate cluster members read their
+// extras from it by nearest size.
+type sizeTable struct {
+	sizes []unit.ByteSize // ascending, unique
+	mean  []unit.Time
+}
+
+func buildSizeTable(flows []workload.Flow, ids []workload.FlowID, extra []unit.Time) sizeTable {
+	type acc struct {
+		size  unit.ByteSize
+		sum   unit.Time
+		count int64
+	}
+	idx := make([]int, len(ids))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return flows[ids[idx[a]]].Size < flows[ids[idx[b]]].Size
+	})
+	var accs []acc
+	for _, i := range idx {
+		s := flows[ids[i]].Size
+		if n := len(accs); n > 0 && accs[n-1].size == s {
+			accs[n-1].sum += extra[i]
+			accs[n-1].count++
+		} else {
+			accs = append(accs, acc{size: s, sum: extra[i], count: 1})
+		}
+	}
+	t := sizeTable{
+		sizes: make([]unit.ByteSize, len(accs)),
+		mean:  make([]unit.Time, len(accs)),
+	}
+	for i, a := range accs {
+		t.sizes[i] = a.size
+		t.mean[i] = a.sum / unit.Time(a.count)
+	}
+	return t
+}
+
+// lookup returns the mean extra for the tabulated size nearest s (ties go to
+// the smaller size, keeping the lookup deterministic).
+func (t sizeTable) lookup(s unit.ByteSize) unit.Time {
+	i := sort.Search(len(t.sizes), func(i int) bool { return t.sizes[i] >= s })
+	switch {
+	case i == 0:
+		return t.mean[0]
+	case i == len(t.sizes):
+		return t.mean[len(t.sizes)-1]
+	}
+	if t.sizes[i]-s < s-t.sizes[i-1] {
+		return t.mean[i]
+	}
+	return t.mean[i-1]
+}

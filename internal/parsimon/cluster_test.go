@@ -1,0 +1,280 @@
+package parsimon
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"m3/internal/packetsim"
+	"m3/internal/pool"
+	"m3/internal/stats"
+	"m3/internal/topo"
+	"m3/internal/workload"
+)
+
+func newTestPool(t *testing.T, workers int) *pool.Pool {
+	t.Helper()
+	p := pool.New(workers)
+	t.Cleanup(p.Close)
+	return p
+}
+
+// buildPlanForTest reproduces RunWithOptions's grouping/canonicalization
+// preamble and returns the deterministic cluster plan, for property tests
+// that inspect the assignment directly.
+func buildPlanForTest(t *testing.T, tp *topo.Topology, flows []workload.Flow, threshold float64) *clusterPlan {
+	t.Helper()
+	linkFlows := make(map[topo.LinkID][]workload.FlowID)
+	for i := range flows {
+		for _, l := range flows[i].Route {
+			linkFlows[l] = append(linkFlows[l], flows[i].ID)
+		}
+	}
+	links := make([]topo.LinkID, 0, len(linkFlows))
+	for l := range linkFlows {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, l := range links {
+		canonicalize(linkFlows[l], flows)
+	}
+	return planClusters(tp, flows, links, linkFlows, threshold)
+}
+
+// memberToRep flattens a plan into link -> representative-link, the
+// assignment the broadcast step executes.
+func memberToRep(plan *clusterPlan) map[topo.LinkID]topo.LinkID {
+	m := make(map[topo.LinkID]topo.LinkID)
+	for _, su := range plan.sims {
+		rep := plan.works[plan.groups[su.groupIdx][0]].link
+		for _, wi := range plan.groups[su.groupIdx] {
+			m[plan.works[wi].link] = rep
+		}
+		for _, g := range su.approx {
+			for _, wi := range plan.groups[g] {
+				m[plan.works[wi].link] = rep
+			}
+		}
+	}
+	return m
+}
+
+// TestClusterEveryLinkExactlyOnce: the plan must partition the congested
+// links — every link in exactly one exact group, every exact group in
+// exactly one simulation unit.
+func TestClusterEveryLinkExactlyOnce(t *testing.T) {
+	ft, flows := genWorkload(t, 400, 0.4, 1)
+	for _, thr := range []float64{0, 0.5, 4} {
+		plan := buildPlanForTest(t, ft.Topology, flows, thr)
+
+		linkSeen := make(map[topo.LinkID]int)
+		for _, g := range plan.groups {
+			for _, wi := range g {
+				linkSeen[plan.works[wi].link]++
+			}
+		}
+		if len(linkSeen) != len(plan.works) {
+			t.Fatalf("thr=%v: %d links grouped, want %d", thr, len(linkSeen), len(plan.works))
+		}
+		for l, n := range linkSeen {
+			if n != 1 {
+				t.Fatalf("thr=%v: link %d in %d exact groups", thr, l, n)
+			}
+		}
+
+		groupSeen := make(map[int]int)
+		for _, su := range plan.sims {
+			groupSeen[su.groupIdx]++
+			for _, g := range su.approx {
+				groupSeen[g]++
+			}
+		}
+		if len(groupSeen) != len(plan.groups) {
+			t.Fatalf("thr=%v: %d groups assigned, want %d", thr, len(groupSeen), len(plan.groups))
+		}
+		for g, n := range groupSeen {
+			if n != 1 {
+				t.Fatalf("thr=%v: exact group %d in %d sim units", thr, g, n)
+			}
+		}
+
+		// The broadcast covers every link.
+		if m := memberToRep(plan); len(m) != len(plan.works) {
+			t.Fatalf("thr=%v: broadcast covers %d links, want %d", thr, len(m), len(plan.works))
+		}
+	}
+}
+
+// TestClusterRepStableUnderPermutation: reordering the input flow slice
+// (with IDs reassigned to stay index-dense, as the API requires) must not
+// change which link represents each cluster.
+func TestClusterRepStableUnderPermutation(t *testing.T) {
+	ft, flows := genWorkload(t, 400, 0.4, 2)
+
+	permuted := make([]workload.Flow, len(flows))
+	for i := range flows {
+		permuted[i] = flows[len(flows)-1-i]
+		permuted[i].ID = workload.FlowID(i)
+	}
+
+	for _, thr := range []float64{0, 1} {
+		a := memberToRep(buildPlanForTest(t, ft.Topology, flows, thr))
+		b := memberToRep(buildPlanForTest(t, ft.Topology, permuted, thr))
+		if len(a) != len(b) {
+			t.Fatalf("thr=%v: %d vs %d links", thr, len(a), len(b))
+		}
+		for l, rep := range a {
+			if b[l] != rep {
+				t.Fatalf("thr=%v: link %d representative %d -> %d under permutation",
+					thr, l, rep, b[l])
+			}
+		}
+	}
+}
+
+// TestClusterCountMonotone: the power-of-two-snapped quantization makes
+// buckets nest, so raising the threshold can only merge clusters.
+func TestClusterCountMonotone(t *testing.T) {
+	ft, flows := genWorkload(t, 400, 0.4, 3)
+	thresholds := []float64{0.05, 0.1, 0.2, 0.5, 1, 2, 4, 8, 16}
+	prev := math.MaxInt
+	for _, thr := range thresholds {
+		plan := buildPlanForTest(t, ft.Topology, flows, thr)
+		n := len(plan.sims)
+		if n > prev {
+			t.Fatalf("cluster count rose from %d to %d at threshold %v", prev, n, thr)
+		}
+		prev = n
+	}
+	// And the exact tier is the upper bound.
+	exact := buildPlanForTest(t, ft.Topology, flows, 0)
+	if prev > len(exact.sims) {
+		t.Fatalf("thresholded count %d exceeds exact-tier count %d", prev, len(exact.sims))
+	}
+}
+
+// TestClusterDeterminism: clustered results must be bit-identical across
+// runs and across pool widths (run under -count=2 in scripts/check.sh).
+func TestClusterDeterminism(t *testing.T) {
+	ft, flows := genWorkload(t, 200, 0.4, 3)
+	cfg := packetsim.DefaultConfig()
+	opts := Options{Cluster: true, ClusterThreshold: 0.5}
+	a, err := RunWithOptions(context.Background(), ft.Topology, flows, cfg, newTestPool(t, 4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithOptions(context.Background(), ft.Topology, flows, cfg, newTestPool(t, 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LinksSimulated != b.LinksSimulated || a.Clusters != b.Clusters || a.ExactGroups != b.ExactGroups {
+		t.Fatalf("cluster stats differ across pool widths: %+v vs %+v", a, b)
+	}
+	for i := range a.FCT {
+		if a.FCT[i] != b.FCT[i] || a.Slowdown[i] != b.Slowdown[i] {
+			t.Fatalf("pool width changed clustered result at flow %d", i)
+		}
+	}
+}
+
+func TestClusterOptionsValidation(t *testing.T) {
+	ft, flows := genWorkload(t, 10, 0.4, 5)
+	cfg := packetsim.DefaultConfig()
+	p := newTestPool(t, 1)
+	for _, thr := range []float64{math.NaN(), math.Inf(1), -1} {
+		_, err := RunWithOptions(context.Background(), ft.Topology, flows, cfg, p,
+			Options{Cluster: true, ClusterThreshold: thr})
+		if err == nil {
+			t.Errorf("threshold %v accepted", thr)
+		}
+	}
+}
+
+// TestClusterCancelPrompt cancels mid-clustered-run and checks both prompt
+// return with ctx.Err() and that the shared pool stays usable afterwards.
+func TestClusterCancelPrompt(t *testing.T) {
+	ft, flows := genWorkload(t, 4000, 0.7, 3)
+	p := newTestPool(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err := RunWithOptions(ctx, ft.Topology, flows, packetsim.DefaultConfig(), p,
+		Options{Cluster: true, ClusterThreshold: 0.5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", d)
+	}
+
+	// The pool must be reusable after a cancelled clustered run.
+	ftSmall, small := genWorkload(t, 50, 0.3, 6)
+	res, err := RunWithOptions(context.Background(), ftSmall.Topology, small,
+		packetsim.DefaultConfig(), p, Options{Cluster: true})
+	if err != nil {
+		t.Fatalf("pool unusable after cancellation: %v", err)
+	}
+	if res.LinksSimulated == 0 {
+		t.Fatal("no links simulated on reused pool")
+	}
+}
+
+// clusterAccuracyEpsilons pins the p99-slowdown relative error budget of the
+// distance tier per threshold, measured on the two scenarios below and
+// frozen with headroom (see EXPERIMENTS.md for the recorded sweep). The
+// exact tier (threshold 0) is bit-exact and asserted as such.
+var clusterAccuracyEpsilons = map[float64]float64{
+	0.25: 0.02,
+	1:    0.18,
+	4:    0.35,
+}
+
+// TestClusterAccuracyBound: on the seed-3 workload and a more congested
+// 4-to-1 fat-tree scenario, the clustered p99 slowdown stays within the
+// pinned epsilon of the full per-link simulation across three thresholds.
+func TestClusterAccuracyBound(t *testing.T) {
+	type scenario struct {
+		name  string
+		build func(t *testing.T) (*topo.FatTree, []workload.Flow)
+	}
+	scenarios := []scenario{
+		{"seed3-2to1", func(t *testing.T) (*topo.FatTree, []workload.Flow) {
+			return genWorkload(t, 400, 0.5, 3)
+		}},
+		{"seed9-4to1", func(t *testing.T) (*topo.FatTree, []workload.Flow) {
+			return genWorkloadOversub(t, 400, 0.5, 9, topo.Oversub4to1)
+		}},
+	}
+	cfg := packetsim.DefaultConfig()
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			ft, flows := sc.build(t)
+			p := newTestPool(t, 4)
+			full, err := RunWithOptions(context.Background(), ft.Topology, flows, cfg, p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullP99 := stats.P99(full.Slowdown)
+			for thr, eps := range clusterAccuracyEpsilons {
+				res, err := RunWithOptions(context.Background(), ft.Topology, flows, cfg, p,
+					Options{Cluster: true, ClusterThreshold: thr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := stats.P99(res.Slowdown)
+				relErr := math.Abs(got-fullP99) / fullP99
+				t.Logf("thr=%v: clusters=%d/%d links, p99 %.4f vs %.4f (rel err %.4f)",
+					thr, res.LinksSimulated, res.LinksTotal, got, fullP99, relErr)
+				if relErr > eps {
+					t.Errorf("thr=%v: p99 rel error %.4f exceeds pinned epsilon %v", thr, relErr, eps)
+				}
+			}
+		})
+	}
+}

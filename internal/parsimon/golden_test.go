@@ -1,0 +1,181 @@
+package parsimon
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"os"
+	"testing"
+
+	"m3/internal/packetsim"
+	"m3/internal/routing"
+	"m3/internal/topo"
+	"m3/internal/unit"
+	"m3/internal/workload"
+)
+
+// goldenHash digests a Result's per-flow outputs (FCT bits then slowdown
+// bits) the same way engine_parity_test.go digests packet-simulator output:
+// any numeric drift, however small, changes the hash.
+func goldenHash(res *Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range res.FCT {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, v := range res.Slowdown {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// parsimonGoldens freezes the unclustered Parsimon results for two seed
+// workloads on the 2-to-1 small fat-tree. Clustering must never change
+// these: the disabled path is the baseline, and the clustered path is
+// checked against it bit-for-bit elsewhere. Regenerate by running this test
+// with PARSIMON_GOLDEN_DUMP=1 and pasting the logged values.
+var parsimonGoldens = map[string]uint64{
+	"web-n400-load0.4-seed1": 0x3b86b9d548475ada,
+	"web-n250-load0.6-seed7": 0xeb37c3e3e0b5886c,
+}
+
+func goldenWorkload(t *testing.T, name string) (*topo.FatTree, []workload.Flow) {
+	t.Helper()
+	switch name {
+	case "web-n400-load0.4-seed1":
+		ft, flows := genWorkload(t, 400, 0.4, 1)
+		return ft, flows
+	case "web-n250-load0.6-seed7":
+		ft, flows := genWorkload(t, 250, 0.6, 7)
+		return ft, flows
+	}
+	t.Fatalf("unknown golden scenario %q", name)
+	return nil, nil
+}
+
+// TestParsimonGoldenParity pins the unclustered path to frozen hashes, so
+// the clustering refactor (canonical flow order, arrival normalization)
+// cannot silently drift the baseline results.
+func TestParsimonGoldenParity(t *testing.T) {
+	for name, want := range parsimonGoldens {
+		t.Run(name, func(t *testing.T) {
+			ft, flows := goldenWorkload(t, name)
+			res, err := Run(context.Background(), ft.Topology, flows, packetsim.DefaultConfig(), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenHash(res)
+			if os.Getenv("PARSIMON_GOLDEN_DUMP") != "" {
+				t.Logf("%q: %#x", name, got)
+				return
+			}
+			if got != want {
+				t.Errorf("golden hash = %#x, want %#x (PARSIMON_GOLDEN_DUMP=1 to regenerate)", got, want)
+			}
+		})
+	}
+}
+
+// TestClusterExactTierBitIdentical runs the clustered path at threshold zero
+// (exact tier only) on general workloads and demands bit-identical results:
+// exact-tier merging is lossless by construction, for any workload, not just
+// feature-identical ones.
+func TestClusterExactTierBitIdentical(t *testing.T) {
+	for _, name := range []string{"web-n400-load0.4-seed1", "web-n250-load0.6-seed7"} {
+		t.Run(name, func(t *testing.T) {
+			ft, flows := goldenWorkload(t, name)
+			full, err := Run(context.Background(), ft.Topology, flows, packetsim.DefaultConfig(), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunWithOptions(context.Background(), ft.Topology, flows,
+				packetsim.DefaultConfig(), newTestPool(t, 4), Options{Cluster: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range full.FCT {
+				if res.FCT[i] != full.FCT[i] || res.Slowdown[i] != full.Slowdown[i] {
+					t.Fatalf("flow %d: clustered (%v, %v) != full (%v, %v)",
+						i, res.FCT[i], res.Slowdown[i], full.FCT[i], full.Slowdown[i])
+				}
+			}
+			if res.LinksTotal != full.LinksSimulated {
+				t.Errorf("LinksTotal = %d, want %d", res.LinksTotal, full.LinksSimulated)
+			}
+			if res.LinksSimulated > res.LinksTotal {
+				t.Errorf("simulated %d links out of %d", res.LinksSimulated, res.LinksTotal)
+			}
+		})
+	}
+}
+
+// uniformWorkload builds a workload whose per-rack traffic pattern is
+// identical across all 32 racks of the small fat-tree, with each rack's
+// arrivals shifted by a rack-specific offset. Every rack's uplink carries
+// the same canonical workload (three flows from one host) and the downlinks
+// fall into two size classes, so the exact tier collapses 128 congested
+// links into 3 groups — and, because the packet engine is time-translation
+// invariant, losslessly so despite the per-rack time offsets.
+func uniformWorkload(t *testing.T) (*topo.FatTree, []workload.Flow) {
+	t.Helper()
+	ft, err := topo.SmallFatTree(topo.Oversub2to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routing.NewFatTreeRouter(ft)
+	sizes := []unit.ByteSize{10 * unit.KB, 50 * unit.KB, 10 * unit.KB}
+	var flows []workload.Flow
+	for rack := range ft.HostsByRack {
+		off := unit.Time(rack) * 100 * unit.Microsecond
+		src := ft.HostsByRack[rack][0]
+		for j, size := range sizes {
+			dst := ft.HostsByRack[rack][1+j]
+			id := workload.FlowID(len(flows))
+			route, err := r.Route(src, dst, uint64(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			flows = append(flows, workload.Flow{
+				ID: id, Src: src, Dst: dst, Size: size,
+				Arrival: off + unit.Time(j)*10*unit.Microsecond, Route: route,
+			})
+		}
+	}
+	return ft, flows
+}
+
+// TestClusterUniformWorkloadLossless is the headline parity case from the
+// issue: with all links feature-identical (per-rack uniform workload) and
+// clustering on, results must be bit-identical to the unclustered path while
+// simulating a small fraction of the links.
+func TestClusterUniformWorkloadLossless(t *testing.T) {
+	ft, flows := uniformWorkload(t)
+	cfg := packetsim.DefaultConfig()
+	full, err := Run(context.Background(), ft.Topology, flows, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWithOptions(context.Background(), ft.Topology, flows, cfg,
+		newTestPool(t, 4), Options{Cluster: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.FCT {
+		if res.FCT[i] != full.FCT[i] || res.Slowdown[i] != full.Slowdown[i] {
+			t.Fatalf("flow %d: clustered (%v, %v) != full (%v, %v)",
+				i, res.FCT[i], res.Slowdown[i], full.FCT[i], full.Slowdown[i])
+		}
+	}
+	// 32 racks x (1 uplink + 3 downlinks), collapsed to: one uplink group,
+	// two downlink size classes.
+	if res.LinksTotal != 128 {
+		t.Errorf("LinksTotal = %d, want 128", res.LinksTotal)
+	}
+	if res.ExactGroups != 3 || res.LinksSimulated != 3 {
+		t.Errorf("ExactGroups = %d, LinksSimulated = %d, want 3 and 3",
+			res.ExactGroups, res.LinksSimulated)
+	}
+}

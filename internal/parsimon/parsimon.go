@@ -29,8 +29,17 @@ import (
 type Result struct {
 	FCT      []unit.Time
 	Slowdown []float64
-	// LinksSimulated is the number of link-level simulations executed.
+	// LinksSimulated is the number of link-level simulations executed. With
+	// clustering it equals Clusters; without, it equals LinksTotal.
 	LinksSimulated int
+	// LinksTotal is the number of distinct congested links in the workload.
+	LinksTotal int
+	// ExactGroups is the number of exact-tier groups (links with identical
+	// canonical workloads). Zero when clustering is disabled.
+	ExactGroups int
+	// Clusters is the number of clusters after the distance tier (equal to
+	// ExactGroups at threshold zero). Zero when clustering is disabled.
+	Clusters int
 }
 
 // Run executes the link-level decomposition with the given parallelism
@@ -47,7 +56,19 @@ func Run(ctx context.Context, t *topo.Topology, flows []workload.Flow, cfg packe
 // pool, so Parsimon fan-out shares cores with every other ground-truth
 // producer in the process instead of oversubscribing them.
 func RunWithPool(ctx context.Context, t *topo.Topology, flows []workload.Flow, cfg packetsim.Config, p *pool.Pool) (*Result, error) {
+	return RunWithOptions(ctx, t, flows, cfg, p, Options{})
+}
+
+// RunWithOptions is RunWithPool with link clustering control. With
+// opts.Cluster set, only one representative per cluster is packet-simulated
+// and its extras are broadcast to the members (see cluster.go for the two
+// tiers and their losslessness conditions); otherwise every congested link
+// is simulated, as in the original Parsimon decomposition.
+func RunWithOptions(ctx context.Context, t *topo.Topology, flows []workload.Flow, cfg packetsim.Config, p *pool.Pool, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(flows)
@@ -55,10 +76,20 @@ func RunWithPool(ctx context.Context, t *topo.Topology, flows []workload.Flow, c
 	if n == 0 {
 		return res, nil
 	}
+	// Flows are indexed by ID throughout (flows[id] must be the flow with
+	// that ID), so IDs must be a permutation of [0, n).
+	seen := make([]bool, n)
 	for i := range flows {
 		f := &flows[i]
 		if int(f.ID) < 0 || int(f.ID) >= n {
 			return nil, fmt.Errorf("parsimon: flow ID %d out of range", f.ID)
+		}
+		if seen[f.ID] {
+			return nil, fmt.Errorf("parsimon: duplicate flow ID %d", f.ID)
+		}
+		seen[f.ID] = true
+		if f.ID != workload.FlowID(i) {
+			return nil, fmt.Errorf("parsimon: flow ID %d at index %d (flows must be indexed by ID)", f.ID, i)
 		}
 		if len(f.Route) == 0 {
 			return nil, fmt.Errorf("parsimon: flow %d has no route", f.ID)
@@ -66,7 +97,9 @@ func RunWithPool(ctx context.Context, t *topo.Topology, flows []workload.Flow, c
 	}
 
 	// Group flows by link; sort the links so task order (and thus error
-	// selection under cancellation) is deterministic.
+	// selection under cancellation) is deterministic, and put each link's
+	// flows in canonical (arrival, ID) order so clustered and unclustered
+	// runs simulate identical inputs.
 	linkFlows := make(map[topo.LinkID][]workload.FlowID)
 	for i := range flows {
 		for _, l := range flows[i].Route {
@@ -78,25 +111,79 @@ func RunWithPool(ctx context.Context, t *topo.Topology, flows []workload.Flow, c
 		links = append(links, l)
 	}
 	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, l := range links {
+		canonicalize(linkFlows[l], flows)
+	}
+	res.LinksTotal = len(links)
 
 	// delays[flow] accumulates per-link extra delay. Addition commutes, so
 	// the pool's completion order cannot perturb the result.
 	delays := make([]unit.Time, n)
 	var mu sync.Mutex
-	err := p.Run(ctx, len(links), func(ctx context.Context, i int) error {
-		l := links[i]
-		ids := linkFlows[l]
-		extra, err := simulateLink(ctx, t, flows, ids, l, cfg)
-		if err != nil {
-			return fmt.Errorf("parsimon: link %d: %w", l, err)
-		}
-		mu.Lock()
-		for j, id := range ids {
-			delays[id] += extra[j]
-		}
-		mu.Unlock()
-		return nil
-	})
+
+	var err error
+	if opts.Cluster {
+		plan := planClusters(t, flows, links, linkFlows, opts.ClusterThreshold)
+		res.ExactGroups = len(plan.groups)
+		res.Clusters = len(plan.sims)
+		res.LinksSimulated = len(plan.sims)
+		err = p.Run(ctx, len(plan.sims), func(ctx context.Context, i int) error {
+			su := plan.sims[i]
+			rep := &plan.works[plan.groups[su.groupIdx][0]]
+			extra, err := simulateLink(ctx, t, flows, rep.ids, rep.link, cfg)
+			if err != nil {
+				return fmt.Errorf("parsimon: link %d: %w", rep.link, err)
+			}
+			// Approximate extras for distance-tier members, computed from
+			// the representative's size table outside the accumulation lock.
+			// Within an exact group the canonical size sequences are
+			// identical, so one lookup pass per group serves every member.
+			var approx [][]unit.Time
+			if len(su.approx) > 0 {
+				tbl := buildSizeTable(flows, rep.ids, extra)
+				approx = make([][]unit.Time, len(su.approx))
+				for k, g := range su.approx {
+					proto := &plan.works[plan.groups[g][0]]
+					app := make([]unit.Time, len(proto.ids))
+					for j, id := range proto.ids {
+						app[j] = tbl.lookup(flows[id].Size)
+					}
+					approx[k] = app
+				}
+			}
+			mu.Lock()
+			for _, wi := range plan.groups[su.groupIdx] {
+				for j, id := range plan.works[wi].ids {
+					delays[id] += extra[j]
+				}
+			}
+			for k, g := range su.approx {
+				for _, wi := range plan.groups[g] {
+					for j, id := range plan.works[wi].ids {
+						delays[id] += approx[k][j]
+					}
+				}
+			}
+			mu.Unlock()
+			return nil
+		})
+	} else {
+		res.LinksSimulated = len(links)
+		err = p.Run(ctx, len(links), func(ctx context.Context, i int) error {
+			l := links[i]
+			ids := linkFlows[l]
+			extra, err := simulateLink(ctx, t, flows, ids, l, cfg)
+			if err != nil {
+				return fmt.Errorf("parsimon: link %d: %w", l, err)
+			}
+			mu.Lock()
+			for j, id := range ids {
+				delays[id] += extra[j]
+			}
+			mu.Unlock()
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -108,13 +195,19 @@ func RunWithPool(ctx context.Context, t *topo.Topology, flows []workload.Flow, c
 		res.FCT[f.ID] = fct
 		res.Slowdown[f.ID] = float64(fct) / float64(ideal)
 	}
-	res.LinksSimulated = len(links)
 	return res, nil
 }
 
 // simulateLink builds the single-link topology for l, runs the packet
 // simulator, and returns each flow's delay beyond its ideal FCT on that
-// link-level topology, aligned index-for-index with ids.
+// link-level topology, aligned index-for-index with ids (which must be in
+// canonical (arrival, ID) order).
+//
+// Arrivals are shifted so the link's earliest flow starts at zero: the
+// packet engine is invariant under time translation, and normalized arrivals
+// are what make links with identical canonical workloads — regardless of
+// when their traffic occurs in absolute time — produce bit-identical extras,
+// the exact-tier losslessness guarantee.
 func simulateLink(ctx context.Context, t *topo.Topology, flows []workload.Flow,
 	ids []workload.FlowID, l topo.LinkID, cfg packetsim.Config) ([]unit.Time, error) {
 
@@ -123,6 +216,7 @@ func simulateLink(ctx context.Context, t *topo.Topology, flows []workload.Flow,
 	if err != nil {
 		return nil, err
 	}
+	base := flows[ids[0]].Arrival
 	local := make([]workload.Flow, 0, len(ids))
 	for i, id := range ids {
 		f := &flows[id]
@@ -135,7 +229,7 @@ func simulateLink(ctx context.Context, t *topo.Topology, flows []workload.Flow,
 		}
 		local = append(local, workload.Flow{
 			ID: workload.FlowID(i), Src: src, Dst: dst,
-			Size: f.Size, Arrival: f.Arrival, Route: route,
+			Size: f.Size, Arrival: f.Arrival - base, Route: route,
 		})
 	}
 	res, err := packetsim.RunContext(ctx, lot.Topology, local, cfg)

@@ -18,7 +18,12 @@ import (
 
 func genWorkload(t *testing.T, n int, load float64, seed uint64) (*topo.FatTree, []workload.Flow) {
 	t.Helper()
-	ft, err := topo.SmallFatTree(topo.Oversub2to1)
+	return genWorkloadOversub(t, n, load, seed, topo.Oversub2to1)
+}
+
+func genWorkloadOversub(t *testing.T, n int, load float64, seed uint64, o topo.Oversub) (*topo.FatTree, []workload.Flow) {
+	t.Helper()
+	ft, err := topo.SmallFatTree(o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -104,14 +104,26 @@ func (r *FatTreeRouter) Route(src, dst topo.NodeID, flowKey uint64) ([]topo.Link
 	return route, nil
 }
 
+// bfsDistCacheMax bounds the BFSRouter distance cache. Each cached vector is
+// 4 bytes per node — ~400 KB on a 100k-node graph — so an unbounded
+// per-destination cache is exactly the per-pair state the 100k-host regime
+// cannot afford. 64 destinations keeps parking-lot and test workloads (few
+// distinct destinations, heavy reuse) fully cached while capping worst-case
+// memory at tens of MB; past that, vectors are recomputed on demand with
+// FIFO eviction.
+const bfsDistCacheMax = 64
+
 // BFSRouter computes ECMP shortest paths on an arbitrary topology. Per-
-// destination distance vectors are computed once and cached; at each hop one
-// of the next-hops on a shortest path is chosen by hashing (flowKey, hop).
+// destination distance vectors are cached (bounded, FIFO-evicted); at each
+// hop one of the next-hops on a shortest path is chosen by hashing
+// (flowKey, hop).
 type BFSRouter struct {
 	T *topo.Topology
 
-	mu   sync.Mutex
-	dist map[topo.NodeID][]int32 // dst -> distance from every node to dst
+	mu    sync.Mutex
+	dist  map[topo.NodeID][]int32 // dst -> distance from every node to dst
+	order []topo.NodeID           // cached destinations, oldest first
+	rev   [][]topo.NodeID         // reverse adjacency, built once on demand
 }
 
 // NewBFSRouter returns a router for t.
@@ -126,29 +138,38 @@ func (r *BFSRouter) distTo(dst topo.NodeID) []int32 {
 		return d
 	}
 	t := r.T
+	if r.rev == nil {
+		// Reverse adjacency: a link a->b contributes an edge b->a here, so
+		// BFS from dst over it yields each node's hop count *to* dst along
+		// directed links. Built once and shared by every distTo call.
+		r.rev = make([][]topo.NodeID, t.NumNodes())
+		for _, l := range t.Links {
+			r.rev[l.Dst] = append(r.rev[l.Dst], l.Src)
+		}
+	}
 	d := make([]int32, t.NumNodes())
 	for i := range d {
 		d[i] = -1
-	}
-	// Reverse BFS from dst: a link a->b contributes an edge b->a here, so
-	// d[n] is the hop count from n to dst along directed links.
-	rev := make([][]topo.NodeID, t.NumNodes())
-	for _, l := range t.Links {
-		rev[l.Dst] = append(rev[l.Dst], l.Src)
 	}
 	queue := []topo.NodeID{dst}
 	d[dst] = 0
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
-		for _, m := range rev[n] {
+		for _, m := range r.rev[n] {
 			if d[m] < 0 {
 				d[m] = d[n] + 1
 				queue = append(queue, m)
 			}
 		}
 	}
+	if len(r.order) >= bfsDistCacheMax {
+		evict := r.order[0]
+		r.order = r.order[1:]
+		delete(r.dist, evict)
+	}
 	r.dist[dst] = d
+	r.order = append(r.order, dst)
 	return d
 }
 

@@ -162,6 +162,25 @@ func LargeFatTree() (*FatTree, error) {
 	})
 }
 
+// HugeFatTree builds an O(100k)-host fabric (49 pods x 32 racks x 64 hosts
+// = 100,352 hosts, 1568 racks), the scale regime Parsimon-style link
+// clustering targets. The graph itself is compact (~220k directed links in
+// dense slabs); what this constructor exercises is that topology build,
+// structure-aware routing, and clustered ground truth all stay memory-lean
+// without per-pair state.
+func HugeFatTree() (*FatTree, error) {
+	return NewFatTree(FatTreeConfig{
+		Pods:           49,
+		RacksPerPod:    32,
+		HostsPerRack:   64,
+		AggPerPod:      4,
+		SpinesPerPlane: 8,
+		HostRate:       10 * unit.Gbps,
+		FabricRate:     40 * unit.Gbps,
+		LinkDelay:      1 * unit.Microsecond,
+	})
+}
+
 // RackOf returns the global rack index of a host node.
 func (ft *FatTree) RackOf(host NodeID) int { return int(ft.Nodes[host].Rack) }
 

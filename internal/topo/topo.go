@@ -69,25 +69,30 @@ type Link struct {
 }
 
 // Topology is an immutable-after-build network graph.
+//
+// Adjacency is kept as a dense per-node slice indexed by NodeID rather than
+// hash maps: node IDs are dense by construction, and at O(100k)-host
+// fat-tree scale the former map[NodeID][]LinkID / map[[2]NodeID]LinkID pair
+// dominated the graph's memory (hundreds of MB of buckets and headers for a
+// graph whose links fit in ~10MB of slabs). LinkBetween resolves src->dst by
+// scanning the source's out-links — out-degrees in the topologies built here
+// are bounded by radix (tens), so the scan is cheaper than a map probe was.
 type Topology struct {
-	Nodes  []Node
-	Links  []Link
-	out    map[NodeID][]LinkID
-	byPair map[[2]NodeID]LinkID
+	Nodes []Node
+	Links []Link
+	out   [][]LinkID // indexed by NodeID
 }
 
 // New returns an empty topology ready for AddNode/AddDuplex.
 func New() *Topology {
-	return &Topology{
-		out:    make(map[NodeID][]LinkID),
-		byPair: make(map[[2]NodeID]LinkID),
-	}
+	return &Topology{}
 }
 
 // AddNode appends a node and returns its ID.
 func (t *Topology) AddNode(kind NodeKind, rack, pod int32) NodeID {
 	id := NodeID(len(t.Nodes))
 	t.Nodes = append(t.Nodes, Node{ID: id, Kind: kind, Rack: rack, Pod: pod})
+	t.out = append(t.out, nil)
 	return id
 }
 
@@ -98,7 +103,6 @@ func (t *Topology) addDirected(src, dst NodeID, rate unit.Rate, delay unit.Time)
 	id := LinkID(len(t.Links))
 	t.Links = append(t.Links, Link{ID: id, Src: src, Dst: dst, Rate: rate, Delay: delay, Reverse: -1})
 	t.out[src] = append(t.out[src], id)
-	t.byPair[[2]NodeID{src, dst}] = id
 	return id
 }
 
@@ -115,16 +119,27 @@ func (t *Topology) AddDuplex(a, b NodeID, rate unit.Rate, delay unit.Time) LinkI
 // Link returns the directed link with the given ID.
 func (t *Topology) Link(id LinkID) *Link { return &t.Links[id] }
 
-// LinkBetween returns the directed link src->dst, or -1 if absent.
+// LinkBetween returns the directed link src->dst, or -1 if absent. It scans
+// src's out-links (bounded by switch radix), so no per-pair index is kept.
 func (t *Topology) LinkBetween(src, dst NodeID) LinkID {
-	if id, ok := t.byPair[[2]NodeID{src, dst}]; ok {
-		return id
+	if int(src) < 0 || int(src) >= len(t.out) {
+		return -1
+	}
+	for _, id := range t.out[src] {
+		if t.Links[id].Dst == dst {
+			return id
+		}
 	}
 	return -1
 }
 
 // Out returns the IDs of links leaving n.
-func (t *Topology) Out(n NodeID) []LinkID { return t.out[n] }
+func (t *Topology) Out(n NodeID) []LinkID {
+	if int(n) < 0 || int(n) >= len(t.out) {
+		return nil
+	}
+	return t.out[n]
+}
 
 // Hosts returns the IDs of all host nodes.
 func (t *Topology) Hosts() []NodeID {

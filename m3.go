@@ -242,6 +242,27 @@ func Parsimon(ctx context.Context, t *Topology, flows []Flow, cfg NetConfig, wor
 	return parsimon.Run(ctx, t, flows, cfg, workers)
 }
 
+// ParsimonOptions controls link clustering in ParsimonWithOptions: Cluster
+// turns on representative-per-cluster simulation (the exact tier is lossless
+// by construction) and ClusterThreshold adds the approximate distance tier.
+type ParsimonOptions = parsimon.Options
+
+// ParsimonWithOptions is Parsimon on a shared worker pool with link
+// clustering control — the scale path for ground-truth fan-out on large
+// fabrics (see README "Scaling ground truth").
+func ParsimonWithOptions(ctx context.Context, t *Topology, flows []Flow, cfg NetConfig,
+	p *WorkerPool, opts ParsimonOptions) (*ParsimonResult, error) {
+	return parsimon.RunWithOptions(ctx, t, flows, cfg, p, opts)
+}
+
+// ClusteredGroundTruth approximates ground truth with the clustered Parsimon
+// decomposition on a shared pool — tractable at topology scales where the
+// single full-network packet simulation of GroundTruth is not.
+func ClusteredGroundTruth(ctx context.Context, t *Topology, flows []Flow, cfg NetConfig,
+	p *WorkerPool, opts ParsimonOptions) (*GroundTruthResult, error) {
+	return core.RunClusteredGroundTruth(ctx, t, flows, cfg, p, opts)
+}
+
 // Matrix builds traffic matrix "A", "B", "C", or "uniform" for the given
 // rack count, seeded deterministically.
 func Matrix(name string, racks int, seed uint64) (*TrafficMatrix, error) {

@@ -8,7 +8,8 @@
 #
 # Usage:
 #   scripts/bench.sh          full run, rewrites BENCH_pr4.json,
-#                             BENCH_pr5.json and BENCH_pr6.json
+#                             BENCH_pr5.json, BENCH_pr6.json and
+#                             BENCH_pr7.json
 #   scripts/bench.sh -short   one-iteration smoke run (scripts/check.sh),
 #                             writes nothing
 #
@@ -165,3 +166,11 @@ EOF
 # Distributed-serving scaling + graceful-degradation record (BENCH_pr6.json):
 # real multi-process fleets on loopback, see scripts/cluster_bench.sh.
 scripts/cluster_bench.sh
+
+# Ground-truth fan-out clustering record (BENCH_pr7.json): unclustered vs
+# clustered Parsimon at 6144 hosts across distance thresholds. The record
+# test writes the JSON itself and fails if no in-epsilon threshold reaches
+# a 2x speedup, so a clustering regression breaks this run.
+echo "== BENCH_pr7: link-clustering fan-out record =="
+M3_BENCH_RECORD=1 go test -run '^TestGroundTruthFanoutRecord$' -v -timeout 30m .
+echo "wrote BENCH_pr7.json"

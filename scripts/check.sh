@@ -39,6 +39,19 @@ echo "== packetsim determinism =="
 # state leaking through the sync.Pool between runs fails the second pass.
 go test -run 'TestEngineGoldenParity|TestRunDeterministic' -count=2 ./internal/packetsim/
 
+echo "== parsimon clustering determinism + parity =="
+# Link-clustering gates: frozen golden hashes (clustering off), threshold-0
+# bit-identity with the unclustered path, and cross-pool-width determinism;
+# -count=2 reruns in one process to catch state leaks across runs.
+go test -run 'TestParsimonGoldenParity|TestClusterExactTierBitIdentical|TestClusterUniformWorkloadLossless|TestClusterDeterminism' \
+    -count=2 ./internal/parsimon/
+
+echo "== 100k-host scale smoke =="
+# Builds the 100,352-host fat-tree, validates routing, and runs a short
+# clustered ground-truth pass under hard memory ceilings (512 MiB live
+# heap / 1.5 GiB Sys); measured ~2s wall, budgeted 10m for slow machines.
+M3_SCALE_SMOKE=1 go test -run '^TestScaleSmoke100k$' -v -timeout 10m ./internal/core/
+
 echo "== cluster smoke (3-replica scatter parity) =="
 # Boots real m3serve processes: a standalone reference and a 3-replica
 # scatter fleet; the fleet's quantiles must be byte-identical to standalone.
