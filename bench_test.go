@@ -338,11 +338,9 @@ func BenchmarkModelInference(b *testing.B) {
 	}
 }
 
-// BenchmarkModelInferenceBatch is the batched counterpart of
-// BenchmarkModelInference: one PredictBatch call over 32 samples per
-// iteration, reported per sample so the two are directly comparable.
-func BenchmarkModelInferenceBatch(b *testing.B) {
-	net, _ := benchNets(b)
+// benchBatchSamples builds the shared 32-sample inference batch for the
+// backend benchmarks.
+func benchBatchSamples(net *model.Net) []*model.Sample {
 	r := rng.New(4)
 	const batch = 32
 	samples := make([]*model.Sample, batch)
@@ -363,13 +361,43 @@ func BenchmarkModelInferenceBatch(b *testing.B) {
 		}
 		samples[j] = s
 	}
+	return samples
+}
+
+// BenchmarkModelInferenceBatch is the batched counterpart of
+// BenchmarkModelInference: one PredictBatch call over 32 samples per
+// iteration, reported per sample so the two are directly comparable.
+func BenchmarkModelInferenceBatch(b *testing.B) {
+	net, _ := benchNets(b)
+	samples := benchBatchSamples(net)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := net.PredictBatch(samples); err != nil {
+		if _, err := net.PredictBatch(ctx, samples); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*batch)*1e9, "ns/sample")
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*len(samples))*1e9, "ns/sample")
+}
+
+// BenchmarkModelInferenceBatchInt8 runs the same 32-sample batch through the
+// int8 weight-quantized backend — the float-vs-quantized latency ablation's
+// inner loop, comparable line-for-line with BenchmarkModelInferenceBatch.
+func BenchmarkModelInferenceBatchInt8(b *testing.B) {
+	net, _ := benchNets(b)
+	q, err := model.Quantize(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := benchBatchSamples(net)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.PredictBatch(ctx, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*len(samples))*1e9, "ns/sample")
 }
 
 func BenchmarkEstimateEndToEnd(b *testing.B) {

@@ -61,11 +61,11 @@ func main() {
 	if *checkpoint == "" {
 		fatal(fmt.Errorf("-checkpoint is required (train one with cmd/m3train)"))
 	}
-	net, err := model.LoadFile(*checkpoint)
+	net, err := model.LoadPredictorFile(*checkpoint)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "loaded model (%d params)\n", net.NumParams())
+	fmt.Fprintf(os.Stderr, "loaded %s model (%x)\n", net.Kind(), net.Fingerprint())
 
 	var ft *topo.FatTree
 	switch *topoName {

@@ -59,6 +59,9 @@ const (
 	// CodeUnprocessable: the payload parsed but failed integrity checks
 	// (corrupt checkpoint, bad snapshot shapes).
 	CodeUnprocessable = "unprocessable"
+	// CodeUnknownBackend: the request named a model backend kind this
+	// build does not register; retrying verbatim can never succeed.
+	CodeUnknownBackend = "unknown_backend"
 	// CodeInternal: an unclassified server-side failure.
 	CodeInternal = "internal"
 )
@@ -94,7 +97,12 @@ type PathsRequest struct {
 	// ModelFP pins the ML model version; a peer serving a different
 	// fingerprint answers CodeModelMismatch instead of mixing model
 	// generations inside one estimate.
-	ModelFP uint64           `json:"model_fp,omitempty"`
+	ModelFP uint64 `json:"model_fp,omitempty"`
+	// Backend pins the inference backend kind ("net", "net-int8"); empty
+	// means the float net, so pre-backend coordinators stay compatible.
+	// Together with ModelFP it guarantees every shard of one estimate runs
+	// the same arithmetic.
+	Backend string           `json:"backend,omitempty"`
 	Cfg     packetsim.Config `json:"cfg"`
 	Indices []int            `json:"indices"`
 	Mults   []int            `json:"mults"`

@@ -62,8 +62,9 @@ func HashWorkload(t *topo.Topology, flows []workload.Flow) WorkloadHash {
 
 // EstimateKey names one finished estimate: the workload (and topology), the
 // network configuration, the backend, the sampling budget and seed, and —
-// for the ML backend — the model version, so checkpoint hot-reloads never
-// serve estimates from an older model.
+// for the ML backend — the model backend kind and version, so checkpoint
+// hot-reloads never serve estimates from an older model and distinct
+// inference backends (float vs int8) never share entries.
 type EstimateKey struct {
 	Workload WorkloadHash
 	Cfg      packetsim.Config
@@ -71,6 +72,7 @@ type EstimateKey struct {
 	NumPaths int
 	Seed     uint64
 	Model    uint64 // model fingerprint; 0 for model-free methods
+	Backend  string // model backend kind; "" for model-free methods
 }
 
 // Digest folds every key field into one uint64, giving the cluster's
@@ -100,6 +102,10 @@ func (k EstimateKey) Digest() uint64 {
 	h.mix(uint64(k.NumPaths))
 	h.mix(k.Seed)
 	h.mix(k.Model)
+	h.mix(uint64(len(k.Backend)))
+	for i := 0; i < len(k.Backend); i++ {
+		h.mix(uint64(k.Backend[i]))
+	}
 	return uint64(h)
 }
 
@@ -322,17 +328,27 @@ func (c *EstimateCache) PutOwned(key EstimateKey, res *Estimate) {
 }
 
 // InvalidateModel drops every cached estimate bound to a model fingerprint
-// other than keep (0-model entries — the model-free backends — always
-// survive). Reload broadcasts call this on each replica so no tier can
-// serve results from a checkpoint the fleet has moved off of. Returns the
-// number of entries dropped.
-func (c *EstimateCache) InvalidateModel(keep uint64) int {
+// outside the keep set (0-model entries — the model-free backends — always
+// survive). The keep set is variadic because one checkpoint now yields one
+// fingerprint per backend kind (float, int8, ...), all of which stay valid
+// across a reload to the same weights. Reload broadcasts call this on each
+// replica so no tier can serve results from a checkpoint the fleet has
+// moved off of. Returns the number of entries dropped.
+func (c *EstimateCache) InvalidateModel(keep ...uint64) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	kept := func(fp uint64) bool {
+		for _, k := range keep {
+			if fp == k {
+				return true
+			}
+		}
+		return false
+	}
 	dropped := 0
 	for _, lru := range [...]*cache.LRU[EstimateKey, *Estimate]{c.lru, c.owned} {
 		for _, key := range lru.Keys() {
-			if key.Model != 0 && key.Model != keep {
+			if key.Model != 0 && !kept(key.Model) {
 				lru.Remove(key)
 				dropped++
 			}

@@ -171,3 +171,73 @@ func TestHashWorkloadSensitivity(t *testing.T) {
 		t.Error("distinct workloads share a hash")
 	}
 }
+
+// TestEstimateCacheBackendKeying: two keys identical except for the backend
+// kind are distinct cache entries with distinct digests — a float estimate
+// must never answer an int8 request (different arithmetic, different
+// numbers), even under the same model weights.
+func TestEstimateCacheBackendKeying(t *testing.T) {
+	kf := testKey(1)
+	kf.Backend = "net"
+	kq := testKey(1)
+	kq.Backend = "net-int8"
+	if kf.Digest() == kq.Digest() {
+		t.Fatal("backend kind does not reach the key digest")
+	}
+	c := NewEstimateCache(4)
+	float := &Estimate{DistinctPaths: 1}
+	int8e := &Estimate{DistinctPaths: 2}
+	if _, cached, _ := c.Do(context.Background(), kf,
+		func() (*Estimate, error) { return float, nil }); cached {
+		t.Fatal("first float Do hit")
+	}
+	got, cached, err := c.Do(context.Background(), kq,
+		func() (*Estimate, error) { return int8e, nil })
+	if err != nil || cached || got != int8e {
+		t.Fatalf("int8 Do = (%v, %v, %v), want fresh compute", got, cached, err)
+	}
+	if got, cached, _ := c.Do(context.Background(), kf,
+		func() (*Estimate, error) { t.Fatal("recomputed"); return nil, nil }); !cached || got != float {
+		t.Fatalf("float repeat = (%v, %v), want hit on the float entry", got, cached)
+	}
+}
+
+// TestInvalidateModelKeepSet: one model swap yields one fingerprint per
+// backend kind; InvalidateModel keeps every listed fingerprint and drops the
+// rest, and model-free entries (Model == 0) are never touched.
+func TestInvalidateModelKeepSet(t *testing.T) {
+	c := NewEstimateCache(8)
+	put := func(model uint64, backend string, seed uint64) EstimateKey {
+		k := testKey(seed)
+		k.Model = model
+		k.Backend = backend
+		if model == 0 {
+			k.Method = MethodFlowSim
+		}
+		_, _, _ = c.Do(context.Background(), k, func() (*Estimate, error) { return &Estimate{}, nil })
+		return k
+	}
+	oldF := put(7, "net", 1)
+	oldQ := put(8, "net-int8", 2)
+	newF := put(100, "net", 3)
+	newQ := put(200, "net-int8", 4)
+	free := put(0, "", 5)
+	if dropped := c.InvalidateModel(100, 200); dropped != 2 {
+		t.Fatalf("dropped %d entries, want 2", dropped)
+	}
+	for _, tc := range []struct {
+		key  EstimateKey
+		want bool
+		name string
+	}{
+		{oldF, false, "old float"},
+		{oldQ, false, "old int8"},
+		{newF, true, "new float"},
+		{newQ, true, "new int8"},
+		{free, true, "model-free"},
+	} {
+		if _, ok := c.Get(tc.key); ok != tc.want {
+			t.Errorf("%s entry present=%v, want %v", tc.name, ok, tc.want)
+		}
+	}
+}

@@ -73,7 +73,7 @@ const (
 // configuration is fixed at construction (an Estimator is immutable and safe
 // to share between goroutines).
 type Estimator struct {
-	net       *model.Net
+	pred      model.Predictor
 	numPaths  int
 	workers   int
 	method    Method
@@ -119,6 +119,19 @@ func WithPool(p *Pool) Option { return func(e *Estimator) { e.pool = p } }
 // Off by default: library callers get hard errors; the serving layer opts in.
 func WithFlowSimFallback(on bool) Option { return func(e *Estimator) { e.fallback = on } }
 
+// WithPredictor replaces the estimator's inference backend after
+// construction options ran — useful when the backend is chosen per request
+// (the serving layer's `"backend"` field) while the rest of the options stay
+// fixed. A nil (or typed-nil) predictor clears the model.
+func WithPredictor(p model.Predictor) Option {
+	return func(e *Estimator) {
+		if model.IsNil(p) {
+			p = nil
+		}
+		e.pred = p
+	}
+}
+
 // WithDecomposition supplies a precomputed decomposition, which must be of
 // exactly the (topology, flows) passed to Estimate; the decompose stage is
 // then skipped. Callers that estimate the same workload repeatedly under
@@ -127,12 +140,18 @@ func WithDecomposition(d *pathsim.Decomposition) Option {
 	return func(e *Estimator) { e.decomp = d }
 }
 
-// NewEstimator returns an estimator for net with the paper's defaults,
-// adjusted by opts. net may be nil for the model-free backends
+// NewEstimator returns an estimator for the given inference backend with
+// the paper's defaults, adjusted by opts. Any model.Predictor works —
+// *model.Net (the float transformer) and *model.QuantizedNet (int8) are the
+// built-in kinds — and existing callers passing a *model.Net compile
+// unchanged. p may be nil for the model-free backends
 // (WithMethod(MethodFlowSim) or MethodNS3Path).
-func NewEstimator(net *model.Net, opts ...Option) *Estimator {
+func NewEstimator(p model.Predictor, opts ...Option) *Estimator {
+	if model.IsNil(p) {
+		p = nil // a typed-nil *Net must read as "no model", like before the interface cut
+	}
 	e := &Estimator{
-		net:       net,
+		pred:      p,
 		numPaths:  DefaultNumPaths,
 		seed:      1,
 		batchSize: DefaultBatchSize,
@@ -276,7 +295,7 @@ func (e *Estimator) RunShard(ctx context.Context, d *pathsim.Decomposition,
 	}
 	method := e.method
 	wholeDegraded := false
-	if method == MethodML && e.net == nil {
+	if method == MethodML && e.pred == nil {
 		if !e.fallback {
 			return nil, fmt.Errorf("core: MethodML requires a trained model")
 		}
@@ -439,7 +458,7 @@ func (e *Estimator) estimateMLBatched(ctx context.Context, pool *Pool,
 		lo := bi * bs
 		hi := min(lo+bs, len(distinct))
 		predStart := time.Now()
-		preds, err := e.net.PredictBatch(samples[lo:hi])
+		preds, err := e.pred.PredictBatch(ctx, samples[lo:hi])
 		predictNs.Add(int64(time.Since(predStart)))
 		if err != nil {
 			if fbSizes == nil {

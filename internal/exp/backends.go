@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"m3/internal/core"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+	"m3/internal/stats"
+)
+
+// BackendPoint is one inference backend's row in the float-vs-quantized
+// ablation: accuracy against packet-level ground truth, agreement with the
+// float reference, and where the time went.
+type BackendPoint struct {
+	Kind string
+	// AbsErrs are |p99 error| vs ground truth, one per scenario.
+	AbsErrs []float64
+	// DivergeRel are |p99 - p99_float| / p99_float, one per scenario
+	// (zero for the float backend itself).
+	DivergeRel []float64
+	// MeanSec is mean end-to-end estimate wall clock per scenario.
+	MeanSec float64
+	// PredictSec is mean ML predict-stage time per scenario.
+	PredictSec float64
+}
+
+// RunBackendAblation runs every registered inference backend over the same
+// scenarios, seeds, and path budgets, scoring each against packet-level
+// ground truth and against the float reference — the experiment behind the
+// README's float-vs-int8 table: quantization should buy latency and memory
+// at (near) zero accuracy cost.
+func RunBackendAblation(ctx context.Context, s Scale, net *model.Net, w io.Writer) ([]BackendPoint, error) {
+	p := core.NewPool(s.Workers)
+	defer p.Close()
+	root := rng.New(2300)
+	type scenario struct {
+		mix   Mix
+		truth float64
+	}
+	var scenarios []scenario
+	nScen := max(2, s.Scenarios/2)
+	for i := 0; i < nScen; i++ {
+		m := RandomMix(root.Split(uint64(i)), s.TestFlows, uint64(2300+i))
+		ft, flows, err := m.Build()
+		if err != nil {
+			return nil, err
+		}
+		gt, err := core.RunGroundTruth(ctx, ft.Topology, flows, packetsim.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		scenarios = append(scenarios, scenario{m, gt.P99()})
+	}
+
+	kinds := model.BackendKinds()
+	fmt.Fprintf(w, "Ablation: inference backends (%d scenarios, %v)\n", nScen, kinds)
+	// The float backend runs first so every other kind has its reference
+	// p99s; BackendKinds is sorted and "net" precedes "net-int8", but order
+	// is enforced rather than assumed.
+	ordered := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		if k == model.KindNet {
+			ordered = append(ordered, k)
+		}
+	}
+	for _, k := range kinds {
+		if k != model.KindNet {
+			ordered = append(ordered, k)
+		}
+	}
+	var floatP99 []float64
+	var out []BackendPoint
+	for _, kind := range ordered {
+		pred, err := model.BuildBackend(kind, net)
+		if err != nil {
+			return nil, err
+		}
+		pt := BackendPoint{Kind: kind}
+		var wall, predict float64
+		for i, sc := range scenarios {
+			ft, flows, err := sc.mix.Build()
+			if err != nil {
+				return nil, err
+			}
+			est := core.NewEstimator(pred, core.WithNumPaths(200),
+				core.WithPool(p), core.WithSeed(uint64(3100+i)))
+			t0 := time.Now()
+			res, err := est.Estimate(ctx, ft.Topology, flows, packetsim.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			wall += time.Since(t0).Seconds()
+			predict += res.Stages.Predict.Seconds()
+			p99 := res.P99()
+			pt.AbsErrs = append(pt.AbsErrs, stats.AbsRelError(p99, sc.truth))
+			if kind == model.KindNet {
+				floatP99 = append(floatP99, p99)
+				pt.DivergeRel = append(pt.DivergeRel, 0)
+			} else {
+				pt.DivergeRel = append(pt.DivergeRel,
+					math.Abs(p99-floatP99[i])/math.Max(floatP99[i], 1))
+			}
+		}
+		pt.MeanSec = wall / float64(nScen)
+		pt.PredictSec = predict / float64(nScen)
+		out = append(out, pt)
+		fmt.Fprintf(w, "  %-9s mean |p99 err| %5.1f%%, vs-float %5.2f%%, predict %6.1fms, total %.2fs\n",
+			pt.Kind, 100*stats.Mean(pt.AbsErrs), 100*stats.Mean(pt.DivergeRel),
+			1000*pt.PredictSec, pt.MeanSec)
+	}
+	return out, nil
+}

@@ -1,0 +1,482 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Int8 weight-quantized inference. Each Q* type below is the quantized
+// counterpart of the float layer it is built from: weights are stored as
+// int8 with one symmetric scale per output channel (scale = max|row|/127),
+// activations are re-quantized dynamically per row with the same symmetric
+// scheme, and the GEMM runs int8 x int8 with int32 accumulation before one
+// dequantize multiply per output. Everything that is not a matmul — RMSNorm,
+// softmax, SiLU — is computed at float32 precision (the values still travel
+// in the float64 Scratch slabs so the Tensor machinery is shared with the
+// float path).
+//
+// The GEMM's hot loop is a SWAR kernel: four output rows' weights for one
+// column are biased to unsigned (+128, so each fits a byte) and packed into
+// the four 16-bit lanes of a uint64; multiplying by one biased activation
+// (<= 255) keeps every lane product under 2^16, so a single 64-bit multiply
+// performs four MACs with no inter-lane carries. Lane sums are gathered in
+// two 2x32-bit accumulators and the +128 biases are removed exactly
+// afterwards (Σwx = Σab − 128Σw − 128Σx − 16384n), so the result is the
+// same integer a scalar int32 loop would produce — every step is exact, so
+// quantized outputs stay bit-stable across runs and machines.
+
+// maxQuantCols bounds the reduction length of one quantized dot product so
+// the SWAR lane accumulators cannot overflow or carry across lanes:
+// 255*255*65536 < 2^32.
+const maxQuantCols = 65536
+
+// QLinear is an int8 weight-quantized linear map with per-output-channel
+// symmetric scales. It serves both the per-position (SeqLinear) and head
+// (Linear) roles: the float bias is applied after dequantization.
+type QLinear struct {
+	Rows, Cols int
+	W8         []int8    // Rows x Cols, row-major quantized weights
+	Scale      []float64 // per output row: w[o][i] ~= float64(W8[o][i]) * Scale[o]
+	B          []float64 // bias, nil for none
+
+	// SWAR compute layout, derived from W8: W4 packs rows 4g..4g+3 at
+	// column i, biased by +128, into the 16-bit lanes of one uint64
+	// (2 bytes/weight); RowSum holds each row's Σ W8 for removing the
+	// bias from the lane sums exactly.
+	W4     []uint64 // (Rows/4) x Cols
+	RowSum []int32  // per output row
+}
+
+// QuantizeLinear builds a QLinear from a weight Param (Out x In) and an
+// optional bias Param.
+func QuantizeLinear(w, b *Param) *QLinear {
+	q := &QLinear{
+		Rows:  w.Rows,
+		Cols:  w.Cols,
+		W8:    make([]int8, len(w.W)),
+		Scale: make([]float64, w.Rows),
+	}
+	for o := 0; o < w.Rows; o++ {
+		row := w.W[o*w.Cols : (o+1)*w.Cols]
+		var maxAbs float64
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 || math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
+			// All-zero (or degenerate) channel: keep scale 0 so the
+			// dequantized output is exactly 0 regardless of input.
+			continue
+		}
+		scale := maxAbs / 127
+		q.Scale[o] = scale
+		inv := 1 / scale
+		q8 := q.W8[o*w.Cols : (o+1)*w.Cols]
+		for i, v := range row {
+			q8[i] = clampInt8(math.Round(v * inv))
+		}
+	}
+	if b != nil {
+		q.B = append([]float64(nil), b.W...)
+	}
+	q.RowSum = make([]int32, q.Rows)
+	for o := 0; o < q.Rows; o++ {
+		var sum int32
+		for _, v := range q.W8[o*q.Cols : (o+1)*q.Cols] {
+			sum += int32(v)
+		}
+		q.RowSum[o] = sum
+	}
+	q.W4 = make([]uint64, (q.Rows/4)*q.Cols)
+	for g := 0; g < q.Rows/4; g++ {
+		r0 := q.W8[(4*g+0)*q.Cols : (4*g+1)*q.Cols]
+		r1 := q.W8[(4*g+1)*q.Cols : (4*g+2)*q.Cols]
+		r2 := q.W8[(4*g+2)*q.Cols : (4*g+3)*q.Cols]
+		r3 := q.W8[(4*g+3)*q.Cols : (4*g+4)*q.Cols]
+		dst := q.W4[g*q.Cols : (g+1)*q.Cols]
+		for i := range dst {
+			dst[i] = uint64(uint8(int32(r0[i])+128)) |
+				uint64(uint8(int32(r1[i])+128))<<16 |
+				uint64(uint8(int32(r2[i])+128))<<32 |
+				uint64(uint8(int32(r3[i])+128))<<48
+		}
+	}
+	return q
+}
+
+// clampInt8 saturates a rounded float to [-127, 127]; NaN maps to 0.
+func clampInt8(r float64) int8 {
+	switch {
+	case r >= 127:
+		return 127
+	case r <= -127:
+		return -127
+	case r == r: // not NaN
+		return int8(r)
+	default:
+		return 0
+	}
+}
+
+// quantizeRowInto symmetrically quantizes one activation row straight into
+// the GEMM's two operand layouts — signed int32 for the scalar leftover dot
+// and biased uint64 for the SWAR kernel — returning the dequantization
+// scale and the row's signed sum (for the bias correction). A zero (or
+// non-finite) row quantizes to zeros with scale 0. Quantized values are
+// |v|*inv <= 127 by construction, +-0.5 for rounding, so no clamp is
+// needed; NaN elements (possible upstream, the degraded-mode path) map
+// to 0 as the int8 path always has.
+func quantizeRowInto(x []float64, x32 []int32, bx []uint64) (scale float64, sumX int64) {
+	var maxAbs float64
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	x32 = x32[:len(x)]
+	bx = bx[:len(x)]
+	if maxAbs == 0 || math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
+		for i := range x {
+			x32[i] = 0
+			bx[i] = 128
+		}
+		return 0, 0
+	}
+	scale = maxAbs / 127
+	inv := 1 / scale
+	for i, v := range x {
+		var q int32
+		if v == v { // NaN quantizes to 0
+			q = int32(v*inv + math.Copysign(0.5, v))
+		}
+		x32[i] = q
+		bx[i] = uint64(uint32(q + 128))
+		sumX += int64(q)
+	}
+	return scale, sumX
+}
+
+// dotInt8 is the integer counterpart of dot4: four independent int32
+// accumulators over an int8 weight row and a pre-widened activation row.
+// Integer addition is associative, so the unroll changes nothing about the
+// result — it only breaks the dependency chain.
+func dotInt8(w []int8, x []int32) int32 {
+	var s0, s1, s2, s3 int32
+	x = x[:len(w)]
+	n := len(x) &^ 3
+	i := 0
+	for ; i < n; i += 4 {
+		x4 := x[i : i+4 : i+4]
+		w4 := w[i : i+4 : i+4]
+		s0 += int32(w4[0]) * x4[0]
+		s1 += int32(w4[1]) * x4[1]
+		s2 += int32(w4[2]) * x4[2]
+		s3 += int32(w4[3]) * x4[3]
+	}
+	for ; i < len(x); i++ {
+		s0 += int32(w[i]) * x[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// dotSWAR4 computes four weight rows' biased dot sums Σ(w+128)(x+128) in one
+// pass: each packed word holds one column's four biased weights in 16-bit
+// lanes, so one 64-bit multiply by the biased activation is four MACs. Lane
+// products stay under 2^16 (255*255), so nothing carries between lanes, and
+// maxQuantCols keeps the 32-bit halves of the two accumulators from
+// overflowing. All arithmetic is exact.
+func dotSWAR4(pw, bx []uint64) (s0, s1, s2, s3 uint64) {
+	const mask = 0x0000ffff0000ffff
+	var acc02, acc13 uint64
+	bx = bx[:len(pw)]
+	for i, w4 := range pw {
+		p := w4 * bx[i]
+		acc02 += p & mask
+		acc13 += (p >> 16) & mask
+	}
+	return uint64(uint32(acc02)), uint64(uint32(acc13)), acc02 >> 32, acc13 >> 32
+}
+
+// ApplyTensor maps every row of x through the quantized linear layer: the
+// row is quantized and biased once, then output channels are computed four
+// at a time by the SWAR kernel (leftover rows go through the scalar dot),
+// with one exact bias correction and one dequantize multiply per output.
+func (l *QLinear) ApplyTensor(s *Scratch, x Tensor) Tensor {
+	if x.Cols > maxQuantCols {
+		panic("ml: quantized reduction too long for SWAR lane accumulation")
+	}
+	out := s.TensorUninit(x.Rows, l.Rows)
+	x32 := s.Int32sUninit(x.Cols)
+	bx := s.Uint64sUninit(x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		xs, sumX := quantizeRowInto(x.Row(t), x32, bx)
+		// Σwx = Σ(w+128)(x+128) − 128Σw − 128Σx − 128*128*n; the Σx and n
+		// terms are shared by every output row.
+		rowCorr := 128*sumX + 16384*int64(l.Cols)
+		yr := out.Row(t)
+		o := 0
+		for ; o+4 <= l.Rows; o += 4 {
+			g := o / 4
+			s0, s1, s2, s3 := dotSWAR4(l.W4[g*l.Cols:(g+1)*l.Cols], bx)
+			yr[o] = float64(int64(s0)-128*int64(l.RowSum[o])-rowCorr) * (l.Scale[o] * xs)
+			yr[o+1] = float64(int64(s1)-128*int64(l.RowSum[o+1])-rowCorr) * (l.Scale[o+1] * xs)
+			yr[o+2] = float64(int64(s2)-128*int64(l.RowSum[o+2])-rowCorr) * (l.Scale[o+2] * xs)
+			yr[o+3] = float64(int64(s3)-128*int64(l.RowSum[o+3])-rowCorr) * (l.Scale[o+3] * xs)
+		}
+		for ; o < l.Rows; o++ {
+			acc := dotInt8(l.W8[o*l.Cols:(o+1)*l.Cols], x32)
+			yr[o] = float64(acc) * (l.Scale[o] * xs)
+		}
+		if l.B != nil {
+			for i, b := range l.B {
+				yr[i] += b
+			}
+		}
+	}
+	return out
+}
+
+// rmsApplyInto32 is the float32-precision RMSNorm used by the quantized
+// path: sum of squares, inverse rms, and the per-element scale all round
+// through float32.
+func rmsApplyInto32(x, gain, dst []float64) {
+	var ss float32
+	for _, v := range x {
+		f := float32(v)
+		ss += f * f
+	}
+	inv := float32(1 / math.Sqrt(float64(ss)/float64(len(x))+rmsEps))
+	for i, v := range x {
+		dst[i] = float64(float32(v) * inv * float32(gain[i]))
+	}
+}
+
+// silu32 is SiLU rounded through float32.
+func silu32(x float64) float64 {
+	f := float32(x)
+	s := float32(1) / (1 + float32(math.Exp(float64(-f))))
+	return float64(f * s)
+}
+
+// QSwiGLU is the quantized gated feed-forward; the SiLU gate runs at
+// float32 precision between the int8 matmuls.
+type QSwiGLU struct {
+	W1, W3, W2 *QLinear
+}
+
+// ApplyTensor mirrors SeqSwiGLU.ApplyTensor with the gate fused in place.
+func (sw *QSwiGLU) ApplyTensor(s *Scratch, x Tensor) Tensor {
+	u := sw.W1.ApplyTensor(s, x)
+	g := sw.W3.ApplyTensor(s, x)
+	for i, gi := range g.Data {
+		u.Data[i] *= silu32(gi)
+	}
+	return sw.W2.ApplyTensor(s, u)
+}
+
+// QMHA is quantized block-diagonal self-attention: int8 q/k/v/o projections
+// with the softmax computed at float32 precision.
+type QMHA struct {
+	Dim, Heads     int
+	Wq, Wk, Wv, Wo *QLinear
+}
+
+// ApplyTensor mirrors MHA.ApplyTensor over the same ragged offsets layout.
+func (m *QMHA) ApplyTensor(s *Scratch, x Tensor, offsets []int) Tensor {
+	q := m.Wq.ApplyTensor(s, x)
+	k := m.Wk.ApplyTensor(s, x)
+	v := m.Wv.ApplyTensor(s, x)
+	maxLen := 0
+	for b := 0; b+1 < len(offsets); b++ {
+		if n := offsets[b+1] - offsets[b]; n > maxLen {
+			maxLen = n
+		}
+	}
+	scores := s.FloatsUninit(maxLen)
+	out := s.Tensor(x.Rows, m.Dim) // accumulated into; must start zeroed
+	dh := m.Dim / m.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	for b := 0; b+1 < len(offsets); b++ {
+		start, end := offsets[b], offsets[b+1]
+		n := end - start
+		for h := 0; h < m.Heads; h++ {
+			lo := h * dh
+			for i := start; i < end; i++ {
+				qh := q.Row(i)[lo : lo+dh]
+				maxS := math.Inf(-1)
+				for j := 0; j < n; j++ {
+					kj := k.Row(start + j)
+					scores[j] = dot4(qh, kj[lo:lo+dh]) * scale
+					if scores[j] > maxS {
+						maxS = scores[j]
+					}
+				}
+				var sum float32
+				for j := 0; j < n; j++ {
+					e := float32(math.Exp(scores[j] - maxS))
+					scores[j] = float64(e)
+					sum += e
+				}
+				invSum := 1 / sum
+				for j := 0; j < n; j++ {
+					scores[j] = float64(float32(scores[j]) * invSum)
+				}
+				oi := out.Row(i)
+				for j := 0; j < n; j++ {
+					a := scores[j]
+					vj := v.Row(start + j)
+					for d := 0; d < dh; d++ {
+						oi[lo+d] += a * vj[lo+d]
+					}
+				}
+			}
+		}
+	}
+	return m.Wo.ApplyTensor(s, out)
+}
+
+// QBlock is one quantized pre-norm transformer block. The norm gains are
+// copied out of the float model so the block owns its weights.
+type QBlock struct {
+	N1, N2 []float64 // RMSNorm gains
+	Attn   *QMHA
+	FFN    *QSwiGLU
+}
+
+// ApplyTensor mirrors Block.ApplyTensor with float32 norms and fused
+// residual adds.
+func (b *QBlock) ApplyTensor(s *Scratch, x Tensor, offsets []int) Tensor {
+	n1 := s.TensorUninit(x.Rows, x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		rmsApplyInto32(x.Row(t), b.N1, n1.Row(t))
+	}
+	a := b.Attn.ApplyTensor(s, n1, offsets)
+	for i, xi := range x.Data {
+		a.Data[i] += xi
+	}
+	n2 := s.TensorUninit(a.Rows, a.Cols)
+	for t := 0; t < a.Rows; t++ {
+		rmsApplyInto32(a.Row(t), b.N2, n2.Row(t))
+	}
+	f := b.FFN.ApplyTensor(s, n2)
+	for i, hi := range a.Data {
+		f.Data[i] += hi
+	}
+	return f
+}
+
+// QuantizeBlock quantizes one transformer block.
+func QuantizeBlock(b *Block) *QBlock {
+	return &QBlock{
+		N1: append([]float64(nil), b.N1.Gain.W...),
+		N2: append([]float64(nil), b.N2.Gain.W...),
+		Attn: &QMHA{
+			Dim: b.Attn.Dim, Heads: b.Attn.Heads,
+			Wq: QuantizeLinear(b.Attn.Wq.W, b.Attn.Wq.B),
+			Wk: QuantizeLinear(b.Attn.Wk.W, b.Attn.Wk.B),
+			Wv: QuantizeLinear(b.Attn.Wv.W, b.Attn.Wv.B),
+			Wo: QuantizeLinear(b.Attn.Wo.W, b.Attn.Wo.B),
+		},
+		FFN: &QSwiGLU{
+			W1: QuantizeLinear(b.FFN.W1.W, b.FFN.W1.B),
+			W3: QuantizeLinear(b.FFN.W3.W, b.FFN.W3.B),
+			W2: QuantizeLinear(b.FFN.W2.W, b.FFN.W2.B),
+		},
+	}
+}
+
+// QEncoder is the quantized background-context encoder. Positional
+// embeddings and norm gains stay in float (they are additive/elementwise,
+// not matmuls) but are copied so the encoder owns its weights.
+type QEncoder struct {
+	Dim    int
+	MaxSeq int
+	Embed  *QLinear
+	Pos    []float64 // MaxSeq x Dim
+	Blocks []*QBlock
+	Final  []float64 // final norm gain
+}
+
+// QuantizeEncoder quantizes a float encoder.
+func QuantizeEncoder(e *Encoder) *QEncoder {
+	q := &QEncoder{
+		Dim:    e.Dim,
+		MaxSeq: e.MaxSeq,
+		Embed:  QuantizeLinear(e.Embed.W, e.Embed.B),
+		Pos:    append([]float64(nil), e.Pos.W...),
+		Final:  append([]float64(nil), e.Final.Gain.W...),
+	}
+	for _, b := range e.Blocks {
+		q.Blocks = append(q.Blocks, QuantizeBlock(b))
+	}
+	return q
+}
+
+// ApplyBatch mirrors Encoder.ApplyBatch over the same ragged offsets
+// layout: embed, add positions, blocks, final norm, mean pool.
+func (e *QEncoder) ApplyBatch(s *Scratch, feats Tensor, offsets []int) (Tensor, error) {
+	nSeq := len(offsets) - 1
+	for b := 0; b < nSeq; b++ {
+		n := offsets[b+1] - offsets[b]
+		if n <= 0 {
+			return Tensor{}, fmt.Errorf("ml: encoder needs at least one position")
+		}
+		if n > e.MaxSeq {
+			return Tensor{}, fmt.Errorf("ml: sequence length %d exceeds max %d", n, e.MaxSeq)
+		}
+	}
+	hs := e.Embed.ApplyTensor(s, feats)
+	for b := 0; b < nSeq; b++ {
+		for t := offsets[b]; t < offsets[b+1]; t++ {
+			row := hs.Row(t)
+			pos := t - offsets[b]
+			for i := 0; i < e.Dim; i++ {
+				row[i] += e.Pos[pos*e.Dim+i]
+			}
+		}
+	}
+	for _, blk := range e.Blocks {
+		hs = blk.ApplyTensor(s, hs, offsets)
+	}
+	norm := s.TensorUninit(hs.Rows, hs.Cols)
+	for t := 0; t < hs.Rows; t++ {
+		rmsApplyInto32(hs.Row(t), e.Final, norm.Row(t))
+	}
+	ctx := s.Tensor(nSeq, e.Dim)
+	for b := 0; b < nSeq; b++ {
+		cb := ctx.Row(b)
+		inv := 1 / float64(offsets[b+1]-offsets[b])
+		for t := offsets[b]; t < offsets[b+1]; t++ {
+			row := norm.Row(t)
+			for i := 0; i < e.Dim; i++ {
+				cb[i] += row[i] * inv
+			}
+		}
+	}
+	return ctx, nil
+}
+
+// QMLP is the quantized two-layer head with the ReLU fused in place.
+type QMLP struct {
+	L1, L2 *QLinear
+}
+
+// QuantizeMLP quantizes the float head.
+func QuantizeMLP(m *MLP) *QMLP {
+	return &QMLP{
+		L1: QuantizeLinear(m.L1.W, m.L1.B),
+		L2: QuantizeLinear(m.L2.W, m.L2.B),
+	}
+}
+
+// ApplyTensor mirrors MLP.ApplyTensor.
+func (m *QMLP) ApplyTensor(s *Scratch, x Tensor) Tensor {
+	h := m.L1.ApplyTensor(s, x)
+	for i, v := range h.Data {
+		if v < 0 {
+			h.Data[i] = 0
+		}
+	}
+	return m.L2.ApplyTensor(s, h)
+}

@@ -35,12 +35,27 @@ type Scratch struct {
 	intSlabs [][]int
 	intCur   int
 	intOff   int
+
+	i8Slabs [][]int8
+	i8Cur   int
+	i8Off   int
+
+	i32Slabs [][]int32
+	i32Cur   int
+	i32Off   int
+
+	u64Slabs [][]uint64
+	u64Cur   int
+	u64Off   int
 }
 
 // Reset releases every outstanding buffer at once. Slabs are retained.
 func (s *Scratch) Reset() {
 	s.cur, s.off = 0, 0
 	s.intCur, s.intOff = 0, 0
+	s.i8Cur, s.i8Off = 0, 0
+	s.i32Cur, s.i32Off = 0, 0
+	s.u64Cur, s.u64Off = 0, 0
 }
 
 // Floats returns a zeroed length-n buffer valid until Reset.
@@ -84,6 +99,63 @@ func (s *Scratch) Ints(n int) []int {
 	s.intSlabs = append(s.intSlabs, make([]int, max(n, 256)))
 	out := s.intSlabs[s.intCur][:n:n]
 	s.intOff = n
+	return out
+}
+
+// Int8sUninit returns a length-n int8 buffer valid until Reset, without
+// zeroing. The quantized inference path uses these for per-row activation
+// quantization, where every byte is written before being read.
+func (s *Scratch) Int8sUninit(n int) []int8 {
+	for s.i8Cur < len(s.i8Slabs) {
+		if slab := s.i8Slabs[s.i8Cur]; s.i8Off+n <= len(slab) {
+			out := slab[s.i8Off : s.i8Off+n : s.i8Off+n]
+			s.i8Off += n
+			return out
+		}
+		s.i8Cur++
+		s.i8Off = 0
+	}
+	s.i8Slabs = append(s.i8Slabs, make([]int8, max(n, 1024)))
+	out := s.i8Slabs[s.i8Cur][:n:n]
+	s.i8Off = n
+	return out
+}
+
+// Int32sUninit returns a length-n int32 buffer valid until Reset, without
+// zeroing. The quantized GEMM widens each activation row into one of these
+// once, so the inner loops sign-extend only the weight bytes.
+func (s *Scratch) Int32sUninit(n int) []int32 {
+	for s.i32Cur < len(s.i32Slabs) {
+		if slab := s.i32Slabs[s.i32Cur]; s.i32Off+n <= len(slab) {
+			out := slab[s.i32Off : s.i32Off+n : s.i32Off+n]
+			s.i32Off += n
+			return out
+		}
+		s.i32Cur++
+		s.i32Off = 0
+	}
+	s.i32Slabs = append(s.i32Slabs, make([]int32, max(n, 1024)))
+	out := s.i32Slabs[s.i32Cur][:n:n]
+	s.i32Off = n
+	return out
+}
+
+// Uint64sUninit returns a length-n uint64 buffer valid until Reset, without
+// zeroing. The quantized GEMM biases each activation row into one of these
+// once per row for the SWAR kernel.
+func (s *Scratch) Uint64sUninit(n int) []uint64 {
+	for s.u64Cur < len(s.u64Slabs) {
+		if slab := s.u64Slabs[s.u64Cur]; s.u64Off+n <= len(slab) {
+			out := slab[s.u64Off : s.u64Off+n : s.u64Off+n]
+			s.u64Off += n
+			return out
+		}
+		s.u64Cur++
+		s.u64Off = 0
+	}
+	s.u64Slabs = append(s.u64Slabs, make([]uint64, max(n, 1024)))
+	out := s.u64Slabs[s.u64Cur][:n:n]
+	s.u64Off = n
 	return out
 }
 

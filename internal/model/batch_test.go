@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -39,7 +40,7 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 				for i := range samples {
 					samples[i] = randomSample(r, 1+r.Intn(cfg.MaxHops), cfg)
 				}
-				got, err := net.PredictBatch(samples)
+				got, err := net.PredictBatch(context.Background(), samples)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -73,18 +74,18 @@ func TestPredictBatchValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out, err := net.PredictBatch(nil); err != nil || out != nil {
+	if out, err := net.PredictBatch(context.Background(), nil); err != nil || out != nil {
 		t.Fatalf("empty batch: out=%v err=%v", out, err)
 	}
 	r := rng.New(5)
 	good := randomSample(r, 2, net.Cfg)
 	bad := randomSample(r, 2, net.Cfg)
 	bad.FgFeat = bad.FgFeat[:10]
-	if _, err := net.PredictBatch([]*Sample{good, bad}); err == nil {
+	if _, err := net.PredictBatch(context.Background(), []*Sample{good, bad}); err == nil {
 		t.Fatal("bad fg dim accepted")
 	}
 	tooLong := randomSample(r, net.Cfg.MaxHops+1, net.Cfg)
-	if _, err := net.PredictBatch([]*Sample{tooLong}); err == nil {
+	if _, err := net.PredictBatch(context.Background(), []*Sample{tooLong}); err == nil {
 		t.Fatal("over-long bg sequence accepted")
 	}
 }
@@ -109,7 +110,7 @@ func TestPredictBatchConcurrent(t *testing.T) {
 	for i := range samples {
 		samples[i] = randomSample(r, 1+r.Intn(cfg.MaxHops), cfg)
 	}
-	want, err := net.PredictBatch(samples)
+	want, err := net.PredictBatch(context.Background(), samples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestPredictBatchConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for iter := 0; iter < 5; iter++ {
-				got, err := net.PredictBatch(samples)
+				got, err := net.PredictBatch(context.Background(), samples)
 				if err != nil {
 					errs <- err
 					return

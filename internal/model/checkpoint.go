@@ -15,25 +15,62 @@ import (
 	"m3/internal/faultinject"
 )
 
-// Checkpoint wire format v2: a fixed header followed by the gob payload.
+// Checkpoint wire format v3: a fixed header followed by the gob payload.
 //
 //	[4]byte  magic "m3cp"
 //	uint32   format version (little-endian)
+//	byte     backend kind (v3+: 0 = net, 1 = net-int8)
 //	uint32   CRC-32C (Castagnoli) of the payload
 //	uint64   payload length in bytes
 //	[]byte   gob-encoded checkpoint struct
 //
 // The CRC catches torn writes and bit rot before the gob decoder sees the
 // bytes; the version gates future format changes; the explicit length
-// detects truncation. Files written before the header existed (bare gob)
-// are still readable — Load sniffs the magic and falls back.
+// detects truncation; the kind byte tells the loader which Predictor to
+// build (the payload is always float weights — quantized backends are
+// re-derived on load, so one payload format serves every kind). Version 2
+// files (no kind byte, implicitly kind net) and files written before the
+// header existed (bare gob) are still readable — Load sniffs the magic and
+// version and falls back.
 const (
 	ckptMagic   = "m3cp"
-	ckptVersion = 2
+	ckptVersion = 3
+	// ckptVersionV2 is the pre-backend-kind header layout.
+	ckptVersionV2 = 2
 	// ckptMaxPayload bounds the decoded payload so a corrupt length field
 	// cannot drive a multi-gigabyte allocation.
 	ckptMaxPayload = 1 << 30
 )
+
+// Backend kind bytes in the v3 header.
+const (
+	ckptKindNet     byte = 0
+	ckptKindNetInt8 byte = 1
+)
+
+// ckptKindName maps a header kind byte to the registry kind string.
+func ckptKindName(b byte) (string, bool) {
+	switch b {
+	case ckptKindNet:
+		return KindNet, true
+	case ckptKindNetInt8:
+		return KindNetInt8, true
+	default:
+		return "", false
+	}
+}
+
+// ckptKindByte maps a registry kind string to its header byte.
+func ckptKindByte(kind string) (byte, bool) {
+	switch kind {
+	case KindNet:
+		return ckptKindNet, true
+	case KindNetInt8:
+		return ckptKindNetInt8, true
+	default:
+		return 0, false
+	}
+}
 
 var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -54,8 +91,16 @@ type checkpoint struct {
 }
 
 // Save writes the network (architecture + weights) to w in the versioned,
-// CRC-protected format.
-func (n *Net) Save(w io.Writer) error {
+// CRC-protected format, tagged as the float backend.
+func (n *Net) Save(w io.Writer) error { return saveCheckpoint(w, ckptKindNet, n) }
+
+// Save writes the quantized model's checkpoint: the float source weights
+// tagged with the int8 backend kind, so quantization replays on load.
+func (q *QuantizedNet) Save(w io.Writer) error { return saveCheckpoint(w, ckptKindNetInt8, q.src) }
+
+// saveCheckpoint writes the v3 header and gob payload for n's weights,
+// tagged with the given backend kind byte.
+func saveCheckpoint(w io.Writer, kind byte, n *Net) error {
 	ck := checkpoint{Cfg: n.Cfg, Weights: make(map[string][]float64, len(n.params))}
 	for _, p := range n.params {
 		if _, dup := ck.Weights[p.Name]; dup {
@@ -67,11 +112,12 @@ func (n *Net) Save(w io.Writer) error {
 	if err := gob.NewEncoder(&payload).Encode(&ck); err != nil {
 		return fmt.Errorf("model: encoding checkpoint: %w", err)
 	}
-	var head [20]byte
+	var head [21]byte
 	copy(head[:4], ckptMagic)
 	binary.LittleEndian.PutUint32(head[4:8], ckptVersion)
-	binary.LittleEndian.PutUint32(head[8:12], crc32.Checksum(payload.Bytes(), ckptCRCTable))
-	binary.LittleEndian.PutUint64(head[12:20], uint64(payload.Len()))
+	head[8] = kind
+	binary.LittleEndian.PutUint32(head[9:13], crc32.Checksum(payload.Bytes(), ckptCRCTable))
+	binary.LittleEndian.PutUint64(head[13:21], uint64(payload.Len()))
 	if _, err := w.Write(head[:]); err != nil {
 		return err
 	}
@@ -79,27 +125,69 @@ func (n *Net) Save(w io.Writer) error {
 	return err
 }
 
-// Load reads a network saved by Save, verifying the header, CRC, parameter
-// shapes, and weight finiteness before any byte reaches the model. Malformed
-// or corrupt input of any kind returns an error (typically *CorruptError) —
-// never a panic. Legacy headerless checkpoints (bare gob) remain loadable.
+// Load reads a float network saved by Net.Save. It remains the
+// float-specific entry point: a checkpoint tagged with a different backend
+// kind is rejected with a pointer at LoadPredictor, which handles any kind.
 func Load(r io.Reader) (*Net, error) {
+	p, err := LoadPredictor(r)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := p.(*Net)
+	if !ok {
+		return nil, fmt.Errorf("model: checkpoint holds backend kind %q, not a float net; use LoadPredictor", p.Kind())
+	}
+	return n, nil
+}
+
+// LoadPredictor reads a checkpoint of any backend kind, verifying the
+// header, CRC, parameter shapes, and weight finiteness before any byte
+// reaches the model, then builds the Predictor the kind byte names (the
+// payload is always float weights; derived backends such as net-int8 are
+// rebuilt from them). Malformed or corrupt input of any kind returns an
+// error (typically *CorruptError) — never a panic. Version 2 and legacy
+// headerless checkpoints (bare gob) remain loadable as kind net.
+func LoadPredictor(r io.Reader) (Predictor, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
 	if err != nil || string(head) != ckptMagic {
 		// Legacy format: the stream is the gob payload itself.
-		return decodePayload(br)
+		n, err := decodePayload(br)
+		if err != nil {
+			return nil, err
+		}
+		return n, nil
 	}
-	var fixed [20]byte
-	if _, err := io.ReadFull(br, fixed[:]); err != nil {
+	var verBuf [8]byte
+	if _, err := io.ReadFull(br, verBuf[:]); err != nil {
 		return nil, &CorruptError{Reason: "truncated header"}
 	}
-	version := binary.LittleEndian.Uint32(fixed[4:8])
-	if version != ckptVersion {
+	version := binary.LittleEndian.Uint32(verBuf[4:8])
+	kind := ckptKindNet
+	var rest []byte
+	switch version {
+	case ckptVersionV2:
+		var tail [12]byte // crc u32 | len u64
+		if _, err := io.ReadFull(br, tail[:]); err != nil {
+			return nil, &CorruptError{Reason: "truncated header"}
+		}
+		rest = tail[:]
+	case ckptVersion:
+		var tail [13]byte // kind byte | crc u32 | len u64
+		if _, err := io.ReadFull(br, tail[:]); err != nil {
+			return nil, &CorruptError{Reason: "truncated header"}
+		}
+		kind = tail[0]
+		rest = tail[1:]
+	default:
 		return nil, fmt.Errorf("model: unsupported checkpoint format version %d (want %d)", version, ckptVersion)
 	}
-	wantCRC := binary.LittleEndian.Uint32(fixed[8:12])
-	length := binary.LittleEndian.Uint64(fixed[12:20])
+	kindName, ok := ckptKindName(kind)
+	if !ok {
+		return nil, fmt.Errorf("model: unsupported checkpoint backend kind byte %d", kind)
+	}
+	wantCRC := binary.LittleEndian.Uint32(rest[:4])
+	length := binary.LittleEndian.Uint64(rest[4:12])
 	if length > ckptMaxPayload {
 		return nil, &CorruptError{Reason: fmt.Sprintf("payload length %d exceeds limit %d", length, int64(ckptMaxPayload))}
 	}
@@ -114,7 +202,14 @@ func Load(r io.Reader) (*Net, error) {
 	if got := crc32.Checksum(payload, ckptCRCTable); got != wantCRC {
 		return nil, &CorruptError{Reason: fmt.Sprintf("CRC mismatch: file says %08x, payload hashes to %08x", wantCRC, got)}
 	}
-	return decodePayload(bytes.NewReader(payload))
+	n, err := decodePayload(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	if kindName == KindNet {
+		return n, nil
+	}
+	return BuildBackend(kindName, n)
 }
 
 // decodePayload turns the gob payload into a validated Net: the architecture
@@ -160,6 +255,35 @@ func decodePayload(r io.Reader) (*Net, error) {
 // rename — so a crash mid-save can never leave a half-written checkpoint
 // where a reloading server will find it.
 func (n *Net) SaveFile(path string) error {
+	return saveFileAtomic(path, n.Save)
+}
+
+// SaveFile writes the quantized model's checkpoint to path atomically.
+func (q *QuantizedNet) SaveFile(path string) error {
+	return saveFileAtomic(path, q.Save)
+}
+
+// SavePredictorFile writes any checkpointable predictor to path atomically,
+// tagged with its backend kind so LoadPredictorFile rebuilds the same kind.
+// Backends without a float source (foreign architectures) are rejected.
+func SavePredictorFile(p Predictor, path string) error {
+	if IsNil(p) {
+		return fmt.Errorf("model: save: nil predictor")
+	}
+	if _, ok := ckptKindByte(p.Kind()); !ok {
+		return fmt.Errorf("model: save: backend kind %q has no checkpoint format", p.Kind())
+	}
+	switch v := p.(type) {
+	case *Net:
+		return v.SaveFile(path)
+	case *QuantizedNet:
+		return v.SaveFile(path)
+	default:
+		return fmt.Errorf("model: save: backend kind %q has no checkpoint format", p.Kind())
+	}
+}
+
+func saveFileAtomic(path string, save func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -172,7 +296,7 @@ func (n *Net) SaveFile(path string) error {
 			os.Remove(tmp)
 		}
 	}()
-	if err := n.Save(f); err != nil {
+	if err := save(f); err != nil {
 		return err
 	}
 	if err := f.Sync(); err != nil {
@@ -190,7 +314,7 @@ func (n *Net) SaveFile(path string) error {
 	return nil
 }
 
-// LoadFile reads a network from path.
+// LoadFile reads a float network from path.
 func LoadFile(path string) (*Net, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -202,4 +326,18 @@ func LoadFile(path string) (*Net, error) {
 		return nil, fmt.Errorf("model: checkpoint %s: %w", path, err)
 	}
 	return n, nil
+}
+
+// LoadPredictorFile reads a checkpoint of any backend kind from path.
+func LoadPredictorFile(path string) (Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := LoadPredictor(f)
+	if err != nil {
+		return nil, fmt.Errorf("model: checkpoint %s: %w", path, err)
+	}
+	return p, nil
 }

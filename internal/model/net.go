@@ -9,6 +9,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -144,6 +145,9 @@ func (n *Net) Fingerprint() uint64 {
 	return h
 }
 
+// Kind identifies the float transformer backend (the Predictor default).
+func (n *Net) Kind() string { return KindNet }
+
 // NumParams returns the total trainable weight count.
 func (n *Net) NumParams() int {
 	total := 0
@@ -160,20 +164,24 @@ func (n *Net) ctxDim() int {
 	return 0
 }
 
-func (n *Net) checkSample(s *Sample) error {
-	if len(s.FgFeat) != n.Cfg.FeatDim {
-		return fmt.Errorf("model: fg feature dim %d, want %d", len(s.FgFeat), n.Cfg.FeatDim)
+func (n *Net) checkSample(s *Sample) error { return n.Cfg.checkSample(s) }
+
+// checkSample validates one sample's shape against the config; shared by
+// every backend built from the same architecture.
+func (c Config) checkSample(s *Sample) error {
+	if len(s.FgFeat) != c.FeatDim {
+		return fmt.Errorf("model: fg feature dim %d, want %d", len(s.FgFeat), c.FeatDim)
 	}
-	if len(s.Spec) != n.Cfg.SpecDim {
-		return fmt.Errorf("model: spec dim %d, want %d", len(s.Spec), n.Cfg.SpecDim)
+	if len(s.Spec) != c.SpecDim {
+		return fmt.Errorf("model: spec dim %d, want %d", len(s.Spec), c.SpecDim)
 	}
-	if n.Cfg.UseContext {
-		if len(s.BgFeats) == 0 || len(s.BgFeats) > n.Cfg.MaxHops {
-			return fmt.Errorf("model: %d bg hops, want 1..%d", len(s.BgFeats), n.Cfg.MaxHops)
+	if c.UseContext {
+		if len(s.BgFeats) == 0 || len(s.BgFeats) > c.MaxHops {
+			return fmt.Errorf("model: %d bg hops, want 1..%d", len(s.BgFeats), c.MaxHops)
 		}
 		for i, f := range s.BgFeats {
-			if len(f) != n.Cfg.FeatDim {
-				return fmt.Errorf("model: bg feature %d dim %d, want %d", i, len(f), n.Cfg.FeatDim)
+			if len(f) != c.FeatDim {
+				return fmt.Errorf("model: bg feature %d dim %d, want %d", i, len(f), c.FeatDim)
 			}
 		}
 	}
@@ -261,7 +269,10 @@ func (n *Net) Predict(s *Sample) ([]float64, error) {
 // The outputs are post-processed exactly like Predict (clamp to >= 1,
 // per-bucket isotonic sort) and agree with per-sample Predict bitwise.
 // PredictBatch is safe for concurrent use; it shares no state with training.
-func (n *Net) PredictBatch(samples []*Sample) ([][]float64, error) {
+func (n *Net) PredictBatch(ctx context.Context, samples []*Sample) ([][]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(samples) == 0 {
 		return nil, nil
 	}
@@ -304,12 +315,18 @@ func (n *Net) PredictBatch(samples []*Sample) ([][]float64, error) {
 		copy(row[specAt:], s.Spec)
 	}
 	raw := n.head.ApplyTensor(sc, in)
+	return postprocessBatch(raw, batch, n.Cfg.OutDim), nil
+}
 
-	// The results outlive the scratch: one flat slab for the whole batch.
-	flat := make([]float64, batch*n.Cfg.OutDim)
+// postprocessBatch copies raw batch outputs out of the scratch into one
+// flat slab and applies the slowdown-map projection (clamp to >= 1,
+// per-bucket isotonic sort). Shared by every backend so their outputs go
+// through identical postprocessing.
+func postprocessBatch(raw ml.Tensor, batch, outDim int) [][]float64 {
+	flat := make([]float64, batch*outDim)
 	outs := make([][]float64, batch)
 	for i := range outs {
-		out := flat[i*n.Cfg.OutDim : (i+1)*n.Cfg.OutDim : (i+1)*n.Cfg.OutDim]
+		out := flat[i*outDim : (i+1)*outDim : (i+1)*outDim]
 		copy(out, raw.Row(i))
 		for j := range out {
 			if out[j] < 1 {
@@ -321,7 +338,7 @@ func (n *Net) PredictBatch(samples []*Sample) ([][]float64, error) {
 		}
 		outs[i] = out
 	}
-	return outs, nil
+	return outs
 }
 
 // SelfCheck runs a probe inference through the full network (encoder +

@@ -1,0 +1,159 @@
+package model
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"m3/internal/ml"
+)
+
+// QuantizedNet is the int8 weight-quantized backend: the same transformer
+// architecture as Net, with every matmul running int8 x int8 into int32
+// accumulators (per-output-channel symmetric weight scales, dynamic
+// per-row activation scales) and the non-GEMM ops at float32 precision.
+// It is built from a trained float Net with Quantize and is immutable
+// afterwards, so PredictBatch is safe for concurrent use. Because the
+// arithmetic is integer with a fixed accumulation order, its outputs are
+// bit-stable across runs and machines.
+type QuantizedNet struct {
+	Cfg  Config
+	src  *Net
+	enc  *ml.QEncoder
+	head *ml.QMLP
+	fp   uint64
+}
+
+// Quantize derives the int8 backend from a float net. The float weights
+// are not retained per-layer — only referenced as the checkpoint source —
+// so the quantized model's live weight footprint is ~1/8 of the float one.
+func Quantize(n *Net) (*QuantizedNet, error) {
+	if n == nil {
+		return nil, fmt.Errorf("model: quantize: nil net")
+	}
+	q := &QuantizedNet{
+		Cfg:  n.Cfg,
+		src:  n,
+		head: ml.QuantizeMLP(n.head),
+		fp:   kindFingerprint(n.Fingerprint(), KindNetInt8),
+	}
+	if n.Cfg.UseContext {
+		q.enc = ml.QuantizeEncoder(n.enc)
+	}
+	return q, nil
+}
+
+// kindFingerprint folds a backend kind tag into a base weight fingerprint
+// (FNV-1a over the kind bytes), so backends derived from the same weights
+// have distinct, deterministic fingerprints. Quantization itself is a pure
+// function of the float weights, which makes the derived fingerprint a
+// faithful identity for the quantized model too.
+func kindFingerprint(base uint64, kind string) uint64 {
+	const prime64 = 1099511628211
+	h := base
+	for i := 0; i < len(kind); i++ {
+		h ^= uint64(kind[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Kind identifies the int8-quantized transformer backend.
+func (q *QuantizedNet) Kind() string { return KindNetInt8 }
+
+// Fingerprint distinguishes this quantized model from its float source and
+// from quantizations of other weights.
+func (q *QuantizedNet) Fingerprint() uint64 { return q.fp }
+
+// Source returns the float net this model was quantized from (used to
+// persist the checkpoint: quantization is replayed on load).
+func (q *QuantizedNet) Source() *Net { return q.src }
+
+// NumParams returns the quantized weight count (same count as the source
+// net; each matmul weight is stored as one int8).
+func (q *QuantizedNet) NumParams() int { return q.src.NumParams() }
+
+func (q *QuantizedNet) ctxDim() int {
+	if q.Cfg.UseContext {
+		return q.Cfg.Dim
+	}
+	return 0
+}
+
+// PredictBatch mirrors Net.PredictBatch through the quantized kernels: the
+// same ragged batching, the same scratch arenas, the same postprocessing.
+func (q *QuantizedNet) PredictBatch(ctx context.Context, samples []*Sample) ([][]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	for _, s := range samples {
+		if err := q.Cfg.checkSample(s); err != nil {
+			return nil, err
+		}
+	}
+	sc := ml.GetScratch()
+	defer ml.PutScratch(sc)
+
+	batch := len(samples)
+	in := sc.TensorUninit(batch, q.Cfg.FeatDim+q.ctxDim()+q.Cfg.SpecDim)
+	if q.Cfg.UseContext {
+		offsets := sc.Ints(batch + 1)
+		total := 0
+		for i, s := range samples {
+			offsets[i] = total
+			total += len(s.BgFeats)
+		}
+		offsets[batch] = total
+		feats := sc.TensorUninit(total, q.Cfg.FeatDim)
+		for i, s := range samples {
+			for h, f := range s.BgFeats {
+				copy(feats.Row(offsets[i]+h), f)
+			}
+		}
+		bg, err := q.enc.ApplyBatch(sc, feats, offsets)
+		if err != nil {
+			return nil, err
+		}
+		for i := range samples {
+			copy(in.Row(i)[q.Cfg.FeatDim:], bg.Row(i))
+		}
+	}
+	specAt := q.Cfg.FeatDim + q.ctxDim()
+	for i, s := range samples {
+		row := in.Row(i)
+		copy(row, s.FgFeat)
+		copy(row[specAt:], s.Spec)
+	}
+	raw := q.head.ApplyTensor(sc, in)
+	return postprocessBatch(raw, batch, q.Cfg.OutDim), nil
+}
+
+// SelfCheck probes the quantized network with a zero sample and verifies
+// shape and finiteness, exactly like Net.SelfCheck, so the serving layer
+// vets quantized reload candidates through the same gate.
+func (q *QuantizedNet) SelfCheck() error {
+	s := &Sample{
+		FgFeat: make([]float64, q.Cfg.FeatDim),
+		Spec:   make([]float64, q.Cfg.SpecDim),
+	}
+	if q.Cfg.UseContext {
+		s.BgFeats = [][]float64{make([]float64, q.Cfg.FeatDim)}
+	}
+	outs, err := q.PredictBatch(context.Background(), []*Sample{s})
+	if err != nil {
+		return fmt.Errorf("model: self-check probe failed: %w", err)
+	}
+	out := outs[0]
+	if len(out) != q.Cfg.OutDim {
+		return fmt.Errorf("model: self-check: output dim %d, want %d", len(out), q.Cfg.OutDim)
+	}
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("model: self-check: output[%d] = %v, model computes non-finite slowdowns", i, v)
+		}
+	}
+	return nil
+}

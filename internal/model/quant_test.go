@@ -1,0 +1,324 @@
+package model
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"m3/internal/rng"
+)
+
+// quantTestConfig is a small-but-real architecture for the quantized-backend
+// tests: multiple layers and heads so attention, residuals, and both norms
+// all run.
+func quantTestConfig(useCtx bool) Config {
+	cfg := DefaultConfig()
+	cfg.Dim = 32
+	cfg.Heads = 2
+	cfg.Layers = 2
+	cfg.Hidden = 48
+	cfg.MaxHops = 8
+	cfg.UseContext = useCtx
+	return cfg
+}
+
+// quantParityEps is the pinned float-vs-int8 relative error budget, per
+// output percentile. Weight quantization is per-channel symmetric and
+// activations are quantized per row, so the error through the 2-layer test
+// net stays well under this; the pin exists to catch kernel regressions
+// (a wrong scale or a saturating accumulator blows straight past it).
+const quantParityEps = 0.05
+
+// TestQuantizedParity is the int8-vs-float property test: over random nets
+// and ragged batches, every quantized output percentile must stay within
+// quantParityEps relative error of the float net's.
+func TestQuantizedParity(t *testing.T) {
+	for _, useCtx := range []bool{true, false} {
+		t.Run(fmt.Sprintf("context=%v", useCtx), func(t *testing.T) {
+			cfg := quantTestConfig(useCtx)
+			for seed := uint64(1); seed <= 3; seed++ {
+				cfg.Seed = seed
+				net, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				q, err := Quantize(net)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := rng.New(seed * 77)
+				batch := 1 + r.Intn(9)
+				samples := make([]*Sample, batch)
+				for i := range samples {
+					samples[i] = randomSample(r, 1+r.Intn(cfg.MaxHops), cfg)
+				}
+				want, err := net.PredictBatch(context.Background(), samples)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := q.PredictBatch(context.Background(), samples)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range samples {
+					for j := range want[i] {
+						rel := math.Abs(got[i][j]-want[i][j]) / math.Max(math.Abs(want[i][j]), 1)
+						if rel > quantParityEps || math.IsNaN(got[i][j]) {
+							t.Fatalf("seed %d sample %d output %d: int8 %v vs float %v (rel %v > %v)",
+								seed, i, j, got[i][j], want[i][j], rel, quantParityEps)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQuantizedDeterminism: quantized inference is integer arithmetic in a
+// fixed order, so two independent quantizations of the same weights must
+// agree bit-for-bit — the property behind the serving layer's byte-stable
+// responses.
+func TestQuantizedDeterminism(t *testing.T) {
+	cfg := quantTestConfig(true)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	samples := make([]*Sample, 5)
+	for i := range samples {
+		samples[i] = randomSample(r, 1+r.Intn(cfg.MaxHops), cfg)
+	}
+	a, err := q1.PredictBatch(context.Background(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q2.PredictBatch(context.Background(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				t.Fatalf("sample %d output %d: %v != %v (not bit-stable)", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// TestBackendFingerprints: kinds built from the same weights must have
+// distinct fingerprints (they are not cache-equivalent), the derived
+// fingerprint must be deterministic, and different weights must never
+// collide through quantization.
+func TestBackendFingerprints(t *testing.T) {
+	cfg := quantTestConfig(false)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Fingerprint() == net.Fingerprint() {
+		t.Fatalf("quantized fingerprint %x equals float fingerprint", q.Fingerprint())
+	}
+	q2, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Fingerprint() != q2.Fingerprint() {
+		t.Fatalf("same weights quantized twice: fingerprints %x != %x", q.Fingerprint(), q2.Fingerprint())
+	}
+	cfg.Seed = 42
+	other, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oq, err := Quantize(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oq.Fingerprint() == q.Fingerprint() {
+		t.Fatalf("different weights, same quantized fingerprint %x", q.Fingerprint())
+	}
+	if got, want := q.Kind(), KindNetInt8; got != want {
+		t.Fatalf("Kind() = %q, want %q", got, want)
+	}
+	if got, want := net.Kind(), KindNet; got != want {
+		t.Fatalf("Kind() = %q, want %q", got, want)
+	}
+}
+
+// TestBuildBackendRegistry: both built-in kinds build, the build is faithful
+// (right dynamic type and kind), and an unregistered kind returns the typed
+// unknown-backend error.
+func TestBuildBackendRegistry(t *testing.T) {
+	net, err := New(quantTestConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{KindNet, KindNetInt8} {
+		p, err := BuildBackend(kind, net)
+		if err != nil {
+			t.Fatalf("BuildBackend(%q): %v", kind, err)
+		}
+		if p.Kind() != kind {
+			t.Fatalf("BuildBackend(%q).Kind() = %q", kind, p.Kind())
+		}
+	}
+	_, err = BuildBackend("bogus", net)
+	var unknown *UnknownBackendError
+	if !errors.As(err, &unknown) || unknown.Kind != "bogus" {
+		t.Fatalf("BuildBackend(bogus) = %v, want *UnknownBackendError", err)
+	}
+}
+
+// TestQuantizedCheckpointRoundTrip: a quantized model saved to disk comes
+// back as the same kind with the same fingerprint and bit-identical
+// predictions; the float-only Load rejects it with a pointer at
+// LoadPredictor.
+func TestQuantizedCheckpointRoundTrip(t *testing.T) {
+	cfg := quantTestConfig(true)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "int8.ckpt")
+	if err := SavePredictorFile(q, path); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPredictorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, ok := p.(*QuantizedNet)
+	if !ok {
+		t.Fatalf("loaded %T, want *QuantizedNet", p)
+	}
+	if loaded.Fingerprint() != q.Fingerprint() {
+		t.Fatalf("fingerprint %x != saved %x", loaded.Fingerprint(), q.Fingerprint())
+	}
+	r := rng.New(7)
+	samples := []*Sample{randomSample(r, 3, cfg)}
+	want, err := q.PredictBatch(context.Background(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.PredictBatch(context.Background(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want[0] {
+		if math.Float64bits(got[0][j]) != math.Float64bits(want[0][j]) {
+			t.Fatalf("output %d: reloaded %v != saved %v", j, got[0][j], want[0][j])
+		}
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("float-only LoadFile accepted an int8 checkpoint")
+	}
+	// A float checkpoint still loads as a float net through LoadPredictor.
+	fpath := filepath.Join(t.TempDir(), "float.ckpt")
+	if err := net.SaveFile(fpath); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := LoadPredictorFile(fpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fp.(*Net); !ok {
+		t.Fatalf("float checkpoint loaded as %T", fp)
+	}
+}
+
+// TestQuantizedCheckpointCorrupt: a flipped payload byte in an int8-tagged
+// checkpoint is caught by the CRC and classified as *CorruptError — the
+// serving layer's 422 path for quantized artifacts.
+func TestQuantizedCheckpointCorrupt(t *testing.T) {
+	net, err := New(quantTestConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0xff
+	path := filepath.Join(t.TempDir(), "corrupt.ckpt")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadPredictorFile(path)
+	var corrupt *CorruptError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("corrupt int8 checkpoint: err = %v, want *CorruptError", err)
+	}
+}
+
+// TestQuantizedSelfCheck: a healthy quantized model passes the same probe
+// the serving layer runs on reload candidates.
+func TestQuantizedSelfCheck(t *testing.T) {
+	for _, useCtx := range []bool{true, false} {
+		net, err := New(quantTestConfig(useCtx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Quantize(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.SelfCheck(); err != nil {
+			t.Fatalf("context=%v: %v", useCtx, err)
+		}
+	}
+}
+
+// TestIsNilAndSourceNet: the typed-nil guards behind the Predictor seam.
+func TestIsNilAndSourceNet(t *testing.T) {
+	var n *Net
+	var q *QuantizedNet
+	for _, p := range []Predictor{nil, n, q} {
+		if !IsNil(p) {
+			t.Fatalf("IsNil(%T) = false", p)
+		}
+	}
+	net, err := New(quantTestConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsNil(net) {
+		t.Fatal("IsNil(live net) = true")
+	}
+	qq, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SourceNet(qq) != net {
+		t.Fatal("SourceNet(quantized) is not the source net")
+	}
+	if SourceNet(net) != net {
+		t.Fatal("SourceNet(net) is not itself")
+	}
+}

@@ -32,7 +32,9 @@ var BucketNames = [feature.NumOutputBuckets]string{
 type Session struct {
 	T     *topo.Topology
 	Flows []workload.Flow
-	Net   *model.Net
+	// Net is the inference backend — any model.Predictor (*model.Net,
+	// *model.QuantizedNet, ...). The name predates the interface cut.
+	Net model.Predictor
 	// Cfg is the network configuration under query; mutate via SetConfig.
 	cfg packetsim.Config
 	// NumPaths is the sampled path budget per estimate (default 500).
@@ -61,13 +63,15 @@ type Session struct {
 	modelFP uint64
 }
 
-// NewSession builds a session with the paper's defaults.
-func NewSession(t *topo.Topology, flows []workload.Flow, net *model.Net,
+// NewSession builds a session with the paper's defaults. net is any
+// inference backend (Predictor); existing callers passing a *model.Net
+// compile unchanged.
+func NewSession(t *topo.Topology, flows []workload.Flow, net model.Predictor,
 	cfg packetsim.Config) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if net == nil {
+	if model.IsNil(net) {
 		return nil, fmt.Errorf("query: nil model")
 	}
 	if len(flows) == 0 {
@@ -141,6 +145,7 @@ func (s *Session) Estimate(ctx context.Context) (*core.Estimate, error) {
 		NumPaths: s.NumPaths,
 		Seed:     s.Seed,
 		Model:    fp,
+		Backend:  s.Net.Kind(),
 	}
 	res, _, err := s.Cache.Do(ctx, key, func() (*core.Estimate, error) {
 		est := core.NewEstimator(s.Net,
@@ -243,10 +248,11 @@ func (s *Session) pathOutput(ctx context.Context, d *pathsim.Decomposition, p *p
 	}
 	in := model.BuildInputs(fs.Fg.Sizes, fs.Fg.Slowdown, fs.BgSizes, fs.BgSldn, s.Config(),
 		d.T.RouteRates(p.Links), d.T.RouteDelays(p.Links))
-	pred, err := s.Net.Predict(in)
+	preds, err := s.Net.PredictBatch(ctx, []*model.Sample{in})
 	if err != nil {
 		return agg.PathOutput{}, err
 	}
+	pred := preds[0]
 	counts := feature.BuildOutput(fs.Fg.Sizes, fs.Fg.Slowdown).Counts
 	out := agg.PathOutput{
 		Buckets: make([][]float64, feature.NumOutputBuckets),

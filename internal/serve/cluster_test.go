@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"m3/internal/core"
+	"m3/internal/model"
 )
 
 // clusterServers starts n in-process Servers wired into one fleet over real
@@ -104,6 +105,7 @@ func seedOwnedBy(t *testing.T, s *Server, owner string, numPaths int) uint64 {
 			NumPaths: numPaths,
 			Seed:     seed,
 			Model:    s.modelFP.Load(),
+			Backend:  model.KindNet,
 		}
 		if s.fleet.OwnerOf(key.Digest()) == owner {
 			return seed

@@ -8,6 +8,7 @@ import (
 
 	"m3/internal/cluster"
 	"m3/internal/core"
+	"m3/internal/model"
 )
 
 // This file is the server side of the cluster protocol: the
@@ -57,15 +58,29 @@ func (s *Server) handleInternalPaths(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	fp := s.modelFP.Load()
+	// Resolve the coordinator's pinned backend kind (empty = float net, so
+	// pre-backend coordinators keep working). A kind this build does not
+	// register is a terminal defect, not skew.
+	backend := req.Backend
+	if backend == "" {
+		backend = model.KindNet
+	}
+	pred, ok := s.backends.Load().byKind[backend]
+	if !ok {
+		writeErrorCode(w, http.StatusBadRequest, cluster.CodeUnknownBackend,
+			&model.UnknownBackendError{Kind: backend})
+		return
+	}
+	fp := pred.Fingerprint()
 	if method == core.MethodML && req.ModelFP != 0 && req.ModelFP != fp {
 		// A reload is propagating through the fleet; mixing model
-		// generations inside one estimate would produce answers no single
-		// process could. Retryable: the coordinator recomputes locally now
-		// and the fleet converges via the invalidate broadcast.
+		// generations (or backend arithmetic) inside one estimate would
+		// produce answers no single process could. Retryable: the
+		// coordinator recomputes locally now and the fleet converges via
+		// the invalidate broadcast.
 		writeErrorCode(w, http.StatusConflict, cluster.CodeModelMismatch,
-			fmt.Errorf("serve: serving model %s, shard pinned %s",
-				fingerprintString(fp), fingerprintString(req.ModelFP)))
+			fmt.Errorf("serve: serving %s model %s, shard pinned %s",
+				backend, fingerprintString(fp), fingerprintString(req.ModelFP)))
 		return
 	}
 	d, err := wl.Decomposition()
@@ -75,7 +90,7 @@ func (s *Server) handleInternalPaths(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.estTimeout)
 	defer cancel()
-	est := core.NewEstimator(s.net.Load(),
+	est := core.NewEstimator(pred,
 		core.WithMethod(method),
 		core.WithBatchSize(s.opts.BatchSize),
 		core.WithPool(s.pool),
@@ -294,14 +309,19 @@ func (s *Server) handleInternalInvalidate(w http.ResponseWriter, r *http.Request
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	dropped := s.cache.InvalidateModel(req.Fingerprint)
-	s.metrics.invalidations.Add(1)
 	if s.modelFP.Load() != req.Fingerprint && req.Checkpoint != "" {
 		// Best-effort: a failed reload keeps the current model serving (the
 		// fingerprint pin on shard requests contains the damage to "this
 		// replica computes fewer shards"), so it degrades, never errors.
 		_ = s.Reload(req.Checkpoint)
 	}
+	// A successful reload already purged stale entries inside SwapPredictor
+	// (before the fingerprint flipped, so a peer observing the new model
+	// never finds them). This sweep covers the remaining cases: the replica
+	// was already converged, the broadcast named no checkpoint, or the
+	// reload failed — entries keyed to the set actually serving stay.
+	dropped := s.cache.InvalidateModel(s.backends.Load().fingerprints()...)
+	s.metrics.invalidations.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dropped": dropped,
 		"model":   fingerprintString(s.modelFP.Load()),

@@ -78,6 +78,14 @@ type routeStats struct {
 	latency histogram
 }
 
+// backendStats tracks one inference backend kind's usage: how many ML
+// estimates it computed (cache misses only) and their cumulative predict
+// stage time.
+type backendStats struct {
+	estimates atomic.Int64
+	predictNs atomic.Int64
+}
+
 // Metrics aggregates server-wide counters exposed as expvar-style JSON by
 // the /metrics endpoint.
 type Metrics struct {
@@ -85,6 +93,11 @@ type Metrics struct {
 
 	mu     sync.Mutex
 	routes map[string]*routeStats
+
+	// backendMu guards the per-backend-kind split (keys are Predictor.Kind
+	// strings; values are created on first use).
+	backendMu sync.Mutex
+	backends  map[string]*backendStats
 
 	inflight  atomic.Int64
 	estimates atomic.Int64
@@ -120,7 +133,11 @@ type Metrics struct {
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+	return &Metrics{
+		start:    time.Now(),
+		routes:   make(map[string]*routeStats),
+		backends: make(map[string]*backendStats),
+	}
 }
 
 func (m *Metrics) route(name string) *routeStats {
@@ -134,6 +151,19 @@ func (m *Metrics) route(name string) *routeStats {
 	return rs
 }
 
+// recordBackend accumulates one ML estimate under its backend kind.
+func (m *Metrics) recordBackend(kind string, predict time.Duration) {
+	m.backendMu.Lock()
+	bs, ok := m.backends[kind]
+	if !ok {
+		bs = &backendStats{}
+		m.backends[kind] = bs
+	}
+	m.backendMu.Unlock()
+	bs.estimates.Add(1)
+	bs.predictNs.Add(int64(predict))
+}
+
 // recordStages accumulates an estimate's per-stage cost.
 func (m *Metrics) recordStages(st core.StageTimings) {
 	m.estimates.Add(1)
@@ -144,10 +174,11 @@ func (m *Metrics) recordStages(st core.StageTimings) {
 	m.aggregateNs.Add(int64(st.Aggregate))
 }
 
-// snapshot renders all counters for the /metrics endpoint. clusterInfo is
-// the fleet section (nil when standalone).
+// snapshot renders all counters for the /metrics endpoint. defBackend and
+// kinds describe the serving backend set; clusterInfo is the fleet section
+// (nil when standalone).
 func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP uint64,
-	clusterInfo map[string]any) map[string]any {
+	defBackend string, kinds []string, clusterInfo map[string]any) map[string]any {
 	m.mu.Lock()
 	routes := make(map[string]any, len(m.routes))
 	for name, rs := range m.routes {
@@ -158,6 +189,16 @@ func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP 
 		}
 	}
 	m.mu.Unlock()
+
+	m.backendMu.Lock()
+	backends := make(map[string]any, len(m.backends))
+	for kind, bs := range m.backends {
+		backends[kind] = map[string]any{
+			"estimates":  bs.estimates.Load(),
+			"predict_ms": float64(bs.predictNs.Load()) / float64(time.Millisecond),
+		}
+	}
+	m.backendMu.Unlock()
 
 	ms := func(ns *atomic.Int64) float64 { return float64(ns.Load()) / float64(time.Millisecond) }
 	hitRate := 0.0
@@ -194,9 +235,12 @@ func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP 
 		"model": map[string]any{
 			"params":           modelParams,
 			"fingerprint":      fingerprintString(modelFP),
+			"backend":          defBackend,
+			"backends_loaded":  kinds,
 			"reloads":          m.reloads.Load(),
 			"reloads_rejected": m.reloadRejected.Load(),
 		},
+		"backends": backends,
 	}
 	if clusterInfo != nil {
 		clusterInfo["scatter"] = map[string]any{

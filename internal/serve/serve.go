@@ -63,7 +63,9 @@ const (
 
 // Options configures a Server.
 type Options struct {
-	// Net is the model serving MethodML estimates (required).
+	// Net is the model serving MethodML estimates (required). Its float
+	// weights seed every registered backend kind (net, net-int8, ...);
+	// requests pick among them with the "backend" field.
 	Net *model.Net
 	// CheckpointPath, when set, is where POST /v1/reload (and SIGHUP in
 	// cmd/m3serve) re-reads the model from.
@@ -100,11 +102,49 @@ type Options struct {
 	Scatter bool
 }
 
+// backendSet is one checkpoint's worth of inference backends: every
+// registered kind built from the same float weights, plus the kind served
+// when a request names none. Swapped atomically as a unit so one estimate
+// never mixes weight generations across backends.
+type backendSet struct {
+	// def is the kind served when a request's "backend" field is empty —
+	// the kind of the loaded artifact.
+	def string
+	// byKind holds one ready Predictor per registered backend kind.
+	byKind map[string]model.Predictor
+}
+
+// resolve maps a request's backend name ("" = default) to a Predictor.
+// Unknown names return *model.UnknownBackendError.
+func (bs *backendSet) resolve(kind string) (model.Predictor, error) {
+	if kind == "" {
+		kind = bs.def
+	}
+	p, ok := bs.byKind[kind]
+	if !ok {
+		return nil, &model.UnknownBackendError{Kind: kind}
+	}
+	return p, nil
+}
+
+// fingerprints lists every backend's fingerprint in the set — the "keep"
+// list for model-swap cache invalidation (one checkpoint yields one
+// fingerprint per kind).
+func (bs *backendSet) fingerprints() []uint64 {
+	fps := make([]uint64, 0, len(bs.byKind))
+	for _, p := range bs.byKind {
+		fps = append(fps, p.Fingerprint())
+	}
+	return fps
+}
+
 // Server is the m3 estimation service. Create with New, mount as an
 // http.Handler, Close when done.
 type Server struct {
-	opts    Options
-	net     atomic.Pointer[model.Net]
+	opts     Options
+	backends atomic.Pointer[backendSet]
+	// modelFP mirrors the default backend's fingerprint (healthz, reload
+	// broadcasts, tests).
 	modelFP atomic.Uint64
 	pool    *core.Pool
 	cache   *core.EstimateCache
@@ -168,7 +208,7 @@ func New(opts Options) (*Server, error) {
 		// rendezvous owner; local compute → offer the result to the owner.
 		s.cache.SetPeerTier(s.peerFetch, s.peerPut)
 	}
-	s.SwapModel(opts.Net)
+	s.SwapPredictor(opts.Net)
 	s.routes()
 	return s, nil
 }
@@ -191,25 +231,75 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// SwapModel atomically replaces the serving model. Estimates keyed under the
-// previous fingerprint stay in the cache but are never served for the new
-// model.
-func (s *Server) SwapModel(net *model.Net) {
-	s.net.Store(net)
-	s.modelFP.Store(net.Fingerprint())
+// SwapModel atomically replaces the serving model.
+//
+// Deprecated: use SwapPredictor, which accepts any backend.
+func (s *Server) SwapModel(net *model.Net) { s.SwapPredictor(net) }
+
+// SwapPredictor atomically replaces the serving model with p, rebuilding
+// every registered backend kind from p's float weights (so a float swap also
+// refreshes the int8 backend, and vice versa). p's own kind becomes the
+// default for requests that name no backend. Estimates keyed under
+// fingerprints outside the new set are dropped before the serving
+// fingerprint flips, so an observer of the new fingerprint never finds
+// stale entries (they could never be served again anyway; holding them
+// only wastes capacity).
+func (s *Server) SwapPredictor(p model.Predictor) {
+	set := &backendSet{def: p.Kind(), byKind: map[string]model.Predictor{p.Kind(): p}}
+	if src := model.SourceNet(p); src != nil {
+		for _, kind := range model.BackendKinds() {
+			if _, ok := set.byKind[kind]; ok {
+				continue
+			}
+			alt, err := model.BuildBackend(kind, src)
+			if err != nil {
+				// A sibling backend that fails to build is simply absent;
+				// requests naming it get unknown_backend, and the loaded
+				// artifact itself still serves.
+				continue
+			}
+			set.byKind[kind] = alt
+		}
+	}
+	s.backends.Store(set)
+	s.cache.InvalidateModel(set.fingerprints()...)
+	s.modelFP.Store(p.Fingerprint())
 }
 
-// Model returns the currently served model.
-func (s *Server) Model() *model.Net { return s.net.Load() }
+// Model returns the float weights behind the serving model (nil for a
+// foreign backend with no float source).
+//
+// Deprecated: use Predictor.
+func (s *Server) Model() *model.Net { return model.SourceNet(s.Predictor()) }
+
+// Predictor returns the default serving backend.
+func (s *Server) Predictor() model.Predictor {
+	bs := s.backends.Load()
+	return bs.byKind[bs.def]
+}
+
+// Backends lists the backend kinds currently servable, sorted.
+func (s *Server) Backends() []string {
+	bs := s.backends.Load()
+	kinds := make([]string, 0, len(bs.byKind))
+	for k := range bs.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
 
 // errReloadInProgress reports a reload racing another reload; the caller
 // should retry after the winner finishes.
 var errReloadInProgress = errors.New("serve: a reload is already in progress")
 
 // Reload re-reads the checkpoint from path (empty = the configured
-// CheckpointPath), vets it, and swaps it in. A candidate that fails to load,
-// fails integrity checks, or cannot produce finite predictions is rejected
-// and the current model keeps serving — a bad artifact on disk can degrade a
+// CheckpointPath), vets it, and swaps it in. The checkpoint may be of any
+// backend kind — its kind becomes the serving default. A candidate that
+// fails to load, fails integrity checks, or cannot produce finite
+// predictions is rejected through the Predictor's own SelfCheck (so a
+// corrupt quantized checkpoint takes the same 422 path as a float one) and
+// the current model keeps serving — a bad artifact on disk can degrade a
 // reload, never the running service.
 func (s *Server) Reload(path string) error {
 	if !s.reloadMu.TryLock() {
@@ -222,16 +312,16 @@ func (s *Server) Reload(path string) error {
 	if path == "" {
 		return fmt.Errorf("serve: no checkpoint path configured")
 	}
-	net, err := model.LoadFile(path)
+	p, err := model.LoadPredictorFile(path)
 	if err != nil {
 		s.metrics.reloadRejected.Add(1)
 		return fmt.Errorf("serve: reload rejected, keeping current model: %w", err)
 	}
-	if err := net.SelfCheck(); err != nil {
+	if err := p.SelfCheck(); err != nil {
 		s.metrics.reloadRejected.Add(1)
 		return fmt.Errorf("serve: reload rejected, keeping current model: %w", err)
 	}
-	s.SwapModel(net)
+	s.SwapPredictor(p)
 	s.metrics.reloads.Add(1)
 	return nil
 }
@@ -400,9 +490,10 @@ func buildConfig(knobs map[string]string) (packetsim.Config, error) {
 }
 
 // runEstimate serves one (workload, method, config) estimate through the
-// shared cache and pool. The bool reports a cache hit.
+// shared cache and pool, under the resolved inference backend pred. The
+// bool reports a cache hit.
 func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Method,
-	numPaths int, seed uint64, cfg packetsim.Config) (*core.Estimate, bool, error) {
+	numPaths int, seed uint64, cfg packetsim.Config, pred model.Predictor) (*core.Estimate, bool, error) {
 
 	if numPaths == 0 {
 		numPaths = 500
@@ -420,10 +511,14 @@ func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Meth
 	if err != nil {
 		return nil, false, err
 	}
-	net := s.net.Load()
+	// Model identity (fingerprint + backend kind) keys the cache only for
+	// the ML method: flowsim and ns3-path answers are model-free, and keying
+	// them by backend would split identical entries.
 	var fp uint64
+	var backend string
 	if method == core.MethodML {
-		fp = s.modelFP.Load()
+		fp = pred.Fingerprint()
+		backend = pred.Kind()
 	}
 	key := core.EstimateKey{
 		Workload: wl.Hash,
@@ -432,9 +527,10 @@ func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Meth
 		NumPaths: numPaths,
 		Seed:     seed,
 		Model:    fp,
+		Backend:  backend,
 	}
 	res, cached, err := s.cache.Do(ctx, key, func() (*core.Estimate, error) {
-		est := core.NewEstimator(net,
+		est := core.NewEstimator(pred,
 			core.WithMethod(method),
 			core.WithNumPaths(numPaths),
 			core.WithSeed(seed),
@@ -443,12 +539,15 @@ func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Meth
 			core.WithDecomposition(d),
 			core.WithFlowSimFallback(true))
 		if s.fleet != nil && s.opts.Scatter {
-			return s.scatterEstimate(ctx, est, wl, method, fp, cfg)
+			return s.scatterEstimate(ctx, est, wl, method, fp, backend, cfg)
 		}
 		return est.Estimate(ctx, wl.FT.Topology, wl.Flows, cfg)
 	})
 	if err == nil && !cached {
 		s.metrics.recordStages(res.Stages)
+		if method == core.MethodML {
+			s.metrics.recordBackend(pred.Kind(), res.Stages.Predict)
+		}
 		if res.Degraded {
 			s.metrics.degradedEstimates.Add(1)
 			s.metrics.degradedPaths.Add(int64(res.DegradedPaths))
@@ -470,7 +569,7 @@ const scatterMinPaths = 8
 // estimate is marked Degraded — the fleet losing a member costs latency,
 // never correctness or availability.
 func (s *Server) scatterEstimate(ctx context.Context, est *core.Estimator,
-	wl *Workload, method core.Method, fp uint64, cfg packetsim.Config) (*core.Estimate, error) {
+	wl *Workload, method core.Method, fp uint64, backend string, cfg packetsim.Config) (*core.Estimate, error) {
 
 	start := time.Now()
 	plan, err := est.Plan(wl.FT.Topology, wl.Flows)
@@ -490,6 +589,7 @@ func (s *Server) scatterEstimate(ctx context.Context, est *core.Estimator,
 			Hash:     uint64(wl.Hash),
 			Method:   method.String(),
 			ModelFP:  fp,
+			Backend:  backend,
 			Cfg:      cfg,
 		}
 		sr, stats, err = s.fleet.Scatter(ctx, tmpl, plan.Distinct, plan.Mult, local)
@@ -520,15 +620,32 @@ func (s *Server) scatterEstimate(ctx context.Context, est *core.Estimator,
 
 // --- handlers ---------------------------------------------------------------
 
+// resolveBackend maps a request's backend name to a Predictor, or writes
+// the stable unknown_backend error (400) and returns false.
+func (s *Server) resolveBackend(w http.ResponseWriter, name string) (model.Predictor, bool) {
+	pred, err := s.backends.Load().resolve(name)
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, cluster.CodeUnknownBackend, err)
+		return nil, false
+	}
+	return pred, true
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	bs := s.backends.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"model":  fingerprintString(s.modelFP.Load()),
+		"status":  "ok",
+		"model":   fingerprintString(s.modelFP.Load()),
+		"backend": bs.def,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	net := s.net.Load()
+	bs := s.backends.Load()
+	params := 0
+	if src := model.SourceNet(bs.byKind[bs.def]); src != nil {
+		params = src.NumParams()
+	}
 	var clusterInfo map[string]any
 	if s.fleet != nil {
 		clusterInfo = map[string]any{
@@ -538,7 +655,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(s.cache.Stats(), net.NumParams(), s.modelFP.Load(), clusterInfo))
+		s.metrics.snapshot(s.cache.Stats(), params, s.modelFP.Load(), bs.def, s.Backends(), clusterInfo))
 }
 
 func (s *Server) handleWorkloadCreate(w http.ResponseWriter, r *http.Request) {
@@ -612,6 +729,7 @@ func (s *Server) handleWorkloadDelete(w http.ResponseWriter, r *http.Request) {
 type estimateRequest struct {
 	Workload string            `json:"workload"`
 	Method   string            `json:"method,omitempty"`    // m3 (default) | flowsim | ns3-path
+	Backend  string            `json:"backend,omitempty"`   // net | net-int8 (default: loaded artifact's kind)
 	NumPaths int               `json:"num_paths,omitempty"` // default 500
 	Seed     uint64            `json:"seed,omitempty"`      // default 1
 	Config   map[string]string `json:"config,omitempty"`    // knob overrides
@@ -619,8 +737,11 @@ type estimateRequest struct {
 
 // estimateResponse reports one estimate.
 type estimateResponse struct {
-	Workload      string  `json:"workload"`
-	Method        string  `json:"method"`
+	Workload string `json:"workload"`
+	Method   string `json:"method"`
+	// Backend is the inference backend kind that computed (or keyed) the
+	// estimate; empty for model-free methods.
+	Backend       string  `json:"backend,omitempty"`
 	Cached        bool    `json:"cached"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
 	DistinctPaths int     `json:"distinct_paths"`
@@ -642,17 +763,21 @@ func putFinite(m map[string]float64, k string, v float64) {
 	}
 }
 
-func estimateToResponse(wl *Workload, method core.Method, res *core.Estimate, cached bool) estimateResponse {
+func estimateToResponse(wl *Workload, method core.Method, backend string, res *core.Estimate, cached bool) estimateResponse {
 	p99 := make(map[string]float64, feature.NumOutputBuckets+1)
 	per := res.P99PerBucket()
 	for b, name := range bucketNames {
 		putFinite(p99, name, per[b])
 	}
 	putFinite(p99, "combined", res.P99())
+	if method != core.MethodML {
+		backend = "" // model-free methods ran no backend
+	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return estimateResponse{
 		Workload:      wl.Name,
 		Method:        method.String(),
+		Backend:       backend,
 		Cached:        cached,
 		ElapsedMS:     ms(res.Elapsed),
 		DistinctPaths: res.DistinctPaths,
@@ -695,23 +820,28 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	pred, ok := s.resolveBackend(w, req.Backend)
+	if !ok {
+		return
+	}
 	cfg, err := buildConfig(req.Config)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, cached, err := s.runEstimate(r.Context(), wl, method, req.NumPaths, req.Seed, cfg)
+	res, cached, err := s.runEstimate(r.Context(), wl, method, req.NumPaths, req.Seed, cfg, pred)
 	if err != nil {
 		writeError(w, errorCode(r, err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, estimateToResponse(wl, method, res, cached))
+	writeJSON(w, http.StatusOK, estimateToResponse(wl, method, pred.Kind(), res, cached))
 }
 
 // quantilesReserved are GET /v1/quantiles query params that are not config
 // knobs.
 var quantilesReserved = map[string]bool{
 	"workload": true, "q": true, "method": true, "paths": true, "seed": true,
+	"backend": true,
 }
 
 // handleQuantiles answers GET /v1/quantiles?workload=NAME&q=0.5,0.99 with
@@ -731,6 +861,10 @@ func (s *Server) handleQuantiles(w http.ResponseWriter, r *http.Request) {
 	method, err := parseMethod(qv.Get("method"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pred, ok := s.resolveBackend(w, qv.Get("backend"))
+	if !ok {
 		return
 	}
 	var qs []float64
@@ -759,7 +893,7 @@ func (s *Server) handleQuantiles(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, cached, err := s.runEstimate(r.Context(), wl, method, numPaths, seed, cfg)
+	res, cached, err := s.runEstimate(r.Context(), wl, method, numPaths, seed, cfg, pred)
 	if err != nil {
 		writeError(w, errorCode(r, err), err)
 		return
@@ -773,12 +907,16 @@ func (s *Server) handleQuantiles(w http.ResponseWriter, r *http.Request) {
 		putFinite(row, "combined", res.Agg.CombinedQuantile(q))
 		quantiles[strconv.FormatFloat(q, 'g', -1, 64)] = row
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"workload":  wl.Name,
 		"method":    method.String(),
 		"cached":    cached,
 		"quantiles": quantiles,
-	})
+	}
+	if method == core.MethodML {
+		out["backend"] = pred.Kind()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // whatIfRequest is the POST /v1/whatif body: a batch of configuration
@@ -786,6 +924,7 @@ func (s *Server) handleQuantiles(w http.ResponseWriter, r *http.Request) {
 type whatIfRequest struct {
 	Workload string            `json:"workload"`
 	Method   string            `json:"method,omitempty"`
+	Backend  string            `json:"backend,omitempty"`
 	NumPaths int               `json:"num_paths,omitempty"`
 	Seed     uint64            `json:"seed,omitempty"`
 	Base     map[string]string `json:"base,omitempty"` // knobs shared by all sweeps
@@ -817,6 +956,10 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	pred, ok := s.resolveBackend(w, req.Backend)
+	if !ok {
+		return
+	}
 	if len(req.Sweeps) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: whatif needs at least one sweep"))
 		return
@@ -845,11 +988,11 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return sweepResult{}, err
 		}
-		res, cached, err := s.runEstimate(r.Context(), wl, method, req.NumPaths, req.Seed, cfg)
+		res, cached, err := s.runEstimate(r.Context(), wl, method, req.NumPaths, req.Seed, cfg, pred)
 		if err != nil {
 			return sweepResult{}, err
 		}
-		return sweepResult{Name: name, Knobs: merged, Estimate: estimateToResponse(wl, method, res, cached)}, nil
+		return sweepResult{Name: name, Knobs: merged, Estimate: estimateToResponse(wl, method, pred.Kind(), res, cached)}, nil
 	}
 	results := make([]sweepResult, 0, len(req.Sweeps)+1)
 	base, err := run("base", nil)
@@ -912,22 +1055,25 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err)
 		return
 	}
-	// A successful swap invalidates estimates keyed to older fingerprints
-	// (they can never be served again; holding them only wastes capacity)
-	// and broadcasts the new model to the fleet so peers converge on the
-	// same checkpoint. Only this external handler originates the broadcast;
-	// the internal invalidate handler never re-broadcasts, so it cannot loop.
+	// SwapPredictor already dropped estimates keyed to older fingerprints;
+	// broadcast the new model to the fleet so peers converge on the same
+	// checkpoint. Only this external handler originates the broadcast; the
+	// internal invalidate handler never re-broadcasts, so it cannot loop.
+	bs := s.backends.Load()
 	newFP := s.modelFP.Load()
-	s.cache.InvalidateModel(newFP)
 	ckpt := req.Checkpoint
 	if ckpt == "" {
 		ckpt = s.opts.CheckpointPath
 	}
 	s.broadcastInvalidate(newFP, ckpt)
-	net := s.net.Load()
+	params := 0
+	if src := model.SourceNet(bs.byKind[bs.def]); src != nil {
+		params = src.NumParams()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model":   fingerprintString(newFP),
-		"params":  net.NumParams(),
+		"backend": bs.def,
+		"params":  params,
 		"reloads": s.metrics.reloads.Load(),
 	})
 }

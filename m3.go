@@ -63,8 +63,15 @@ type (
 	NetConfig = packetsim.Config
 	// CCType selects a congestion control protocol.
 	CCType = packetsim.CCType
-	// Model is the trained m3 network.
+	// Model is the trained m3 network (the float backend).
 	Model = model.Net
+	// Predictor is the inference backend interface; *Model and
+	// *QuantizedModel both satisfy it, and every estimation entry point
+	// accepts it.
+	Predictor = model.Predictor
+	// QuantizedModel is the int8 weight-quantized backend, derived from a
+	// trained Model with QuantizeModel.
+	QuantizedModel = model.QuantizedNet
 	// ModelConfig shapes the m3 network.
 	ModelConfig = model.Config
 	// TrainOptions controls model training.
@@ -120,6 +127,10 @@ const (
 	MethodML      = core.MethodML
 	MethodFlowSim = core.MethodFlowSim
 	MethodNS3Path = core.MethodNS3Path
+
+	// Backend kinds, usable as the "backend" field of serve requests.
+	BackendNet     = model.KindNet
+	BackendNetInt8 = model.KindNetInt8
 
 	KB = unit.KB
 	MB = unit.MB
@@ -183,16 +194,38 @@ func TrainModel(ctx context.Context, mc ModelConfig, dc DataConfig, opt TrainOpt
 }
 
 // SaveModel writes a trained model to path.
+//
+// Deprecated: SavePredictor persists any backend; SaveModel remains for the
+// float net only.
 func SaveModel(net *Model, path string) error { return net.SaveFile(path) }
 
-// LoadModel reads a model saved by SaveModel.
+// LoadModel reads a model saved by SaveModel. It rejects checkpoints of
+// non-float backend kinds.
+//
+// Deprecated: LoadPredictor loads a checkpoint of any backend kind.
 func LoadModel(path string) (*Model, error) { return model.LoadFile(path) }
+
+// QuantizeModel derives the int8 weight-quantized backend from a trained
+// float model: ~1/8 the weight footprint, integer matmuls, bit-stable
+// outputs, with predictions within a small relative error of the float
+// net's. The result plugs into NewEstimator, NewSession, and ServeConfig
+// reloads like any other Predictor.
+func QuantizeModel(net *Model) (*QuantizedModel, error) { return model.Quantize(net) }
+
+// SavePredictor writes any checkpointable backend to path, tagged with its
+// kind so LoadPredictor rebuilds the same kind.
+func SavePredictor(p Predictor, path string) error { return model.SavePredictorFile(p, path) }
+
+// LoadPredictor reads a checkpoint of any backend kind saved by
+// SavePredictor (or SaveModel).
+func LoadPredictor(path string) (Predictor, error) { return model.LoadPredictorFile(path) }
 
 // NewEstimator returns an m3 estimator with the paper's defaults
 // (500 sampled paths, seed 1, micro-batched ML inference), adjusted by
-// options. net may be nil for the model-free backends (WithMethod).
-func NewEstimator(net *Model, opts ...EstimatorOption) *Estimator {
-	return core.NewEstimator(net, opts...)
+// options. pred is any inference backend — a *Model, a *QuantizedModel —
+// and may be nil for the model-free backends (WithMethod).
+func NewEstimator(pred Predictor, opts ...EstimatorOption) *Estimator {
+	return core.NewEstimator(pred, opts...)
 }
 
 // Estimator options, re-exported from the core pipeline.
@@ -209,6 +242,8 @@ var (
 	WithBatchSize = core.WithBatchSize
 	// WithPool points the estimator at a shared worker pool.
 	WithPool = core.WithPool
+	// WithPredictor swaps the inference backend on an existing option list.
+	WithPredictor = core.WithPredictor
 	// WithFlowSimFallback degrades gracefully to raw flowSim estimates
 	// when the ML model is missing or emits non-finite slowdowns.
 	WithFlowSimFallback = core.WithFlowSimFallback
@@ -221,8 +256,9 @@ func NewWorkerPool(n int) *WorkerPool { return core.NewPool(n) }
 
 // NewSession opens a query session over one workload: repeated quantile,
 // per-pair path, and configuration what-if queries share cached estimates.
-func NewSession(t *Topology, flows []Flow, net *Model, cfg NetConfig) (*Session, error) {
-	return query.NewSession(t, flows, net, cfg)
+// pred is any inference backend (*Model, *QuantizedModel, ...).
+func NewSession(t *Topology, flows []Flow, pred Predictor, cfg NetConfig) (*Session, error) {
+	return query.NewSession(t, flows, pred, cfg)
 }
 
 // NewServer builds the HTTP estimation service handler (workload registry,

@@ -8,19 +8,22 @@
 #
 # Usage:
 #   scripts/bench.sh          full run, rewrites BENCH_pr4.json,
-#                             BENCH_pr5.json, BENCH_pr6.json and
-#                             BENCH_pr7.json
+#                             BENCH_pr5.json, BENCH_pr6.json,
+#                             BENCH_pr7.json and BENCH_pr8.json
 #   scripts/bench.sh -short   one-iteration smoke run (scripts/check.sh),
 #                             writes nothing
 #
 # BENCH_pr5.json records the serving-path overhead of the fault-tolerance
 # layer (input validation, fallback bookkeeping, admission control) against
 # the frozen pre-change BenchmarkServeEstimate numbers; the budget is <1%.
+# BENCH_pr8.json records the int8-quantized inference backend against the
+# float batched path and the frozen PR 3 float baseline; the gate is
+# parity-or-better ns/op.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHES='^(BenchmarkPacketsim|BenchmarkParsimon|BenchmarkDatasetGen)$'
-SMOKE='^(BenchmarkPacketsim|BenchmarkParsimon|BenchmarkDatasetGen|BenchmarkModelInference|BenchmarkModelInferenceBatch|BenchmarkEstimateEndToEnd|BenchmarkServeEstimate)$'
+SMOKE='^(BenchmarkPacketsim|BenchmarkParsimon|BenchmarkDatasetGen|BenchmarkModelInference|BenchmarkModelInferenceBatch|BenchmarkModelInferenceBatchInt8|BenchmarkEstimateEndToEnd|BenchmarkServeEstimate)$'
 
 if [[ "${1:-}" == "-short" ]]; then
     go test -run '^$' -bench "$SMOKE" -benchtime=1x -benchmem .
@@ -161,6 +164,67 @@ with open("BENCH_pr5.json", "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print("wrote BENCH_pr5.json")
+EOF
+
+backend_out=$(go test -run '^$' -bench '^(BenchmarkModelInferenceBatch|BenchmarkModelInferenceBatchInt8)$' -benchtime=2s -benchmem -count=1 .)
+echo "$backend_out"
+
+BENCH_OUT="$backend_out" python3 - <<'EOF'
+import json, os, re
+
+# Frozen float inference numbers from the batching PR (BENCH_pr3.json,
+# commit ab1551d machine class): the quantized backend must be
+# parity-or-better against this batched ns/op.
+baseline = {
+    "commit": "pr3",
+    "BenchmarkModelInferenceBatch": {
+        "ns_per_op": 6565977, "ns_per_sample": 205187,
+    },
+}
+
+current = {}
+for line in os.environ["BENCH_OUT"].splitlines():
+    m = re.match(r"^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+(.*)", line)
+    if not m:
+        continue
+    name, rest = m.group(1), m.group(2)
+    row = current.setdefault(name, {})
+    for val, unit in re.findall(r"([\d.]+)\s+([\w/%-]+)", rest):
+        key = {
+            "ns/op": "ns_per_op",
+            "B/op": "bytes_per_op",
+            "allocs/op": "allocs_per_op",
+            "ns/sample": "ns_per_sample",
+        }.get(unit)
+        if key:
+            row[key] = float(val) if "." in val else int(float(val))
+
+doc = {
+    "description": "Inference backend benchmarks: the float64 transformer "
+                   "vs the int8 weight-quantized backend, one 32-sample "
+                   "PredictBatch per op. The quantized path must be "
+                   "parity-or-better vs the frozen PR 3 float baseline. "
+                   "Regenerate with scripts/bench.sh.",
+    "baseline_pr3_float": baseline,
+    "current": current,
+}
+summary = {}
+flt = current.get("BenchmarkModelInferenceBatch")
+q = current.get("BenchmarkModelInferenceBatchInt8")
+if q and "ns_per_op" in q:
+    summary["int8_vs_pr3_float_speedup"] = round(
+        baseline["BenchmarkModelInferenceBatch"]["ns_per_op"] / q["ns_per_op"], 3)
+    if flt and "ns_per_op" in flt:
+        summary["int8_vs_float_speedup"] = round(
+            flt["ns_per_op"] / q["ns_per_op"], 3)
+if summary:
+    doc["summary"] = summary
+with open("BENCH_pr8.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_pr8.json")
+if summary.get("int8_vs_pr3_float_speedup", 1.0) < 1.0:
+    raise SystemExit("int8 backend slower than the PR 3 float baseline")
 EOF
 
 # Distributed-serving scaling + graceful-degradation record (BENCH_pr6.json):

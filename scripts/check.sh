@@ -33,6 +33,17 @@ echo "== checkpoint fuzz smoke =="
 # any input may be rejected, none may panic.
 go test -run '^$' -fuzz '^FuzzCheckpoint$' -fuzztime=5s ./internal/model/
 
+echo "== inference backend parity + selection =="
+# The multi-backend gates: int8-vs-float parity within the pinned epsilon,
+# bit-stable quantization (behind byte-stable serving responses), per-backend
+# cache keying, request-level backend selection, and the stable
+# unknown_backend rejection for kinds this build does not register.
+go test -run 'TestQuantizedParity|TestQuantizedDeterminism|TestBackendFingerprints|TestBuildBackendRegistry' \
+    ./internal/model/
+go test -run 'TestEstimateCacheBackendKeying' ./internal/core/
+go test -run 'TestEstimateBackendSelection|TestUnknownBackend|TestQuantilesBackendByteStable|TestMetricsBackendSplit' \
+    ./internal/serve/
+
 echo "== packetsim determinism =="
 # Golden-parity and pool-reuse tests pin the engine to the frozen
 # bit-identical result hashes; -count=2 reruns them in one process so any
