@@ -6,7 +6,7 @@
 //
 // Experiments: table1 fig2 fig3 fig5 fig6 table5 fig10 fig11 fig12 fig13
 // fig14 fig15 fig16 fig17 fig18 ablation-paths ablation-knockout backends
-// cluster all
+// parallelism cluster all
 //
 // Experiments that need the ML model load the checkpoint if present and
 // otherwise train one (and cache it at the checkpoint path).
@@ -141,6 +141,7 @@ func main() {
 	run("ablation-paths", func() error { _, err := exp.RunAblationPaths(ctx, s, loadNet(), os.Stdout); return err })
 	run("ablation-knockout", func() error { _, err := exp.RunAblationKnockout(ctx, s, loadNet(), os.Stdout); return err })
 	run("backends", func() error { _, err := exp.RunBackendAblation(ctx, s, loadNet(), os.Stdout); return err })
+	run("parallelism", func() error { _, err := exp.RunParallelismSweep(ctx, s, loadNet(), os.Stdout); return err })
 	run("cluster", func() error { _, err := exp.RunClusterSweep(ctx, s, os.Stdout); return err })
 
 	if ran == 0 {

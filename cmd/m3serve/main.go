@@ -5,6 +5,7 @@
 // Usage:
 //
 //	m3serve -checkpoint m3.ckpt [-addr :8053] [-workers N] [-cache 64]
+//	        [-batch-size N] [-predict-parallelism N] [-pprof]
 //
 // Clustered (one process per replica, each listing the others):
 //
@@ -27,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +50,12 @@ func main() {
 		"estimation requests admitted concurrently before shedding with 429 (0 = 4x workers, <0 = unlimited)")
 	estimateTimeout := flag.Duration("estimate-timeout", 0,
 		"per-estimate deadline (0 = serve default)")
+	batchSize := flag.Int("batch-size", 0,
+		"ML inference micro-batch size (0 = core default)")
+	predictPar := flag.Int("predict-parallelism", 0,
+		"output-row shards per PredictBatch GEMM, bit-identical at every setting (0/1 = serial)")
+	pprofDebug := flag.Bool("pprof", false,
+		"mount /debug/pprof/* (profiles carry stage=featurize|predict labels); off by default")
 	peers := flag.String("peers", "",
 		"comma-separated host:port of the other fleet replicas (empty = standalone)")
 	advertise := flag.String("advertise", "",
@@ -85,22 +93,30 @@ func main() {
 	if *scatter && len(peerList) == 0 {
 		fatal(fmt.Errorf("-scatter requires -peers (nothing to scatter across)"))
 	}
+	if *batchSize < 0 {
+		fatal(fmt.Errorf("-batch-size %d must be >= 0", *batchSize))
+	}
+	if *predictPar < 0 {
+		fatal(fmt.Errorf("-predict-parallelism %d must be >= 0", *predictPar))
+	}
 
 	net, err := model.LoadFile(*checkpoint)
 	if err != nil {
 		fatal(err)
 	}
 	srv, err := serve.New(serve.Options{
-		Net:             net,
-		CheckpointPath:  *checkpoint,
-		Workers:         *workers,
-		CacheSize:       *cacheSize,
-		MaxInflight:     *maxInflight,
-		EstimateTimeout: *estimateTimeout,
-		Advertise:       self,
-		Peers:           peerList,
-		PeerTimeout:     *peerTimeout,
-		Scatter:         *scatter,
+		Net:                net,
+		CheckpointPath:     *checkpoint,
+		Workers:            *workers,
+		CacheSize:          *cacheSize,
+		BatchSize:          *batchSize,
+		PredictParallelism: *predictPar,
+		MaxInflight:        *maxInflight,
+		EstimateTimeout:    *estimateTimeout,
+		Advertise:          self,
+		Peers:              peerList,
+		PeerTimeout:        *peerTimeout,
+		Scatter:            *scatter,
 	})
 	if err != nil {
 		fatal(err)
@@ -113,7 +129,24 @@ func main() {
 			len(fleet.Members()), fleet.Self(), *scatter, adopted)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// -pprof mounts the profiling endpoints beside (not inside) the API
+	// handler, so profiles skip admission control and the request body cap.
+	// Off by default: the endpoints expose process internals and can run
+	// long CPU captures, which an estimation service should not offer
+	// unless the operator asked.
+	var handler http.Handler = srv
+	if *pprofDebug {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "m3serve: pprof mounted at /debug/pprof/\n")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)

@@ -81,7 +81,27 @@ func (f *Fleet) Scatter(ctx context.Context, tmpl *PathsRequest, distinct, mult 
 	stats := &ScatterStats{Shards: len(shards)}
 	out := &core.ShardResult{Outs: make([]agg.PathOutput, len(distinct))}
 	var pathSimNs, predictNs, degraded atomic.Int64
+	var pathSimWallNs, predictWallNs, overlapNs atomic.Int64
 	var remote, fallback, fallbackPaths atomic.Int64
+
+	// Shards run concurrently, so the CPU-time stats sum but the wall-clock
+	// stats combine via max: the fleet-level stage wall is the slowest
+	// shard's (a lower bound when shards skew, exact when they align).
+	atomicMax := func(dst *atomic.Int64, v int64) {
+		for {
+			if cur := dst.Load(); v <= cur || dst.CompareAndSwap(cur, v) {
+				return
+			}
+		}
+	}
+	mergeStats := func(pathSim, predict, pathSimWall, predictWall, overlap int64, degradedPaths int) {
+		pathSimNs.Add(pathSim)
+		predictNs.Add(predict)
+		atomicMax(&pathSimWallNs, pathSimWall)
+		atomicMax(&predictWallNs, predictWall)
+		atomicMax(&overlapNs, overlap)
+		degraded.Add(int64(degradedPaths))
+	}
 
 	runLocal := func(ctx context.Context, sh Shard) error {
 		sr, err := local(ctx, distinct[sh.Lo:sh.Hi], mult[sh.Lo:sh.Hi])
@@ -89,9 +109,7 @@ func (f *Fleet) Scatter(ctx context.Context, tmpl *PathsRequest, distinct, mult 
 			return err
 		}
 		copy(out.Outs[sh.Lo:sh.Hi], sr.Outs)
-		pathSimNs.Add(sr.PathSimNs)
-		predictNs.Add(sr.PredictNs)
-		degraded.Add(int64(sr.DegradedPaths))
+		mergeStats(sr.PathSimNs, sr.PredictNs, sr.PathSimWallNs, sr.PredictWallNs, sr.OverlapNs, sr.DegradedPaths)
 		return nil
 	}
 
@@ -126,9 +144,7 @@ func (f *Fleet) Scatter(ctx context.Context, tmpl *PathsRequest, distinct, mult 
 		}
 		p.MarkSuccess()
 		copy(out.Outs[sh.Lo:sh.Hi], resp.Outs)
-		pathSimNs.Add(resp.PathSimNs)
-		predictNs.Add(resp.PredictNs)
-		degraded.Add(int64(resp.DegradedPaths))
+		mergeStats(resp.PathSimNs, resp.PredictNs, resp.PathSimWallNs, resp.PredictWallNs, resp.OverlapNs, resp.DegradedPaths)
 		remote.Add(1)
 		return nil
 	})
@@ -137,6 +153,9 @@ func (f *Fleet) Scatter(ctx context.Context, tmpl *PathsRequest, distinct, mult 
 	}
 	out.PathSimNs = pathSimNs.Load()
 	out.PredictNs = predictNs.Load()
+	out.PathSimWallNs = pathSimWallNs.Load()
+	out.PredictWallNs = predictWallNs.Load()
+	out.OverlapNs = overlapNs.Load()
 	out.DegradedPaths = int(degraded.Load())
 	stats.RemoteShards = int(remote.Load())
 	stats.FallbackShards = int(fallback.Load())

@@ -108,11 +108,16 @@ type PathsRequest struct {
 	Mults   []int            `json:"mults"`
 }
 
-// PathsResponse carries a shard's outputs back to the coordinator.
+// PathsResponse carries a shard's outputs back to the coordinator. The wall
+// fields are additive (PR 9): replicas that predate them answer zero, which
+// the coordinator reads as "no wall data from that shard".
 type PathsResponse struct {
 	Outs          []agg.PathOutput `json:"outs"`
 	PathSimNs     int64            `json:"path_sim_ns"`
 	PredictNs     int64            `json:"predict_ns"`
+	PathSimWallNs int64            `json:"path_sim_wall_ns,omitempty"`
+	PredictWallNs int64            `json:"predict_wall_ns,omitempty"`
+	OverlapNs     int64            `json:"overlap_ns,omitempty"`
 	DegradedPaths int              `json:"degraded_paths"`
 }
 
@@ -151,6 +156,9 @@ type EstimateWire struct {
 	PathSimNs     int64       `json:"path_sim_ns"`
 	PredictNs     int64       `json:"predict_ns"`
 	AggregateNs   int64       `json:"aggregate_ns"`
+	PathSimWallNs int64       `json:"path_sim_wall_ns,omitempty"`
+	PredictWallNs int64       `json:"predict_wall_ns,omitempty"`
+	OverlapNs     int64       `json:"overlap_ns,omitempty"`
 	Degraded      bool        `json:"degraded,omitempty"`
 	DegradedPaths int         `json:"degraded_paths,omitempty"`
 }
@@ -169,6 +177,9 @@ func WireFromEstimate(e *core.Estimate) *EstimateWire {
 		PathSimNs:     int64(e.Stages.PathSim),
 		PredictNs:     int64(e.Stages.Predict),
 		AggregateNs:   int64(e.Stages.Aggregate),
+		PathSimWallNs: int64(e.Stages.PathSimWall),
+		PredictWallNs: int64(e.Stages.PredictWall),
+		OverlapNs:     int64(e.Stages.Overlap),
 		Degraded:      e.Degraded,
 		DegradedPaths: e.DegradedPaths,
 	}
@@ -186,11 +197,14 @@ func (w *EstimateWire) Estimate() (*core.Estimate, error) {
 		TotalPaths:    w.TotalPaths,
 		Elapsed:       time.Duration(w.ElapsedNs),
 		Stages: core.StageTimings{
-			Decompose: time.Duration(w.DecomposeNs),
-			Sample:    time.Duration(w.SampleNs),
-			PathSim:   time.Duration(w.PathSimNs),
-			Predict:   time.Duration(w.PredictNs),
-			Aggregate: time.Duration(w.AggregateNs),
+			Decompose:   time.Duration(w.DecomposeNs),
+			Sample:      time.Duration(w.SampleNs),
+			PathSim:     time.Duration(w.PathSimNs),
+			Predict:     time.Duration(w.PredictNs),
+			Aggregate:   time.Duration(w.AggregateNs),
+			PathSimWall: time.Duration(w.PathSimWallNs),
+			PredictWall: time.Duration(w.PredictWallNs),
+			Overlap:     time.Duration(w.OverlapNs),
 		},
 		Degraded:      w.Degraded,
 		DegradedPaths: w.DegradedPaths,

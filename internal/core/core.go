@@ -14,6 +14,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -73,15 +75,17 @@ const (
 // configuration is fixed at construction (an Estimator is immutable and safe
 // to share between goroutines).
 type Estimator struct {
-	pred      model.Predictor
-	numPaths  int
-	workers   int
-	method    Method
-	seed      uint64
-	batchSize int
-	pool      *Pool
-	decomp    *pathsim.Decomposition
-	fallback  bool
+	pred       model.Predictor
+	numPaths   int
+	workers    int
+	method     Method
+	seed       uint64
+	batchSize  int
+	pool       *Pool
+	decomp     *pathsim.Decomposition
+	fallback   bool
+	staged     bool
+	predictPar int
 }
 
 // Option configures an Estimator at construction.
@@ -132,6 +136,25 @@ func WithPredictor(p model.Predictor) Option {
 	}
 }
 
+// WithStagedPipeline forces the ML backend's original barrier-separated
+// two-stage execution: featurize every sampled path, then predict in
+// micro-batches. The default is the streaming pipeline, which launches each
+// micro-batch the moment it fills so flowSim and inference overlap. The two
+// produce bit-identical estimates — PredictBatch output per sample is
+// independent of batch composition — so this knob exists for the parity
+// gate in scripts/check.sh and for staged-vs-streamed benchmarking, not for
+// correctness.
+func WithStagedPipeline(on bool) Option { return func(e *Estimator) { e.staged = on } }
+
+// WithPredictParallelism bounds how many worker goroutines one PredictBatch
+// call may shard its GEMM kernels across (<= 1 or 0 means serial). Applied
+// to the estimator's predictor at construction when the backend supports
+// the knob (both built-in kinds do). Sharded kernels are bit-identical to
+// serial, so this only moves wall-clock time. Note the knob lives on the
+// (shared) predictor: handing one backend to several estimators with
+// different values leaves the last writer's setting.
+func WithPredictParallelism(n int) Option { return func(e *Estimator) { e.predictPar = n } }
+
 // WithDecomposition supplies a precomputed decomposition, which must be of
 // exactly the (topology, flows) passed to Estimate; the decompose stage is
 // then skipped. Callers that estimate the same workload repeatedly under
@@ -159,19 +182,31 @@ func NewEstimator(p model.Predictor, opts ...Option) *Estimator {
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.predictPar > 0 && e.pred != nil {
+		model.SetPredictParallelism(e.pred, e.predictPar)
+	}
 	return e
 }
 
 // StageTimings breaks an estimation's cost down by pipeline stage.
 // Decompose, Sample, and Aggregate are wall-clock; PathSim and Predict are
 // summed across workers (CPU time spent in the per-path backends and in ML
-// inference), feeding the serving layer's /metrics endpoint.
+// inference), feeding the serving layer's /metrics endpoint. Because the
+// streaming pipeline overlaps the two stages, the summed PathSim + Predict
+// can exceed the shard's wall clock — PathSimWall and PredictWall carry the
+// per-stage wall-clock extents (first task start to last task end), and
+// Overlap is the wall-clock span during which both stages were running at
+// once (zero under the staged pipeline).
 type StageTimings struct {
 	Decompose time.Duration
 	Sample    time.Duration
 	PathSim   time.Duration
 	Predict   time.Duration
 	Aggregate time.Duration
+
+	PathSimWall time.Duration
+	PredictWall time.Duration
+	Overlap     time.Duration
 }
 
 // Estimate is the result of a network-wide estimation.
@@ -192,6 +227,20 @@ type Estimate struct {
 	Degraded bool
 	// DegradedPaths counts the distinct paths that fell back.
 	DegradedPaths int
+}
+
+// OverlapRatio reports how much of the shorter ML stage's wall clock was
+// hidden under the longer one: Overlap / min(PathSimWall, PredictWall),
+// in [0, 1]. 1 means the predict stage ran entirely inside the featurize
+// window (or vice versa); 0 means the stages serialized — the staged
+// pipeline, a model-free method, or a single-worker pool all report 0.
+func (e *Estimate) OverlapRatio() float64 {
+	shorter := min(e.Stages.PathSimWall, e.Stages.PredictWall)
+	if shorter <= 0 || e.Stages.Overlap <= 0 {
+		return 0
+	}
+	r := float64(e.Stages.Overlap) / float64(shorter)
+	return min(r, 1)
 }
 
 // P99PerBucket returns the estimated p99 slowdown for the four output size
@@ -269,6 +318,13 @@ type ShardResult struct {
 	// PathSimNs and PredictNs are summed backend time across workers.
 	PathSimNs int64
 	PredictNs int64
+	// PathSimWallNs and PredictWallNs are the wall-clock extents of the two
+	// ML stages, and OverlapNs the span both ran concurrently (zero for
+	// model-free methods and the staged pipeline). Old peers that predate
+	// these fields simply report zero.
+	PathSimWallNs int64
+	PredictWallNs int64
+	OverlapNs     int64
 	// DegradedPaths counts paths that fell back from ML to flowSim.
 	DegradedPaths int
 }
@@ -313,10 +369,16 @@ func (e *Estimator) RunShard(ctx context.Context, d *pathsim.Decomposition,
 	sr := &ShardResult{Outs: make([]agg.PathOutput, len(distinct))}
 	var pathSimNs, predictNs atomic.Int64
 	var degraded atomic.Int64
+	var walls stageWalls
 	var err error
 	if method == MethodML {
-		err = e.estimateMLBatched(ctx, pool, d, distinct, mult, cfg, sr.Outs, &pathSimNs, &predictNs, &degraded)
+		if e.staged {
+			walls, err = e.estimateMLStaged(ctx, pool, d, distinct, mult, cfg, sr.Outs, &pathSimNs, &predictNs, &degraded)
+		} else {
+			walls, err = e.estimateMLStreamed(ctx, pool, d, distinct, mult, cfg, sr.Outs, &pathSimNs, &predictNs, &degraded)
+		}
 	} else {
+		wallStart := time.Now()
 		err = pool.Run(ctx, len(distinct), func(ctx context.Context, i int) error {
 			faultinject.At("core.path", distinct[i])
 			out, err := e.estimatePath(ctx, d, &d.Paths[distinct[i]], mult[i], cfg, method, &pathSimNs)
@@ -326,12 +388,16 @@ func (e *Estimator) RunShard(ctx context.Context, d *pathsim.Decomposition,
 			sr.Outs[i] = out
 			return nil
 		})
+		walls.pathSim = time.Since(wallStart)
 	}
 	if err != nil {
 		return nil, err
 	}
 	sr.PathSimNs = pathSimNs.Load()
 	sr.PredictNs = predictNs.Load()
+	sr.PathSimWallNs = int64(walls.pathSim)
+	sr.PredictWallNs = int64(walls.predict)
+	sr.OverlapNs = int64(walls.overlap)
 	sr.DegradedPaths = int(degraded.Load())
 	if wholeDegraded {
 		sr.DegradedPaths = len(distinct)
@@ -386,8 +452,11 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 		return nil, err
 	}
 	res, err := plan.Assemble(sr.Outs, StageTimings{
-		PathSim: time.Duration(sr.PathSimNs),
-		Predict: time.Duration(sr.PredictNs),
+		PathSim:     time.Duration(sr.PathSimNs),
+		Predict:     time.Duration(sr.PredictNs),
+		PathSimWall: time.Duration(sr.PathSimWallNs),
+		PredictWall: time.Duration(sr.PredictWallNs),
+		Overlap:     time.Duration(sr.OverlapNs),
 	}, sr.DegradedPaths)
 	if err != nil {
 		return nil, err
@@ -396,102 +465,283 @@ func (e *Estimator) Estimate(ctx context.Context, t *topo.Topology,
 	return res, nil
 }
 
-// estimateMLBatched is the ML backend's two-stage pipeline: the worker pool
-// featurizes every sampled path (flowSim + feature maps), then the
-// featurized paths are flushed through Net.PredictBatch in micro-batches —
-// also on the pool, so batches belonging to concurrent estimates interleave
-// instead of serializing behind each other. Stacking paths into one forward
-// pass replaces per-path Predict calls, turning the Predict stage from
-// allocation-bound per-position slices into flat matrix loops over pooled
-// scratch.
-func (e *Estimator) estimateMLBatched(ctx context.Context, pool *Pool,
-	d *pathsim.Decomposition, distinct, mult []int, cfg packetsim.Config,
-	outs []agg.PathOutput, pathSimNs, predictNs, degraded *atomic.Int64) error {
+// stageWalls carries the ML pipeline's wall-clock extents: pathSim and
+// predict span first-task-start to last-task-end per stage, and overlap is
+// the concurrent span (how much of the two stages ran at once).
+type stageWalls struct {
+	pathSim time.Duration
+	predict time.Duration
+	overlap time.Duration
+}
 
-	samples := make([]*model.Sample, len(distinct))
+// mlRun is the per-call state shared by the ML pipeline variants: the
+// featurized samples, the fallback retention slabs, and the batch/predict
+// plumbing that is identical whether batches form by completion order
+// (streamed) or by contiguous index ranges (staged).
+type mlRun struct {
+	e        *Estimator
+	d        *pathsim.Decomposition
+	distinct []int
+	mult     []int
+	cfg      packetsim.Config
+	samples  []*model.Sample
+	outs     []agg.PathOutput
 	// With fallback enabled, the featurize stage retains each path's raw
 	// flowSim slowdowns (slices RunFlowSimContext already allocated) so a
 	// failed or non-finite prediction can be bucketized per-path without
 	// re-simulating. The happy path pays only the two slice stores —
 	// bucketizing happens lazily, at failure time. When fallback is off the
-	// slices stay nil and this stage is unchanged.
-	var fbSizes [][]unit.ByteSize
-	var fbSldn [][]float64
-	if e.fallback {
-		fbSizes = make([][]unit.ByteSize, len(distinct))
-		fbSldn = make([][]float64, len(distinct))
+	// slices stay nil and featurize is unchanged.
+	fbSizes [][]unit.ByteSize
+	fbSldn  [][]float64
+
+	pathSimNs, predictNs, degraded *atomic.Int64
+}
+
+func (e *Estimator) newMLRun(d *pathsim.Decomposition, distinct, mult []int,
+	cfg packetsim.Config, outs []agg.PathOutput,
+	pathSimNs, predictNs, degraded *atomic.Int64) *mlRun {
+
+	r := &mlRun{
+		e: e, d: d, distinct: distinct, mult: mult, cfg: cfg,
+		samples: make([]*model.Sample, len(distinct)), outs: outs,
+		pathSimNs: pathSimNs, predictNs: predictNs, degraded: degraded,
 	}
-	err := pool.Run(ctx, len(distinct), func(ctx context.Context, i int) error {
-		faultinject.At("core.path", distinct[i])
-		p := &d.Paths[distinct[i]]
-		sc, err := d.Scenario(p)
+	if e.fallback {
+		r.fbSizes = make([][]unit.ByteSize, len(distinct))
+		r.fbSldn = make([][]float64, len(distinct))
+	}
+	return r
+}
+
+// featurize runs flowSim + feature building for sampled path i, storing the
+// model inputs and the path's output skeleton.
+func (r *mlRun) featurize(ctx context.Context, i int) error {
+	faultinject.At("core.path", r.distinct[i])
+	p := &r.d.Paths[r.distinct[i]]
+	sc, err := r.d.Scenario(p)
+	if err != nil {
+		return fmt.Errorf("core: path %d: %w", r.distinct[i], err)
+	}
+	simStart := time.Now()
+	fs, err := sc.RunFlowSimContext(ctx)
+	r.pathSimNs.Add(int64(time.Since(simStart)))
+	if err != nil {
+		return fmt.Errorf("core: path %d: %w", r.distinct[i], err)
+	}
+	rates := r.d.T.RouteRates(p.Links)
+	delays := r.d.T.RouteDelays(p.Links)
+	r.samples[i] = model.BuildInputs(fs.Fg.Sizes, fs.Fg.Slowdown, fs.BgSizes, fs.BgSldn, r.cfg, rates, delays)
+	r.outs[i] = agg.PathOutput{
+		Counts: feature.BucketCounts(fs.Fg.Sizes, feature.OutputBucketBounds),
+		Mult:   r.mult[i],
+	}
+	if r.fbSizes != nil {
+		r.fbSizes[i], r.fbSldn[i] = fs.Fg.Sizes, fs.Fg.Slowdown
+	}
+	return nil
+}
+
+// predict flushes the featurized paths named by idx (indices into distinct,
+// in whatever order the batch formed) through PredictBatch, writing final
+// bucket vectors — or flowSim fallbacks — into outs. A PredictBatch error
+// degrades the whole batch when fallback is on; non-finite rows degrade
+// per path. Per-sample outputs are independent of batch composition
+// (PredictBatch agrees with per-sample prediction bitwise), so streamed
+// completion-order batches reproduce staged contiguous batches exactly.
+func (r *mlRun) predict(ctx context.Context, idx []int) error {
+	batch := make([]*model.Sample, len(idx))
+	for k, i := range idx {
+		batch[k] = r.samples[i]
+	}
+	predStart := time.Now()
+	preds, err := r.e.pred.PredictBatch(ctx, batch)
+	r.predictNs.Add(int64(time.Since(predStart)))
+	if err != nil {
+		if r.fbSizes == nil {
+			return fmt.Errorf("core: predict batch [path %d..]: %w", r.distinct[idx[0]], err)
+		}
+		// The model refused the whole batch; serve its paths from the
+		// flowSim estimates instead of failing the run.
+		for _, i := range idx {
+			r.outs[i] = outputFromSamples(r.fbSizes[i], r.fbSldn[i], r.mult[i])
+			r.samples[i] = nil
+		}
+		r.degraded.Add(int64(len(idx)))
+		return nil
+	}
+	faultinject.At("core.predict", preds)
+	for k, pred := range preds {
+		i := idx[k]
+		if r.fbSizes != nil && !finiteSlice(pred) {
+			r.outs[i] = outputFromSamples(r.fbSizes[i], r.fbSldn[i], r.mult[i])
+			r.samples[i] = nil
+			r.degraded.Add(1)
+			continue
+		}
+		out := &r.outs[i]
+		out.Buckets = make([][]float64, feature.NumOutputBuckets)
+		for b := 0; b < feature.NumOutputBuckets; b++ {
+			if out.Counts[b] > 0 {
+				out.Buckets[b] = pred[b*feature.NumPercentiles : (b+1)*feature.NumPercentiles]
+			}
+		}
+		r.samples[i] = nil // release featurized inputs as batches drain
+	}
+	return nil
+}
+
+// pprof labels for the ML pipeline's two stages, so a CPU profile of the
+// serving layer shows featurize and predict as separate label sets and the
+// overlap is visible in the profile timeline.
+var (
+	featurizeLabels = pprof.Labels("stage", "featurize")
+	predictLabels   = pprof.Labels("stage", "predict")
+)
+
+// estimateMLStreamed is the ML backend's barrier-free pipeline: featurize
+// tasks fan out over the pool and deliver completed samples to a batch
+// accumulator; the moment a micro-batch fills — or the featurize stage
+// drains — a predict task launches on the same pool via a Group, so flowSim
+// and inference overlap instead of serializing and batches from concurrent
+// estimates interleave exactly as before. Cancellation is shared both ways:
+// a predict failure cancels in-flight featurize work (the featurize Run
+// executes under the group's context) and a featurize failure cancels
+// pending predicts. Estimates are bit-identical to estimateMLStaged.
+func (e *Estimator) estimateMLStreamed(ctx context.Context, pool *Pool,
+	d *pathsim.Decomposition, distinct, mult []int, cfg packetsim.Config,
+	outs []agg.PathOutput, pathSimNs, predictNs, degraded *atomic.Int64) (stageWalls, error) {
+
+	r := e.newMLRun(d, distinct, mult, cfg, outs, pathSimNs, predictNs, degraded)
+	bs := e.batchSize
+	if bs <= 0 {
+		bs = DefaultBatchSize
+	}
+
+	g := pool.NewGroup(ctx)
+	start := time.Now()
+	// predFirst/predLast track the predict stage's wall extent: the earliest
+	// task start and latest task end, as offsets from start.
+	var predFirst, predLast atomic.Int64
+	predFirst.Store(math.MaxInt64)
+	launch := func(idx []int) {
+		g.Go(func(ctx context.Context) error {
+			var err error
+			pprof.Do(ctx, predictLabels, func(ctx context.Context) {
+				t0 := int64(time.Since(start))
+				err = r.predict(ctx, idx)
+				t1 := int64(time.Since(start))
+				for {
+					if first := predFirst.Load(); t0 >= first || predFirst.CompareAndSwap(first, t0) {
+						break
+					}
+				}
+				for {
+					if last := predLast.Load(); t1 <= last || predLast.CompareAndSwap(last, t1) {
+						break
+					}
+				}
+			})
+			return err
+		})
+	}
+	var mu sync.Mutex
+	pending := make([]int, 0, bs)
+	ferr := pool.Run(g.Context(), len(distinct), func(ctx context.Context, i int) error {
+		var err error
+		pprof.Do(ctx, featurizeLabels, func(ctx context.Context) {
+			err = r.featurize(ctx, i)
+		})
 		if err != nil {
-			return fmt.Errorf("core: path %d: %w", distinct[i], err)
+			return err
 		}
-		simStart := time.Now()
-		fs, err := sc.RunFlowSimContext(ctx)
-		pathSimNs.Add(int64(time.Since(simStart)))
-		if err != nil {
-			return fmt.Errorf("core: path %d: %w", distinct[i], err)
+		mu.Lock()
+		pending = append(pending, i)
+		var full []int
+		if len(pending) >= bs {
+			full = pending
+			pending = make([]int, 0, bs)
 		}
-		rates := d.T.RouteRates(p.Links)
-		delays := d.T.RouteDelays(p.Links)
-		samples[i] = model.BuildInputs(fs.Fg.Sizes, fs.Fg.Slowdown, fs.BgSizes, fs.BgSldn, cfg, rates, delays)
-		outs[i] = agg.PathOutput{
-			Counts: feature.BucketCounts(fs.Fg.Sizes, feature.OutputBucketBounds),
-			Mult:   mult[i],
-		}
-		if fbSizes != nil {
-			fbSizes[i], fbSldn[i] = fs.Fg.Sizes, fs.Fg.Slowdown
+		mu.Unlock()
+		if full != nil {
+			launch(full)
 		}
 		return nil
 	})
-	if err != nil {
+	featWall := time.Since(start)
+	if ferr != nil {
+		// Fail keeps the earlier predict error when one already canceled the
+		// run (ferr is then just the induced context.Canceled); otherwise the
+		// featurize error cancels the pending predicts.
+		g.Fail(ferr)
+	} else {
+		// Featurize drained: flush the partial tail batch.
+		mu.Lock()
+		tail := pending
+		pending = nil
+		mu.Unlock()
+		if len(tail) > 0 {
+			launch(tail)
+		}
+	}
+	err := g.Wait()
+	total := time.Since(start)
+	walls := stageWalls{pathSim: featWall}
+	if first, last := predFirst.Load(), predLast.Load(); last > first {
+		walls.predict = time.Duration(last - first)
+	}
+	// Overlap: how much longer the two stages would have taken end-to-end
+	// had they serialized, versus the wall clock they actually took.
+	if over := walls.pathSim + walls.predict - total; over > 0 {
+		walls.overlap = over
+	}
+	return walls, err
+}
+
+// estimateMLStaged is the original barrier-separated pipeline: featurize
+// every sampled path, then flush contiguous micro-batches through
+// PredictBatch, both as full pool.Run stages. Kept selectable (see
+// WithStagedPipeline) as the parity baseline for the streamed pipeline and
+// for staged-vs-streamed benchmarking.
+func (e *Estimator) estimateMLStaged(ctx context.Context, pool *Pool,
+	d *pathsim.Decomposition, distinct, mult []int, cfg packetsim.Config,
+	outs []agg.PathOutput, pathSimNs, predictNs, degraded *atomic.Int64) (stageWalls, error) {
+
+	r := e.newMLRun(d, distinct, mult, cfg, outs, pathSimNs, predictNs, degraded)
+	var walls stageWalls
+	featStart := time.Now()
+	err := pool.Run(ctx, len(distinct), func(ctx context.Context, i int) error {
+		var err error
+		pprof.Do(ctx, featurizeLabels, func(ctx context.Context) {
+			err = r.featurize(ctx, i)
+		})
 		return err
+	})
+	walls.pathSim = time.Since(featStart)
+	if err != nil {
+		return walls, err
 	}
 	bs := e.batchSize
 	if bs <= 0 {
 		bs = DefaultBatchSize
 	}
 	numBatches := (len(distinct) + bs - 1) / bs
-	return pool.Run(ctx, numBatches, func(ctx context.Context, bi int) error {
+	predStart := time.Now()
+	err = pool.Run(ctx, numBatches, func(ctx context.Context, bi int) error {
 		lo := bi * bs
 		hi := min(lo+bs, len(distinct))
-		predStart := time.Now()
-		preds, err := e.pred.PredictBatch(ctx, samples[lo:hi])
-		predictNs.Add(int64(time.Since(predStart)))
-		if err != nil {
-			if fbSizes == nil {
-				return fmt.Errorf("core: predict batch %d: %w", bi, err)
-			}
-			// The model refused the whole batch; serve its paths from the
-			// flowSim estimates instead of failing the run.
-			for j := lo; j < hi; j++ {
-				outs[j] = outputFromSamples(fbSizes[j], fbSldn[j], mult[j])
-				samples[j] = nil
-			}
-			degraded.Add(int64(hi - lo))
-			return nil
+		idx := make([]int, hi-lo)
+		for k := range idx {
+			idx[k] = lo + k
 		}
-		faultinject.At("core.predict", preds)
-		for j, pred := range preds {
-			if fbSizes != nil && !finiteSlice(pred) {
-				outs[lo+j] = outputFromSamples(fbSizes[lo+j], fbSldn[lo+j], mult[lo+j])
-				samples[lo+j] = nil
-				degraded.Add(1)
-				continue
-			}
-			out := &outs[lo+j]
-			out.Buckets = make([][]float64, feature.NumOutputBuckets)
-			for b := 0; b < feature.NumOutputBuckets; b++ {
-				if out.Counts[b] > 0 {
-					out.Buckets[b] = pred[b*feature.NumPercentiles : (b+1)*feature.NumPercentiles]
-				}
-			}
-			samples[lo+j] = nil // release featurized inputs as batches drain
-		}
-		return nil
+		var perr error
+		pprof.Do(ctx, predictLabels, func(ctx context.Context) {
+			perr = r.predict(ctx, idx)
+		})
+		return perr
 	})
+	walls.predict = time.Since(predStart)
+	return walls, err
 }
 
 // finiteSlice reports whether every value is a usable slowdown — Predict

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"m3/internal/core"
+	"m3/internal/model"
+	"m3/internal/packetsim"
+	"m3/internal/rng"
+)
+
+// ParallelismPoint is one (backend, parallelism) cell of the sharded-GEMM
+// sweep: end-to-end latency, the predict stage's wall-clock extent, the
+// featurize/predict overlap achieved by the streamed pipeline, and whether
+// the estimate stayed bit-identical to the serial run (it must — sharding
+// only splits output rows, never reorders a row's accumulation).
+type ParallelismPoint struct {
+	Kind string
+	Par  int
+	// MeanSec is the mean end-to-end estimate wall clock per scenario.
+	MeanSec float64
+	// PredictWallSec is the mean predict-stage wall-clock extent.
+	PredictWallSec float64
+	// OverlapRatio is the mean streamed-pipeline overlap ratio.
+	OverlapRatio float64
+	// Identical reports bitwise p99 equality with this backend's Par=1 run.
+	Identical bool
+}
+
+// RunParallelismSweep sweeps the intra-batch GEMM parallelism (1, 2, 4
+// output-row shards) across every registered backend under the streamed
+// pipeline, timing each cell and checking the bit-identity contract. On a
+// single-core host the sharded cells measure overhead, not speedup; the
+// sweep's invariant column is meaningful everywhere.
+func RunParallelismSweep(ctx context.Context, s Scale, net *model.Net, w io.Writer) ([]ParallelismPoint, error) {
+	p := core.NewPool(s.Workers)
+	defer p.Close()
+	root := rng.New(5900)
+	var mixes []Mix
+	nScen := max(2, s.Scenarios/2)
+	for i := 0; i < nScen; i++ {
+		mixes = append(mixes, RandomMix(root.Split(uint64(i)), s.TestFlows, uint64(5900+i)))
+	}
+	pars := []int{1, 2, 4}
+	fmt.Fprintf(w, "Sweep: predict parallelism %v x %v (%d scenarios, streamed pipeline)\n",
+		pars, model.BackendKinds(), nScen)
+	var out []ParallelismPoint
+	for _, kind := range model.BackendKinds() {
+		pred, err := model.BuildBackend(kind, net)
+		if err != nil {
+			return nil, err
+		}
+		var serialP99 []float64
+		for _, par := range pars {
+			model.SetPredictParallelism(pred, par)
+			pt := ParallelismPoint{Kind: kind, Par: par, Identical: true}
+			var wall, predictWall, overlap float64
+			for i, m := range mixes {
+				ft, flows, err := m.Build()
+				if err != nil {
+					return nil, err
+				}
+				est := core.NewEstimator(pred, core.WithNumPaths(200),
+					core.WithPool(p), core.WithSeed(uint64(6100+i)))
+				t0 := time.Now()
+				res, err := est.Estimate(ctx, ft.Topology, flows, packetsim.DefaultConfig())
+				if err != nil {
+					return nil, err
+				}
+				wall += time.Since(t0).Seconds()
+				predictWall += res.Stages.PredictWall.Seconds()
+				overlap += res.OverlapRatio()
+				p99 := res.P99()
+				if par == 1 {
+					serialP99 = append(serialP99, p99)
+				} else if math.Float64bits(p99) != math.Float64bits(serialP99[i]) {
+					pt.Identical = false
+				}
+			}
+			pt.MeanSec = wall / float64(nScen)
+			pt.PredictWallSec = predictWall / float64(nScen)
+			pt.OverlapRatio = overlap / float64(nScen)
+			out = append(out, pt)
+			fmt.Fprintf(w, "  %-9s par=%d  total %6.3fs, predict wall %6.1fms, overlap %4.2f, bit-identical %v\n",
+				pt.Kind, pt.Par, pt.MeanSec, 1000*pt.PredictWallSec, pt.OverlapRatio, pt.Identical)
+			if !pt.Identical {
+				return out, fmt.Errorf("exp: %s par=%d diverged from serial (bit-identity contract broken)", kind, par)
+			}
+		}
+	}
+	return out, nil
+}

@@ -39,16 +39,21 @@ func dot4(a, b []float64) float64 {
 }
 
 // ApplyTensor maps every row of x, writing into a scratch-backed tensor.
+// With s.Par > 1 the row loop shards across workers in contiguous blocks;
+// each row still runs the identical serial inner loop, so the output is
+// bit-identical to the serial kernel.
 func (l *SeqLinear) ApplyTensor(s *Scratch, x Tensor) Tensor {
 	out := s.TensorUninit(x.Rows, l.W.Rows)
-	for t := 0; t < x.Rows; t++ {
-		xr := x.Row(t)
-		yr := out.Row(t)
-		for o := 0; o < l.W.Rows; o++ {
-			row := l.W.W[o*l.W.Cols : (o+1)*l.W.Cols]
-			yr[o] = l.B.W[o] + dot4(row, xr)
+	shardRows(shardSpan(s.Par, x.Rows, l.W.Rows*l.W.Cols), x.Rows, func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			xr := x.Row(t)
+			yr := out.Row(t)
+			for o := 0; o < l.W.Rows; o++ {
+				row := l.W.W[o*l.W.Cols : (o+1)*l.W.Cols]
+				yr[o] = l.B.W[o] + dot4(row, xr)
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -184,21 +189,24 @@ func (e *Encoder) ApplyBatch(s *Scratch, feats Tensor, offsets []int) (Tensor, e
 }
 
 // ApplyTensor maps every row of x through the Linear layer (bias applied
-// after the dot product, matching Linear.Apply's accumulation order).
+// after the dot product, matching Linear.Apply's accumulation order). Rows
+// shard across workers when s.Par > 1, bit-identically to serial.
 func (l *Linear) ApplyTensor(s *Scratch, x Tensor) Tensor {
 	out := s.TensorUninit(x.Rows, l.W.Rows)
-	for t := 0; t < x.Rows; t++ {
-		xr := x.Row(t)
-		yr := out.Row(t)
-		for o := 0; o < l.W.Rows; o++ {
-			row := l.W.W[o*l.W.Cols : (o+1)*l.W.Cols]
-			acc := dot4(row, xr)
-			if l.B != nil {
-				acc += l.B.W[o]
+	shardRows(shardSpan(s.Par, x.Rows, l.W.Rows*l.W.Cols), x.Rows, func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			xr := x.Row(t)
+			yr := out.Row(t)
+			for o := 0; o < l.W.Rows; o++ {
+				row := l.W.W[o*l.W.Cols : (o+1)*l.W.Cols]
+				acc := dot4(row, xr)
+				if l.B != nil {
+					acc += l.B.W[o]
+				}
+				yr[o] = acc
 			}
-			yr[o] = acc
 		}
-	}
+	})
 	return out
 }
 

@@ -202,38 +202,51 @@ func dotSWAR4(pw, bx []uint64) (s0, s1, s2, s3 uint64) {
 // row is quantized and biased once, then output channels are computed four
 // at a time by the SWAR kernel (leftover rows go through the scalar dot),
 // with one exact bias correction and one dequantize multiply per output.
+// With s.Par > 1 the row loop shards across workers; every worker gets its
+// own activation-quantization buffers (carved from s up front — Scratch is
+// not concurrent-safe) and runs the unchanged integer per-row kernel, whose
+// exact arithmetic makes sharded output bit-identical to serial by
+// construction.
 func (l *QLinear) ApplyTensor(s *Scratch, x Tensor) Tensor {
 	if x.Cols > maxQuantCols {
 		panic("ml: quantized reduction too long for SWAR lane accumulation")
 	}
 	out := s.TensorUninit(x.Rows, l.Rows)
-	x32 := s.Int32sUninit(x.Cols)
-	bx := s.Uint64sUninit(x.Cols)
-	for t := 0; t < x.Rows; t++ {
-		xs, sumX := quantizeRowInto(x.Row(t), x32, bx)
-		// Σwx = Σ(w+128)(x+128) − 128Σw − 128Σx − 128*128*n; the Σx and n
-		// terms are shared by every output row.
-		rowCorr := 128*sumX + 16384*int64(l.Cols)
-		yr := out.Row(t)
-		o := 0
-		for ; o+4 <= l.Rows; o += 4 {
-			g := o / 4
-			s0, s1, s2, s3 := dotSWAR4(l.W4[g*l.Cols:(g+1)*l.Cols], bx)
-			yr[o] = float64(int64(s0)-128*int64(l.RowSum[o])-rowCorr) * (l.Scale[o] * xs)
-			yr[o+1] = float64(int64(s1)-128*int64(l.RowSum[o+1])-rowCorr) * (l.Scale[o+1] * xs)
-			yr[o+2] = float64(int64(s2)-128*int64(l.RowSum[o+2])-rowCorr) * (l.Scale[o+2] * xs)
-			yr[o+3] = float64(int64(s3)-128*int64(l.RowSum[o+3])-rowCorr) * (l.Scale[o+3] * xs)
-		}
-		for ; o < l.Rows; o++ {
-			acc := dotInt8(l.W8[o*l.Cols:(o+1)*l.Cols], x32)
-			yr[o] = float64(acc) * (l.Scale[o] * xs)
-		}
-		if l.B != nil {
-			for i, b := range l.B {
-				yr[i] += b
+	workers := shardSpan(s.Par, x.Rows, l.Rows*l.Cols)
+	x32s := make([][]int32, workers)
+	bxs := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		x32s[w] = s.Int32sUninit(x.Cols)
+		bxs[w] = s.Uint64sUninit(x.Cols)
+	}
+	shardRows(workers, x.Rows, func(w, lo, hi int) {
+		x32, bx := x32s[w], bxs[w]
+		for t := lo; t < hi; t++ {
+			xs, sumX := quantizeRowInto(x.Row(t), x32, bx)
+			// Σwx = Σ(w+128)(x+128) − 128Σw − 128Σx − 128*128*n; the Σx and n
+			// terms are shared by every output row.
+			rowCorr := 128*sumX + 16384*int64(l.Cols)
+			yr := out.Row(t)
+			o := 0
+			for ; o+4 <= l.Rows; o += 4 {
+				g := o / 4
+				s0, s1, s2, s3 := dotSWAR4(l.W4[g*l.Cols:(g+1)*l.Cols], bx)
+				yr[o] = float64(int64(s0)-128*int64(l.RowSum[o])-rowCorr) * (l.Scale[o] * xs)
+				yr[o+1] = float64(int64(s1)-128*int64(l.RowSum[o+1])-rowCorr) * (l.Scale[o+1] * xs)
+				yr[o+2] = float64(int64(s2)-128*int64(l.RowSum[o+2])-rowCorr) * (l.Scale[o+2] * xs)
+				yr[o+3] = float64(int64(s3)-128*int64(l.RowSum[o+3])-rowCorr) * (l.Scale[o+3] * xs)
+			}
+			for ; o < l.Rows; o++ {
+				acc := dotInt8(l.W8[o*l.Cols:(o+1)*l.Cols], x32)
+				yr[o] = float64(acc) * (l.Scale[o] * xs)
+			}
+			if l.B != nil {
+				for i, b := range l.B {
+					yr[i] += b
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

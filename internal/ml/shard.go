@@ -1,0 +1,70 @@
+package ml
+
+import "sync"
+
+// Intra-batch kernel sharding. The batched GEMMs (SeqLinear, Linear, and
+// QLinear ApplyTensor) are embarrassingly parallel over their output rows:
+// row t of the output depends only on row t of the input and the (read-only)
+// weights. shardRows splits the row range into contiguous blocks, one per
+// worker, and each block runs the unchanged serial per-row loop — the
+// accumulation order within every row is exactly the serial kernel's, so
+// sharded outputs are bit-identical to Par=1. That bit-stability is
+// load-bearing: golden hashes, cluster scatter parity, and per-backend cache
+// keys all assume a given model produces one exact byte stream.
+//
+// Workers are plain goroutines rather than pool tasks: a kernel shard is
+// short-lived, CPU-bound, and already running inside a pool worker (the
+// estimator's predict tasks), so routing it back through the pool would
+// deadlock a saturated queue for no scheduling benefit.
+
+// shardMinWork is the approximate multiply-accumulate count below which a
+// GEMM is not worth sharding: goroutine spawn + WaitGroup overhead is
+// O(microseconds), so blocks below ~64k MACs run serially even when Par > 1.
+const shardMinWork = 1 << 16
+
+// shardSpan plans a sharded row loop: it returns the worker count for
+// sharding rows of perRowWork MACs each across at most par workers, or 1
+// when the kernel should stay serial (par <= 1, too little total work, or
+// too few rows).
+func shardSpan(par, rows, perRowWork int) int {
+	if par <= 1 || rows <= 1 {
+		return 1
+	}
+	if rows*perRowWork < shardMinWork {
+		return 1
+	}
+	if par > rows {
+		par = rows
+	}
+	return par
+}
+
+// shardRows runs fn over [0, rows) split into workers contiguous blocks,
+// fn(w, lo, hi) per block, concurrently; w is the block's worker index for
+// picking per-worker buffers. The caller's goroutine computes the last
+// block, so workers == 1 degrades to a direct call with zero
+// synchronization. fn must not allocate from a shared Scratch — carve
+// buffers before calling.
+func shardRows(workers, rows int, fn func(w, lo, hi int)) {
+	if workers <= 1 {
+		fn(0, 0, rows)
+		return
+	}
+	base, rem := rows/workers, rows%workers
+	var wg sync.WaitGroup
+	lo := 0
+	for w := 0; w < workers-1; w++ {
+		hi := lo + base
+		if w < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	fn(workers-1, lo, rows)
+	wg.Wait()
+}

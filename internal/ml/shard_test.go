@@ -1,0 +1,136 @@
+package ml
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"m3/internal/rng"
+)
+
+func TestShardRowsPartitionsExactly(t *testing.T) {
+	for _, tc := range []struct{ workers, rows int }{
+		{1, 0}, {1, 1}, {1, 17}, {2, 2}, {2, 17}, {3, 10}, {4, 4}, {4, 103}, {8, 9},
+	} {
+		var mu sync.Mutex
+		covered := make([]int, tc.rows)
+		workerSeen := make(map[int]bool)
+		shardRows(tc.workers, tc.rows, func(w, lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			workerSeen[w] = true
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+		})
+		for i, n := range covered {
+			if n != 1 {
+				t.Fatalf("workers=%d rows=%d: row %d covered %d times", tc.workers, tc.rows, i, n)
+			}
+		}
+		if tc.rows > 0 && len(workerSeen) != min(tc.workers, tc.rows) && tc.workers > 1 {
+			// Every worker index must be distinct (per-worker scratch buffers
+			// rely on it); empty blocks are fine only when rows < workers.
+			if tc.rows >= tc.workers {
+				t.Fatalf("workers=%d rows=%d: saw %d distinct worker indices", tc.workers, tc.rows, len(workerSeen))
+			}
+		}
+	}
+}
+
+func TestShardSpanStaysSerialForSmallWork(t *testing.T) {
+	if got := shardSpan(4, 8, 16); got != 1 {
+		t.Fatalf("tiny GEMM sharded into %d workers, want serial", got)
+	}
+	if got := shardSpan(1, 1<<20, 1<<20); got != 1 {
+		t.Fatalf("par=1 produced %d workers", got)
+	}
+	if got := shardSpan(4, 2, 1<<20); got != 2 {
+		t.Fatalf("rows=2 should cap workers at 2, got %d", got)
+	}
+	if got := shardSpan(4, 1024, 1024); got != 4 {
+		t.Fatalf("big GEMM should use all 4 workers, got %d", got)
+	}
+}
+
+// shardTestBatch builds a ragged batch big enough that shardSpan actually
+// engages the parallel path (dim 64 projections over ~48 positions clear
+// shardMinWork).
+func shardTestBatch(t *testing.T) (*Encoder, *MLP, Tensor, []int) {
+	t.Helper()
+	r := rng.New(7)
+	const featDim, dim = 12, 64
+	enc, err := NewEncoder("enc", featDim, dim, 4, 2, 16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := NewMLP("head", dim, 96, 20, r)
+	lens := []int{16, 3, 9, 1, 12, 7}
+	offsets := make([]int, len(lens)+1)
+	for i, n := range lens {
+		offsets[i+1] = offsets[i] + n
+	}
+	feats := Tensor{Rows: offsets[len(lens)], Cols: featDim,
+		Data: make([]float64, offsets[len(lens)]*featDim)}
+	for i := range feats.Data {
+		feats.Data[i] = r.Gauss()
+	}
+	return enc, head, feats, offsets
+}
+
+func bitsEqual(t *testing.T, name string, serial, sharded []float64) {
+	t.Helper()
+	if len(serial) != len(sharded) {
+		t.Fatalf("%s: length %d vs %d", name, len(serial), len(sharded))
+	}
+	for i := range serial {
+		if math.Float64bits(serial[i]) != math.Float64bits(sharded[i]) {
+			t.Fatalf("%s: output[%d] differs: %x vs %x (%v vs %v)",
+				name, i, math.Float64bits(serial[i]), math.Float64bits(sharded[i]),
+				serial[i], sharded[i])
+		}
+	}
+}
+
+// TestFloatShardedBitIdentical pins the sharded float GEMM to the serial
+// kernel bit for bit across parallelism levels — the guarantee the golden
+// hashes and per-backend cache keys stand on.
+func TestFloatShardedBitIdentical(t *testing.T) {
+	enc, head, feats, offsets := shardTestBatch(t)
+	run := func(par int) []float64 {
+		s := new(Scratch)
+		s.Par = par
+		ctx, err := enc.ApplyBatch(s, feats, offsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := head.ApplyTensor(s, ctx)
+		return append([]float64(nil), out.Data...)
+	}
+	serial := run(1)
+	for _, par := range []int{2, 3, 4, 8} {
+		bitsEqual(t, "float par="+string(rune('0'+par)), serial, run(par))
+	}
+}
+
+// TestQuantShardedBitIdentical does the same for the int8 SWAR path, where
+// per-worker activation buffers must not perturb the exact integer math.
+func TestQuantShardedBitIdentical(t *testing.T) {
+	enc, head, feats, offsets := shardTestBatch(t)
+	qenc := QuantizeEncoder(enc)
+	qhead := QuantizeMLP(head)
+	run := func(par int) []float64 {
+		s := new(Scratch)
+		s.Par = par
+		ctx, err := qenc.ApplyBatch(s, feats, offsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := qhead.ApplyTensor(s, ctx)
+		return append([]float64(nil), out.Data...)
+	}
+	serial := run(1)
+	for _, par := range []int{2, 3, 4, 8} {
+		bitsEqual(t, "int8 par="+string(rune('0'+par)), serial, run(par))
+	}
+}

@@ -28,6 +28,15 @@ const minSlabFloats = 1 << 14
 // A Scratch is not safe for concurrent use; GetScratch/PutScratch recycle
 // instances through a sync.Pool so each goroutine works on its own.
 type Scratch struct {
+	// Par bounds intra-call data parallelism for the heavy matmul kernels
+	// (SeqLinear/Linear/QLinear ApplyTensor): values > 1 let a kernel shard
+	// its output-row blocks across up to Par goroutines. 0 or 1 means
+	// serial. Sharding splits rows into contiguous blocks, each computed by
+	// the unchanged serial per-row code, so outputs are bit-identical to
+	// Par=1 — only the wall clock changes. Scratch allocation itself stays
+	// single-goroutine: kernels carve every buffer before spawning workers.
+	Par int
+
 	slabs [][]float64
 	cur   int // slab currently being bump-allocated
 	off   int // next free float in slabs[cur]
@@ -49,8 +58,10 @@ type Scratch struct {
 	u64Off   int
 }
 
-// Reset releases every outstanding buffer at once. Slabs are retained.
+// Reset releases every outstanding buffer at once. Slabs are retained; Par
+// is cleared so a recycled Scratch defaults back to serial kernels.
 func (s *Scratch) Reset() {
+	s.Par = 0
 	s.cur, s.off = 0, 0
 	s.intCur, s.intOff = 0, 0
 	s.i8Cur, s.i8Off = 0, 0

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"m3/internal/feature"
 	"m3/internal/ml"
@@ -95,7 +96,26 @@ type Net struct {
 	enc    *ml.Encoder
 	head   *ml.MLP
 	params []*ml.Param
+
+	// par bounds intra-batch kernel parallelism in PredictBatch (see
+	// SetPredictParallelism). Atomic so serving can retune a live model.
+	par atomic.Int32
 }
+
+// SetPredictParallelism bounds how many worker goroutines one PredictBatch
+// call may shard its GEMMs across (<= 1 means serial, the default). Sharded
+// kernels are bit-identical to serial — each output row runs the unchanged
+// serial accumulation — so this is purely a latency knob; fingerprints and
+// cached results are unaffected. Safe to call concurrently with inference.
+func (n *Net) SetPredictParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	n.par.Store(int32(p))
+}
+
+// PredictParallelism returns the current intra-batch parallelism bound.
+func (n *Net) PredictParallelism() int { return int(n.par.Load()) }
 
 // New builds a freshly initialized network.
 func New(cfg Config) (*Net, error) {
@@ -283,6 +303,7 @@ func (n *Net) PredictBatch(ctx context.Context, samples []*Sample) ([][]float64,
 	}
 	sc := ml.GetScratch()
 	defer ml.PutScratch(sc)
+	sc.Par = int(n.par.Load())
 
 	batch := len(samples)
 	in := sc.TensorUninit(batch, n.Cfg.FeatDim+n.ctxDim()+n.Cfg.SpecDim)

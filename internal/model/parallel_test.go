@@ -1,0 +1,149 @@
+package model
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"m3/internal/rng"
+)
+
+// TestPredictParallelismBitIdentical is the backend-level sharded-GEMM gate:
+// for both built-in kinds, PredictBatch under every parallelism level must
+// reproduce the serial outputs bit for bit — the property the golden hashes,
+// cluster scatter parity, and per-backend cache keys depend on. Batches use
+// the full-size default architecture so the kernels actually cross the
+// sharding work threshold.
+func TestPredictParallelismBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1234)
+	samples := make([]*Sample, 12)
+	for i := range samples {
+		samples[i] = randomSample(r, 1+r.Intn(cfg.MaxHops), cfg)
+	}
+	for _, backend := range []Predictor{net, q} {
+		t.Run(backend.Kind(), func(t *testing.T) {
+			setter, ok := backend.(ParallelismSetter)
+			if !ok {
+				t.Fatalf("%s does not implement ParallelismSetter", backend.Kind())
+			}
+			setter.SetPredictParallelism(1)
+			want, err := backend.PredictBatch(context.Background(), samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{2, 4, 8} {
+				setter.SetPredictParallelism(par)
+				if got := setter.PredictParallelism(); got != par {
+					t.Fatalf("PredictParallelism = %d after Set(%d)", got, par)
+				}
+				got, err := backend.PredictBatch(context.Background(), samples)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					for j := range want[i] {
+						if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+							t.Fatalf("par=%d sample %d output %d: %v != serial %v (not bit-identical)",
+								par, i, j, got[i][j], want[i][j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSetPredictParallelismHelper covers the optional-interface plumbing:
+// both built-in backends accept the knob through the Predictor seam, nil
+// predictors are ignored, and negative values clamp to serial.
+func TestSetPredictParallelismHelper(t *testing.T) {
+	cfg := quantTestConfig(true)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Predictor{net, q} {
+		if !SetPredictParallelism(p, 4) {
+			t.Fatalf("%s: SetPredictParallelism not applied", p.Kind())
+		}
+		if got := p.(ParallelismSetter).PredictParallelism(); got != 4 {
+			t.Fatalf("%s: parallelism = %d, want 4", p.Kind(), got)
+		}
+		if !SetPredictParallelism(p, -3) {
+			t.Fatalf("%s: negative set rejected", p.Kind())
+		}
+		if got := p.(ParallelismSetter).PredictParallelism(); got != 0 {
+			t.Fatalf("%s: negative parallelism clamped to %d, want 0", p.Kind(), got)
+		}
+	}
+	var nilNet *Net
+	if SetPredictParallelism(nilNet, 2) {
+		t.Fatal("typed-nil predictor accepted a parallelism knob")
+	}
+	if SetPredictParallelism(nil, 2) {
+		t.Fatal("nil predictor accepted a parallelism knob")
+	}
+}
+
+// TestPredictParallelismConcurrent exercises retuning while predictions are
+// in flight (the serving layer's reload path does exactly this) under -race.
+func TestPredictParallelismConcurrent(t *testing.T) {
+	cfg := quantTestConfig(true)
+	cfg.Seed = 5
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(42)
+	samples := make([]*Sample, 6)
+	for i := range samples {
+		samples[i] = randomSample(r, 1+r.Intn(cfg.MaxHops), cfg)
+	}
+	net.SetPredictParallelism(1)
+	want, err := net.PredictBatch(context.Background(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 20; i++ {
+				net.SetPredictParallelism((g + i) % 5)
+				got, err := net.PredictBatch(context.Background(), samples)
+				if err != nil {
+					done <- err
+					return
+				}
+				for i := range want {
+					for j := range want[i] {
+						if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+							done <- fmt.Errorf("concurrent retune changed outputs")
+							return
+						}
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -38,6 +38,30 @@ type Predictor interface {
 	Kind() string
 }
 
+// ParallelismSetter is the optional Predictor extension for backends whose
+// kernels can shard one inference call across worker goroutines. Both
+// built-in backends implement it; implementations must keep sharded outputs
+// bit-identical to serial (golden hashes and cache keys depend on it) and
+// must accept concurrent calls.
+type ParallelismSetter interface {
+	SetPredictParallelism(p int)
+	PredictParallelism() int
+}
+
+// SetPredictParallelism applies an intra-batch parallelism bound to p when
+// its backend supports one, reporting whether it did. Foreign backends
+// without the knob are left alone — callers treat that as "serial".
+func SetPredictParallelism(p Predictor, n int) bool {
+	if IsNil(p) {
+		return false
+	}
+	if ps, ok := p.(ParallelismSetter); ok {
+		ps.SetPredictParallelism(n)
+		return true
+	}
+	return false
+}
+
 // UnknownBackendError reports a backend kind no builder is registered for.
 type UnknownBackendError struct {
 	Kind string

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"m3/internal/ml"
 )
@@ -22,7 +23,23 @@ type QuantizedNet struct {
 	enc  *ml.QEncoder
 	head *ml.QMLP
 	fp   uint64
+
+	// par bounds intra-batch kernel parallelism, like Net's (the int8
+	// kernels' exact integer math makes sharding trivially bit-identical).
+	par atomic.Int32
 }
+
+// SetPredictParallelism bounds one PredictBatch call's GEMM sharding, with
+// the same bit-identical-to-serial guarantee as Net.SetPredictParallelism.
+func (q *QuantizedNet) SetPredictParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	q.par.Store(int32(p))
+}
+
+// PredictParallelism returns the current intra-batch parallelism bound.
+func (q *QuantizedNet) PredictParallelism() int { return int(q.par.Load()) }
 
 // Quantize derives the int8 backend from a float net. The float weights
 // are not retained per-layer — only referenced as the checkpoint source —
@@ -96,6 +113,7 @@ func (q *QuantizedNet) PredictBatch(ctx context.Context, samples []*Sample) ([][
 	}
 	sc := ml.GetScratch()
 	defer ml.PutScratch(sc)
+	sc.Par = int(q.par.Load())
 
 	batch := len(samples)
 	in := sc.TensorUninit(batch, q.Cfg.FeatDim+q.ctxDim()+q.Cfg.SpecDim)

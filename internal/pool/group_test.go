@@ -1,0 +1,212 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupRunsAllTasks(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	var seen [200]int32
+	for i := range seen {
+		i := i
+		g.Go(func(ctx context.Context) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestGroupFirstErrorCancels(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	boom := errors.New("boom")
+	g.Go(func(ctx context.Context) error { return boom })
+	// Later tasks see the canceled group context or are skipped entirely.
+	var ranAfter int32
+	for i := 0; i < 50; i++ {
+		g.Go(func(ctx context.Context) error {
+			if ctx.Err() == nil {
+				atomic.AddInt32(&ranAfter, 1)
+			}
+			return ctx.Err()
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	select {
+	case <-g.Context().Done():
+	default:
+		t.Fatal("group context not canceled after error")
+	}
+}
+
+func TestGroupPanicBecomesPanicError(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	g.Go(func(ctx context.Context) error { panic("kaboom") })
+	err := g.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait = %v, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v, want value kaboom with stack", pe)
+	}
+	// The pool stays usable after a group task panics.
+	if err := p.Run(context.Background(), 8, func(ctx context.Context, i int) error { return nil }); err != nil {
+		t.Fatalf("pool unusable after group panic: %v", err)
+	}
+}
+
+// TestGroupSubmitFromWorker is the deadlock regression test for the
+// streaming pipeline's shape: every pool worker is busy running producer
+// tasks that submit consumer tasks to the same group on the same pool. With
+// blocking submission this wedges a 1-worker pool forever; Go's non-blocking
+// handoff must complete the whole cascade.
+func TestGroupSubmitFromWorker(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	var consumed int32
+	const producers = 16
+	for i := 0; i < producers; i++ {
+		g.Go(func(ctx context.Context) error {
+			g.Go(func(ctx context.Context) error {
+				atomic.AddInt32(&consumed, 1)
+				return nil
+			})
+			return nil
+		})
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("group deadlocked submitting from within a worker")
+	}
+	if consumed != producers {
+		t.Fatalf("consumed %d tasks, want %d", consumed, producers)
+	}
+}
+
+func TestGroupParentCancelSkipsTasks(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	g := p.NewGroup(ctx)
+	cancel()
+	var ran int32
+	for i := 0; i < 20; i++ {
+		g.Go(func(ctx context.Context) error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&ran); n != 0 {
+		t.Fatalf("%d tasks ran after parent cancel, want 0", n)
+	}
+}
+
+// TestGroupSaturatedPoolRunsInline pins the work-conserving fallback: when
+// every worker is busy, Go executes the task on the calling goroutine before
+// returning, instead of parking it behind the queue (where, on a single-core
+// box, it could starve until the producing Run drains — defeating both the
+// pipeline overlap and prompt cancellation).
+func TestGroupSaturatedPoolRunsInline(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- p.Run(context.Background(), 1, func(ctx context.Context, i int) error {
+			close(started)
+			<-block
+			return nil
+		})
+	}()
+	<-started // the lone worker is now occupied
+	g := p.NewGroup(context.Background())
+	ran := false
+	g.Go(func(ctx context.Context) error { ran = true; return nil })
+	if !ran {
+		t.Fatal("saturated pool did not run the task inline on the caller")
+	}
+	close(block)
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupFailWinsOverInducedCancel(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	boom := errors.New("boom")
+	g.Fail(boom)
+	g.Fail(errors.New("too late"))
+	g.Go(func(ctx context.Context) error { return nil })
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want first Fail error %v", err, boom)
+	}
+}
+
+func TestGroupSharedScopeWithRun(t *testing.T) {
+	// The streaming estimator runs featurize via pool.Run under the predict
+	// group's context: a group failure must cancel the Run promptly.
+	p := New(2)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	boom := errors.New("predict failed")
+	var started int32
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- p.Run(g.Context(), 10000, func(ctx context.Context, i int) error {
+			if atomic.AddInt32(&started, 1) == 3 {
+				g.Fail(boom)
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-runDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not observe group cancellation")
+	}
+	if n := atomic.LoadInt32(&started); n == 10000 {
+		t.Fatal("group failure did not stop the sibling Run")
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+}

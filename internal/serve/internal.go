@@ -105,6 +105,9 @@ func (s *Server) handleInternalPaths(w http.ResponseWriter, r *http.Request) {
 		Outs:          sr.Outs,
 		PathSimNs:     sr.PathSimNs,
 		PredictNs:     sr.PredictNs,
+		PathSimWallNs: sr.PathSimWallNs,
+		PredictWallNs: sr.PredictWallNs,
+		OverlapNs:     sr.OverlapNs,
 		DegradedPaths: sr.DegradedPaths,
 	})
 }

@@ -124,12 +124,18 @@ type Metrics struct {
 	syncErrors            atomic.Int64
 	invalidations         atomic.Int64
 
-	// Cumulative per-stage estimator time (ns).
-	decomposeNs atomic.Int64
-	sampleNs    atomic.Int64
-	pathSimNs   atomic.Int64
-	predictNs   atomic.Int64
-	aggregateNs atomic.Int64
+	// Cumulative per-stage estimator time (ns). The pathSim/predict pair is
+	// CPU time summed across pool workers; the wall pair is per-estimate
+	// elapsed time, and overlapNs how much of the two extents ran
+	// concurrently under the streamed pipeline.
+	decomposeNs   atomic.Int64
+	sampleNs      atomic.Int64
+	pathSimNs     atomic.Int64
+	predictNs     atomic.Int64
+	aggregateNs   atomic.Int64
+	pathSimWallNs atomic.Int64
+	predictWallNs atomic.Int64
+	overlapNs     atomic.Int64
 }
 
 func newMetrics() *Metrics {
@@ -172,6 +178,9 @@ func (m *Metrics) recordStages(st core.StageTimings) {
 	m.pathSimNs.Add(int64(st.PathSim))
 	m.predictNs.Add(int64(st.Predict))
 	m.aggregateNs.Add(int64(st.Aggregate))
+	m.pathSimWallNs.Add(int64(st.PathSimWall))
+	m.predictWallNs.Add(int64(st.PredictWall))
+	m.overlapNs.Add(int64(st.Overlap))
 }
 
 // snapshot renders all counters for the /metrics endpoint. defBackend and
@@ -226,12 +235,16 @@ func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP 
 		},
 		"estimates": m.estimates.Load(),
 		"stages_ms": map[string]any{
-			"decompose": ms(&m.decomposeNs),
-			"sample":    ms(&m.sampleNs),
-			"pathsim":   ms(&m.pathSimNs),
-			"predict":   ms(&m.predictNs),
-			"aggregate": ms(&m.aggregateNs),
+			"decompose":    ms(&m.decomposeNs),
+			"sample":       ms(&m.sampleNs),
+			"pathsim":      ms(&m.pathSimNs),
+			"predict":      ms(&m.predictNs),
+			"aggregate":    ms(&m.aggregateNs),
+			"pathsim_wall": ms(&m.pathSimWallNs),
+			"predict_wall": ms(&m.predictWallNs),
+			"overlap":      ms(&m.overlapNs),
 		},
+		"overlap_ratio": overlapRatio(m.pathSimWallNs.Load(), m.predictWallNs.Load(), m.overlapNs.Load()),
 		"model": map[string]any{
 			"params":           modelParams,
 			"fingerprint":      fingerprintString(modelFP),
@@ -254,6 +267,24 @@ func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP 
 		out["cluster"] = clusterInfo
 	}
 	return out
+}
+
+// overlapRatio mirrors core.Estimate.OverlapRatio over the cumulative
+// counters: the fraction of the shorter stage extent that ran concurrently
+// with the other stage, clamped to [0, 1]; 0 when either stage never ran.
+func overlapRatio(pathSimWall, predictWall, overlap int64) float64 {
+	shorter := pathSimWall
+	if predictWall < shorter {
+		shorter = predictWall
+	}
+	if shorter <= 0 || overlap <= 0 {
+		return 0
+	}
+	r := float64(overlap) / float64(shorter)
+	if r > 1 {
+		r = 1
+	}
+	return r
 }
 
 func fingerprintString(fp uint64) string {

@@ -76,6 +76,12 @@ type Options struct {
 	CacheSize int
 	// BatchSize is the ML inference micro-batch size (0 = core default).
 	BatchSize int
+	// PredictParallelism bounds the intra-batch GEMM sharding inside each
+	// PredictBatch call (0 or 1 = serial). Sharding splits output rows
+	// across that many goroutines with per-row accumulation order
+	// unchanged, so outputs stay bit-identical at every setting. Applied
+	// to every backend kind and re-applied across reloads.
+	PredictParallelism int
 	// MaxInflight bounds concurrently admitted estimation requests
 	// (estimate, quantiles, whatif); excess requests are shed immediately
 	// with 429 + Retry-After instead of queueing until they time out.
@@ -172,6 +178,12 @@ func New(opts Options) (*Server, error) {
 	if opts.Net == nil {
 		return nil, fmt.Errorf("serve: Options.Net is required")
 	}
+	if opts.BatchSize < 0 {
+		return nil, fmt.Errorf("serve: Options.BatchSize %d must be >= 0", opts.BatchSize)
+	}
+	if opts.PredictParallelism < 0 {
+		return nil, fmt.Errorf("serve: Options.PredictParallelism %d must be >= 0", opts.PredictParallelism)
+	}
 	s := &Server{
 		opts:      opts,
 		pool:      core.NewPool(opts.Workers),
@@ -259,6 +271,13 @@ func (s *Server) SwapPredictor(p model.Predictor) {
 				continue
 			}
 			set.byKind[kind] = alt
+		}
+	}
+	// Re-apply the GEMM sharding knob on every swap so it survives reloads
+	// (freshly built backends default to serial).
+	if s.opts.PredictParallelism > 0 {
+		for _, pred := range set.byKind {
+			model.SetPredictParallelism(pred, s.opts.PredictParallelism)
 		}
 	}
 	s.backends.Store(set)
@@ -598,8 +617,11 @@ func (s *Server) scatterEstimate(ctx context.Context, est *core.Estimator,
 		return nil, err
 	}
 	res, err := plan.Assemble(sr.Outs, core.StageTimings{
-		PathSim: time.Duration(sr.PathSimNs),
-		Predict: time.Duration(sr.PredictNs),
+		PathSim:     time.Duration(sr.PathSimNs),
+		Predict:     time.Duration(sr.PredictNs),
+		PathSimWall: time.Duration(sr.PathSimWallNs),
+		PredictWall: time.Duration(sr.PredictWallNs),
+		Overlap:     time.Duration(sr.OverlapNs),
 	}, sr.DegradedPaths)
 	if err != nil {
 		return nil, err
@@ -654,8 +676,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"peers":   s.fleet.Status(),
 		}
 	}
-	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(s.cache.Stats(), params, s.modelFP.Load(), bs.def, s.Backends(), clusterInfo))
+	snap := s.metrics.snapshot(s.cache.Stats(), params, s.modelFP.Load(), bs.def, s.Backends(), clusterInfo)
+	batch := s.opts.BatchSize
+	if batch <= 0 {
+		batch = core.DefaultBatchSize
+	}
+	snap["estimator"] = map[string]any{
+		"batch_size":          batch,
+		"predict_parallelism": s.opts.PredictParallelism,
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleWorkloadCreate(w http.ResponseWriter, r *http.Request) {
@@ -753,6 +783,12 @@ type estimateResponse struct {
 	DegradedPaths int                `json:"degraded_paths,omitempty"`
 	P99           map[string]float64 `json:"p99"`
 	StagesMS      map[string]float64 `json:"stages_ms"`
+	// OverlapRatio is the fraction of the shorter of the pathsim/predict
+	// wall-clock extents that ran concurrently with the other stage — 0 for
+	// a fully serialized (staged) pipeline, approaching 1 when the streamed
+	// pipeline hides one stage entirely behind the other. Absent for cached
+	// results and model-free methods (no predict stage ran).
+	OverlapRatio float64 `json:"overlap_ratio,omitempty"`
 }
 
 // putFinite adds v to m unless it is NaN or infinite (empty buckets yield
@@ -791,7 +827,15 @@ func estimateToResponse(wl *Workload, method core.Method, backend string, res *c
 			"pathsim":   ms(res.Stages.PathSim),
 			"predict":   ms(res.Stages.Predict),
 			"aggregate": ms(res.Stages.Aggregate),
+			// Wall-clock extents: pathsim/predict above are CPU time summed
+			// across pool workers (they double-count under parallelism); the
+			// _wall keys are elapsed time per stage, and overlap is how much
+			// of the two extents ran concurrently.
+			"pathsim_wall": ms(res.Stages.PathSimWall),
+			"predict_wall": ms(res.Stages.PredictWall),
+			"overlap":      ms(res.Stages.Overlap),
 		},
+		OverlapRatio: res.OverlapRatio(),
 	}
 }
 

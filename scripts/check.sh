@@ -25,7 +25,7 @@ echo "== fault injection (-race) =="
 # The fault-tolerance suite: panic isolation in the pool, flowSim fallback
 # and panic containment in core, reload/shed/degraded behavior in serve —
 # all with fault hooks armed, under the race detector.
-go test -race -run 'Panic|Fault|Fallback|Degraded|Reload|Admission|Hook' \
+go test -race -run 'Panic|Fault|Fallback|Degraded|Reload|Admission|Hook|Cancels' \
     ./internal/pool/ ./internal/core/ ./internal/serve/ ./internal/faultinject/
 
 echo "== checkpoint fuzz smoke =="
@@ -43,6 +43,17 @@ go test -run 'TestQuantizedParity|TestQuantizedDeterminism|TestBackendFingerprin
 go test -run 'TestEstimateCacheBackendKeying' ./internal/core/
 go test -run 'TestEstimateBackendSelection|TestUnknownBackend|TestQuantilesBackendByteStable|TestMetricsBackendSplit' \
     ./internal/serve/
+
+echo "== streamed pipeline parity + sharded GEMM bit-identity =="
+# Pipelined-parity gate: the barrier-free featurize→predict pipeline must
+# reproduce the staged baseline's per-path outputs bit for bit across
+# backends, micro-batch sizes, and seeds (-count=2 reruns in one process to
+# catch state leaks); the worker-sharded GEMM must be bit-identical to the
+# serial kernels in both the float and int8 paths — all under the race
+# detector, since both features are scheduling-dependent by construction.
+go test -race -count=2 -run '^TestStreamedMatchesStagedBitIdentical$' ./internal/core/
+go test -race -run '^TestPredictParallelismBitIdentical$|^TestPredictParallelismConcurrent$' ./internal/model/
+go test -race -run '^TestFloatShardedBitIdentical$|^TestQuantShardedBitIdentical$' ./internal/ml/
 
 echo "== packetsim determinism =="
 # Golden-parity and pool-reuse tests pin the engine to the frozen
