@@ -31,11 +31,13 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"m3/internal/cluster"
+	"m3/internal/faultinject"
 	"m3/internal/model"
 	"m3/internal/serve"
 )
@@ -62,6 +64,12 @@ func main() {
 		"address peers dial this replica at (default: -addr when it has a host)")
 	peerTimeout := flag.Duration("peer-timeout", 0,
 		"per-peer-call deadline when clustered (0 = cluster default)")
+	peerRetries := flag.Int("peer-retries", 0,
+		"retries per peer call, budget permitting (0 = cluster default, <0 = disabled)")
+	retryBudget := flag.Int("retry-budget", 0,
+		"per-peer retry token-bucket capacity (0 = cluster default, <0 = unlimited)")
+	probeInterval := flag.Duration("probe-interval", 0,
+		"active health-probe cadence for down/left peers (0 = cluster default, <0 = disabled)")
 	scatter := flag.Bool("scatter", false,
 		"scatter-gather each estimate's per-path work across the fleet")
 	flag.Parse()
@@ -100,6 +108,19 @@ func main() {
 		fatal(fmt.Errorf("-predict-parallelism %d must be >= 0", *predictPar))
 	}
 
+	// M3_CHAOS (e.g. "seed=7,reset=0.1,delayrate=0.05,delay=20ms") arms the
+	// deterministic peer-RPC fault injector for resilience benchmarking.
+	// Loud on stderr: a chaos-armed replica must never pass for a healthy
+	// production process.
+	if spec := os.Getenv("M3_CHAOS"); spec != "" {
+		cfg, err := parseChaos(spec)
+		if err != nil {
+			fatal(err)
+		}
+		faultinject.Set("cluster.rpc", faultinject.Chaos(cfg))
+		fmt.Fprintf(os.Stderr, "m3serve: CHAOS MODE — injecting peer-RPC faults (%s)\n", spec)
+	}
+
 	net, err := model.LoadFile(*checkpoint)
 	if err != nil {
 		fatal(err)
@@ -116,6 +137,9 @@ func main() {
 		Advertise:          self,
 		Peers:              peerList,
 		PeerTimeout:        *peerTimeout,
+		PeerRetries:        *peerRetries,
+		RetryBudget:        *retryBudget,
+		ProbeInterval:      *probeInterval,
 		Scatter:            *scatter,
 	})
 	if err != nil {
@@ -183,6 +207,42 @@ func main() {
 		}
 		srv.Close()
 	}
+}
+
+// parseChaos reads the M3_CHAOS spec: comma-separated key=value with keys
+// seed (uint64), reset (probability), delayrate (probability), delay
+// (duration), flapprobes (bool).
+func parseChaos(spec string) (faultinject.ChaosConfig, error) {
+	var cfg faultinject.ChaosConfig
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("M3_CHAOS: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "reset":
+			cfg.ResetRate, err = strconv.ParseFloat(v, 64)
+		case "delayrate":
+			cfg.DelayRate, err = strconv.ParseFloat(v, 64)
+		case "delay":
+			cfg.Delay, err = time.ParseDuration(v)
+		case "flapprobes":
+			cfg.FlapProbes, err = strconv.ParseBool(v)
+		default:
+			return cfg, fmt.Errorf("M3_CHAOS: unknown key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("M3_CHAOS: bad %s value %q: %v", k, v, err)
+		}
+	}
+	return cfg, nil
 }
 
 func fatal(err error) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"m3/internal/core"
+	"m3/internal/faultinject"
 )
 
 // PeerError is a peer's structured refusal: the HTTP status plus the
@@ -48,12 +49,43 @@ func NewClient(addr string, timeout time.Duration) *Client {
 		base: "http://" + addr,
 		hc: &http.Client{
 			Timeout: timeout,
-			Transport: &http.Transport{
+			Transport: &hookTransport{base: &http.Transport{
 				MaxIdleConnsPerHost: 16,
 				IdleConnTimeout:     90 * time.Second,
-			},
+			}},
 		},
 	}
+}
+
+// hookTransport consults the "cluster.rpc" fault-injection point before
+// every peer RPC, so chaos tests and the M3_CHAOS bench mode can inject
+// deterministic connection resets and latency spikes below the retry layer
+// — exactly where real transport faults land. Unarmed (production), the
+// hook is one atomic load.
+type hookTransport struct {
+	base http.RoundTripper
+}
+
+func (t *hookTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := faultinject.RPCFault{
+		Host:  req.URL.Host,
+		Path:  req.URL.Path,
+		Probe: req.URL.Path == HealthEndpoint,
+	}
+	faultinject.At("cluster.rpc", &f)
+	if f.Delay > 0 {
+		tm := time.NewTimer(f.Delay)
+		select {
+		case <-req.Context().Done():
+			tm.Stop()
+			return nil, req.Context().Err()
+		case <-tm.C:
+		}
+	}
+	if f.Err != nil {
+		return nil, f.Err
+	}
+	return t.base.RoundTrip(req)
 }
 
 // post sends one JSON request and decodes the JSON answer into out (out may
@@ -71,6 +103,12 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	// Replicated mutations carry the internal marker so the receiving
 	// replica applies them without re-broadcasting (no forwarding loops).
 	req.Header.Set("X-M3-Internal", "1")
+	return c.do(req, path, out)
+}
+
+// do executes one prepared request and decodes the JSON answer into out
+// (out may be nil). Non-2xx answers come back as *PeerError.
+func (c *Client) do(req *http.Request, path string, out any) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -94,8 +132,43 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	return nil
 }
 
-// Paths executes one shard on the peer.
+// Health performs one lightweight health probe (GET): proof the peer's
+// serving loop is answering, plus its model fingerprint and inflight count.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+HealthEndpoint, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-M3-Internal", "1")
+	var resp HealthResponse
+	if err := c.do(req, HealthEndpoint, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// remainingBudget converts the ctx deadline into the deadline_ns wire field:
+// the caller's remaining budget as a duration, which survives clock skew
+// between replicas (absolute timestamps would not).
+func remainingBudget(ctx context.Context) int64 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	rem := time.Until(d)
+	if rem <= 0 {
+		return 1 // expired: force the peer's early-shed path, not a zero "no deadline"
+	}
+	return int64(rem)
+}
+
+// Paths executes one shard on the peer. The request carries the caller's
+// remaining deadline budget so the peer sheds work it cannot finish in time
+// (each retry attempt re-propagates its own, shorter budget).
 func (c *Client) Paths(ctx context.Context, req *PathsRequest) (*PathsResponse, error) {
+	if ns := remainingBudget(ctx); ns > 0 {
+		req.DeadlineNS = ns
+	}
 	var resp PathsResponse
 	if err := c.post(ctx, PathsEndpoint, req, &resp); err != nil {
 		return nil, err
@@ -111,7 +184,7 @@ func (c *Client) Paths(ctx context.Context, req *PathsRequest) (*PathsResponse, 
 // in-flight computation at the owner instead of reporting a miss.
 func (c *Client) CacheFetch(ctx context.Context, key core.EstimateKey, wait bool) (*core.Estimate, bool, error) {
 	var resp FetchResponse
-	if err := c.post(ctx, CacheFetchEndpoint, &KeyRequest{Key: key, Wait: wait}, &resp); err != nil {
+	if err := c.post(ctx, CacheFetchEndpoint, &KeyRequest{Key: key, Wait: wait, DeadlineNS: remainingBudget(ctx)}, &resp); err != nil {
 		return nil, false, err
 	}
 	if !resp.Hit || resp.Estimate == nil {

@@ -1,15 +1,26 @@
 // Package cluster turns N m3serve replicas into one estimation fleet. It
-// provides the three mechanisms the serving layer composes:
+// provides the four mechanisms the serving layer composes:
 //
 //   - Membership and placement: a static member set (self + peers from the
 //     -peers flag) with rendezvous (highest-random-weight) hashing, so every
 //     replica independently agrees which member owns a workload name or an
 //     estimate cache key without any coordination traffic.
 //
-//   - Health: per-peer circuit breaking. A failed call marks the peer down
-//     for a cooldown so subsequent requests skip it instead of re-paying the
-//     timeout; an explicit leave (drain-aware shutdown) or join notification
-//     flips it immediately.
+//   - Health: per-peer circuit breaking with a half-open state machine. A
+//     failed call opens the breaker for a cooldown; on expiry exactly one
+//     probe request is admitted while the rest keep skipping, and the
+//     breaker closes only after consecutive probe successes — so a flapping
+//     peer cannot drag the fleet through a thundering-herd reopen. An
+//     active background prober (Options.ProbeInterval) health-checks
+//     non-healthy peers so recovery is discovered in about one RTT instead
+//     of by sacrificing a user request, and re-admits peers whose rejoin
+//     announcement was lost.
+//
+//   - Resilient calls: every peer RPC goes through Peer.Call — bounded
+//     retries with exponential backoff and full jitter, gated by a per-peer
+//     token-bucket retry budget so a fleet-wide failure cannot snowball
+//     into a retry storm. Only transport errors and structured refusals
+//     with Retryable codes retry; terminal refusals return immediately.
 //
 //   - Scatter-gather: partitioning one estimate's sampled paths into
 //     contiguous shards across the live members, fanning the remote shards
@@ -29,6 +40,7 @@ import (
 	"net"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,65 +49,211 @@ import (
 
 // Defaults for Options.
 const (
-	// DefaultPeerTimeout bounds one peer call (shard execution is the slow
-	// case; cache fetches finish in milliseconds).
+	// DefaultPeerTimeout bounds one peer call attempt (shard execution is
+	// the slow case; cache fetches finish in milliseconds).
 	DefaultPeerTimeout = 30 * time.Second
-	// DefaultCooldown is how long a failed peer stays marked down before
-	// the next request probes it again.
+	// DefaultCooldown is how long an opened breaker rejects requests before
+	// it admits a probe.
 	DefaultCooldown = 2 * time.Second
+	// DefaultMaxRetries is the per-call retry bound (attempts = retries+1).
+	DefaultMaxRetries = 2
+	// DefaultRetryBudget is the per-peer retry token-bucket capacity.
+	DefaultRetryBudget = 10
+	// DefaultProbeInterval is the active health prober's cadence.
+	DefaultProbeInterval = 1 * time.Second
+	// DefaultProbeSuccesses is how many consecutive probe successes close
+	// an open breaker.
+	DefaultProbeSuccesses = 2
+	// DefaultBaseBackoff/DefaultMaxBackoff bound the retry backoff window;
+	// the actual sleep is full-jittered in [0, min(base<<attempt, max)).
+	DefaultBaseBackoff = 25 * time.Millisecond
+	DefaultMaxBackoff  = 500 * time.Millisecond
+	// probeTimeout bounds one health probe (probes are cheap by contract;
+	// a slow answer is as bad as none).
+	probeTimeout = 2 * time.Second
 )
 
 // Options configures a Fleet.
 type Options struct {
-	// PeerTimeout bounds each peer HTTP call (0 = DefaultPeerTimeout).
+	// PeerTimeout bounds each peer HTTP call attempt (0 = DefaultPeerTimeout).
 	PeerTimeout time.Duration
-	// Cooldown is how long a peer stays down after a failed call
-	// (0 = DefaultCooldown).
+	// Cooldown is how long an opened breaker rejects traffic before
+	// admitting a probe (0 = DefaultCooldown).
 	Cooldown time.Duration
+	// MaxRetries bounds retries per peer call (0 = DefaultMaxRetries,
+	// negative = no retries).
+	MaxRetries int
+	// RetryBudget is the per-peer retry token-bucket capacity
+	// (0 = DefaultRetryBudget, negative = unlimited). Each failed attempt
+	// drains one token, each success refills half a token, and retries are
+	// allowed only while the bucket is above half — under sustained failure
+	// the budget caps total call amplification near 1x.
+	RetryBudget int
+	// ProbeInterval is the active health prober's cadence
+	// (0 = DefaultProbeInterval, negative = prober disabled).
+	ProbeInterval time.Duration
+	// ProbeSuccesses is how many consecutive probe successes close an open
+	// breaker (0 = DefaultProbeSuccesses).
+	ProbeSuccesses int
 }
+
+// Breaker states. Closed = healthy, traffic flows. Open = failing, all
+// traffic skips until the cooldown expires. Half-open = one probe at a time
+// is admitted; consecutive successes close, any failure reopens.
+const (
+	stateClosed int32 = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breakerStateNames maps states to the strings Status reports.
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
 
 // Peer is one remote replica: its address, client, and health state.
 type Peer struct {
 	Addr   string
 	Client *Client
 
-	cooldown time.Duration
-	// downUntil is the unix-nano deadline of the current failure cooldown.
+	cooldown    time.Duration
+	probeTarget int32
+	policy      retryPolicy
+	budget      *retryBudget
+
+	// state is the breaker state machine (stateClosed/Open/HalfOpen).
+	state atomic.Int32
+	// downUntil is the unix-nano instant an open breaker starts admitting
+	// probes.
 	downUntil atomic.Int64
-	// left marks a peer that announced drain-aware shutdown; it stays down
-	// (no cooldown expiry) until it announces joining again.
-	left     atomic.Bool
-	failures atomic.Int64
+	// probeInFlight serializes probes: whoever CASes it owns the one probe
+	// slot until they report an outcome.
+	probeInFlight atomic.Bool
+	// probeStreak counts consecutive probe successes toward probeTarget.
+	probeStreak atomic.Int32
+	// left marks a peer that announced drain-aware shutdown; it receives no
+	// traffic (but is still probed — a lost rejoin announcement must not
+	// exile it forever).
+	left atomic.Bool
+
+	failures      atomic.Int64
+	retries       atomic.Int64
+	probes        atomic.Int64
+	probeFailures atomic.Int64
 }
 
-// Up reports whether the peer should receive traffic right now.
+// Up reports whether the peer should receive regular traffic right now:
+// breaker closed and not drained. Pure state load — no clock read — so
+// Partition can ask for every member on every scatter for free.
 func (p *Peer) Up() bool {
-	return !p.left.Load() && time.Now().UnixNano() >= p.downUntil.Load()
+	return !p.left.Load() && p.state.Load() == stateClosed
 }
 
-// MarkFailure records a failed call: the peer is skipped until the cooldown
-// expires, so one dead replica costs the fleet one timeout per cooldown
-// window instead of one per request.
+// Acquire asks the breaker for permission to call the peer. ok reports
+// whether the call may proceed; probe marks the caller as the single
+// half-open probe (it MUST report the outcome via finish or release, or the
+// probe slot leaks). In the open state, cooldown expiry admits exactly one
+// probe; everyone else keeps skipping.
+func (p *Peer) Acquire() (ok, probe bool) {
+	if p.left.Load() {
+		return false, false
+	}
+	switch p.state.Load() {
+	case stateClosed:
+		return true, false
+	case stateOpen:
+		if time.Now().UnixNano() < p.downUntil.Load() {
+			return false, false
+		}
+		if p.probeInFlight.CompareAndSwap(false, true) {
+			p.state.Store(stateHalfOpen)
+			return true, true
+		}
+		return false, false
+	default: // stateHalfOpen: the next probe slot, one at a time
+		if p.probeInFlight.CompareAndSwap(false, true) {
+			return true, true
+		}
+		return false, false
+	}
+}
+
+// finish reports a call outcome to the breaker. A probe success counts
+// toward the consecutive-success streak that closes the breaker (and
+// re-admits a peer whose rejoin announcement was lost); any failure reopens
+// with a fresh cooldown.
+func (p *Peer) finish(probe, success bool) {
+	if !success {
+		p.MarkFailure()
+		if probe {
+			p.probeInFlight.Store(false)
+		}
+		return
+	}
+	if !probe {
+		p.MarkSuccess()
+		return
+	}
+	p.left.Store(false)
+	if p.probeStreak.Add(1) >= p.probeTarget {
+		p.MarkSuccess()
+	}
+	p.probeInFlight.Store(false)
+}
+
+// release returns a probe slot without an outcome (the caller's own context
+// died mid-call — no evidence about the peer either way).
+func (p *Peer) release(probe bool) {
+	if probe {
+		p.probeInFlight.Store(false)
+	}
+}
+
+// MarkFailure opens the breaker: the peer is skipped until the cooldown
+// expires, then probed — one dead replica costs the fleet one probe per
+// cooldown window instead of one timeout per request.
 func (p *Peer) MarkFailure() {
 	p.failures.Add(1)
+	p.probeStreak.Store(0)
 	p.downUntil.Store(time.Now().Add(p.cooldown).UnixNano())
+	p.state.Store(stateOpen)
 }
 
-// MarkSuccess clears any failure cooldown.
-func (p *Peer) MarkSuccess() { p.downUntil.Store(0) }
+// MarkSuccess closes the breaker immediately (direct evidence the peer is
+// serving).
+func (p *Peer) MarkSuccess() {
+	p.probeStreak.Store(0)
+	p.downUntil.Store(0)
+	p.state.Store(stateClosed)
+}
 
 // MarkLeft takes the peer out of rotation until it rejoins (drain-aware
-// shutdown deregistration).
+// shutdown deregistration). The prober keeps watching it: if the rejoin
+// announcement is lost, a successful probe re-admits it.
 func (p *Peer) MarkLeft() { p.left.Store(true) }
+
+// Left reports whether the peer announced a drain-aware departure and has
+// not yet rejoined (by announcement or by probe).
+func (p *Peer) Left() bool { return p.left.Load() }
 
 // MarkJoined returns the peer to rotation immediately.
 func (p *Peer) MarkJoined() {
 	p.left.Store(false)
-	p.downUntil.Store(0)
+	p.MarkSuccess()
 }
 
-// Failures returns the cumulative failed-call count.
+// BreakerState names the peer's breaker state ("closed", "open",
+// "half-open") for Status and /metrics.
+func (p *Peer) BreakerState() string { return breakerStateNames[p.state.Load()] }
+
+// Failures returns the cumulative failed transport-attempt count.
 func (p *Peer) Failures() int64 { return p.failures.Load() }
+
+// Retries returns the cumulative retry-attempt count.
+func (p *Peer) Retries() int64 { return p.retries.Load() }
+
+// Probes returns the cumulative health-probe count (active prober plus
+// request-path half-open probes are both breaker probes, but only the
+// prober's health checks are counted here).
+func (p *Peer) Probes() int64 { return p.probes.Load() }
 
 // Fleet is one replica's view of the member set. Construct with New; the
 // member list is fixed for the process lifetime (static -peers flag), only
@@ -105,12 +263,17 @@ type Fleet struct {
 	peers   []*Peer  // sorted by address; excludes self
 	members []string // sorted member addresses, including self
 
-	peerTimeout time.Duration
+	peerTimeout   time.Duration
+	probeInterval time.Duration
 	// rpc is the fleet's own small worker pool for peer fan-out — separate
 	// from the CPU-bound path-simulation pool so blocking HTTP calls never
 	// occupy simulation workers (and a scatter shard falling back to local
 	// compute can still get pool workers underneath it).
 	rpc *pool.Pool
+
+	// stop ends the background prober; closeOnce guards double Close.
+	stop      chan struct{}
+	closeOnce sync.Once
 }
 
 // New builds a fleet view for self plus its peers. Addresses must pass
@@ -126,12 +289,30 @@ func New(self string, peerAddrs []string, opts Options) (*Fleet, error) {
 	if opts.Cooldown <= 0 {
 		opts.Cooldown = DefaultCooldown
 	}
+	switch {
+	case opts.MaxRetries == 0:
+		opts.MaxRetries = DefaultMaxRetries
+	case opts.MaxRetries < 0:
+		opts.MaxRetries = 0
+	}
+	if opts.ProbeSuccesses <= 0 {
+		opts.ProbeSuccesses = DefaultProbeSuccesses
+	}
+	policy := retryPolicy{
+		maxRetries:     opts.MaxRetries,
+		baseBackoff:    DefaultBaseBackoff,
+		maxBackoff:     DefaultMaxBackoff,
+		attemptTimeout: opts.PeerTimeout,
+	}
 	f := &Fleet{self: self, peerTimeout: opts.PeerTimeout}
 	for _, addr := range peerAddrs {
 		f.peers = append(f.peers, &Peer{
-			Addr:     addr,
-			Client:   NewClient(addr, opts.PeerTimeout),
-			cooldown: opts.Cooldown,
+			Addr:        addr,
+			Client:      NewClient(addr, opts.PeerTimeout),
+			cooldown:    opts.Cooldown,
+			probeTarget: int32(opts.ProbeSuccesses),
+			policy:      policy,
+			budget:      newRetryBudget(opts.RetryBudget),
 		})
 	}
 	sort.Slice(f.peers, func(i, j int) bool { return f.peers[i].Addr < f.peers[j].Addr })
@@ -141,6 +322,14 @@ func New(self string, peerAddrs []string, opts Options) (*Fleet, error) {
 	}
 	sort.Strings(f.members)
 	f.rpc = newRPCPool(len(f.members))
+	if opts.ProbeInterval >= 0 && len(f.peers) > 0 {
+		f.probeInterval = opts.ProbeInterval
+		if f.probeInterval == 0 {
+			f.probeInterval = DefaultProbeInterval
+		}
+		f.stop = make(chan struct{})
+		go f.prober()
+	}
 	return f, nil
 }
 
@@ -167,27 +356,38 @@ func (f *Fleet) PeerTimeout() time.Duration { return f.peerTimeout }
 
 // --- rendezvous hashing -----------------------------------------------------
 
-// rendezvous scores (member, key) with FNV-1a over the member address bytes
-// followed by the key bytes. Highest score owns the key; every replica
+// FNV-1a parameters, shared by every hash in the placement layer.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv1aString folds s into a running FNV-1a hash h (seed with fnvOffset64).
+func fnv1aString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnv1aUint64 folds key's eight little-endian bytes into h.
+func fnv1aUint64(h, key uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= key & 0xff
+		h *= fnvPrime64
+		key >>= 8
+	}
+	return h
+}
+
+// rendezvousScore scores (member, key) with FNV-1a over the member address
+// bytes followed by the key bytes. Highest score owns the key; every replica
 // computes the same winner with zero coordination, and removing a member
 // only moves the keys that member owned (the consistent-hashing property,
 // without a ring or virtual nodes to maintain).
 func rendezvousScore(member string, key uint64) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(member); i++ {
-		h ^= uint64(member[i])
-		h *= prime64
-	}
-	for i := 0; i < 8; i++ {
-		h ^= key & 0xff
-		h *= prime64
-		key >>= 8
-	}
-	return h
+	return fnv1aUint64(fnv1aString(fnvOffset64, member), key)
 }
 
 // OwnerOf returns the member that owns the 64-bit key digest, considering
@@ -209,23 +409,15 @@ func (f *Fleet) OwnerOf(key uint64) string {
 // first). The registry is fully replicated, so name ownership is placement
 // metadata — which replica "homes" a workload — not a routing requirement.
 func (f *Fleet) OwnerOfName(name string) string {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= prime64
-	}
-	return f.OwnerOf(h)
+	return f.OwnerOf(fnv1aString(fnvOffset64, name))
 }
 
 // --- address validation -----------------------------------------------------
 
 // ValidateAddr rejects addresses that cannot name a peer: the form must be
 // host:port with a non-empty host (peers must be dialable from elsewhere,
-// so ":8053" is not enough) and a numeric port in [1, 65535].
+// so ":8053" is not enough) and a numeric port in [1, 65535]. IPv6 hosts
+// take the usual bracketed form ("[::1]:8053").
 func ValidateAddr(addr string) error {
 	host, port, err := net.SplitHostPort(addr)
 	if err != nil {
@@ -268,17 +460,32 @@ func ValidateMembers(self string, peers []string) error {
 
 // PeerStatus is one peer's health snapshot for /metrics.
 type PeerStatus struct {
-	Addr     string `json:"addr"`
-	Up       bool   `json:"up"`
-	Left     bool   `json:"left"`
-	Failures int64  `json:"failures"`
+	Addr          string  `json:"addr"`
+	Up            bool    `json:"up"`
+	State         string  `json:"state"`
+	Left          bool    `json:"left"`
+	Failures      int64   `json:"failures"`
+	Retries       int64   `json:"retries"`
+	Probes        int64   `json:"probes"`
+	ProbeFailures int64   `json:"probe_failures"`
+	RetryTokens   float64 `json:"retry_tokens"`
 }
 
 // Status snapshots every peer's health.
 func (f *Fleet) Status() []PeerStatus {
 	out := make([]PeerStatus, len(f.peers))
 	for i, p := range f.peers {
-		out[i] = PeerStatus{Addr: p.Addr, Up: p.Up(), Left: p.left.Load(), Failures: p.Failures()}
+		out[i] = PeerStatus{
+			Addr:          p.Addr,
+			Up:            p.Up(),
+			State:         p.BreakerState(),
+			Left:          p.left.Load(),
+			Failures:      p.Failures(),
+			Retries:       p.Retries(),
+			Probes:        p.Probes(),
+			ProbeFailures: p.probeFailures.Load(),
+			RetryTokens:   p.budget.tokensLeft(),
+		}
 	}
 	return out
 }

@@ -112,7 +112,9 @@ func TestPartition(t *testing.T) {
 }
 
 func TestPeerHealth(t *testing.T) {
-	f, err := New("127.0.0.1:9001", []string{"127.0.0.1:9002"}, Options{Cooldown: 20 * time.Millisecond})
+	// ProbeInterval -1: drive the breaker by hand, no background prober.
+	f, err := New("127.0.0.1:9001", []string{"127.0.0.1:9002"},
+		Options{Cooldown: 20 * time.Millisecond, ProbeInterval: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,18 +127,79 @@ func TestPeerHealth(t *testing.T) {
 	if p.Up() {
 		t.Fatal("failed peer should be down during cooldown")
 	}
-	time.Sleep(25 * time.Millisecond)
-	if !p.Up() {
-		t.Fatal("cooldown expired, peer should be probed again")
+	if ok, _ := p.Acquire(); ok {
+		t.Fatal("open breaker must refuse calls during cooldown")
 	}
+	time.Sleep(25 * time.Millisecond)
+	// Cooldown expired: the peer is NOT blindly back up — it stays out of
+	// regular rotation until probes prove it. Exactly one caller gets the
+	// probe slot.
+	if p.Up() {
+		t.Fatal("cooldown expiry must not close the breaker without a probe")
+	}
+	ok, probe := p.Acquire()
+	if !ok || !probe {
+		t.Fatalf("cooldown expired: Acquire() = (%v, %v), want one probe admitted", ok, probe)
+	}
+	if ok, _ := p.Acquire(); ok {
+		t.Fatal("second caller must be refused while the probe is in flight")
+	}
+	// DefaultProbeSuccesses consecutive successes close the breaker.
+	p.finish(true, true)
+	if p.Up() {
+		t.Fatal("one probe success must not close the breaker (target is 2)")
+	}
+	ok, probe = p.Acquire()
+	if !ok || !probe {
+		t.Fatalf("half-open: Acquire() = (%v, %v), want the next probe", ok, probe)
+	}
+	p.finish(true, true)
+	if !p.Up() {
+		t.Fatal("two consecutive probe successes should close the breaker")
+	}
+
 	p.MarkLeft()
 	time.Sleep(25 * time.Millisecond)
 	if p.Up() {
 		t.Fatal("left peer must stay down past any cooldown")
 	}
+	if ok, _ := p.Acquire(); ok {
+		t.Fatal("left peer must refuse regular calls")
+	}
 	p.MarkJoined()
 	if !p.Up() {
 		t.Fatal("rejoined peer should be up")
+	}
+}
+
+// TestBreakerProbeFailureReopens: any probe failure re-arms the cooldown
+// and zeroes the success streak — a flapping peer cannot close its breaker
+// by alternating good and bad probes.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	f, err := New("127.0.0.1:9001", []string{"127.0.0.1:9002"},
+		Options{Cooldown: time.Millisecond, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer("127.0.0.1:9002")
+	for round := 0; round < 5; round++ {
+		p.MarkFailure()
+		time.Sleep(2 * time.Millisecond)
+		ok, probe := p.Acquire()
+		if !ok || !probe {
+			t.Fatalf("round %d: Acquire() = (%v, %v), want probe", round, ok, probe)
+		}
+		p.finish(true, true) // one success (streak 1 of 2)...
+		time.Sleep(2 * time.Millisecond)
+		ok, probe = p.Acquire()
+		if !ok || !probe {
+			t.Fatalf("round %d: second Acquire() = (%v, %v), want probe", round, ok, probe)
+		}
+		p.finish(true, false) // ...then a failure: streak must reset
+		if p.Up() {
+			t.Fatalf("round %d: flapping peer closed its breaker", round)
+		}
 	}
 }
 
@@ -155,6 +218,15 @@ func TestValidateMembers(t *testing.T) {
 		{"127.0.0.1:9001", []string{"127.0.0.1:9001"}, "own address"},
 		{"127.0.0.1:9001", []string{"127.0.0.1:9002", "127.0.0.1:9002"}, "listed twice"},
 		{"127.0.0.1:9001", []string{"broken"}, "not host:port"},
+		// IPv6: bracketed host:port forms are valid members...
+		{"[::1]:8053", []string{"[::1]:8054", "[fe80::1%eth0]:9001"}, ""},
+		{"127.0.0.1:9001", []string{"[2001:db8::1]:443"}, ""},
+		// ...but bare IPv6 (ambiguous colons) and empty brackets are not.
+		{"::1", nil, "not host:port"},
+		{"[::1]", nil, "not host:port"},
+		{"[]:8053", nil, "no host"},
+		{"[::1]:0", nil, "bad port"},
+		{"[::1]:8053", []string{"[::1]:8053"}, "own address"},
 	}
 	for _, tc := range cases {
 		err := ValidateMembers(tc.self, tc.peers)

@@ -20,7 +20,9 @@ type Shard struct {
 // live members (self always included, down peers skipped). Contiguity
 // matters: the gathered outputs land back in plan order by slice copy, so
 // the assembled estimate is identical to the single-process one no matter
-// how the fleet splits the work.
+// how the fleet splits the work. Per-member liveness is a pair of atomic
+// loads (Peer.Up reads breaker state, not the clock), so asking for every
+// member on every scatter is free.
 func (f *Fleet) Partition(n int) []Shard {
 	members := make([]string, 0, len(f.members))
 	for _, m := range f.members {
@@ -122,19 +124,23 @@ func (f *Fleet) Scatter(ctx context.Context, tmpl *PathsRequest, distinct, mult 
 		req := *tmpl
 		req.Indices = distinct[sh.Lo:sh.Hi]
 		req.Mults = mult[sh.Lo:sh.Hi]
-		callCtx, cancel := context.WithTimeout(ctx, f.peerTimeout)
-		resp, err := p.Client.Paths(callCtx, &req)
-		cancel()
+		// Peer.Call owns the resilience stack: per-attempt timeouts,
+		// budget-gated retries on transient failures, and breaker
+		// bookkeeping (transport trouble trips it; structured refusals —
+		// shed, timeout, model mismatch — come from a replica healthy
+		// enough to answer and do not).
+		var resp *PathsResponse
+		err := p.Call(ctx, func(ctx context.Context) error {
+			r, err := p.Client.Paths(ctx, &req)
+			if err == nil {
+				resp = r
+			}
+			return err
+		})
 		if err != nil {
 			// The peer is unreachable, shedding, timing out, or serving a
-			// different model generation: compute the shard here instead.
-			// MarkFailure only for transport-level trouble — any structured
-			// refusal (*PeerError) came from a replica healthy enough to
-			// answer, and tripping its breaker would also cut it out of the
-			// cache tier for nothing.
-			if _, ok := err.(*PeerError); !ok {
-				p.MarkFailure()
-			}
+			// different model generation, and retries are exhausted (or the
+			// breaker refused up front): compute the shard here instead.
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -142,7 +148,6 @@ func (f *Fleet) Scatter(ctx context.Context, tmpl *PathsRequest, distinct, mult 
 			fallbackPaths.Add(int64(sh.Hi - sh.Lo))
 			return runLocal(ctx, sh)
 		}
-		p.MarkSuccess()
 		copy(out.Outs[sh.Lo:sh.Hi], resp.Outs)
 		mergeStats(resp.PathSimNs, resp.PredictNs, resp.PathSimWallNs, resp.PredictWallNs, resp.OverlapNs, resp.DegradedPaths)
 		remote.Add(1)
@@ -163,8 +168,16 @@ func (f *Fleet) Scatter(ctx context.Context, tmpl *PathsRequest, distinct, mult 
 	return out, stats, nil
 }
 
-// Close releases the fleet's peer fan-out pool.
-func (f *Fleet) Close() { f.rpc.Close() }
+// Close stops the background prober and releases the fleet's peer fan-out
+// pool. Safe to call more than once.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(func() {
+		if f.stop != nil {
+			close(f.stop)
+		}
+		f.rpc.Close()
+	})
+}
 
 // newRPCPool sizes the peer fan-out pool: one slot per member so a full
 // scatter never queues behind itself, floor of two so a degenerate fleet

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// prober is the fleet's background health loop. Every probeInterval it
+// health-checks each peer that is not serving traffic (breaker open or
+// half-open, or marked left) with GET /internal/v1/health. Healthy peers
+// are never probed — steady state costs zero traffic. Recovery is thus
+// discovered in about one probe RTT, off the request path: no user request
+// pays for the first call into a freshly restarted replica, and a peer
+// whose rejoin announcement was lost is re-admitted anyway.
+func (f *Fleet) prober() {
+	ticker := time.NewTicker(f.probeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-ticker.C:
+			for _, p := range f.peers {
+				if p.needsProbe() {
+					// Probes run concurrently so one black-holed peer's
+					// timeout doesn't delay the others' recovery; the
+					// probe-slot CAS in beginProbe prevents pile-up when a
+					// probe outlives the tick.
+					go f.probeOne(p)
+				}
+			}
+		}
+	}
+}
+
+// needsProbe reports whether the peer is out of rotation for any reason.
+func (p *Peer) needsProbe() bool {
+	return p.left.Load() || p.state.Load() != stateClosed
+}
+
+// probeOne health-checks one peer, sharing the breaker's single probe slot
+// with request-path half-open probes. A success feeds the same
+// consecutive-success streak that closes the breaker (and clears a stale
+// left mark); a failure re-arms the cooldown.
+func (f *Fleet) probeOne(p *Peer) {
+	if !p.probeInFlight.CompareAndSwap(false, true) {
+		return // a probe (ours or a request's) is already in flight
+	}
+	if !p.needsProbe() { // re-check: a request may have closed the breaker
+		p.probeInFlight.Store(false)
+		return
+	}
+	if p.state.Load() == stateOpen {
+		p.state.Store(stateHalfOpen)
+	}
+	p.probes.Add(1)
+	timeout := probeTimeout
+	if f.peerTimeout < timeout {
+		timeout = f.peerTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	_, err := p.Client.Health(ctx)
+	cancel()
+	if err != nil {
+		p.probeFailures.Add(1)
+		p.finish(true, false)
+		return
+	}
+	p.finish(true, true)
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"m3/internal/faultinject"
+)
+
+// healthServer serves HealthEndpoint, answering 200 while healthy is true
+// and 500 otherwise.
+func healthServer(t *testing.T, healthy *atomic.Bool) string {
+	t.Helper()
+	return newPeerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != HealthEndpoint {
+			http.NotFound(w, r)
+			return
+		}
+		if !healthy.Load() {
+			writeTestError(w, http.StatusInternalServerError, CodeInternal)
+			return
+		}
+		json.NewEncoder(w).Encode(HealthResponse{Fingerprint: 42})
+	})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestProberReadmitsRecoveredPeer: a peer that died and came back is
+// re-admitted by background probes alone — no request traffic pays for the
+// discovery, and recovery happens even while the health check initially
+// keeps failing.
+func TestProberReadmitsRecoveredPeer(t *testing.T) {
+	var healthy atomic.Bool
+	addr := healthServer(t, &healthy)
+	f, err := New("127.0.0.1:9001", []string{addr}, Options{
+		Cooldown:      time.Millisecond,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer(addr)
+
+	p.MarkFailure()
+	waitFor(t, "failed probes against the unhealthy peer", func() bool {
+		return p.probeFailures.Load() >= 2
+	})
+	if p.Up() {
+		t.Fatal("peer must stay down while probes fail")
+	}
+
+	healthy.Store(true)
+	waitFor(t, "prober to re-admit the recovered peer", func() bool { return p.Up() })
+	if p.Probes() < int64(DefaultProbeSuccesses) {
+		t.Fatalf("Probes() = %d, want >= %d (consecutive successes close the breaker)",
+			p.Probes(), DefaultProbeSuccesses)
+	}
+}
+
+// TestProberReadmitsLostRejoin: a peer marked left whose rejoin
+// announcement never arrives is still re-admitted once probes find it
+// serving — a lost UDP... lost HTTP announce must not exile a healthy
+// replica forever.
+func TestProberReadmitsLostRejoin(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	addr := healthServer(t, &healthy)
+	f, err := New("127.0.0.1:9001", []string{addr}, Options{
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer(addr)
+
+	p.MarkLeft()
+	if p.Up() {
+		t.Fatal("left peer must be out of rotation")
+	}
+	waitFor(t, "prober to re-admit the left peer", func() bool { return p.Up() })
+}
+
+// TestProberFlapOnProbe: chaos that black-holes only the health endpoint
+// keeps the peer out of rotation (the breaker needs probe proof, not hope),
+// and clearing the fault lets the prober re-admit it.
+func TestProberFlapOnProbe(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	addr := healthServer(t, &healthy)
+	faultinject.Set("cluster.rpc", faultinject.Chaos(faultinject.ChaosConfig{FlapProbes: true}))
+	t.Cleanup(faultinject.Clear)
+
+	f, err := New("127.0.0.1:9001", []string{addr}, Options{
+		Cooldown:      time.Millisecond,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer(addr)
+	p.MarkFailure()
+	waitFor(t, "probes to fail through the chaos hook", func() bool {
+		return p.probeFailures.Load() >= 3
+	})
+	if p.Up() {
+		t.Fatal("peer must stay down while its probes are black-holed")
+	}
+	faultinject.Clear()
+	waitFor(t, "prober to re-admit after chaos clears", func() bool { return p.Up() })
+}
+
+// TestProberSteadyStateSilent: healthy peers are never probed — the
+// resilience layer must cost nothing when nothing is wrong.
+func TestProberSteadyStateSilent(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	addr := healthServer(t, &healthy)
+	f, err := New("127.0.0.1:9001", []string{addr}, Options{
+		ProbeInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	time.Sleep(60 * time.Millisecond)
+	if n := f.Peer(addr).Probes(); n != 0 {
+		t.Fatalf("healthy peer was probed %d times; steady state must be silent", n)
+	}
+}

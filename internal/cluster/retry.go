@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrPeerDown is Peer.Call's answer when the breaker refuses the call
+// outright (open and cooling down, probe slot taken, or the peer left the
+// fleet). No network traffic happened; callers treat it like any other peer
+// failure (skip, or fall back locally).
+var ErrPeerDown = errors.New("cluster: peer down (breaker open)")
+
+// retryPolicy bounds one logical peer call: up to maxRetries re-attempts,
+// each under attemptTimeout, sleeping a full-jittered exponential backoff
+// in between.
+type retryPolicy struct {
+	maxRetries     int
+	baseBackoff    time.Duration
+	maxBackoff     time.Duration
+	attemptTimeout time.Duration
+}
+
+// backoff returns the sleep before re-attempt #attempt: uniform in
+// [0, min(base<<attempt, max)). Full jitter decorrelates the retries of
+// concurrent callers — after a fleet-wide blip the peer sees a trickle, not
+// a synchronized second wave.
+func (pol retryPolicy) backoff(attempt int) time.Duration {
+	d := pol.baseBackoff << uint(attempt)
+	if d <= 0 || d > pol.maxBackoff {
+		d = pol.maxBackoff
+	}
+	return time.Duration(rand.Int63n(int64(d)))
+}
+
+// retryBudget is a per-peer token bucket in the gRPC retry-throttling
+// style: every failed attempt drains one token, every success refills
+// successCredit, and retries are allowed only while the bucket is above
+// half capacity. Under sustained failure the bucket empties after
+// ~capacity failures and stays empty, so total call amplification across
+// all callers converges to 1x (first attempts always pass — the budget
+// gates retries, never the call itself).
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+}
+
+// successCredit is the refill per successful attempt. At 0.5, sustained
+// retrying needs two successes per failure to keep the bucket above half —
+// occasional blips retry freely, systemic failure cannot.
+const successCredit = 0.5
+
+// newRetryBudget sizes a budget: capacity 0 means DefaultRetryBudget,
+// negative means unlimited (nil — all methods tolerate a nil receiver).
+func newRetryBudget(capacity int) *retryBudget {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = DefaultRetryBudget
+	}
+	c := float64(capacity)
+	return &retryBudget{tokens: c, cap: c}
+}
+
+func (b *retryBudget) onSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.tokens += successCredit; b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.mu.Unlock()
+}
+
+func (b *retryBudget) onFailure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.tokens--; b.tokens < 0 {
+		b.tokens = 0
+	}
+	b.mu.Unlock()
+}
+
+func (b *retryBudget) allowRetry() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	ok := b.tokens > b.cap/2
+	b.mu.Unlock()
+	return ok
+}
+
+// tokensLeft snapshots the bucket for Status (-1 = unlimited).
+func (b *retryBudget) tokensLeft() float64 {
+	if b == nil {
+		return -1
+	}
+	b.mu.Lock()
+	t := b.tokens
+	b.mu.Unlock()
+	return t
+}
+
+// Call runs fn against the peer under the full resilience stack: breaker
+// admission (half-open probing included), a per-attempt timeout, bounded
+// budget-gated retries with full-jitter backoff, and breaker bookkeeping on
+// the outcome. fn must honor its ctx (every Client method does).
+//
+// Error classification:
+//   - nil: success; refills the budget, closes the breaker.
+//   - *PeerError: the peer answered — transport is healthy, the breaker
+//     never trips. Retried only while Retryable(code), attempts remain, and
+//     the budget allows.
+//   - anything else: transport trouble (reset, timeout, refused). Retried
+//     under the same bounds; the final failure opens the breaker.
+//
+// If the caller's own ctx dies mid-call, Call returns immediately without
+// judging the peer (a canceled caller is not evidence of peer health).
+// Probe calls never retry: one attempt is the whole point of a probe.
+func (p *Peer) Call(ctx context.Context, fn func(ctx context.Context) error) error {
+	ok, probe := p.Acquire()
+	if !ok {
+		return ErrPeerDown
+	}
+	pol := p.policy
+	for attempt := 0; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if pol.attemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, pol.attemptTimeout)
+		}
+		err := fn(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			p.budget.onSuccess()
+			p.finish(probe, true)
+			return nil
+		}
+		if ctx.Err() != nil {
+			p.release(probe)
+			return err
+		}
+		p.budget.onFailure()
+		pe, structured := err.(*PeerError)
+		retryable := !structured || pe.Retryable()
+		if retryable && !probe && attempt < pol.maxRetries && p.budget.allowRetry() {
+			p.retries.Add(1)
+			if !structured {
+				p.failures.Add(1)
+			}
+			if !sleepCtx(ctx, pol.backoff(attempt)) {
+				p.release(probe)
+				return err
+			}
+			continue
+		}
+		if structured {
+			// A refusal proves the transport: the peer is alive and
+			// answering. Tripping the breaker would also cut it out of the
+			// cache tier for nothing — and for a probe, it is proof of life.
+			p.finish(probe, true)
+			return err
+		}
+		p.finish(probe, false)
+		return err
+	}
+}
+
+// sleepCtx sleeps d or until ctx dies; reports whether the full sleep
+// happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newPeerServer runs a real loopback HTTP server for peer-call tests and
+// returns its host:port.
+func newPeerServer(t *testing.T, h http.HandlerFunc) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String()
+}
+
+func writeTestError(w http.ResponseWriter, status int, code string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: "test refusal", Code: code})
+}
+
+// announce is the simplest real client call to drive Peer.Call with.
+func announce(p *Peer) func(ctx context.Context) error {
+	return func(ctx context.Context) error {
+		return p.Client.Announce(ctx, "127.0.0.1:9001", "joining")
+	}
+}
+
+// TestCallRetriesTransientFailure: a peer shedding under load answers the
+// retryable "shed" code; Call must retry past it and succeed, without
+// tripping the breaker.
+func TestCallRetriesTransientFailure(t *testing.T) {
+	var calls atomic.Int64
+	addr := newPeerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeTestError(w, http.StatusTooManyRequests, CodeShed)
+			return
+		}
+		w.Write([]byte("{}"))
+	})
+	f, err := New("127.0.0.1:9001", []string{addr},
+		Options{MaxRetries: 3, ProbeInterval: -1, PeerTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer(addr)
+	if err := p.Call(context.Background(), announce(p)); err != nil {
+		t.Fatalf("Call after two sheds: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("peer saw %d calls, want 3 (two sheds + success)", got)
+	}
+	if got := p.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+	if !p.Up() {
+		t.Fatal("structured sheds must not trip the breaker")
+	}
+}
+
+// TestCallTerminalRefusalNoRetry: a non-retryable code returns immediately
+// — one attempt, breaker untouched.
+func TestCallTerminalRefusalNoRetry(t *testing.T) {
+	var calls atomic.Int64
+	addr := newPeerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeTestError(w, http.StatusBadRequest, CodeValidation)
+	})
+	f, err := New("127.0.0.1:9001", []string{addr}, Options{ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer(addr)
+	err = p.Call(context.Background(), announce(p))
+	pe, ok := err.(*PeerError)
+	if !ok || pe.Code != CodeValidation {
+		t.Fatalf("Call = %v, want *PeerError with code validation", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("peer saw %d calls, want 1 (terminal refusals never retry)", got)
+	}
+	if !p.Up() {
+		t.Fatal("a refusal is proof of life; breaker must stay closed")
+	}
+}
+
+// TestCallTransportFailureOpensBreaker: a dead peer exhausts the retries
+// and opens the breaker; the next Call is refused without network traffic.
+func TestCallTransportFailureOpensBreaker(t *testing.T) {
+	// Grab a port, then close it: connection refused, instantly.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	f, err := New("127.0.0.1:9001", []string{addr},
+		Options{MaxRetries: 2, ProbeInterval: -1, Cooldown: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer(addr)
+	if err := p.Call(context.Background(), announce(p)); err == nil {
+		t.Fatal("Call against a closed port should fail")
+	}
+	if p.Up() {
+		t.Fatal("transport failure must open the breaker")
+	}
+	if got := p.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+	if err := p.Call(context.Background(), announce(p)); err != ErrPeerDown {
+		t.Fatalf("Call with open breaker = %v, want ErrPeerDown", err)
+	}
+}
+
+// TestRetryBudgetCapsAmplification is the retry-storm gate: under sustained
+// full failure the token bucket must cap total peer-call amplification at
+// <= 2x, while an unlimited budget would multiply every request by the full
+// retry count.
+func TestRetryBudgetCapsAmplification(t *testing.T) {
+	const requests = 40
+	run := func(budget int) int64 {
+		var calls atomic.Int64
+		addr := newPeerServer(t, func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			writeTestError(w, http.StatusTooManyRequests, CodeShed)
+		})
+		f, err := New("127.0.0.1:9001", []string{addr},
+			Options{MaxRetries: 3, RetryBudget: budget, ProbeInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		p := f.Peer(addr)
+		for i := 0; i < requests; i++ {
+			if err := p.Call(context.Background(), announce(p)); err == nil {
+				t.Fatal("Call should fail against an always-shedding peer")
+			}
+		}
+		return calls.Load()
+	}
+
+	budgeted := run(8)
+	if budgeted > 2*requests {
+		t.Errorf("budgeted: %d requests amplified to %d peer calls (> 2x)", requests, budgeted)
+	}
+	if budgeted < requests {
+		t.Errorf("budgeted: %d peer calls for %d requests; first attempts must never be throttled", budgeted, requests)
+	}
+	unlimited := run(-1)
+	if want := int64(4 * requests); unlimited != want {
+		t.Errorf("unlimited budget: %d peer calls, want %d (every request retried in full)", unlimited, want)
+	}
+	if budgeted >= unlimited {
+		t.Errorf("budget had no effect: %d budgeted vs %d unlimited", budgeted, unlimited)
+	}
+}
+
+// TestCallCanceledCallerJudgesNothing: a caller whose own context dies
+// mid-call must not trip the breaker — cancellation is not evidence about
+// the peer.
+func TestCallCanceledCallerJudgesNothing(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	addr := newPeerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.Write([]byte("{}"))
+	})
+	defer once.Do(func() { close(release) })
+	f, err := New("127.0.0.1:9001", []string{addr}, Options{ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer(addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Call(ctx, announce(p)); err == nil {
+		t.Fatal("Call should fail when the caller's deadline expires")
+	}
+	once.Do(func() { close(release) })
+	if !p.Up() {
+		t.Fatal("caller cancellation must not open the breaker")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: on cooldown expiry, exactly one of many
+// concurrent callers is admitted as the probe; everyone else keeps
+// skipping.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	f, err := New("127.0.0.1:9001", []string{"127.0.0.1:9002"},
+		Options{Cooldown: 2 * time.Millisecond, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer("127.0.0.1:9002")
+	p.MarkFailure()
+	time.Sleep(5 * time.Millisecond)
+
+	var admitted, probes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			ok, probe := p.Acquire()
+			if ok {
+				admitted.Add(1)
+			}
+			if probe {
+				probes.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if admitted.Load() != 1 || probes.Load() != 1 {
+		t.Fatalf("admitted %d callers (%d probes), want exactly 1 probe",
+			admitted.Load(), probes.Load())
+	}
+	if p.BreakerState() != "half-open" {
+		t.Fatalf("state %q, want half-open while the probe is out", p.BreakerState())
+	}
+}
+
+// TestBreakerConcurrencyFlapping hammers one peer's breaker from all sides
+// under -race: concurrent MarkFailure/MarkSuccess flapping, Acquire/finish
+// traffic, and Status reads. Invariant: at most one probe in flight, ever.
+func TestBreakerConcurrencyFlapping(t *testing.T) {
+	f, err := New("127.0.0.1:9001", []string{"127.0.0.1:9002"},
+		Options{Cooldown: time.Microsecond, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.Peer("127.0.0.1:9002")
+
+	var inProbe atomic.Int32
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	const iters = 3000
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ok, probe := p.Acquire()
+				if !ok {
+					continue
+				}
+				if probe {
+					if inProbe.Add(1) != 1 {
+						violations.Add(1)
+					}
+					runtime.Gosched()
+					inProbe.Add(-1)
+				}
+				p.finish(probe, (i+g)%3 != 0)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // the flapping peer: health flips under everyone's feet
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if i%2 == 0 {
+				p.MarkFailure()
+			} else {
+				p.MarkSuccess()
+			}
+			if i%64 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // observers never block the state machine
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_ = p.Up()
+			_ = p.BreakerState()
+			_ = f.Status()
+		}
+	}()
+	wg.Wait()
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("%d concurrent probes observed; the probe slot must be exclusive", n)
+	}
+	// The machine must still function after the storm: force a clean state.
+	p.MarkSuccess()
+	if !p.Up() {
+		t.Fatal("breaker wedged after concurrent flapping")
+	}
+}

@@ -28,7 +28,21 @@ const (
 	// shutdown deregisters here so peers stop scattering to a dying
 	// replica immediately instead of discovering it by timeout).
 	MembershipEndpoint = "/internal/v1/membership"
+	// HealthEndpoint answers active health probes (GET): cheap proof of
+	// life plus the serving model fingerprint and current inflight count,
+	// so the prober re-admits recovered peers without a user request
+	// paying for the discovery.
+	HealthEndpoint = "/internal/v1/health"
 )
+
+// HealthResponse answers a health probe.
+type HealthResponse struct {
+	// Fingerprint is the serving model's fingerprint — probers could use a
+	// mismatch as an early reload-propagation signal.
+	Fingerprint uint64 `json:"fingerprint"`
+	// Inflight is the replica's current in-flight estimation count.
+	Inflight int64 `json:"inflight"`
+}
 
 // Machine-readable error codes carried in the "code" field of every error
 // response body, so peers (and clients) classify failures without string
@@ -106,6 +120,12 @@ type PathsRequest struct {
 	Cfg     packetsim.Config `json:"cfg"`
 	Indices []int            `json:"indices"`
 	Mults   []int            `json:"mults"`
+	// DeadlineNS propagates the caller's remaining deadline budget (a
+	// duration in nanoseconds, not an absolute time — clock skew between
+	// replicas must not corrupt it; 0 = no deadline). A peer refuses work
+	// it cannot finish inside the budget with the retryable timeout code
+	// instead of computing a shard whose caller already gave up.
+	DeadlineNS int64 `json:"deadline_ns,omitempty"`
 }
 
 // PathsResponse carries a shard's outputs back to the coordinator. The wall
@@ -127,6 +147,9 @@ type KeyRequest struct {
 	// Wait asks the owner to join an in-flight computation of the key
 	// (fleet-wide single-flight) instead of answering "miss" immediately.
 	Wait bool `json:"wait,omitempty"`
+	// DeadlineNS propagates the caller's remaining deadline budget
+	// (duration ns, 0 = none); see PathsRequest.DeadlineNS.
+	DeadlineNS int64 `json:"deadline_ns,omitempty"`
 }
 
 // PutRequest offers a computed estimate to its hash owner (cacheput).

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// RPCFault is the mutable detail passed to the "cluster.rpc" injection
+// point before every peer RPC leaves a replica. The cluster transport fills
+// the descriptive fields; a hook injects a fault by setting Delay (latency
+// spike, applied context-aware before the request is sent) and/or Err (the
+// transport fails with this error instead of dialing — a connection reset,
+// as far as the retry and breaker layers can tell).
+type RPCFault struct {
+	// Host is the target peer's host:port.
+	Host string
+	// Path is the internal endpoint being called.
+	Path string
+	// Probe marks health-probe traffic (GET /internal/v1/health), so chaos
+	// schedules can flap a peer "up for requests, down for probes" and
+	// vice versa.
+	Probe bool
+
+	// Delay, if set, stalls the call before it is sent.
+	Delay time.Duration
+	// Err, if set, fails the call with this transport-level error.
+	Err error
+}
+
+// ErrInjectedReset is the transport error Chaos injects for a scheduled
+// connection reset.
+var ErrInjectedReset = errors.New("faultinject: injected connection reset")
+
+// ChaosConfig describes a deterministic fault schedule for the
+// "cluster.rpc" point. Rates are per-call probabilities drawn from a seeded
+// counter-keyed generator: the nth RPC of a run sees the same fate on every
+// run with the same seed, regardless of goroutine interleaving.
+type ChaosConfig struct {
+	// Seed keys the schedule; two configs with the same seed and rates
+	// fault the same call sequence numbers.
+	Seed uint64
+	// ResetRate is the probability a call fails with ErrInjectedReset.
+	ResetRate float64
+	// DelayRate is the probability a call stalls for Delay first.
+	DelayRate float64
+	// Delay is the injected stall duration (default 5ms when DelayRate > 0).
+	Delay time.Duration
+	// FlapProbes fails every health probe (while leaving request traffic
+	// to the rates above): the peer looks dead to the prober, modeling a
+	// replica whose serving loop answers but whose health check is
+	// black-holed — the breaker must keep it out of rotation.
+	FlapProbes bool
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche of x, good
+// enough to turn (seed, call#) into an independent uniform draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chance converts a draw to a [0,1) float and compares against rate.
+func chance(draw uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return float64(draw>>11)/float64(1<<53) < rate
+}
+
+// Chaos builds a hook for the "cluster.rpc" point that applies cfg's
+// deterministic fault schedule. Install with
+// faultinject.Set("cluster.rpc", faultinject.Chaos(cfg)) and remove with
+// Clear. The returned hook is safe for concurrent calls.
+func Chaos(cfg ChaosConfig) func(detail any) {
+	if cfg.Delay <= 0 {
+		cfg.Delay = 5 * time.Millisecond
+	}
+	var calls atomic.Uint64
+	return func(detail any) {
+		f, ok := detail.(*RPCFault)
+		if !ok {
+			return
+		}
+		if cfg.FlapProbes && f.Probe {
+			f.Err = ErrInjectedReset
+			return
+		}
+		n := calls.Add(1)
+		draw := splitmix64(cfg.Seed ^ n)
+		if chance(draw, cfg.DelayRate) {
+			f.Delay = cfg.Delay
+		}
+		// A second independent draw decides the reset, so delay and reset
+		// faults compose instead of shadowing each other.
+		if chance(splitmix64(draw), cfg.ResetRate) {
+			f.Err = ErrInjectedReset
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosDeterministic: two hooks built from the same config must fault
+// the exact same call sequence numbers — the property that makes a chaos
+// run reproducible from its seed.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, ResetRate: 0.1, DelayRate: 0.05}
+	a, b := Chaos(cfg), Chaos(cfg)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		fa, fb := RPCFault{Path: "/x"}, RPCFault{Path: "/x"}
+		a(&fa)
+		b(&fb)
+		if (fa.Err == nil) != (fb.Err == nil) || fa.Delay != fb.Delay {
+			t.Fatalf("call %d diverged: a={err:%v delay:%v} b={err:%v delay:%v}",
+				i, fa.Err, fa.Delay, fb.Err, fb.Delay)
+		}
+	}
+}
+
+// TestChaosSeedChangesSchedule: different seeds must produce different
+// fault schedules (otherwise "seeded" is a lie).
+func TestChaosSeedChangesSchedule(t *testing.T) {
+	a := Chaos(ChaosConfig{Seed: 1, ResetRate: 0.5})
+	b := Chaos(ChaosConfig{Seed: 2, ResetRate: 0.5})
+	diverged := false
+	for i := 0; i < 256 && !diverged; i++ {
+		fa, fb := RPCFault{}, RPCFault{}
+		a(&fa)
+		b(&fb)
+		diverged = (fa.Err == nil) != (fb.Err == nil)
+	}
+	if !diverged {
+		t.Fatal("seeds 1 and 2 produced identical 256-call schedules")
+	}
+}
+
+// TestChaosRates: over many calls the observed fault fraction must track
+// the configured rate.
+func TestChaosRates(t *testing.T) {
+	hook := Chaos(ChaosConfig{Seed: 99, ResetRate: 0.10, DelayRate: 0.20, Delay: time.Millisecond})
+	const n = 20000
+	resets, delays := 0, 0
+	for i := 0; i < n; i++ {
+		f := RPCFault{}
+		hook(&f)
+		if f.Err != nil {
+			resets++
+		}
+		if f.Delay > 0 {
+			delays++
+		}
+	}
+	if frac := float64(resets) / n; frac < 0.08 || frac > 0.12 {
+		t.Errorf("reset fraction %.3f, want ~0.10", frac)
+	}
+	if frac := float64(delays) / n; frac < 0.17 || frac > 0.23 {
+		t.Errorf("delay fraction %.3f, want ~0.20", frac)
+	}
+}
+
+// TestChaosFlapProbes: FlapProbes fails every probe and only probes;
+// request traffic follows the (zero) rates untouched.
+func TestChaosFlapProbes(t *testing.T) {
+	hook := Chaos(ChaosConfig{FlapProbes: true})
+	for i := 0; i < 100; i++ {
+		probe := RPCFault{Probe: true}
+		hook(&probe)
+		if probe.Err == nil {
+			t.Fatal("probe survived FlapProbes")
+		}
+		req := RPCFault{}
+		hook(&req)
+		if req.Err != nil || req.Delay != 0 {
+			t.Fatal("request traffic faulted with zero rates")
+		}
+	}
+}
+
+// TestChaosZeroConfigInert: an all-zero config must never inject anything.
+func TestChaosZeroConfigInert(t *testing.T) {
+	hook := Chaos(ChaosConfig{})
+	for i := 0; i < 1000; i++ {
+		f := RPCFault{Probe: i%2 == 0}
+		hook(&f)
+		if f.Err != nil || f.Delay != 0 {
+			t.Fatalf("call %d faulted under a zero config", i)
+		}
+	}
+}

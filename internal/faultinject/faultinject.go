@@ -13,6 +13,9 @@
 //	model.load     before checkpoint CRC verification (detail: *[]byte payload,
 //	               mutable — tests corrupt it to exercise integrity checks)
 //	serve.estimate per estimate request, before admission (detail: nil)
+//	cluster.rpc    before every peer RPC leaves a replica (detail: *RPCFault,
+//	               mutable — hooks inject latency spikes and connection
+//	               resets; see Chaos for seeded deterministic schedules)
 //
 // Hooks are process-global; tests must Clear them when done (use
 // t.Cleanup(faultinject.Clear)) and must not run in parallel with other

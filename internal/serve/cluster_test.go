@@ -19,6 +19,13 @@ import (
 // httptest's handler-only servers are not enough).
 func clusterServers(t *testing.T, n int, scatter bool) []*Server {
 	t.Helper()
+	return clusterServersOpts(t, n, scatter, nil)
+}
+
+// clusterServersOpts is clusterServers with an Options hook (chaos tests
+// shorten the probe interval and retry knobs).
+func clusterServersOpts(t *testing.T, n int, scatter bool, mutate func(*Options)) []*Server {
+	t.Helper()
 	listeners := make([]stdnet.Listener, n)
 	addrs := make([]string, n)
 	for i := range listeners {
@@ -47,14 +54,18 @@ func clusterServers(t *testing.T, n int, scatter bool) []*Server {
 				peers = append(peers, a)
 			}
 		}
-		s, err := New(Options{
+		opts := Options{
 			Net:       tinyNet(t, 1),
 			Workers:   2,
 			CacheSize: 8,
 			Advertise: addrs[i],
 			Peers:     peers,
 			Scatter:   scatter,
-		})
+		}
+		if mutate != nil {
+			mutate(&opts)
+		}
+		s, err := New(opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,11 +5,36 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"m3/internal/cluster"
 	"m3/internal/core"
 	"m3/internal/model"
 )
+
+// minRemoteBudget is the smallest propagated deadline budget worth starting
+// work for. Below it, the caller's deadline will expire before any shard or
+// cache answer could land, so the peer sheds immediately with the retryable
+// timeout code instead of computing for a caller that already gave up.
+const minRemoteBudget = 5 * time.Millisecond
+
+// budgetContext applies a propagated deadline budget (deadline_ns wire
+// field): ok=false means the budget is hopeless and the caller should shed
+// now; otherwise the returned context carries min(estTimeout, budget).
+func (s *Server) budgetContext(parent context.Context, deadlineNS int64) (context.Context, context.CancelFunc, bool) {
+	limit := s.estTimeout
+	if deadlineNS > 0 {
+		budget := time.Duration(deadlineNS)
+		if budget < minRemoteBudget {
+			return nil, nil, false
+		}
+		if budget < limit {
+			limit = budget
+		}
+	}
+	ctx, cancel := context.WithTimeout(parent, limit)
+	return ctx, cancel, true
+}
 
 // This file is the server side of the cluster protocol: the
 // /internal/v1/* handlers every replica mounts when it runs as part of a
@@ -88,7 +113,13 @@ func (s *Server) handleInternalPaths(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.estTimeout)
+	ctx, cancel, ok := s.budgetContext(r.Context(), req.DeadlineNS)
+	if !ok {
+		writeErrorCode(w, http.StatusGatewayTimeout, cluster.CodeTimeout,
+			fmt.Errorf("serve: %v of deadline budget left, below the %v floor; shedding shard",
+				time.Duration(req.DeadlineNS), minRemoteBudget))
+		return
+	}
 	defer cancel()
 	est := core.NewEstimator(pred,
 		core.WithMethod(method),
@@ -128,7 +159,13 @@ func (s *Server) handleInternalCacheFetch(w http.ResponseWriter, r *http.Request
 		hit bool
 	)
 	if req.Wait {
-		ctx, cancel := context.WithTimeout(r.Context(), s.estTimeout)
+		ctx, cancel, ok := s.budgetContext(r.Context(), req.DeadlineNS)
+		if !ok {
+			writeErrorCode(w, http.StatusGatewayTimeout, cluster.CodeTimeout,
+				fmt.Errorf("serve: %v of deadline budget left, below the %v floor; shedding cache wait",
+					time.Duration(req.DeadlineNS), minRemoteBudget))
+			return
+		}
 		defer cancel()
 		var err error
 		res, hit, err = s.cache.Fetch(ctx, req.Key)
@@ -181,14 +218,20 @@ func (s *Server) peerFetch(ctx context.Context, key core.EstimateKey) (*core.Est
 	if p == nil || !p.Up() {
 		return nil, false
 	}
-	callCtx, cancel := context.WithTimeout(ctx, s.fleet.PeerTimeout())
-	defer cancel()
-	res, ok, err := p.Client.CacheFetch(callCtx, key, true)
+	var (
+		res *core.Estimate
+		ok  bool
+	)
+	// Peer.Call supplies per-attempt timeouts, budget-gated retries, and
+	// breaker bookkeeping; any residual error is simply "no".
+	err := p.Call(ctx, func(ctx context.Context) error {
+		var err error
+		res, ok, err = p.Client.CacheFetch(ctx, key, true)
+		return err
+	})
 	if err != nil {
-		s.markPeerError(p, err)
 		return nil, false
 	}
-	p.MarkSuccess()
 	return res, ok
 }
 
@@ -206,23 +249,13 @@ func (s *Server) peerPut(key core.EstimateKey, res *core.Estimate) {
 		return
 	}
 	go func() {
-		ctx, cancel := context.WithTimeout(context.Background(), s.fleet.PeerTimeout())
-		defer cancel()
-		if err := p.Client.CachePut(ctx, key, res); err != nil {
+		err := p.Call(context.Background(), func(ctx context.Context) error {
+			return p.Client.CachePut(ctx, key, res)
+		})
+		if err != nil {
 			s.metrics.syncErrors.Add(1)
-			s.markPeerError(p, err)
 		}
 	}()
-}
-
-// markPeerError trips the peer's circuit breaker for transport-level
-// trouble only. A structured refusal (*cluster.PeerError) came from a
-// replica healthy enough to answer; marking it down would also cut it out
-// of the cache tier for nothing.
-func (s *Server) markPeerError(p *cluster.Peer, err error) {
-	if _, ok := err.(*cluster.PeerError); !ok {
-		p.MarkFailure()
-	}
 }
 
 // --- registry replication ---------------------------------------------------
@@ -277,10 +310,21 @@ func (s *Server) handleInternalWorkloadSync(w http.ResponseWriter, r *http.Reque
 	}
 }
 
+// Durable-replication retry schedule: enough attempts to outlive a breaker
+// cooldown plus the prober's re-admission, then give up (a peer still dark
+// after ~15s of backoff pulls the full registry when it rejoins).
+const (
+	replicateAttempts = 6
+	replicateBackoff  = 500 * time.Millisecond
+)
+
 // replicate fans a registry mutation out to every peer, asynchronously:
-// the client's create/delete answers at local speed, and a peer that is
-// down simply misses the update (it pulls the full registry when it
-// rejoins). raw is nil for deletes.
+// the client's create/delete answers at local speed. Delivery is durable
+// against transient peer trouble: a peer whose breaker happens to be open
+// when the mutation lands would otherwise miss it forever (it only pulls
+// the full registry on an announced rejoin), so failed sends retry with
+// backoff until the peer accepts, announces departure, or the server shuts
+// down. raw is nil for deletes.
 func (s *Server) replicate(op, name string, raw json.RawMessage) {
 	if s.fleet == nil {
 		return
@@ -289,11 +333,24 @@ func (s *Server) replicate(op, name string, raw json.RawMessage) {
 	for _, p := range s.fleet.Peers() {
 		p := p
 		go func() {
-			ctx, cancel := context.WithTimeout(context.Background(), s.fleet.PeerTimeout())
-			defer cancel()
-			if err := p.Client.SyncWorkload(ctx, req); err != nil {
+			for attempt := 0; ; attempt++ {
+				err := p.Call(context.Background(), func(ctx context.Context) error {
+					return p.Client.SyncWorkload(ctx, req)
+				})
+				if err == nil {
+					return
+				}
 				s.metrics.syncErrors.Add(1)
-				s.markPeerError(p, err)
+				// A departed peer re-pulls the registry on rejoin — that
+				// path owns convergence; retrying here would race it.
+				if p.Left() || attempt >= replicateAttempts-1 {
+					return
+				}
+				select {
+				case <-s.stop:
+					return
+				case <-time.After(replicateBackoff << attempt):
+				}
 			}
 		}()
 	}
@@ -312,6 +369,9 @@ func (s *Server) handleInternalInvalidate(w http.ResponseWriter, r *http.Request
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Count receipt before acting: anyone watching the fingerprint converge
+	// must already see the broadcast that caused it.
+	s.metrics.invalidations.Add(1)
 	if s.modelFP.Load() != req.Fingerprint && req.Checkpoint != "" {
 		// Best-effort: a failed reload keeps the current model serving (the
 		// fingerprint pin on shard requests contains the damage to "this
@@ -324,7 +384,6 @@ func (s *Server) handleInternalInvalidate(w http.ResponseWriter, r *http.Request
 	// was already converged, the broadcast named no checkpoint, or the
 	// reload failed — entries keyed to the set actually serving stay.
 	dropped := s.cache.InvalidateModel(s.backends.Load().fingerprints()...)
-	s.metrics.invalidations.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dropped": dropped,
 		"model":   fingerprintString(s.modelFP.Load()),
@@ -342,11 +401,11 @@ func (s *Server) broadcastInvalidate(fingerprint uint64, checkpoint string) {
 	for _, p := range s.fleet.Peers() {
 		p := p
 		go func() {
-			ctx, cancel := context.WithTimeout(context.Background(), s.fleet.PeerTimeout())
-			defer cancel()
-			if err := p.Client.Invalidate(ctx, req); err != nil {
+			err := p.Call(context.Background(), func(ctx context.Context) error {
+				return p.Client.Invalidate(ctx, req)
+			})
+			if err != nil {
 				s.metrics.syncErrors.Add(1)
-				s.markPeerError(p, err)
 			}
 		}()
 	}
@@ -392,15 +451,20 @@ func (s *Server) JoinFleet(ctx context.Context) int {
 		return 0
 	}
 	for _, p := range s.fleet.Peers() {
-		callCtx, cancel := context.WithTimeout(ctx, s.fleet.PeerTimeout())
-		_ = p.Client.Announce(callCtx, s.fleet.Self(), "joining")
-		cancel()
+		p := p
+		_ = p.Call(ctx, func(ctx context.Context) error {
+			return p.Client.Announce(ctx, s.fleet.Self(), "joining")
+		})
 	}
 	adopted := 0
 	for _, p := range s.fleet.Peers() {
-		callCtx, cancel := context.WithTimeout(ctx, s.fleet.PeerTimeout())
-		raws, err := p.Client.PullWorkloads(callCtx)
-		cancel()
+		p := p
+		var raws []json.RawMessage
+		err := p.Call(ctx, func(ctx context.Context) error {
+			var err error
+			raws, err = p.Client.PullWorkloads(ctx)
+			return err
+		})
 		if err != nil {
 			continue
 		}
@@ -440,8 +504,22 @@ func (s *Server) LeaveFleet(ctx context.Context) {
 		return
 	}
 	for _, p := range s.fleet.Peers() {
-		callCtx, cancel := context.WithTimeout(ctx, s.fleet.PeerTimeout())
-		_ = p.Client.Announce(callCtx, s.fleet.Self(), "leaving")
-		cancel()
+		p := p
+		_ = p.Call(ctx, func(ctx context.Context) error {
+			return p.Client.Announce(ctx, s.fleet.Self(), "leaving")
+		})
 	}
+}
+
+// --- health ------------------------------------------------------------------
+
+// handleInternalHealth answers active health probes: cheap proof the
+// serving loop is alive, plus the model fingerprint and inflight count. No
+// admission control — a saturated replica is still a healthy replica, and
+// probes must be near-free (two atomic loads) so the prober can run hot.
+func (s *Server) handleInternalHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cluster.HealthResponse{
+		Fingerprint: s.modelFP.Load(),
+		Inflight:    s.metrics.inflight.Load(),
+	})
 }

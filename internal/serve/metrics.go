@@ -112,6 +112,11 @@ type Metrics struct {
 	degradedEstimates atomic.Int64
 	degradedPaths     atomic.Int64
 
+	// estLatencyNs is an EWMA of computed-estimate wall latency; admission
+	// control derives the Retry-After hint from it (drain time is one
+	// estimate's latency, so clients back off proportionally to reality).
+	estLatencyNs atomic.Int64
+
 	// Cluster counters: estimates executed via scatter-gather, shards peers
 	// actually computed, shards that fell back to local compute, registry
 	// mutations applied from peers, fire-and-forget peer calls that failed
@@ -183,6 +188,37 @@ func (m *Metrics) recordStages(st core.StageTimings) {
 	m.overlapNs.Add(int64(st.Overlap))
 }
 
+// observeEstimateLatency folds one computed estimate's wall latency into
+// the EWMA (weight 1/4 — responsive to load shifts, stable against one
+// outlier). Lock-free CAS loop; a lost race just means the other sample won.
+func (m *Metrics) observeEstimateLatency(d time.Duration) {
+	for {
+		old := m.estLatencyNs.Load()
+		nw := int64(d)
+		if old != 0 {
+			nw = old + (int64(d)-old)/4
+		}
+		if m.estLatencyNs.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds converts the latency EWMA into the Retry-After hint:
+// ceil to whole seconds (the header's unit), clamped to [1, 30]. Before the
+// first computed estimate it answers the floor.
+func (m *Metrics) retryAfterSeconds() int {
+	ns := m.estLatencyNs.Load()
+	secs := int((ns + int64(time.Second) - 1) / int64(time.Second))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
 // snapshot renders all counters for the /metrics endpoint. defBackend and
 // kinds describe the serving backend set; clusterInfo is the fleet section
 // (nil when standalone).
@@ -218,6 +254,7 @@ func (m *Metrics) snapshot(cacheStats core.CacheStats, modelParams int, modelFP 
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"inflight":       m.inflight.Load(),
 		"shed":           m.shed.Load(),
+		"retry_after_s":  m.retryAfterSeconds(),
 		"panics":         m.panics.Load(),
 		"degraded": map[string]any{
 			"estimates": m.degradedEstimates.Load(),

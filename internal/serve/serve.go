@@ -102,6 +102,15 @@ type Options struct {
 	Peers []string
 	// PeerTimeout bounds each internal peer call (0 = cluster default).
 	PeerTimeout time.Duration
+	// PeerRetries bounds retries per peer call (0 = cluster default,
+	// negative = no retries).
+	PeerRetries int
+	// RetryBudget is the per-peer retry token-bucket capacity (0 = cluster
+	// default, negative = unlimited).
+	RetryBudget int
+	// ProbeInterval is the active health prober's cadence (0 = cluster
+	// default, negative = prober disabled).
+	ProbeInterval time.Duration
 	// Scatter enables scatter-gather execution of estimates across the
 	// fleet. Off, replicas still share the registry and the two-tier
 	// cache but each computes its own estimates whole.
@@ -170,6 +179,11 @@ type Server struct {
 	// fleet is the cluster membership view; nil when standalone.
 	fleet *cluster.Fleet
 
+	// stop is closed by Close; background delivery loops (durable
+	// replication retries) watch it so shutdown never waits on a backoff.
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	mux *http.ServeMux
 }
 
@@ -190,6 +204,7 @@ func New(opts Options) (*Server, error) {
 		cache:     core.NewEstimateCache(opts.CacheSize),
 		metrics:   newMetrics(),
 		workloads: make(map[string]*Workload),
+		stop:      make(chan struct{}),
 		mux:       http.NewServeMux(),
 	}
 	maxInflight := opts.MaxInflight
@@ -209,7 +224,10 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.Advertise != "" || len(opts.Peers) > 0 {
 		fleet, err := cluster.New(opts.Advertise, opts.Peers, cluster.Options{
-			PeerTimeout: opts.PeerTimeout,
+			PeerTimeout:   opts.PeerTimeout,
+			MaxRetries:    opts.PeerRetries,
+			RetryBudget:   opts.RetryBudget,
+			ProbeInterval: opts.ProbeInterval,
 		})
 		if err != nil {
 			s.pool.Close()
@@ -228,6 +246,7 @@ func New(opts Options) (*Server, error) {
 // Close releases the worker pool and the peer fan-out pool. In-flight Run
 // calls must have finished (drain the HTTP server first).
 func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.pool.Close()
 	if s.fleet != nil {
 		s.fleet.Close()
@@ -364,6 +383,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/whatif", h("whatif", s.handleWhatIf))
 	s.mux.HandleFunc("POST /v1/reload", h("reload", s.handleReload))
 	if s.fleet != nil {
+		s.mux.HandleFunc("GET "+cluster.HealthEndpoint, h("internal_health", s.handleInternalHealth))
 		s.mux.HandleFunc("POST "+cluster.PathsEndpoint, h("internal_paths", s.handleInternalPaths))
 		s.mux.HandleFunc("POST "+cluster.CacheFetchEndpoint, h("internal_cachefetch", s.handleInternalCacheFetch))
 		s.mux.HandleFunc("POST "+cluster.CachePutEndpoint, h("internal_cacheput", s.handleInternalCachePut))
@@ -455,7 +475,11 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 		return true
 	default:
 		s.metrics.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// Retry-After tracks observed estimate latency: a slot frees when
+		// one estimate drains, so that EWMA (clamped to [1s, 30s]) is the
+		// honest "come back when something might have changed" hint —
+		// hardcoding 1s would invite hammering when estimates run long.
+		w.Header().Set("Retry-After", strconv.Itoa(s.metrics.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("serve: estimation capacity exhausted (%d in flight); retry", cap(s.sem)))
 		return false
@@ -564,6 +588,10 @@ func (s *Server) runEstimate(ctx context.Context, wl *Workload, method core.Meth
 	})
 	if err == nil && !cached {
 		s.metrics.recordStages(res.Stages)
+		// Only computed estimates feed the Retry-After EWMA: drain time is
+		// governed by compute latency, and cache hits would drag the
+		// estimate toward microseconds.
+		s.metrics.observeEstimateLatency(res.Elapsed)
 		if method == core.MethodML {
 			s.metrics.recordBackend(pred.Kind(), res.Stages.Predict)
 		}

@@ -18,8 +18,11 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race (shuffled) =="
+# -shuffle=on randomizes test (and package-level example) execution order so
+# inter-test state leaks can't hide behind source order; the seed is printed
+# on failure for reproduction.
+go test -race -shuffle=on ./...
 
 echo "== fault injection (-race) =="
 # The fault-tolerance suite: panic isolation in the pool, flowSim fallback
@@ -73,6 +76,18 @@ echo "== 100k-host scale smoke =="
 # clustered ground-truth pass under hard memory ceilings (512 MiB live
 # heap / 1.5 GiB Sys); measured ~2s wall, budgeted 10m for slow machines.
 M3_SCALE_SMOKE=1 go test -run '^TestScaleSmoke100k$' -v -timeout 10m ./internal/core/
+
+echo "== chaos gate (-race) =="
+# The resilience gate: a 3-replica in-process fleet under a seeded 10% fault
+# schedule plus a flapped replica. Every request must answer 200 with the
+# single-process byte-identical result, breakers must open for the flapped
+# peer, and the background prober alone must re-admit it — no user request
+# pays for recovery. Deadline propagation and the adaptive Retry-After ride
+# along.
+go test -race -run '^TestChaosFleetResilience$|^TestDeadlinePropagation|^TestRetryAfterAdaptive$' \
+    ./internal/serve/
+go test -race -run '^TestChaos|^TestProber|^TestBreaker|^TestRetryBudget|^TestCall' \
+    ./internal/cluster/ ./internal/faultinject/
 
 echo "== cluster smoke (3-replica scatter parity) =="
 # Boots real m3serve processes: a standalone reference and a 3-replica

@@ -18,8 +18,17 @@
 #   kill-one          3-replica scatter fleet; one replica is SIGKILLed
 #                     mid-run; the load (aimed at the survivors) must see
 #                     zero failed requests and surface Degraded
+#   chaos             3-replica scatter fleet under M3_CHAOS (seeded 10%
+#                     connection resets on every internal RPC); zero failed
+#                     requests allowed, retries must absorb the schedule
+#   healthy overhead  BenchmarkServeEstimate vs the frozen pre-resilience
+#                     baseline; the retry/breaker/probe layer must cost the
+#                     healthy path < 1%
 #
-# Usage: scripts/cluster_bench.sh   (run from anywhere; writes BENCH_pr6.json)
+# Usage: scripts/cluster_bench.sh     writes BENCH_pr6.json + BENCH_pr10.json
+#        CHAOS_ONLY=1 scripts/cluster_bench.sh
+#                                     skips the scale/kill phases and writes
+#                                     only BENCH_pr10.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -84,6 +93,8 @@ stop_fleet() {
     wait 2>/dev/null || true
     PIDS=()
 }
+
+if [[ -z "${CHAOS_ONLY:-}" ]]; then
 
 for n in 1 2 4; do
     echo "== fleet of $n: $REQUESTS requests over $SEEDS keys (cache $CACHE/tier) =="
@@ -159,4 +170,136 @@ if failures:
     sys.exit("cluster bench FAILED: " + "; ".join(failures))
 print("scaling: 2 replicas %.2fx, 4 replicas %.2fx; kill-one: %d failures, %d degraded"
       % (speedup[2], speedup[4], kill["failures"], kill["degraded"]))
+PYEOF
+
+fi  # CHAOS_ONLY
+
+echo "== chaos: 3-replica scatter fleet under seeded 10% connection resets =="
+# M3_CHAOS arms the deterministic fault schedule inside every replica: each
+# internal RPC (shards, cache fetches, replication, probes) draws from a
+# seeded hash of its global call number; ~10% get a connection reset. The
+# client-visible contract must hold anyway: zero failed requests, with
+# retries and local shard fallback absorbing the schedule.
+export M3_CHAOS="seed=7,reset=0.1"
+start_fleet 3 -scatter -probe-interval 250ms
+unset M3_CHAOS
+"$TMP/m3fleetbench" -targets "$TARGETS" -workload chaostest \
+    -flows "$FLOWS" -requests 180 -seeds 24 -paths 96 \
+    -concurrency "$CONCURRENCY" -out "$TMP/chaos.json"
+# Snapshot every replica's /metrics before shutdown: the per-peer retry,
+# breaker, and probe counters prove the schedule actually fired.
+ADDRS="${ADDRS[*]}" TMP="$TMP" python3 - <<'PYEOF'
+import json, os, urllib.request
+for i, a in enumerate(os.environ["ADDRS"].split(), 1):
+    m = json.load(urllib.request.urlopen("http://%s/metrics" % a, timeout=5))
+    with open("%s/chaos-metrics-%d.json" % (os.environ["TMP"], i), "w") as f:
+        json.dump(m, f)
+PYEOF
+stop_fleet
+cat "$TMP/chaos.json"
+
+echo "== healthy-path overhead: BenchmarkServeEstimate vs pre-resilience baseline =="
+# Three separate processes, not -count=3: the cold sub-benchmark keys its
+# cache misses off the iteration counter, so reruns inside one process
+# would hit the warm cache and stop measuring cold at all.
+: > "$TMP/serve_bench.txt"
+for i in 1 2 3; do
+    go test -run '^$' -bench '^BenchmarkServeEstimate$' -benchtime=2s -count=1 . \
+        | tee -a "$TMP/serve_bench.txt"
+done
+
+TMP="$TMP" python3 - <<'PYEOF'
+import glob, json, os, re, statistics, sys
+
+tmp = os.environ["TMP"]
+chaos = json.load(open(f"{tmp}/chaos.json"))
+
+# Per-peer resilience counters, summed across the fleet.
+retries = probes = failures = 0
+open_breakers = 0
+for path in sorted(glob.glob(f"{tmp}/chaos-metrics-*.json")):
+    m = json.load(open(path))
+    for p in m.get("cluster", {}).get("peers", []):
+        retries += p["retries"]
+        probes += p["probes"]
+        failures += p["failures"]
+        if p["state"] != "closed":
+            open_breakers += 1
+
+# Median ns/op per BenchmarkServeEstimate sub-benchmark across the runs
+# (median, not min: this box's run-to-run spread is ~±5%, and a single
+# lucky minimum would overstate whichever side drew it).
+samples = {}
+for line in open(f"{tmp}/serve_bench.txt"):
+    m = re.match(r"BenchmarkServeEstimate/(\w+)-?\d*\s+\d+\s+(\d+) ns/op", line)
+    if m:
+        samples.setdefault(m.group(1), []).append(int(m.group(2)))
+if not {"cold", "warm"} <= samples.keys():
+    sys.exit("cluster bench FAILED: BenchmarkServeEstimate output missing cold/warm")
+bench = {k: int(statistics.median(v)) for k, v in samples.items()}
+
+# Frozen on this container: median of 7 interleaved A/B rounds against a
+# worktree at commit 5a3c952 (the tree immediately before the resilience
+# layer), alternating baseline/current runs so both sides saw the same
+# machine conditions. Same-session A/B medians: warm -4.2%, cold +0.6% —
+# the layer's healthy-path cost is indistinguishable from zero.
+baseline = {"cold": 60711921, "warm": 2489562}
+overhead = {k: round((bench[k] - baseline[k]) / baseline[k] * 100, 2)
+            for k in ("cold", "warm")}
+
+doc = {
+    "description": "Resilient fleet RPC: a 3-replica scatter fleet driven "
+                   "through a deterministic chaos schedule (M3_CHAOS seed=7, "
+                   "10% connection resets on every internal RPC) must serve "
+                   "every client request; retry budgets, half-open breakers, "
+                   "and the background health prober absorb the faults. The "
+                   "healthy path pays for none of it: BenchmarkServeEstimate "
+                   "vs the pre-resilience baseline stays within noise. "
+                   "Amplification under sustained failure is capped <= 2x by "
+                   "the retry token bucket (gated in "
+                   "TestRetryBudgetCapsAmplification, scripts/check.sh). "
+                   "Regenerate with CHAOS_ONLY=1 scripts/cluster_bench.sh.",
+    "chaos": {
+        "setup": "3-replica scatter fleet, M3_CHAOS=seed=7,reset=0.1, "
+                 "probe interval 250ms, closed-loop client load",
+        **chaos,
+        "fleet_counters": {
+            "peer_retries": retries,
+            "peer_failures": failures,
+            "probes": probes,
+            "breakers_open_at_end": open_breakers,
+        },
+    },
+    "healthy_path": {
+        "note": "Baseline is the median of 7 interleaved A/B rounds against "
+                "a worktree at the pre-resilience commit, alternated with "
+                "current-tree runs under identical machine conditions; the "
+                "same-session A/B put warm at -4.2% and cold at +0.6% "
+                "(within this 1-CPU box's ~±5% noise). The regen gate below "
+                "is noise-tolerant (<5% warm); the <1% budget claim rests "
+                "on the interleaved measurement.",
+        "baseline_pr9": {"commit": "5a3c952",
+                         "BenchmarkServeEstimate": baseline},
+        "current": {"BenchmarkServeEstimate": bench},
+        "overhead_pct": overhead,
+    },
+}
+with open("BENCH_pr10.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_pr10.json")
+
+problems = []
+if chaos["failures"] != 0:
+    problems.append("%d requests failed under chaos" % chaos["failures"])
+if retries == 0:
+    problems.append("no peer retries recorded; the chaos schedule never fired")
+if overhead["warm"] >= 5.0:
+    problems.append("warm healthy-path overhead %.2f%% >= 5%% noise bound" % overhead["warm"])
+if problems:
+    sys.exit("cluster bench FAILED: " + "; ".join(problems))
+print("chaos: %d/%d ok (%d degraded), %d retries, %d probes; "
+      "healthy overhead cold %+.2f%% warm %+.2f%%"
+      % (chaos["requests"] - chaos["failures"], chaos["requests"],
+         chaos["degraded"], retries, probes, overhead["cold"], overhead["warm"]))
 PYEOF
